@@ -1,0 +1,100 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  (1) RT message aggregation (Figure 1's batching) vs per-merge
+//      messages — aggregation trades away the pipelining granularity
+//      that creates the optimal-N effect;
+//  (2) the order-correct two-segment ring (pp_exact) vs the paper's
+//      loose ring — what correctness costs;
+//  (3) radix-k (the modern generalization) vs rotate-tiling across k;
+//  (4) N_RT/2N_RT across even and odd P (the applicability split the
+//      paper's two variants exist for).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Ablations", o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+
+  {
+    std::cout << "(1) RT message aggregation (rt_2n):\n";
+    harness::Table t({"blocks", "per-merge msgs [s]", "aggregated [s]"});
+    for (int n = 2; n <= 12; n += 2) {
+      harness::CompositionConfig cfg;
+      cfg.method = "rt_2n";
+      cfg.initial_blocks = n;
+      cfg.net = o.net;
+      const double plain = harness::run_composition(cfg, partials).time;
+      cfg.aggregate_messages = true;
+      const double agg = harness::run_composition(cfg, partials).time;
+      t.add_row({std::to_string(n), harness::Table::num(plain, 4),
+                 harness::Table::num(agg, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(2) order-correct ring vs loose ring:\n";
+    harness::Table t({"variant", "time [s]", "MB sent"});
+    for (const char* m : {"pp", "pp_exact"}) {
+      harness::CompositionConfig cfg;
+      cfg.method = m;
+      cfg.net = o.net;
+      const auto run = harness::run_composition(cfg, partials);
+      t.add_row({m, harness::Table::num(run.time, 4),
+                 harness::Table::num(
+                     static_cast<double>(run.stats.total_bytes_sent()) /
+                         1e6,
+                     2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(3) radix-k vs rotate-tiling:\n";
+    harness::Table t({"method", "param", "time [s]", "msgs/rank (max)"});
+    for (const int k : {2, 4, 8}) {
+      harness::CompositionConfig cfg;
+      cfg.method = "radix";
+      cfg.initial_blocks = k;
+      cfg.net = o.net;
+      const auto run = harness::run_composition(cfg, partials);
+      t.add_row({"radix", "k=" + std::to_string(k),
+                 harness::Table::num(run.time, 4),
+                 std::to_string(run.stats.max_messages_sent_by_rank())});
+    }
+    for (const int n : {2, 4}) {
+      harness::CompositionConfig cfg;
+      cfg.method = "rt_2n";
+      cfg.initial_blocks = n;
+      cfg.net = o.net;
+      const auto run = harness::run_composition(cfg, partials);
+      t.add_row({"rt_2n", "N=" + std::to_string(n),
+                 harness::Table::num(run.time, 4),
+                 std::to_string(run.stats.max_messages_sent_by_rank())});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "(4) variant applicability: odd vs even P (rt_2n, 4 "
+                 "blocks; partials re-rendered per P):\n";
+    harness::Table t({"P", "time [s]"});
+    for (const int p : {15, 16, 17, 31, 32, 33}) {
+      bench::BenchOptions po = o;
+      po.ranks = p;
+      const auto pp = bench::bench_partials(po);
+      harness::CompositionConfig cfg;
+      cfg.method = "rt_2n";
+      cfg.initial_blocks = 4;
+      cfg.net = o.net;
+      t.add_row({std::to_string(p),
+                 harness::Table::num(
+                     harness::run_composition(cfg, pp).time, 4)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every bench accepts:  [--dataset engine|brain|head] [--ranks P]
+//                       [--volume N] [--image S] [--paper-net]
+// Defaults reproduce the paper's operating point: 32 processors,
+// 512x512 gray images, SP2-calibrated network constants.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rtc/comm/network_model.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "rtc/harness/scene.hpp"
+#include "rtc/harness/table.hpp"
+
+namespace rtc::bench {
+
+struct BenchOptions {
+  std::string dataset = "engine";
+  int ranks = 32;
+  int volume_n = 96;
+  int image_size = 512;
+  comm::NetworkModel net = comm::sp2_hps_model();
+  bool paper_net = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--dataset") {
+      o.dataset = next();
+    } else if (a == "--ranks") {
+      o.ranks = std::stoi(next());
+    } else if (a == "--volume") {
+      o.volume_n = std::stoi(next());
+    } else if (a == "--image") {
+      o.image_size = std::stoi(next());
+    } else if (a == "--paper-net") {
+      o.net = comm::paper_example_model();
+      o.paper_net = true;
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Renders the per-rank partial images once (slab partition along the
+/// principal view axis, as rank order = depth order requires).
+inline std::vector<img::Image> bench_partials(const BenchOptions& o) {
+  const harness::Scene scene =
+      harness::make_scene(o.dataset, o.volume_n, o.image_size);
+  return harness::render_partials(scene, o.ranks,
+                                  harness::PartitionKind::kSlab1D);
+}
+
+inline double run_time(const BenchOptions& o, const std::string& method,
+                       int blocks, const std::string& codec,
+                       const std::vector<img::Image>& partials) {
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.initial_blocks = blocks;
+  cfg.codec = codec;
+  cfg.net = o.net;
+  cfg.gather = false;
+  return harness::run_composition(cfg, partials).time;
+}
+
+inline void print_header(const std::string& what, const BenchOptions& o) {
+  std::cout << "== " << what << " ==\n"
+            << "dataset=" << o.dataset << " P=" << o.ranks
+            << " image=" << o.image_size << "x" << o.image_size
+            << " volume=" << o.volume_n << "^3"
+            << " net=" << (o.paper_net ? "paper-example" : "sp2-hps")
+            << " (Ts=" << o.net.ts << " Tp=" << o.net.tp_byte
+            << " To=" << o.net.to_pixel << ")\n\n";
+}
+
+}  // namespace rtc::bench

@@ -1,0 +1,72 @@
+// Figures 3/4 companion: compression ratios of RLE, TRLE and the
+// bounding rectangle on real rendered partial images (per dataset),
+// plus the Figure 4 style two-scanline example.
+#include "bench_common.hpp"
+#include "rtc/compress/codec.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/serialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Figures 3/4: compression ratios", o);
+
+  const auto rle = compress::make_rle_codec();
+  const auto trle = compress::make_trle_codec();
+  const auto bbox = compress::make_bbox_codec();
+
+  for (const char* dataset : {"engine", "brain", "head"}) {
+    o.dataset = dataset;
+    const std::vector<img::Image> partials = bench::bench_partials(o);
+    std::int64_t raw = 0, rle_b = 0, trle_b = 0, bbox_b = 0,
+                 non_blank = 0;
+    for (const img::Image& im : partials) {
+      const compress::BlockGeometry geom{im.width(), 0};
+      raw += static_cast<std::int64_t>(
+          img::serialize_pixels(im.pixels()).size());
+      rle_b += static_cast<std::int64_t>(
+          rle->encode(im.pixels(), geom).size());
+      trle_b += static_cast<std::int64_t>(
+          trle->encode(im.pixels(), geom).size());
+      bbox_b += static_cast<std::int64_t>(
+          bbox->encode(im.pixels(), geom).size());
+      non_blank += img::count_non_blank(im.pixels());
+    }
+    const double blank_frac =
+        1.0 - static_cast<double>(non_blank) /
+                  (static_cast<double>(partials.size()) *
+                   static_cast<double>(partials[0].pixel_count()));
+    std::cout << "dataset " << dataset << "  (partial images "
+              << harness::Table::num(100.0 * blank_frac, 1)
+              << "% blank)\n";
+    harness::Table t({"codec", "bytes", "ratio vs raw"});
+    auto row = [&](const char* n, std::int64_t b) {
+      t.add_row({n, std::to_string(b),
+                 harness::Table::num(
+                     static_cast<double>(raw) / static_cast<double>(b), 2)});
+    };
+    row("raw", raw);
+    row("rle", rle_b);
+    row("trle", trle_b);
+    row("bbox", bbox_b);
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // Figure 4 style example: 2 scanlines x 24 pixels, varied gray.
+  img::Image ex(24, 2);
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 24; ++x)
+      if (!((x >= 6 && x < 8) || (x >= 14 && x < 16)))
+        ex.at(x, y) =
+            img::GrayA8{static_cast<std::uint8_t>(40 + 8 * x + y), 255};
+  const compress::BlockGeometry geom{24, 0};
+  std::cout << "Figure 4 style example (2x24 gray scanlines):\n"
+            << "  raw  = " << img::serialize_pixels(ex.pixels()).size()
+            << " bytes\n"
+            << "  RLE  = " << rle->encode(ex.pixels(), geom).size()
+            << " bytes\n"
+            << "  TRLE = " << trle->encode(ex.pixels(), geom).size()
+            << " bytes   (paper's example ratio RLE:TRLE = 18:5)\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 5: composition time of the N_RT (a) and 2N_RT (b) methods vs
+// the number of initial blocks of a sub-image, theory and experiment,
+// on 32 processors.
+//
+// "theory" = the paper's Section 2.3 closed forms (with A as the wire
+// size, which reproduces the worked optimal-N examples); "measured" =
+// the simulator running the real schedule over the real pixels.
+#include "bench_common.hpp"
+#include "rtc/costmodel/table1.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Figure 5: RT composition time vs initial blocks",
+                      o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+  const double a_wire =
+      2.0 * static_cast<double>(o.image_size) * o.image_size;
+
+  {
+    std::cout << "(a) N_RT (P even)\n";
+    harness::Table t({"blocks N", "theory T(N) [s]", "measured [s]"});
+    double best_measured = 1e300;
+    int best_n = 1;
+    for (int n = 1; n <= 8; ++n) {
+      const double theory =
+          costmodel::literal_n_rt_time(a_wire, o.net, o.ranks, n);
+      const double measured = bench::run_time(o, "rt_n", n, "", partials);
+      if (measured < best_measured) {
+        best_measured = measured;
+        best_n = n;
+      }
+      t.add_row({std::to_string(n), harness::Table::num(theory, 4),
+                 harness::Table::num(measured, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "measured best N = " << best_n
+              << "   (paper reports N = 3)\n\n";
+  }
+
+  {
+    std::cout << "(b) 2N_RT (any P)\n";
+    harness::Table t({"blocks 2N", "theory T(2N) [s]", "measured [s]"});
+    double best_measured = 1e300;
+    int best_n = 2;
+    for (int n = 2; n <= 16; n += 2) {
+      const double theory =
+          costmodel::literal_two_n_rt_time(a_wire, o.net, o.ranks, n);
+      const double measured = bench::run_time(o, "rt_2n", n, "", partials);
+      if (measured < best_measured) {
+        best_measured = measured;
+        best_n = n;
+      }
+      t.add_row({std::to_string(n), harness::Table::num(theory, 4),
+                 harness::Table::num(measured, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "measured best 2N = " << best_n
+              << "   (paper reports 4)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: composition time of BS, PP, 2N_RT(4 blocks) and N_RT(3
+// blocks) for one dataset on 32 processors, theory and experiment.
+#include "bench_common.hpp"
+#include "rtc/costmodel/table1.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Figure 6: method comparison", o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+
+  costmodel::Params mp;
+  mp.ranks = o.ranks;
+  mp.image_pixels =
+      static_cast<std::int64_t>(o.image_size) * o.image_size;
+  mp.net = o.net;
+  const double a_wire = 2.0 * static_cast<double>(mp.image_pixels);
+
+  harness::Table t({"method", "blocks", "theory [s]", "measured [s]"});
+  t.add_row({"binary-swap", "1",
+             harness::Table::num(costmodel::predict_binary_swap(mp).total(), 4),
+             harness::Table::num(bench::run_time(o, "bswap", 1, "", partials), 4)});
+  t.add_row(
+      {"parallel-pipelined", std::to_string(o.ranks),
+       harness::Table::num(costmodel::predict_parallel_pipelined(mp).total(), 4),
+       harness::Table::num(bench::run_time(o, "pp", o.ranks, "", partials), 4)});
+  t.add_row({"2N_RT", "4",
+             harness::Table::num(
+                 costmodel::literal_two_n_rt_time(a_wire, o.net, o.ranks, 4), 4),
+             harness::Table::num(bench::run_time(o, "rt_2n", 4, "", partials), 4)});
+  t.add_row({"N_RT", "3",
+             harness::Table::num(
+                 costmodel::literal_n_rt_time(a_wire, o.net, o.ranks, 3), 4),
+             harness::Table::num(bench::run_time(o, "rt_n", 3, "", partials), 4)});
+  t.print(std::cout);
+  std::cout << "\npaper's ordering: N_RT <= 2N_RT < BS, PP\n";
+  return 0;
+}

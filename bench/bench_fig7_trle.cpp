@@ -1,0 +1,38 @@
+// Figure 7: composition time of the RT methods with and without TRLE
+// vs the number of initial blocks, on 32 processors.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Figure 7: RT with/without TRLE vs initial blocks",
+                      o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+
+  {
+    std::cout << "(a) N_RT\n";
+    harness::Table t({"blocks N", "plain [s]", "TRLE [s]", "speedup"});
+    for (int n = 1; n <= 8; ++n) {
+      const double plain = bench::run_time(o, "rt_n", n, "", partials);
+      const double trle = bench::run_time(o, "rt_n", n, "trle", partials);
+      t.add_row({std::to_string(n), harness::Table::num(plain, 4),
+                 harness::Table::num(trle, 4),
+                 harness::Table::num(plain / trle, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  {
+    std::cout << "(b) 2N_RT\n";
+    harness::Table t({"blocks 2N", "plain [s]", "TRLE [s]", "speedup"});
+    for (int n = 2; n <= 16; n += 2) {
+      const double plain = bench::run_time(o, "rt_2n", n, "", partials);
+      const double trle = bench::run_time(o, "rt_2n", n, "trle", partials);
+      t.add_row({std::to_string(n), harness::Table::num(plain, 4),
+                 harness::Table::num(trle, 4),
+                 harness::Table::num(plain / trle, 2)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

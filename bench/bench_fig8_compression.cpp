@@ -1,0 +1,43 @@
+// Figure 8: composition time of BS, PP, 2N_RT(4) and N_RT(3) with and
+// without the RLE and TRLE compression methods, on 32 processors.
+// The bounding-rectangle codec (Ma et al.) is included as an extra
+// column beyond the paper.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Figure 8: methods x compression", o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+
+  struct Row {
+    const char* label;
+    const char* method;
+    int blocks;
+  };
+  const Row rows[] = {
+      {"binary-swap", "bswap", 1},
+      {"parallel-pipelined", "pp", 0},
+      {"2N_RT (4 blocks)", "rt_2n", 4},
+      {"N_RT (3 blocks)", "rt_n", 3},
+  };
+
+  harness::Table t({"method", "none [s]", "RLE [s]", "TRLE [s]",
+                    "bbox [s]"});
+  for (const Row& r : rows) {
+    const int blocks = r.blocks == 0 ? o.ranks : r.blocks;
+    t.add_row({r.label,
+               harness::Table::num(
+                   bench::run_time(o, r.method, blocks, "", partials), 4),
+               harness::Table::num(
+                   bench::run_time(o, r.method, blocks, "rle", partials), 4),
+               harness::Table::num(
+                   bench::run_time(o, r.method, blocks, "trle", partials), 4),
+               harness::Table::num(
+                   bench::run_time(o, r.method, blocks, "bbox", partials),
+                   4)});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper's claim: TRLE < RLE < none for every method\n";
+  return 0;
+}

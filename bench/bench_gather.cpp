@@ -1,0 +1,37 @@
+// Gather-stage cost (the paper's composition times exclude it; this
+// quantifies what that exclusion hides). Every method leaves the final
+// image distributed differently — direct-send already has it at the
+// root, PP spreads P blocks, RT spreads N*2^(S-1) — but the gathered
+// byte volume is one full image minus the root's share either way, so
+// the stage costs roughly the same for all distributed methods.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Gather stage cost", o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+
+  harness::Table t({"method", "composite only [s]", "with gather [s]",
+                    "gather cost [s]"});
+  struct Row {
+    const char* method;
+    int blocks;
+  };
+  for (const Row r : {Row{"bswap", 1}, Row{"pp", 0}, Row{"rt_2n", 4},
+                      Row{"rt_n", 3}, Row{"radix", 4},
+                      Row{"direct", 1}}) {
+    harness::CompositionConfig cfg;
+    cfg.method = r.method;
+    cfg.initial_blocks = r.blocks == 0 ? o.ranks : r.blocks;
+    cfg.net = o.net;
+    const double bare = harness::run_composition(cfg, partials).time;
+    cfg.gather = true;
+    const double full = harness::run_composition(cfg, partials).time;
+    t.add_row({r.method, harness::Table::num(bare, 4),
+               harness::Table::num(full, 4),
+               harness::Table::num(full - bare, 4)});
+  }
+  t.print(std::cout);
+  return 0;
+}

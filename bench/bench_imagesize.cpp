@@ -1,0 +1,47 @@
+// Image-size sweep (extension): composition time vs raster size for
+// the four paper methods at P=32. Startup terms are size-independent,
+// transmission/compute scale with A — so the method ranking tightens
+// as images grow and the optimal block count drifts upward (Eq. (5)'s
+// A-dependence).
+#include "bench_common.hpp"
+#include "rtc/costmodel/table1.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Image-size sweep", o);
+
+  harness::Table t({"image", "bswap [s]", "pp [s]", "rt_2n(4) [s]",
+                    "rt best-N [s]", "best N", "Eq5 bound"});
+  for (const int size : {128, 256, 512, 1024}) {
+    bench::BenchOptions so = o;
+    so.image_size = size;
+    const std::vector<img::Image> partials = bench::bench_partials(so);
+    auto timed = [&](const std::string& m, int blocks) {
+      harness::CompositionConfig cfg;
+      cfg.method = m;
+      cfg.initial_blocks = blocks;
+      cfg.net = o.net;
+      return harness::run_composition(cfg, partials).time;
+    };
+    double best = 1e300;
+    int best_n = 1;
+    for (int n = 1; n <= 12; ++n) {
+      const double v = timed("rt", n);
+      if (v < best) {
+        best = v;
+        best_n = n;
+      }
+    }
+    t.add_row(
+        {std::to_string(size) + "^2",
+         harness::Table::num(timed("bswap", 1), 4),
+         harness::Table::num(timed("pp", so.ranks), 4),
+         harness::Table::num(timed("rt_2n", 4), 4),
+         harness::Table::num(best, 4), std::to_string(best_n),
+         harness::Table::num(
+             costmodel::eq5_bound(2.0 * size * size, o.net, o.ranks), 2)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Google-benchmark microbenchmarks for the hot paths: the "over"
+// operator, the codecs, and schedule construction.
+#include <benchmark/benchmark.h>
+
+#include "rtc/compress/codec.hpp"
+#include "rtc/core/schedule.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/serialize.hpp"
+
+namespace {
+
+using namespace rtc;
+
+img::Image sparse_image(int n) {
+  img::Image im(n, n);
+  for (int y = n / 4; y < 3 * n / 4; ++y)
+    for (int x = n / 4; x < 3 * n / 4; ++x)
+      im.at(x, y) = img::GrayA8{
+          static_cast<std::uint8_t>((x * 7 + y * 13) & 0xff), 255};
+  return im;
+}
+
+void BM_OverInPlace(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  img::Image dst = sparse_image(n);
+  const img::Image src = sparse_image(n);
+  for (auto _ : state) {
+    img::over_in_place_back(dst.pixels(), src.pixels());
+    benchmark::DoNotOptimize(dst.pixels().data());
+  }
+  state.SetItemsProcessed(state.iterations() * dst.pixel_count());
+}
+BENCHMARK(BM_OverInPlace)->Arg(128)->Arg(512);
+
+void BM_CodecEncode(benchmark::State& state, const char* name) {
+  const img::Image im = sparse_image(512);
+  const auto codec = compress::make_codec(name);
+  const compress::BlockGeometry geom{512, 0};
+  for (auto _ : state) {
+    auto bytes = codec->encode(im.pixels(), geom);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * im.pixel_count());
+}
+BENCHMARK_CAPTURE(BM_CodecEncode, rle, "rle");
+BENCHMARK_CAPTURE(BM_CodecEncode, trle, "trle");
+BENCHMARK_CAPTURE(BM_CodecEncode, bbox, "bbox");
+
+void BM_CodecDecode(benchmark::State& state, const char* name) {
+  const img::Image im = sparse_image(512);
+  const auto codec = compress::make_codec(name);
+  const compress::BlockGeometry geom{512, 0};
+  const auto bytes = codec->encode(im.pixels(), geom);
+  std::vector<img::GrayA8> out(
+      static_cast<std::size_t>(im.pixel_count()));
+  for (auto _ : state) {
+    codec->decode(bytes, out, geom);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * im.pixel_count());
+}
+BENCHMARK_CAPTURE(BM_CodecDecode, rle, "rle");
+BENCHMARK_CAPTURE(BM_CodecDecode, trle, "trle");
+
+void BM_BuildSchedule(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto s =
+        core::build_rt_schedule(p, 4, core::RtVariant::kGeneralized);
+    benchmark::DoNotOptimize(s.final_owner.data());
+  }
+}
+BENCHMARK(BM_BuildSchedule)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Whole-frame view (extension): the data-partitioning stage's effect.
+// The authors' companion paper [15] balances the *rendering* workload
+// (solid voxels — shear-warp skips the rest); this bench reports the
+// per-rank render imbalance and the modeled frame time
+// (render stage + composition stage) for uniform 1-D, balanced 1-D
+// and 2-D grid partitions.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Partitioning: render balance and frame time", o);
+
+  const harness::Scene scene =
+      harness::make_scene(o.dataset, o.volume_n, o.image_size);
+
+  harness::Table t({"partition", "solid voxels min..max", "imbalance",
+                    "render [s]", "composition [s]", "frame [s]"});
+  struct Row {
+    const char* label;
+    harness::PartitionKind kind;
+  };
+  for (const Row row : {Row{"uniform 1-D", harness::PartitionKind::kSlab1D},
+                        Row{"balanced 1-D",
+                            harness::PartitionKind::kBalanced1D},
+                        Row{"2-D grid", harness::PartitionKind::kGrid2D}}) {
+    const harness::RenderedScene rs =
+        harness::render_scene(scene, o.ranks, row.kind);
+    const auto [mn, mx] = std::minmax_element(rs.solid_voxels.begin(),
+                                              rs.solid_voxels.end());
+    double mean = 0.0;
+    for (const auto v : rs.solid_voxels) mean += static_cast<double>(v);
+    mean /= static_cast<double>(rs.solid_voxels.size());
+    const double imbalance =
+        mean > 0.0 ? static_cast<double>(*mx) / mean : 0.0;
+
+    harness::CompositionConfig cfg;
+    cfg.method = "rt_2n";
+    cfg.initial_blocks = 4;
+    cfg.codec = "trle";
+    cfg.net = o.net;
+    const double comp = harness::run_composition(cfg, rs.partials).time;
+    const double render = harness::render_stage_time(rs);
+
+    t.add_row({row.label,
+               std::to_string(*mn) + " .. " + std::to_string(*mx),
+               harness::Table::num(imbalance, 2),
+               harness::Table::num(render, 4),
+               harness::Table::num(comp, 4),
+               harness::Table::num(render + comp, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nimbalance = slowest rank / mean (1.00 is perfect)\n";
+  return 0;
+}

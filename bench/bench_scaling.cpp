@@ -1,0 +1,68 @@
+// Scalability extension (beyond the paper's fixed P=32): composition
+// time vs processor count for every method, same dataset and network.
+// The crossovers this sweeps out are the paper's motivation — PP's
+// (P-1)*Ts startup blowing up, BS's power-of-two restriction, RT
+// tracking the best of both.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Scaling: composition time vs P", o);
+
+  harness::Table t({"P", "bswap [s]", "pp [s]", "radix4 [s]",
+                    "rt_2n(4) [s]", "rt best-N [s]", "best N"});
+  for (const int p : {2, 4, 8, 16, 32, 64}) {
+    // bswap needs 2^k; odd-P scalability lives in the table below.
+    bench::BenchOptions po = o;
+    po.ranks = p;
+    const std::vector<img::Image> partials = bench::bench_partials(po);
+
+    auto timed = [&](const std::string& m, int blocks) {
+      harness::CompositionConfig cfg;
+      cfg.method = m;
+      cfg.initial_blocks = blocks;
+      cfg.net = o.net;
+      return harness::run_composition(cfg, partials).time;
+    };
+
+    double best = 1e300;
+    int best_n = 1;
+    for (int n = 1; n <= 8; ++n) {
+      const double v = timed("rt", n);
+      if (v < best) {
+        best = v;
+        best_n = n;
+      }
+    }
+    t.add_row({std::to_string(p), harness::Table::num(timed("bswap", 1), 4),
+               harness::Table::num(timed("pp", p), 4),
+               harness::Table::num(timed("radix", 4), 4),
+               harness::Table::num(timed("rt_2n", 4), 4),
+               harness::Table::num(best, 4), std::to_string(best_n)});
+  }
+  t.print(std::cout);
+
+  // Non-power-of-two territory — the RT method's raison d'être. The
+  // folded binary-swap ("bswap_any") is the practitioner workaround.
+  std::cout << "\narbitrary P (bswap via fold phase):\n";
+  harness::Table t2({"P", "bswap_any [s]", "pp [s]", "rt_2n(4) [s]"});
+  for (const int p : {6, 11, 17, 24, 31, 33}) {
+    bench::BenchOptions po = o;
+    po.ranks = p;
+    const std::vector<img::Image> partials = bench::bench_partials(po);
+    auto timed = [&](const std::string& m, int blocks) {
+      harness::CompositionConfig cfg;
+      cfg.method = m;
+      cfg.initial_blocks = blocks;
+      cfg.net = o.net;
+      return harness::run_composition(cfg, partials).time;
+    };
+    t2.add_row({std::to_string(p),
+                harness::Table::num(timed("bswap_any", 1), 4),
+                harness::Table::num(timed("pp", p), 4),
+                harness::Table::num(timed("rt_2n", 4), 4)});
+  }
+  t2.print(std::cout);
+  return 0;
+}

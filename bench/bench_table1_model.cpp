@@ -1,0 +1,68 @@
+// Table 1: the published cost model next to what the simulator
+// actually measures, per method — steps, per-step block size, total
+// communication and computation.
+#include "bench_common.hpp"
+#include "rtc/costmodel/table1.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  const bench::BenchOptions o = bench::parse_options(argc, argv);
+  bench::print_header("Table 1: published model vs measured", o);
+  const std::vector<img::Image> partials = bench::bench_partials(o);
+
+  costmodel::Params mp;
+  mp.ranks = o.ranks;
+  mp.image_pixels =
+      static_cast<std::int64_t>(o.image_size) * o.image_size;
+  mp.net = o.net;
+  const int s = costmodel::steps_log2(o.ranks);
+
+  auto measured = [&](const std::string& method, int blocks) {
+    harness::CompositionConfig cfg;
+    cfg.method = method;
+    cfg.initial_blocks = blocks;
+    cfg.net = o.net;
+    return harness::run_composition(cfg, partials);
+  };
+
+  harness::Table t({"method", "S(M)", "model comm [s]", "model comp [s]",
+                    "model total [s]", "measured time [s]",
+                    "measured MB sent", "max msgs/rank"});
+  auto add = [&](const char* label, const std::string& method, int blocks,
+                 int steps, const costmodel::MethodCost& mc) {
+    const harness::CompositionRun run = measured(method, blocks);
+    t.add_row({label, std::to_string(steps),
+               harness::Table::num(mc.comm, 4),
+               harness::Table::num(mc.comp, 4),
+               harness::Table::num(mc.total(), 4),
+               harness::Table::num(run.time, 4),
+               harness::Table::num(
+                   static_cast<double>(run.stats.total_bytes_sent()) / 1e6,
+                   2),
+               std::to_string(run.stats.max_messages_sent_by_rank())});
+  };
+
+  add("BS", "bswap", 1, s, costmodel::predict_binary_swap(mp));
+  add("PP", "pp", o.ranks, o.ranks - 1,
+      costmodel::predict_parallel_pipelined(mp));
+  add("2N_RT(4)", "rt_2n", 4, s, costmodel::predict_two_n_rt(mp, 4));
+  add("N_RT(3)", "rt_n", 3, s, costmodel::predict_n_rt(mp, 3));
+  t.print(std::cout);
+
+  std::cout << "\nper-step breakdown, 2N_RT with 4 blocks (A_k is the "
+               "paper's per-message block size):\n";
+  const harness::CompositionRun rt = measured("rt_2n", 4);
+  harness::Table bt({"step k", "A_k = A/(N*2^(k-1))", "measured end [s]",
+                     "measured step [s]"});
+  double prev = 0.0;
+  for (int k = 1; k <= s; ++k) {
+    const double end = rt.stats.mark_end(k);
+    bt.add_row({std::to_string(k),
+                std::to_string(mp.image_pixels / (4LL << (k - 1))),
+                harness::Table::num(end, 4),
+                harness::Table::num(end - prev, 4)});
+    prev = end;
+  }
+  bt.print(std::cout);
+  return 0;
+}

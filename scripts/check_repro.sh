@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI-style check that the paper's headline results still reproduce.
+# Usage: scripts/check_repro.sh [build-dir]   (default: build)
+#
+# Everything here is deterministic (virtual time), so exact greps are
+# safe: if one fails, either the semantics or the calibration changed.
+set -euo pipefail
+BUILD="${1:-build}"
+fail=0
+
+check() {  # check <description> <command> <expected-grep>
+  local desc="$1" cmd="$2" expect="$3"
+  if out=$(eval "$cmd" 2>&1) && grep -qF "$expect" <<<"$out"; then
+    echo "ok   $desc"
+  else
+    echo "FAIL $desc  (wanted: $expect)"
+    fail=1
+  fi
+}
+
+check "Eq.(5) bound reproduces the paper's 4.3" \
+      "$BUILD/bench/bench_eq56_bounds" \
+      "Eq.(5) 2N_RT bound = 4.20"
+
+check "Figure 5: measured optimal N_RT block count" \
+      "$BUILD/bench/bench_fig5_blocks" \
+      "measured best N = 4"
+
+check "Figure 5: measured optimal 2N_RT block count" \
+      "$BUILD/bench/bench_fig5_blocks" \
+      "measured best 2N = 4   (paper reports 4)"
+
+check "Figure 6: rotate-tiling beats the baselines" \
+      "$BUILD/bench/bench_fig6_methods" \
+      "2N_RT       4      3.7505        0.1111"
+
+check "Table 1: measured binary-swap equals its model row" \
+      "$BUILD/bench/bench_table1_model" \
+      "0.1318             0.1318"
+
+check "schedule trace: Figure 1 shape (P=3, 4 blocks, 2 steps)" \
+      "$BUILD/tools/rtcomp schedule --ranks 3 --blocks 4 --variant 2n" \
+      "2N_RT, P=3, 4 initial blocks, 2 steps"
+
+check "predictor matches the simulator at the paper operating point" \
+      "$BUILD/tools/rtcomp predict --ranks 32 --blocks 4" \
+      "predicted composition time: 0.111149 s"
+
+if [ "$fail" -ne 0 ]; then
+  echo "reproduction drifted — see failures above"
+  exit 1
+fi
+echo "all reproduction checks passed"

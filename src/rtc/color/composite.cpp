@@ -1,0 +1,133 @@
+// Rotate-tiling composition for color partials, driven by the exact
+// same core schedule as the gray compositor — the schedule is pixel-
+// format agnostic; only serialization and the blend kernel change.
+#include "rtc/color/render.hpp"
+#include "rtc/common/check.hpp"
+#include "rtc/image/tiling.hpp"
+
+namespace rtc::color {
+
+namespace {
+
+void send_color_block(comm::Comm& comm, int dst, int tag,
+                      std::span<const RgbA8> px, int width,
+                      std::int64_t begin, bool use_trle) {
+  std::vector<std::byte> bytes =
+      use_trle ? trle_encode_color(px, width, begin)
+               : serialize_pixels(px);
+  if (use_trle)
+    comm.compute(comm.model().tcodec_pixel *
+                 static_cast<double>(px.size()));
+  comm.send(dst, tag, std::move(bytes));
+}
+
+void recv_color_block(comm::Comm& comm, int src, int tag,
+                      std::span<RgbA8> out, int width,
+                      std::int64_t begin, bool use_trle) {
+  const std::vector<std::byte> bytes = comm.recv(src, tag);
+  if (use_trle) {
+    trle_decode_color(bytes, out, width, begin);
+    comm.compute(comm.model().tcodec_pixel *
+                 static_cast<double>(out.size()));
+  } else {
+    deserialize_pixels(bytes, out);
+  }
+}
+
+}  // namespace
+
+RgbaImage composite_rt_color(comm::Comm& comm, const RgbaImage& partial,
+                             int initial_blocks, bool use_trle,
+                             img::BlendMode blend) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const core::RtSchedule sched = core::build_rt_schedule(
+      p, initial_blocks, core::RtVariant::kGeneralized);
+  const img::Tiling tiling(partial.pixel_count(), initial_blocks);
+
+  RgbaImage buf = partial;
+  std::vector<RgbA8> incoming;
+  for (std::size_t s = 0; s < sched.steps.size(); ++s) {
+    const core::RtStep& step = sched.steps[s];
+    const int tag = static_cast<int>(s) + 1;
+    for (const core::Merge& m : step.merges) {
+      if (m.sender != r) continue;
+      const img::PixelSpan span = tiling.block(step.depth, m.block);
+      send_color_block(comm, m.receiver, tag, buf.view(span),
+                       partial.width(), span.begin, use_trle);
+    }
+    for (const core::Merge& m : step.merges) {
+      if (m.receiver != r) continue;
+      const img::PixelSpan span = tiling.block(step.depth, m.block);
+      incoming.resize(static_cast<std::size_t>(span.size()));
+      recv_color_block(comm, m.sender, tag, incoming, partial.width(),
+                       span.begin, use_trle);
+      blend_in_place(buf.view(span), incoming, blend, m.sender_front);
+      comm.charge_over(span.size());
+    }
+    comm.mark(tag);
+  }
+
+  // Gather the owned final blocks to rank 0: [u32 count] then per
+  // block [u32 depth][u64 index][raw pixels].
+  const auto owned = sched.owned_blocks(r);
+  std::vector<std::byte> payload;
+  auto put_u32 = [&](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b)
+      payload.push_back(static_cast<std::byte>((v >> (8 * b)) & 0xffu));
+  };
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b)
+      payload.push_back(static_cast<std::byte>((v >> (8 * b)) & 0xffu));
+  };
+  put_u32(static_cast<std::uint32_t>(owned.size()));
+  for (const auto& [depth, index] : owned) {
+    put_u32(static_cast<std::uint32_t>(depth));
+    put_u64(static_cast<std::uint64_t>(index));
+    const std::vector<std::byte> body =
+        serialize_pixels(buf.view(tiling.block(depth, index)));
+    payload.insert(payload.end(), body.begin(), body.end());
+  }
+
+  std::vector<std::vector<std::byte>> all =
+      comm::gather(comm, /*root=*/0, /*tag=*/1'000'000,
+                   std::move(payload));
+  if (r != 0) return RgbaImage{};
+
+  RgbaImage out(partial.width(), partial.height());
+  for (const std::vector<std::byte>& bufr : all) {
+    std::span<const std::byte> rest(bufr);
+    auto get_u32 = [&]() {
+      std::uint32_t v = 0;
+      for (int b = 0; b < 4; ++b)
+        v |= static_cast<std::uint32_t>(rest[static_cast<std::size_t>(b)])
+             << (8 * b);
+      rest = rest.subspan(4);
+      return v;
+    };
+    auto get_u64 = [&]() {
+      std::uint64_t v = 0;
+      for (int b = 0; b < 8; ++b)
+        v |= std::uint64_t{
+            static_cast<std::uint8_t>(rest[static_cast<std::size_t>(b)])}
+             << (8 * b);
+      rest = rest.subspan(8);
+      return v;
+    };
+    const std::uint32_t count = get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto depth = static_cast<int>(get_u32());
+      const auto index = static_cast<std::int64_t>(get_u64());
+      const img::PixelSpan span = tiling.block(depth, index);
+      const std::size_t bytes =
+          static_cast<std::size_t>(span.size()) * kBytesPerPixel;
+      RTC_CHECK(rest.size() >= bytes);
+      deserialize_pixels(rest.first(bytes), out.view(span));
+      rest = rest.subspan(bytes);
+    }
+    RTC_CHECK(rest.empty());
+  }
+  return out;
+}
+
+}  // namespace rtc::color

@@ -1,0 +1,94 @@
+#include "rtc/color/image.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace rtc::color {
+
+void blend_in_place(std::span<RgbA8> dst, std::span<const RgbA8> src,
+                    img::BlendMode mode, bool src_front) {
+  RTC_CHECK(dst.size() == src.size());
+  switch (mode) {
+    case img::BlendMode::kOver:
+      if (src_front) {
+        for (std::size_t i = 0; i < dst.size(); ++i)
+          dst[i] = over(src[i], dst[i]);
+      } else {
+        for (std::size_t i = 0; i < dst.size(); ++i)
+          dst[i] = over(dst[i], src[i]);
+      }
+      break;
+    case img::BlendMode::kMax:
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = max_blend(dst[i], src[i]);
+      break;
+  }
+}
+
+std::int64_t count_non_blank(std::span<const RgbA8> px) {
+  std::int64_t n = 0;
+  for (const RgbA8 p : px) n += is_blank(p) ? 0 : 1;
+  return n;
+}
+
+int max_channel_diff(const RgbaImage& a, const RgbaImage& b) {
+  RTC_CHECK(a.width() == b.width() && a.height() == b.height());
+  int worst = 0;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, std::abs(int{pa[i].r} - int{pb[i].r}));
+    worst = std::max(worst, std::abs(int{pa[i].g} - int{pb[i].g}));
+    worst = std::max(worst, std::abs(int{pa[i].b} - int{pb[i].b}));
+    worst = std::max(worst, std::abs(int{pa[i].a} - int{pb[i].a}));
+  }
+  return worst;
+}
+
+RgbaImage composite_reference(std::span<const RgbaImage> parts,
+                              img::BlendMode mode) {
+  RTC_CHECK(!parts.empty());
+  RgbaImage out = parts[0];
+  for (std::size_t r = 1; r < parts.size(); ++r) {
+    blend_in_place(out.pixels(), parts[r].pixels(), mode,
+                   /*src_front=*/false);
+  }
+  return out;
+}
+
+std::vector<std::byte> serialize_pixels(std::span<const RgbA8> px) {
+  std::vector<std::byte> out;
+  out.reserve(px.size() * kBytesPerPixel);
+  for (const RgbA8 p : px) {
+    out.push_back(static_cast<std::byte>(p.r));
+    out.push_back(static_cast<std::byte>(p.g));
+    out.push_back(static_cast<std::byte>(p.b));
+    out.push_back(static_cast<std::byte>(p.a));
+  }
+  return out;
+}
+
+void deserialize_pixels(std::span<const std::byte> bytes,
+                        std::span<RgbA8> px) {
+  RTC_CHECK(bytes.size() == px.size() * kBytesPerPixel);
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i].r = static_cast<std::uint8_t>(bytes[4 * i]);
+    px[i].g = static_cast<std::uint8_t>(bytes[4 * i + 1]);
+    px[i].b = static_cast<std::uint8_t>(bytes[4 * i + 2]);
+    px[i].a = static_cast<std::uint8_t>(bytes[4 * i + 3]);
+  }
+}
+
+void write_ppm(const RgbaImage& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  RTC_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  out << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  for (const RgbA8 p : image.pixels()) {
+    const char rgb[3] = {static_cast<char>(p.r), static_cast<char>(p.g),
+                         static_cast<char>(p.b)};
+    out.write(rgb, 3);
+  }
+  RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+}  // namespace rtc::color

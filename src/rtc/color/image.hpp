@@ -1,0 +1,81 @@
+// Row-major RGBA image and its bulk operations.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "rtc/color/pixel.hpp"
+#include "rtc/common/check.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/image/ops.hpp"
+
+namespace rtc::color {
+
+class RgbaImage {
+ public:
+  RgbaImage() = default;
+  RgbaImage(int width, int height) : w_(width), h_(height) {
+    RTC_CHECK(width >= 0 && height >= 0);
+    px_.resize(static_cast<std::size_t>(w_) * static_cast<std::size_t>(h_));
+  }
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] std::int64_t pixel_count() const {
+    return static_cast<std::int64_t>(px_.size());
+  }
+
+  [[nodiscard]] RgbA8& at(int x, int y) {
+    RTC_DCHECK(x >= 0 && x < w_ && y >= 0 && y < h_);
+    return px_[static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) +
+               static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const RgbA8& at(int x, int y) const {
+    return const_cast<RgbaImage*>(this)->at(x, y);
+  }
+
+  [[nodiscard]] std::span<RgbA8> pixels() { return px_; }
+  [[nodiscard]] std::span<const RgbA8> pixels() const { return px_; }
+
+  [[nodiscard]] std::span<RgbA8> view(img::PixelSpan s) {
+    RTC_CHECK(s.begin >= 0 && s.end <= pixel_count() && s.begin <= s.end);
+    return std::span<RgbA8>(px_).subspan(static_cast<std::size_t>(s.begin),
+                                         static_cast<std::size_t>(s.size()));
+  }
+  [[nodiscard]] std::span<const RgbA8> view(img::PixelSpan s) const {
+    return const_cast<RgbaImage*>(this)->view(s);
+  }
+
+  friend bool operator==(const RgbaImage&, const RgbaImage&) = default;
+
+ private:
+  int w_ = 0, h_ = 0;
+  std::vector<RgbA8> px_;
+};
+
+/// dst = dst OVER src / src OVER dst / per-channel max, per BlendMode.
+void blend_in_place(std::span<RgbA8> dst, std::span<const RgbA8> src,
+                    img::BlendMode mode, bool src_front);
+
+[[nodiscard]] std::int64_t count_non_blank(std::span<const RgbA8> px);
+
+[[nodiscard]] int max_channel_diff(const RgbaImage& a, const RgbaImage& b);
+
+/// Sequential front-to-back reference composite.
+[[nodiscard]] RgbaImage composite_reference(
+    std::span<const RgbaImage> parts,
+    img::BlendMode mode = img::BlendMode::kOver);
+
+/// 4 bytes per pixel on the wire.
+inline constexpr std::size_t kBytesPerPixel = 4;
+[[nodiscard]] std::vector<std::byte> serialize_pixels(
+    std::span<const RgbA8> px);
+void deserialize_pixels(std::span<const std::byte> bytes,
+                        std::span<RgbA8> px);
+
+/// Binary PPM (P6) of the color channels (premultiplied, black
+/// background).
+void write_ppm(const RgbaImage& image, const std::string& path);
+
+}  // namespace rtc::color

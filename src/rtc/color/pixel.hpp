@@ -1,0 +1,51 @@
+// RGBA color pixels (extension: the paper composites gray images; a
+// production release needs color). Premultiplied alpha, like GrayA8.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::color {
+
+/// Premultiplied RGBA, 8 bits per channel.
+struct RgbA8 {
+  std::uint8_t r = 0, g = 0, b = 0, a = 0;
+  friend auto operator<=>(const RgbA8&, const RgbA8&) = default;
+};
+
+inline constexpr RgbA8 kBlank{};
+
+[[nodiscard]] constexpr bool is_blank(RgbA8 p) {
+  return p.r == 0 && p.g == 0 && p.b == 0 && p.a == 0;
+}
+
+/// Porter-Duff "over" for premultiplied RGBA.
+[[nodiscard]] constexpr RgbA8 over(RgbA8 front, RgbA8 back) {
+  const std::uint32_t inv = 255u - front.a;
+  return RgbA8{
+      static_cast<std::uint8_t>(front.r + img::detail::mul255(back.r, inv)),
+      static_cast<std::uint8_t>(front.g + img::detail::mul255(back.g, inv)),
+      static_cast<std::uint8_t>(front.b + img::detail::mul255(back.b, inv)),
+      static_cast<std::uint8_t>(front.a + img::detail::mul255(back.a, inv))};
+}
+
+/// Per-channel max (color MIP).
+[[nodiscard]] constexpr RgbA8 max_blend(RgbA8 x, RgbA8 y) {
+  return RgbA8{x.r > y.r ? x.r : y.r, x.g > y.g ? x.g : y.g,
+               x.b > y.b ? x.b : y.b, x.a > y.a ? x.a : y.a};
+}
+
+/// Float RGBA for accumulation.
+struct RgbAF {
+  float r = 0, g = 0, b = 0, a = 0;
+};
+
+[[nodiscard]] constexpr RgbAF over(RgbAF front, RgbAF back) {
+  const float inv = 1.0f - front.a;
+  return RgbAF{front.r + inv * back.r, front.g + inv * back.g,
+               front.b + inv * back.b, front.a + inv * back.a};
+}
+
+}  // namespace rtc::color

@@ -1,0 +1,96 @@
+#include "rtc/color/render.hpp"
+
+#include <cmath>
+
+#include "rtc/common/check.hpp"
+#include "rtc/render/renderer.hpp"
+#include "rtc/render/rle_volume.hpp"
+
+namespace rtc::color {
+
+namespace {
+
+RgbAF classify_at(const vol::Volume& v, const ColorTransferFunction& tf,
+                  const vol::Brick& region, const render::AxisFrame& f,
+                  int i, int j, int k) {
+  int p[3];
+  p[f.a] = i;
+  p[f.b] = j;
+  p[f.c] = k;
+  if (!region.contains(p[0], p[1], p[2])) return RgbAF{};
+  return tf.classify(v.at(p[0], p[1], p[2]));
+}
+
+RgbAF classify_bilinear(const vol::Volume& v,
+                        const ColorTransferFunction& tf,
+                        const vol::Brick& region,
+                        const render::AxisFrame& f, double i_real,
+                        double j_real, int k) {
+  const int i0 = static_cast<int>(std::floor(i_real));
+  const int j0 = static_cast<int>(std::floor(j_real));
+  const auto ti = static_cast<float>(i_real - i0);
+  const auto tj = static_cast<float>(j_real - j0);
+  const RgbAF c00 = classify_at(v, tf, region, f, i0, j0, k);
+  const RgbAF c10 = classify_at(v, tf, region, f, i0 + 1, j0, k);
+  const RgbAF c01 = classify_at(v, tf, region, f, i0, j0 + 1, k);
+  const RgbAF c11 = classify_at(v, tf, region, f, i0 + 1, j0 + 1, k);
+  const float w00 = (1 - ti) * (1 - tj), w10 = ti * (1 - tj);
+  const float w01 = (1 - ti) * tj, w11 = ti * tj;
+  return RgbAF{w00 * c00.r + w10 * c10.r + w01 * c01.r + w11 * c11.r,
+               w00 * c00.g + w10 * c10.g + w01 * c01.g + w11 * c11.g,
+               w00 * c00.b + w10 * c10.b + w01 * c01.b + w11 * c11.b,
+               w00 * c00.a + w10 * c10.a + w01 * c01.a + w11 * c11.a};
+}
+
+RgbA8 quantize(const RgbAF& p) {
+  auto q = [](float x) {
+    const float c = x < 0.0f ? 0.0f : (x > 1.0f ? 1.0f : x);
+    return static_cast<std::uint8_t>(c * 255.0f + 0.5f);
+  };
+  return RgbA8{q(p.r), q(p.g), q(p.b), q(p.a)};
+}
+
+}  // namespace
+
+RgbaImage render_raycast_color(const vol::Volume& v,
+                               const ColorTransferFunction& tf,
+                               const vol::Brick& region,
+                               const render::OrthoCamera& cam) {
+  RgbaImage out(cam.width, cam.height);
+  const render::Vec3 d = cam.direction();
+  const int c_ax = render::principal_axis(d);
+  const render::AxisFrame f = render::axis_frame(c_ax);
+  const double dc = d[f.c];
+  RTC_CHECK(std::abs(dc) > 1e-9);
+  const int c0 = f.c == 0 ? region.x0 : (f.c == 1 ? region.y0 : region.z0);
+  const int c1 = f.c == 0 ? region.x1 : (f.c == 1 ? region.y1 : region.z1);
+  const bool forward = dc > 0.0;
+
+  const render::Vec3 r = cam.right();
+  const render::Vec3 u = cam.up();
+  for (int iy = 0; iy < cam.height; ++iy) {
+    for (int ix = 0; ix < cam.width; ++ix) {
+      const double sx = (ix + 0.5 - 0.5 * cam.width) / cam.scale;
+      const double sy = (iy + 0.5 - 0.5 * cam.height) / cam.scale;
+      const render::Vec3 q = cam.center + sx * r + (-sy) * u;
+      RgbAF acc;
+      for (int step = 0; step < c1 - c0; ++step) {
+        const int k = forward ? c0 + step : c1 - 1 - step;
+        const double t = (k - q[f.c]) / dc;
+        const render::Vec3 p = q + t * d;
+        const RgbAF s =
+            classify_bilinear(v, tf, region, f, p[f.a], p[f.b], k);
+        const float inv = 1.0f - acc.a;
+        acc.r += inv * s.r;
+        acc.g += inv * s.g;
+        acc.b += inv * s.b;
+        acc.a += inv * s.a;
+        if (acc.a >= 0.998f) break;
+      }
+      out.at(ix, iy) = quantize(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace rtc::color

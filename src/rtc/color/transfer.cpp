@@ -1,0 +1,69 @@
+#include "rtc/color/transfer.hpp"
+
+#include <algorithm>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::color {
+
+ColorTransferFunction::ColorTransferFunction(std::vector<Node> nodes) {
+  RTC_CHECK_MSG(!nodes.empty(), "transfer function needs nodes");
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& a, const Node& b) { return a.value < b.value; });
+  for (int v = 0; v < 256; ++v) {
+    const auto val = static_cast<std::uint8_t>(v);
+    Node n = nodes.front();
+    if (val >= nodes.back().value) {
+      n = nodes.back();
+    } else if (val > nodes.front().value) {
+      for (std::size_t i = 1; i < nodes.size(); ++i) {
+        if (val > nodes[i].value) continue;
+        const Node& lo = nodes[i - 1];
+        const Node& hi = nodes[i];
+        const float t = hi.value == lo.value
+                            ? 0.0f
+                            : static_cast<float>(val - lo.value) /
+                                  static_cast<float>(hi.value - lo.value);
+        n = Node{val, lo.r + t * (hi.r - lo.r), lo.g + t * (hi.g - lo.g),
+                 lo.b + t * (hi.b - lo.b),
+                 lo.opacity + t * (hi.opacity - lo.opacity)};
+        break;
+      }
+    }
+    lut_[static_cast<std::size_t>(v)] =
+        RgbAF{n.r * n.opacity, n.g * n.opacity, n.b * n.opacity,
+              n.opacity};
+  }
+}
+
+ColorTransferFunction phantom_color_transfer(const std::string& dataset) {
+  if (dataset == "engine") {
+    return ColorTransferFunction({
+        {0, 0, 0, 0, 0.0f},
+        {120, 0, 0, 0, 0.0f},
+        {150, 0.8f, 0.4f, 0.1f, 0.35f},   // rusty casting
+        {255, 1.0f, 0.95f, 0.8f, 0.95f},  // bright metal
+    });
+  }
+  if (dataset == "brain") {
+    return ColorTransferFunction({
+        {0, 0, 0, 0, 0.0f},
+        {40, 0, 0, 0, 0.0f},
+        {60, 0.1f, 0.2f, 0.8f, 0.10f},   // CSF blue
+        {120, 0.8f, 0.5f, 0.45f, 0.3f},  // gray matter
+        {255, 1.0f, 0.9f, 0.85f, 0.6f},  // white matter
+    });
+  }
+  if (dataset == "head") {
+    return ColorTransferFunction({
+        {0, 0, 0, 0, 0.0f},
+        {60, 0, 0, 0, 0.0f},
+        {100, 0.85f, 0.45f, 0.35f, 0.25f},  // tissue red
+        {200, 0.9f, 0.75f, 0.55f, 0.5f},
+        {255, 1.0f, 0.98f, 0.9f, 0.95f},    // bone white
+    });
+  }
+  throw ContractError("unknown phantom: " + dataset);
+}
+
+}  // namespace rtc::color

@@ -1,0 +1,37 @@
+// Color transfer functions: voxel value -> premultiplied RGBA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtc/color/pixel.hpp"
+
+namespace rtc::color {
+
+class ColorTransferFunction {
+ public:
+  struct Node {
+    std::uint8_t value;
+    float r, g, b;    ///< emitted color in [0, 1]
+    float opacity;    ///< per-sample opacity in [0, 1]
+  };
+
+  explicit ColorTransferFunction(std::vector<Node> nodes);
+
+  [[nodiscard]] RgbAF classify(std::uint8_t v) const { return lut_[v]; }
+  [[nodiscard]] bool transparent(std::uint8_t v) const {
+    return lut_[v].a <= 1.0f / 512.0f;
+  }
+
+ private:
+  std::array<RgbAF, 256> lut_{};
+};
+
+/// Color presets for the three phantoms: bone/metal in warm whites,
+/// soft tissue in reds, CSF in blue — the usual medical-viz look.
+[[nodiscard]] ColorTransferFunction phantom_color_transfer(
+    const std::string& dataset);
+
+}  // namespace rtc::color

@@ -1,0 +1,118 @@
+// TRLE for RGBA blocks — the paper's Section 3 scheme with a 4-byte
+// payload per non-blank pixel. The code stream (2x2 occupancy
+// templates, run nibble) is byte-identical to the gray codec's for the
+// same occupancy pattern, demonstrating that the structure/payload
+// split generalizes to color unchanged.
+#include "rtc/color/render.hpp"
+#include "rtc/common/check.hpp"
+#include "rtc/compress/cells.hpp"
+
+namespace rtc::color {
+
+namespace {
+constexpr int kRunShift = 4;
+constexpr std::uint8_t kTemplateMask = 0x0f;
+constexpr int kMaxRun = 16;
+}  // namespace
+
+std::vector<std::byte> trle_encode_color(std::span<const RgbA8> px,
+                                         int image_width,
+                                         std::int64_t span_begin) {
+  std::vector<std::byte> codes;
+  std::vector<std::byte> payload;
+  int run = 0;
+  std::uint8_t run_template = 0;
+
+  compress::for_each_cell(
+      static_cast<std::int64_t>(px.size()), image_width, span_begin,
+      [&](const compress::CellPixels& cell) {
+        std::uint8_t tmpl = 0;
+        for (int b = 0; b < 4; ++b) {
+          const std::int64_t i = cell.index[b];
+          if (i >= 0 && !is_blank(px[static_cast<std::size_t>(i)]))
+            tmpl = static_cast<std::uint8_t>(tmpl | (1u << b));
+        }
+        if (run > 0 && tmpl == run_template && run < kMaxRun) {
+          ++run;
+        } else {
+          if (run > 0)
+            codes.push_back(static_cast<std::byte>(
+                ((run - 1) << kRunShift) | run_template));
+          run = 1;
+          run_template = tmpl;
+        }
+        for (int b = 0; b < 4; ++b) {
+          const std::int64_t i = cell.index[b];
+          if (i >= 0 && (tmpl & (1u << b))) {
+            const RgbA8 p = px[static_cast<std::size_t>(i)];
+            payload.push_back(static_cast<std::byte>(p.r));
+            payload.push_back(static_cast<std::byte>(p.g));
+            payload.push_back(static_cast<std::byte>(p.b));
+            payload.push_back(static_cast<std::byte>(p.a));
+          }
+        }
+      });
+  if (run > 0)
+    codes.push_back(
+        static_cast<std::byte>(((run - 1) << kRunShift) | run_template));
+
+  std::vector<std::byte> out;
+  out.reserve(4 + codes.size() + payload.size());
+  const auto n = static_cast<std::uint32_t>(codes.size());
+  for (int s = 0; s < 4; ++s)
+    out.push_back(static_cast<std::byte>((n >> (8 * s)) & 0xffu));
+  out.insert(out.end(), codes.begin(), codes.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void trle_decode_color(std::span<const std::byte> bytes,
+                       std::span<RgbA8> out, int image_width,
+                       std::int64_t span_begin) {
+  RTC_CHECK_MSG(bytes.size() >= 4, "truncated TRLE header");
+  std::uint32_t n_codes = 0;
+  for (int s = 0; s < 4; ++s)
+    n_codes |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(s)])
+               << (8 * s);
+  RTC_CHECK_MSG(4 + n_codes <= bytes.size(), "truncated TRLE code block");
+  std::span<const std::byte> codes = bytes.subspan(4, n_codes);
+  std::span<const std::byte> payload = bytes.subspan(4 + n_codes);
+
+  std::size_t code_i = 0;
+  int remaining = 0;
+  std::uint8_t tmpl = 0;
+  std::size_t pay_i = 0;
+
+  compress::for_each_cell(
+      static_cast<std::int64_t>(out.size()), image_width, span_begin,
+      [&](const compress::CellPixels& cell) {
+        if (remaining == 0) {
+          RTC_CHECK_MSG(code_i < codes.size(), "TRLE code underrun");
+          const auto code = static_cast<std::uint8_t>(codes[code_i++]);
+          remaining = (code >> kRunShift) + 1;
+          tmpl = code & kTemplateMask;
+        }
+        --remaining;
+        for (int b = 0; b < 4; ++b) {
+          const std::int64_t i = cell.index[b];
+          if (i < 0) continue;
+          if (tmpl & (1u << b)) {
+            RTC_CHECK_MSG(pay_i + 4 <= payload.size(),
+                          "TRLE payload underrun");
+            out[static_cast<std::size_t>(i)] =
+                RgbA8{static_cast<std::uint8_t>(payload[pay_i]),
+                      static_cast<std::uint8_t>(payload[pay_i + 1]),
+                      static_cast<std::uint8_t>(payload[pay_i + 2]),
+                      static_cast<std::uint8_t>(payload[pay_i + 3])};
+            pay_i += 4;
+          } else {
+            out[static_cast<std::size_t>(i)] = kBlank;
+          }
+        }
+      });
+  RTC_CHECK_MSG(remaining == 0 && code_i == codes.size(),
+                "TRLE code stream overrun");
+  RTC_CHECK_MSG(pay_i == payload.size(), "trailing TRLE payload");
+}
+
+}  // namespace rtc::color

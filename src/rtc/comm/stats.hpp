@@ -1,0 +1,76 @@
+// Per-rank and aggregate traffic/timing statistics.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rtc::comm {
+
+/// One virtual-time interval on a rank, for timeline export.
+struct Event {
+  enum class Kind { kSend, kRecvWait, kCompute, kOver };
+  Kind kind = Kind::kCompute;
+  double start = 0.0;
+  double end = 0.0;
+  int peer = -1;           ///< other rank for send/recv, else -1
+  std::int64_t bytes = 0;  ///< payload bytes (send/recv) or pixels
+};
+
+struct RankStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_received = 0;
+  std::int64_t pixels_composited = 0;
+  double clock = 0.0;  ///< final virtual time of this rank (seconds)
+  /// (id, virtual time) checkpoints recorded via Comm::mark — the
+  /// compositors mark the end of each communication step so benches
+  /// can print per-step timing next to the per-step model rows.
+  std::vector<std::pair<int, double>> marks;
+  /// Virtual-time intervals, only populated when the World has
+  /// set_record_events(true).
+  std::vector<Event> events;
+};
+
+struct RunStats {
+  std::vector<RankStats> ranks;
+
+  /// Virtual-time makespan: the paper's "composition time".
+  [[nodiscard]] double makespan() const {
+    double m = 0.0;
+    for (const RankStats& r : ranks) m = r.clock > m ? r.clock : m;
+    return m;
+  }
+
+  [[nodiscard]] std::int64_t total_bytes_sent() const {
+    std::int64_t b = 0;
+    for (const RankStats& r : ranks) b += r.bytes_sent;
+    return b;
+  }
+
+  [[nodiscard]] std::int64_t total_messages() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.messages_sent;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t max_messages_sent_by_rank() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks)
+      n = r.messages_sent > n ? r.messages_sent : n;
+    return n;
+  }
+
+  /// Latest virtual time any rank recorded for checkpoint `id`
+  /// (-infinity if nobody marked it).
+  [[nodiscard]] double mark_end(int id) const {
+    double m = -1.0;
+    for (const RankStats& r : ranks)
+      for (const auto& [mid, t] : r.marks)
+        if (mid == id && t > m) m = t;
+    return m;
+  }
+};
+
+}  // namespace rtc::comm

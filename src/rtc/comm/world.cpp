@@ -1,0 +1,213 @@
+#include "rtc/comm/world.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::comm {
+
+struct World::Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  // FIFO queue per (src, tag) match key.
+  std::map<std::pair<int, int>, std::deque<Envelope>> queues;
+};
+
+struct World::BarrierState {
+  std::mutex mu;
+  std::condition_variable cv;
+  int waiting = 0;
+  std::uint64_t generation = 0;
+  double max_clock = 0.0;
+};
+
+World::World(int size, NetworkModel model) : size_(size), model_(model) {
+  RTC_CHECK_MSG(size >= 1, "world size must be positive");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  barrier_ = std::make_unique<BarrierState>();
+}
+
+World::~World() = default;
+
+void World::deliver(int dst, int src, int tag, Envelope e) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{src, tag}].push_back(std::move(e));
+  }
+  box.cv.notify_all();
+}
+
+World::Envelope World::take(int rank, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto ready = [&] {
+    auto it = box.queues.find({src, tag});
+    return it != box.queues.end() && !it->second.empty();
+  };
+  if (!box.cv.wait_for(lock,
+                       std::chrono::duration<double>(recv_timeout_), ready)) {
+    throw std::runtime_error("comm deadlock: rank " + std::to_string(rank) +
+                             " waited for (src=" + std::to_string(src) +
+                             ", tag=" + std::to_string(tag) + ")");
+  }
+  auto& q = box.queues[{src, tag}];
+  Envelope e = std::move(q.front());
+  q.pop_front();
+  return e;
+}
+
+void World::enter_barrier(Comm& c) {
+  BarrierState& b = *barrier_;
+  std::unique_lock<std::mutex> lock(b.mu);
+  b.max_clock = std::max(b.max_clock, c.clock_);
+  const std::uint64_t gen = b.generation;
+  if (++b.waiting == size_) {
+    b.waiting = 0;
+    ++b.generation;
+    c.clock_ = b.max_clock;
+    // max_clock intentionally persists: clocks are monotone, so the next
+    // barrier's max can only grow.
+    b.cv.notify_all();
+    return;
+  }
+  b.cv.wait(lock, [&] { return b.generation != gen; });
+  c.clock_ = b.max_clock;
+}
+
+RunResult World::run(const std::function<void(Comm&)>& body) {
+  barrier_->waiting = 0;
+  barrier_->generation = 0;
+  barrier_->max_clock = 0.0;
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->queues.clear();
+  }
+
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) comms.push_back(Comm(this, r));
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Unblock peers stuck in recv/barrier so the run can fail fast.
+        for (auto& box : mailboxes_) box->cv.notify_all();
+        barrier_->cv.notify_all();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  RunResult result;
+  result.stats.ranks.reserve(static_cast<std::size_t>(size_));
+  for (Comm& c : comms) {
+    c.stats_.clock = c.clock_;
+    result.stats.ranks.push_back(c.stats_);
+  }
+  return result;
+}
+
+int Comm::size() const { return world_->size(); }
+
+const NetworkModel& Comm::model() const { return world_->model(); }
+
+void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
+  RTC_CHECK(dst >= 0 && dst < size());
+  RTC_CHECK_MSG(dst != rank_, "self-sends are not modeled");
+  const auto bytes = static_cast<std::int64_t>(payload.size());
+  const NetworkModel& m = world_->model();
+  // The sender's CPU is busy for the startup time Ts; the transmission
+  // itself is pipelined on this rank's single egress channel (one
+  // in-flight message at a time, later sends queue behind it). This is
+  // what lets a receiver overlap compositing block i with the flight of
+  // block i+1 — the mechanism behind the paper's optimal block count.
+  const double issue = clock_;
+  clock_ += m.ts;
+  const double depart = std::max(clock_, egress_free_);
+  egress_free_ = depart + m.wire_time(bytes);
+  World::Envelope e;
+  e.available_at = egress_free_;
+  e.payload = std::move(payload);
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes;
+  if (world_->record_events_) {
+    stats_.events.push_back(
+        Event{Event::Kind::kSend, issue, clock_, dst, bytes});
+  }
+  world_->deliver(dst, rank_, tag, std::move(e));
+}
+
+std::vector<std::byte> Comm::recv(int src, int tag) {
+  RTC_CHECK(src >= 0 && src < size());
+  RTC_CHECK_MSG(src != rank_, "self-receives are not modeled");
+  World::Envelope e = world_->take(rank_, src, tag);
+  const double wait_from = clock_;
+  clock_ = std::max(clock_, e.available_at);
+  stats_.messages_received += 1;
+  stats_.bytes_received += static_cast<std::int64_t>(e.payload.size());
+  if (world_->record_events_ && clock_ > wait_from) {
+    stats_.events.push_back(
+        Event{Event::Kind::kRecvWait, wait_from, clock_, src,
+              static_cast<std::int64_t>(e.payload.size())});
+  }
+  return std::move(e.payload);
+}
+
+void Comm::compute(double seconds) {
+  RTC_CHECK(seconds >= 0.0);
+  const double from = clock_;
+  clock_ += seconds;
+  if (world_->record_events_ && seconds > 0.0) {
+    stats_.events.push_back(
+        Event{Event::Kind::kCompute, from, clock_, -1, 0});
+  }
+}
+
+void Comm::charge_over(std::int64_t pixels) {
+  RTC_CHECK(pixels >= 0);
+  stats_.pixels_composited += pixels;
+  const double from = clock_;
+  clock_ += world_->model().over_time(pixels);
+  if (world_->record_events_ && pixels > 0) {
+    stats_.events.push_back(
+        Event{Event::Kind::kOver, from, clock_, -1, pixels});
+  }
+}
+
+void Comm::mark(int id) { stats_.marks.emplace_back(id, clock_); }
+
+void Comm::barrier() { world_->enter_barrier(*this); }
+
+std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
+                                           std::vector<std::byte> payload) {
+  std::vector<std::vector<std::byte>> out;
+  if (comm.rank() == root) {
+    out.resize(static_cast<std::size_t>(comm.size()));
+    out[static_cast<std::size_t>(root)] = std::move(payload);
+    for (int src = 0; src < comm.size(); ++src) {
+      if (src == root) continue;
+      out[static_cast<std::size_t>(src)] = comm.recv(src, tag);
+    }
+  } else {
+    comm.send(root, tag, std::move(payload));
+  }
+  return out;
+}
+
+}  // namespace rtc::comm

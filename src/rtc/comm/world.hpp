@@ -1,0 +1,133 @@
+// A from-scratch message-passing substrate (the repo's "MPI").
+//
+// The paper runs on a 40-node IBM SP2; this machine has neither MPI nor
+// 40 nodes, so the distributed-memory substrate is built here: a World
+// owns P ranks, each executed on its own std::thread with a private
+// mailbox. Ranks interact only through send/recv — there is no shared
+// image state, so algorithms written against Comm are genuinely
+// message-passing programs.
+//
+// Every rank also carries a *virtual clock* advanced by the NetworkModel
+// (see network_model.hpp). Virtual time depends only on the message
+// DAG, never on real thread scheduling, so a run's reported composition
+// time is bit-for-bit deterministic — that is how 32-"processor" SP2
+// figures are reproduced on a single core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rtc/comm/network_model.hpp"
+#include "rtc/comm/stats.hpp"
+
+namespace rtc::comm {
+
+class World;
+
+/// Per-rank communicator handle passed to the rank function.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Buffered, non-blocking send. Charges Ts startup to this rank's
+  /// clock; the payload becomes available to `dst` after the wire time.
+  void send(int dst, int tag, std::vector<std::byte> payload);
+
+  /// Blocking receive matching (src, tag) in FIFO order.
+  /// Advances this rank's clock to the message availability time.
+  [[nodiscard]] std::vector<std::byte> recv(int src, int tag);
+
+  /// Charges local computation time to this rank's clock.
+  void compute(double seconds);
+
+  /// Records composited pixels (stats) and charges To per pixel.
+  void charge_over(std::int64_t pixels);
+
+  /// Records a (id, now) checkpoint in this rank's stats; free.
+  void mark(int id);
+
+  /// Current virtual time of this rank.
+  [[nodiscard]] double now() const { return clock_; }
+
+  /// Cost model of the world this rank belongs to.
+  [[nodiscard]] const NetworkModel& model() const;
+
+  /// Synchronizes all ranks; every clock becomes the global maximum.
+  void barrier();
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  World* world_;
+  int rank_;
+  double clock_ = 0.0;
+  double egress_free_ = 0.0;  ///< when this rank's out-channel frees up
+  RankStats stats_;
+};
+
+/// Result of World::run.
+struct RunResult {
+  RunStats stats;
+  [[nodiscard]] double makespan() const { return stats.makespan(); }
+};
+
+/// Owns the mailboxes and executes a rank function on P threads.
+class World {
+ public:
+  World(int size, NetworkModel model);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] const NetworkModel& model() const { return model_; }
+
+  /// Runs `body(comm)` once per rank, each on its own thread, and
+  /// collects per-rank stats. Rethrows the first rank exception.
+  RunResult run(const std::function<void(Comm&)>& body);
+
+  /// Seconds after which a blocked recv is declared a deadlock.
+  void set_recv_timeout(double seconds) { recv_timeout_ = seconds; }
+
+  /// Record per-rank virtual-time Event intervals into the RunStats
+  /// (for timeline export, e.g. harness::write_chrome_trace).
+  void set_record_events(bool on) { record_events_ = on; }
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    std::vector<std::byte> payload;
+    double available_at = 0.0;  ///< virtual availability time
+  };
+  struct Mailbox;
+
+  void deliver(int dst, int src, int tag, Envelope e);
+  Envelope take(int rank, int src, int tag);
+  void enter_barrier(Comm& c);
+
+  int size_;
+  NetworkModel model_;
+  double recv_timeout_ = 60.0;
+  bool record_events_ = false;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  struct BarrierState;
+  std::unique_ptr<BarrierState> barrier_;
+};
+
+/// Convenience: gather each rank's `payload` to `root` (tagged `tag`);
+/// returns size() payloads at the root (empty elsewhere). The root's own
+/// entry is moved through locally without a message.
+std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
+                                           std::vector<std::byte> payload);
+
+}  // namespace rtc::comm

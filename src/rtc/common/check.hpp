@@ -1,0 +1,48 @@
+// Lightweight contract checks used across the rtcomp library.
+//
+// RTC_CHECK is always on (cheap argument validation on public API
+// boundaries); RTC_DCHECK compiles out in release builds and guards
+// internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rtc {
+
+/// Thrown when a public-API precondition is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rtc
+
+#define RTC_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::rtc::detail::contract_fail(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define RTC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::rtc::detail::contract_fail(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+#ifdef NDEBUG
+#define RTC_DCHECK(expr) ((void)0)
+#else
+#define RTC_DCHECK(expr) RTC_CHECK(expr)
+#endif

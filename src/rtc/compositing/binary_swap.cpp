@@ -1,0 +1,81 @@
+// Binary-swap composition (Ma, Painter, Hansen, Krogh [16, 17]).
+//
+// log2(P) steps; at step k each rank pairs with the rank differing in
+// bit k-1, keeps one half of its live block and swaps the other half.
+// Pairing low bit first keeps every merge *depth-adjacent*: after step
+// k a rank's block covers the contiguous rank interval that matches its
+// high bits, so the non-commutative "over" is applied in correct
+// front-to-back order throughout. Requires P to be a power of two —
+// the restriction the RT method removes.
+#include <bit>
+
+#include "rtc/common/check.hpp"
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/compositing/wire.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/tiling.hpp"
+
+namespace rtc::compositing {
+
+namespace {
+
+class BinarySwap final : public Compositor {
+ public:
+  [[nodiscard]] std::string name() const override { return "bswap"; }
+
+  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+                               const Options& opt) const override {
+    const int p = comm.size();
+    RTC_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(p)),
+                  "binary-swap needs a power-of-two processor count");
+    const int r = comm.rank();
+    const int steps = std::countr_zero(static_cast<unsigned>(p));
+    const img::Tiling tiling(partial.pixel_count(), 1);
+
+    img::Image buf = partial;
+    std::int64_t index = 0;  // live block is (depth=k, index) after step k
+
+    for (int k = 1; k <= steps; ++k) {
+      const int bit = (r >> (k - 1)) & 1;
+      const int partner = r ^ (1 << (k - 1));
+      const std::int64_t keep = index * 2 + bit;
+      const std::int64_t give = index * 2 + (1 - bit);
+      const img::PixelSpan keep_span = tiling.block(k, keep);
+      const img::PixelSpan give_span = tiling.block(k, give);
+
+      // Sends are buffered/non-blocking, so both partners send first
+      // and the exchange's two directions overlap on the full-duplex
+      // links — one step costs Ts + size*Tp, as Table 1 charges it.
+      const compress::BlockGeometry give_geom{partial.width(),
+                                              give_span.begin};
+      const compress::BlockGeometry keep_geom{partial.width(),
+                                              keep_span.begin};
+      std::vector<img::GrayA8> incoming(
+          static_cast<std::size_t>(keep_span.size()));
+      send_block(comm, partner, k, buf.view(give_span), give_geom,
+                 opt.codec);
+      recv_block(comm, partner, k, incoming, keep_geom, opt.codec);
+
+      // Partner covers the adjacent rank interval; in front iff smaller.
+      img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
+                          /*src_front=*/partner < r);
+      comm.charge_over(keep_span.size());
+      comm.mark(k);
+      index = keep;
+    }
+
+    if (!opt.gather) return img::Image{};
+    const std::pair<int, std::int64_t> owned[] = {{steps, index}};
+    return gather_fragments(comm, buf, tiling, owned, opt.root,
+                            partial.width(), partial.height());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compositor> make_binary_swap();
+std::unique_ptr<Compositor> make_binary_swap() {
+  return std::make_unique<BinarySwap>();
+}
+
+}  // namespace rtc::compositing

@@ -1,0 +1,109 @@
+// Binary-swap with a fold phase ("bswap_any") — how practitioners
+// lift the power-of-two restriction the paper criticizes: with
+// m = 2^floor(log2 P), the first 2*(P-m) ranks pre-merge in adjacent
+// pairs (an extra full-image exchange-free step), producing m
+// contiguous-coverage units that then run standard binary-swap; the
+// fold's passive partners go idle. Costs one extra step of A-sized
+// traffic for the folded ranks — the inefficiency RT avoids, shown in
+// bench_scaling/bench_ablation at odd P.
+#include <bit>
+
+#include "rtc/common/check.hpp"
+#include "rtc/compositing/builtin.hpp"
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/compositing/wire.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/tiling.hpp"
+
+namespace rtc::compositing {
+
+namespace {
+
+class BinarySwapAny final : public Compositor {
+ public:
+  [[nodiscard]] std::string name() const override { return "bswap_any"; }
+
+  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+                               const Options& opt) const override {
+    const int p = comm.size();
+    const int r = comm.rank();
+    const int m = p <= 1 ? 1 : (1 << (std::bit_width(
+                                          static_cast<unsigned>(p)) -
+                                      1));
+    const int folded = p - m;  // ranks that merge away in the fold
+
+    // Fold: the first 2*folded ranks pair up (2i, 2i+1); the odd one
+    // sends its whole partial to the even one, which pre-composites.
+    // Units afterwards: unit u < folded is rank 2u covering
+    // {2u, 2u+1}; unit u >= folded is rank u + folded covering itself.
+    img::Image buf = partial;
+    const img::PixelSpan whole{0, partial.pixel_count()};
+    const compress::BlockGeometry geom{partial.width(), 0};
+    bool active = true;
+    int unit = r;
+    if (r < 2 * folded) {
+      if (r % 2 == 1) {
+        send_block(comm, r - 1, /*tag=*/0, partial.view(whole), geom,
+                   opt.codec);
+        active = false;
+      } else {
+        std::vector<img::GrayA8> incoming(
+            static_cast<std::size_t>(whole.size()));
+        recv_block(comm, r + 1, /*tag=*/0, incoming, geom, opt.codec);
+        img::blend_in_place(buf.pixels(), incoming, opt.blend,
+                            /*src_front=*/false);
+        comm.charge_over(whole.size());
+        unit = r / 2;
+      }
+    } else {
+      unit = r - folded;
+    }
+
+    // Standard binary-swap among the m unit owners (low bit first so
+    // merges stay depth-adjacent). Unit u's owner rank:
+    auto owner_of = [&](int u) {
+      return u < folded ? 2 * u : u + folded;
+    };
+
+    const img::Tiling tiling(partial.pixel_count(), 1);
+    const int steps =
+        m <= 1 ? 0 : std::countr_zero(static_cast<unsigned>(m));
+    std::int64_t index = 0;
+    if (active) {
+      for (int k = 1; k <= steps; ++k) {
+        const int bit = (unit >> (k - 1)) & 1;
+        const int partner_unit = unit ^ (1 << (k - 1));
+        const int partner = owner_of(partner_unit);
+        const std::int64_t keep = index * 2 + bit;
+        const std::int64_t give = index * 2 + (1 - bit);
+        const img::PixelSpan keep_span = tiling.block(k, keep);
+        const img::PixelSpan give_span = tiling.block(k, give);
+        const compress::BlockGeometry gg{partial.width(), give_span.begin};
+        const compress::BlockGeometry kg{partial.width(), keep_span.begin};
+        std::vector<img::GrayA8> incoming(
+            static_cast<std::size_t>(keep_span.size()));
+        send_block(comm, partner, k, buf.view(give_span), gg, opt.codec);
+        recv_block(comm, partner, k, incoming, kg, opt.codec);
+        img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
+                            /*src_front=*/partner_unit < unit);
+        comm.charge_over(keep_span.size());
+        comm.mark(k);
+        index = keep;
+      }
+    }
+
+    if (!opt.gather) return img::Image{};
+    std::vector<std::pair<int, std::int64_t>> owned;
+    if (active) owned.emplace_back(steps, index);
+    return gather_fragments(comm, buf, tiling, owned, opt.root,
+                            partial.width(), partial.height());
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compositor> make_binary_swap_any() {
+  return std::make_unique<BinarySwapAny>();
+}
+
+}  // namespace rtc::compositing

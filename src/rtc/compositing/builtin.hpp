@@ -1,0 +1,18 @@
+// Factories for the baseline compositors defined in this module.
+// The string-keyed make_compositor() lives in rtc/core (it also knows
+// the rotate-tiling methods).
+#pragma once
+
+#include <memory>
+
+#include "rtc/compositing/compositor.hpp"
+
+namespace rtc::compositing {
+
+[[nodiscard]] std::unique_ptr<Compositor> make_binary_swap();
+[[nodiscard]] std::unique_ptr<Compositor> make_binary_swap_any();
+[[nodiscard]] std::unique_ptr<Compositor> make_pipelined(bool exact);
+[[nodiscard]] std::unique_ptr<Compositor> make_direct_send();
+[[nodiscard]] std::unique_ptr<Compositor> make_radix_k();
+
+}  // namespace rtc::compositing

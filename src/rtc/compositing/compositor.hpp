@@ -1,0 +1,71 @@
+// Image-composition method interface.
+//
+// Every method is a *collective*: all ranks call run() with their local
+// partial image (identical dimensions everywhere); the composited image
+// is returned on the root rank (a default-constructed Image elsewhere).
+// Rank index is depth order: rank 0 is front-most, as produced by the
+// renderer's view-sorted partition.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtc/comm/world.hpp"
+#include "rtc/compress/codec.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/image/ops.hpp"
+
+namespace rtc::compositing {
+
+struct Options {
+  /// Initial blocks per sub-image (the paper's N). Used by the RT
+  /// methods; binary-swap always starts from one block and
+  /// parallel-pipelined always uses P blocks.
+  int initial_blocks = 1;
+
+  /// Wire codec; nullptr means uncompressed (2 bytes/pixel).
+  const compress::Codec* codec = nullptr;
+
+  /// Pixel merge operator. kOver is the paper's setting; kMax (MIP) is
+  /// commutative, which makes even the loose parallel-pipelined ring
+  /// order-exact.
+  img::BlendMode blend = img::BlendMode::kOver;
+
+  /// Gather the final distributed blocks to `root` after compositing.
+  /// The paper's composition-time figures exclude this, so benches turn
+  /// it off; tests keep it on to check the assembled image.
+  bool gather = true;
+  int root = 0;
+
+  /// RT only: coalesce all blocks bound for the same receiver in one
+  /// step into a single message (the batching of the paper's Figure 1
+  /// example). Trades per-message startup for pipelining granularity —
+  /// see bench_ablation_aggregation. Default off, matching the paper's
+  /// per-message cost accounting.
+  bool aggregate_messages = false;
+};
+
+class Compositor {
+ public:
+  virtual ~Compositor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Composites the partial images of all ranks. Collective call.
+  [[nodiscard]] virtual img::Image run(comm::Comm& comm,
+                                       const img::Image& partial,
+                                       const Options& opt) const = 0;
+};
+
+/// "bswap" (P must be a power of two), "pp" (paper-faithful ring),
+/// "pp_exact" (order-correct ring refinement), "direct" (send-to-root),
+/// "rt" / "rt_n" / "rt_2n" (rotate-tiling; see rtc/core). Throws on
+/// unknown names.
+[[nodiscard]] std::unique_ptr<Compositor> make_compositor(
+    const std::string& name);
+
+/// Names accepted by make_compositor, in presentation order.
+[[nodiscard]] std::vector<std::string> compositor_names();
+
+}  // namespace rtc::compositing

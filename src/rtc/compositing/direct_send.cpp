@@ -1,0 +1,57 @@
+// Direct-send baseline: every rank ships its whole partial image to the
+// root, which composites them in depth order. One step, P-1 messages of
+// the full image size converging on one rank — the naive lower bound on
+// algorithmic cleverness that BS/PP/RT all improve on.
+#include "rtc/common/check.hpp"
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/compositing/wire.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/tiling.hpp"
+
+namespace rtc::compositing {
+
+namespace {
+
+class DirectSend final : public Compositor {
+ public:
+  [[nodiscard]] std::string name() const override { return "direct"; }
+
+  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+                               const Options& opt) const override {
+    const int p = comm.size();
+    const int r = comm.rank();
+    const img::PixelSpan whole{0, partial.pixel_count()};
+    const compress::BlockGeometry geom{partial.width(), 0};
+
+    if (r != opt.root) {
+      send_block(comm, opt.root, /*tag=*/1, partial.view(whole), geom,
+                 opt.codec);
+      return img::Image{};
+    }
+
+    // Root: fold arrivals into its own partial, growing the covered
+    // depth interval contiguously — ranks behind the root first (each
+    // appended at the back), then ranks in front (appended in front,
+    // nearest first).
+    img::Image out = partial;
+    std::vector<img::GrayA8> incoming(
+        static_cast<std::size_t>(partial.pixel_count()));
+    auto fold = [&](int src, bool front) {
+      recv_block(comm, src, /*tag=*/1, incoming, geom, opt.codec);
+      img::blend_in_place(out.pixels(), incoming, opt.blend, front);
+      comm.charge_over(partial.pixel_count());
+    };
+    for (int src = opt.root + 1; src < p; ++src) fold(src, /*front=*/false);
+    for (int src = opt.root - 1; src >= 0; --src) fold(src, /*front=*/true);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compositor> make_direct_send();
+std::unique_ptr<Compositor> make_direct_send() {
+  return std::make_unique<DirectSend>();
+}
+
+}  // namespace rtc::compositing

@@ -1,0 +1,211 @@
+#include "rtc/compositing/wire.hpp"
+
+#include <algorithm>
+
+#include "rtc/common/check.hpp"
+#include "rtc/image/serialize.hpp"
+
+namespace rtc::compositing {
+
+namespace {
+
+double codec_time(const comm::Comm& comm, std::size_t pixels) {
+  return comm.model().tcodec_pixel * static_cast<double>(pixels);
+}
+
+}  // namespace
+
+void send_block(comm::Comm& comm, int dst, int tag,
+                std::span<const img::GrayA8> px,
+                const compress::BlockGeometry& geom,
+                const compress::Codec* codec) {
+  std::vector<std::byte> bytes;
+  if (codec == nullptr) {
+    bytes = img::serialize_pixels(px);
+  } else {
+    bytes = codec->encode(px, geom);
+    comm.compute(codec_time(comm, px.size()));
+  }
+  comm.send(dst, tag, std::move(bytes));
+}
+
+void recv_block(comm::Comm& comm, int src, int tag,
+                std::span<img::GrayA8> out,
+                const compress::BlockGeometry& geom,
+                const compress::Codec* codec) {
+  const std::vector<std::byte> bytes = comm.recv(src, tag);
+  if (codec == nullptr) {
+    img::deserialize_pixels(bytes, out);
+  } else {
+    codec->decode(bytes, out, geom);
+    comm.compute(codec_time(comm, out.size()));
+  }
+}
+
+void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
+                  std::span<const img::GrayA8> px,
+                  const compress::BlockGeometry& geom,
+                  const compress::Codec* codec) {
+  std::vector<std::byte> body;
+  if (codec == nullptr) {
+    body = img::serialize_pixels(px);
+  } else {
+    body = codec->encode(px, geom);
+    comm.compute(codec_time(comm, px.size()));
+  }
+  const auto len = static_cast<std::uint64_t>(body.size());
+  for (int b = 0; b < 8; ++b)
+    payload.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xffu));
+  payload.insert(payload.end(), body.begin(), body.end());
+}
+
+void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
+                std::span<img::GrayA8> out,
+                const compress::BlockGeometry& geom,
+                const compress::Codec* codec) {
+  RTC_CHECK_MSG(rest.size() >= 8, "truncated aggregated block");
+  std::uint64_t len = 0;
+  for (int b = 0; b < 8; ++b)
+    len |= std::uint64_t{
+        static_cast<std::uint8_t>(rest[static_cast<std::size_t>(b)])}
+           << (8 * b);
+  rest = rest.subspan(8);
+  RTC_CHECK_MSG(rest.size() >= len, "aggregated block overruns message");
+  if (codec == nullptr) {
+    img::deserialize_pixels(rest.first(len), out);
+  } else {
+    codec->decode(rest.first(len), out, geom);
+    comm.compute(codec_time(comm, out.size()));
+  }
+  rest = rest.subspan(len);
+}
+
+std::vector<std::byte> pack_fragment(int depth, std::int64_t index,
+                                     std::span<const img::GrayA8> px) {
+  std::vector<std::byte> out;
+  out.reserve(12 + px.size() * img::kBytesPerPixel);
+  const auto d = static_cast<std::uint32_t>(depth);
+  for (int s = 0; s < 4; ++s)
+    out.push_back(static_cast<std::byte>((d >> (8 * s)) & 0xffu));
+  const auto i = static_cast<std::uint64_t>(index);
+  for (int s = 0; s < 8; ++s)
+    out.push_back(static_cast<std::byte>((i >> (8 * s)) & 0xffu));
+  const std::vector<std::byte> body = img::serialize_pixels(px);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Fragment unpack_fragment(std::span<const std::byte> bytes) {
+  RTC_CHECK_MSG(bytes.size() >= 12, "truncated fragment");
+  Fragment f;
+  std::uint32_t d = 0;
+  for (int s = 0; s < 4; ++s)
+    d |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(s)])
+         << (8 * s);
+  f.depth = static_cast<int>(d);
+  std::uint64_t i = 0;
+  for (int s = 0; s < 8; ++s)
+    i |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(4 + s)])
+         << (8 * s);
+  f.index = static_cast<std::int64_t>(i);
+  const std::span<const std::byte> body = bytes.subspan(12);
+  RTC_CHECK(body.size() % img::kBytesPerPixel == 0);
+  f.pixels.resize(body.size() / img::kBytesPerPixel);
+  img::deserialize_pixels(body, f.pixels);
+  return f;
+}
+
+img::Image gather_fragments(
+    comm::Comm& comm, const img::Image& local, const img::Tiling& tiling,
+    std::span<const std::pair<int, std::int64_t>> owned, int root,
+    int width, int height) {
+  // Pack all locally-owned fragments into one gather payload:
+  // [u32 count] then count packed fragments, each length-prefixed (u64).
+  std::vector<std::byte> payload;
+  const auto count = static_cast<std::uint32_t>(owned.size());
+  for (int s = 0; s < 4; ++s)
+    payload.push_back(static_cast<std::byte>((count >> (8 * s)) & 0xffu));
+  for (const auto& [depth, index] : owned) {
+    const img::PixelSpan span = tiling.block(depth, index);
+    std::vector<std::byte> frag =
+        pack_fragment(depth, index, local.view(span));
+    const auto len = static_cast<std::uint64_t>(frag.size());
+    for (int s = 0; s < 8; ++s)
+      payload.push_back(static_cast<std::byte>((len >> (8 * s)) & 0xffu));
+    payload.insert(payload.end(), frag.begin(), frag.end());
+  }
+
+  std::vector<std::vector<std::byte>> all =
+      comm::gather(comm, root, kGatherTag, std::move(payload));
+  if (comm.rank() != root) return img::Image{};
+
+  img::Image out(width, height);
+  for (const std::vector<std::byte>& buf : all) {
+    std::span<const std::byte> rest(buf);
+    RTC_CHECK(rest.size() >= 4);
+    std::uint32_t n = 0;
+    for (int s = 0; s < 4; ++s)
+      n |= static_cast<std::uint32_t>(rest[static_cast<std::size_t>(s)])
+           << (8 * s);
+    rest = rest.subspan(4);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      RTC_CHECK(rest.size() >= 8);
+      std::uint64_t len = 0;
+      for (int s = 0; s < 8; ++s)
+        len |= std::uint64_t{
+            static_cast<std::uint8_t>(rest[static_cast<std::size_t>(s)])}
+               << (8 * s);
+      rest = rest.subspan(8);
+      RTC_CHECK(rest.size() >= len);
+      const Fragment f = unpack_fragment(rest.first(len));
+      rest = rest.subspan(len);
+      const img::PixelSpan span = tiling.block(f.depth, f.index);
+      RTC_CHECK(static_cast<std::size_t>(span.size()) == f.pixels.size());
+      std::span<img::GrayA8> dst = out.view(span);
+      std::copy(f.pixels.begin(), f.pixels.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+img::Image gather_spans(comm::Comm& comm, const img::Image& local,
+                        img::PixelSpan span, int root, int width,
+                        int height) {
+  // Payload: [i64 begin][i64 end][raw pixels].
+  std::vector<std::byte> payload;
+  auto put_i64 = [&](std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int s = 0; s < 8; ++s)
+      payload.push_back(static_cast<std::byte>((u >> (8 * s)) & 0xffu));
+  };
+  put_i64(span.begin);
+  put_i64(span.end);
+  const std::vector<std::byte> body = img::serialize_pixels(local.view(span));
+  payload.insert(payload.end(), body.begin(), body.end());
+
+  std::vector<std::vector<std::byte>> all =
+      comm::gather(comm, root, kGatherTag, std::move(payload));
+  if (comm.rank() != root) return img::Image{};
+
+  img::Image out(width, height);
+  for (const std::vector<std::byte>& buf : all) {
+    std::span<const std::byte> rest(buf);
+    RTC_CHECK(rest.size() >= 16);
+    auto get_i64 = [&]() {
+      std::uint64_t u = 0;
+      for (int s = 0; s < 8; ++s)
+        u |= std::uint64_t{
+            static_cast<std::uint8_t>(rest[static_cast<std::size_t>(s)])}
+             << (8 * s);
+      rest = rest.subspan(8);
+      return static_cast<std::int64_t>(u);
+    };
+    img::PixelSpan sp;
+    sp.begin = get_i64();
+    sp.end = get_i64();
+    img::deserialize_pixels(rest, out.view(sp));
+  }
+  return out;
+}
+
+}  // namespace rtc::compositing

@@ -1,0 +1,74 @@
+// Helpers for moving pixel blocks between ranks through a codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "rtc/comm/world.hpp"
+#include "rtc/compress/codec.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/image/tiling.hpp"
+
+namespace rtc::compositing {
+
+/// Encodes `px` (a block at `geom`) with `codec` (raw when null), sends
+/// it to `dst`, and charges codec compute time.
+void send_block(comm::Comm& comm, int dst, int tag,
+                std::span<const img::GrayA8> px,
+                const compress::BlockGeometry& geom,
+                const compress::Codec* codec);
+
+/// Receives a block of `out.size()` pixels from `src` and decodes it.
+void recv_block(comm::Comm& comm, int src, int tag,
+                std::span<img::GrayA8> out,
+                const compress::BlockGeometry& geom,
+                const compress::Codec* codec);
+
+/// Appends one length-prefixed encoded block to `payload` — used to
+/// aggregate several blocks for the same receiver into one message.
+void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
+                  std::span<const img::GrayA8> px,
+                  const compress::BlockGeometry& geom,
+                  const compress::Codec* codec);
+
+/// Consumes one length-prefixed block from `rest` (advancing it) and
+/// decodes exactly `out.size()` pixels.
+void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
+                std::span<img::GrayA8> out,
+                const compress::BlockGeometry& geom,
+                const compress::Codec* codec);
+
+/// Tag bases; methods use step numbers below kGatherTag.
+inline constexpr int kGatherTag = 1'000'000;
+
+/// A self-describing final-image fragment used by the gather stage:
+/// [u32 depth][u64 index][raw pixels].
+[[nodiscard]] std::vector<std::byte> pack_fragment(
+    int depth, std::int64_t index, std::span<const img::GrayA8> px);
+
+struct Fragment {
+  int depth = 0;
+  std::int64_t index = 0;
+  std::vector<img::GrayA8> pixels;
+};
+[[nodiscard]] Fragment unpack_fragment(std::span<const std::byte> bytes);
+
+/// Gathers the (depth, index) blocks each rank finally owns into the
+/// assembled image at `opt.root`; other ranks return an empty image.
+/// `owned` lists this rank's final blocks against `tiling`.
+[[nodiscard]] img::Image gather_fragments(
+    comm::Comm& comm, const img::Image& local, const img::Tiling& tiling,
+    std::span<const std::pair<int, std::int64_t>> owned, int root,
+    int width, int height);
+
+/// Gathers one arbitrary pixel span per rank (methods whose final
+/// blocks are not tiling-aligned, e.g. radix-k). Every rank passes its
+/// span; the assembled image returns at `root`.
+[[nodiscard]] img::Image gather_spans(comm::Comm& comm,
+                                      const img::Image& local,
+                                      img::PixelSpan span, int root,
+                                      int width, int height);
+
+}  // namespace rtc::compositing

@@ -1,0 +1,64 @@
+// Bounding-rectangle compression (Ma et al. [16], Lee [13]): transmit
+// only the window between the first and last non-blank pixel of the
+// block. For 1-D block spans this is the exact analogue of the papers'
+// 2-D bounding rectangles.
+#include "rtc/common/check.hpp"
+#include "rtc/compress/codec.hpp"
+#include "rtc/image/serialize.hpp"
+
+namespace rtc::compress {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int s = 0; s < 4; ++s)
+    out.push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> bytes, std::size_t at) {
+  RTC_CHECK_MSG(at + 4 <= bytes.size(), "truncated bbox header");
+  std::uint32_t v = 0;
+  for (int s = 0; s < 4; ++s)
+    v |= static_cast<std::uint32_t>(bytes[at + static_cast<std::size_t>(s)])
+         << (8 * s);
+  return v;
+}
+
+class BboxCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "bbox"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px, const BlockGeometry&) const override {
+    std::size_t lo = 0;
+    std::size_t hi = px.size();
+    while (lo < hi && img::is_blank(px[lo])) ++lo;
+    while (hi > lo && img::is_blank(px[hi - 1])) --hi;
+    std::vector<std::byte> out;
+    put_u32(out, static_cast<std::uint32_t>(lo));
+    put_u32(out, static_cast<std::uint32_t>(hi - lo));
+    const std::vector<std::byte> body =
+        img::serialize_pixels(px.subspan(lo, hi - lo));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+  }
+
+  void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
+              const BlockGeometry&) const override {
+    const std::uint32_t lo = get_u32(bytes, 0);
+    const std::uint32_t n = get_u32(bytes, 4);
+    RTC_CHECK_MSG(lo + n <= out.size(), "bbox window overruns block");
+    RTC_CHECK(bytes.size() == 8 + static_cast<std::size_t>(n) *
+                                      img::kBytesPerPixel);
+    for (auto& p : out) p = img::kBlank;
+    img::deserialize_pixels(bytes.subspan(8), out.subspan(lo, n));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_bbox_codec() {
+  return std::make_unique<BboxCodec>();
+}
+
+}  // namespace rtc::compress

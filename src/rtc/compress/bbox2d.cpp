@@ -1,0 +1,145 @@
+// 2-D bounding-rectangle compression — the actual scheme of Ma et
+// al. [16]: transmit only the axis-aligned rectangle of non-blank
+// pixels. A transmitted block is a contiguous flattened span of a
+// row-major image, so the codec reconstructs each pixel's (x, y) from
+// the block geometry, bounds the non-blank set in 2-D, and ships the
+// in-span pixels of that rectangle row by row.
+//
+// Stream: [i32 x0][i32 x1][i64 y0][i64 y1] then, for each row y in
+// [y0, y1) the pixels of [x0, x1) that lie inside the span, raw.
+// (The 1-D "bbox" codec trims only leading/trailing blanks; for wide
+// partial images whose content sits in the middle columns, the 2-D
+// rectangle is much tighter.)
+#include "rtc/common/check.hpp"
+#include "rtc/compress/codec.hpp"
+
+namespace rtc::compress {
+
+namespace {
+
+void put_i32(std::vector<std::byte>& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int s = 0; s < 4; ++s)
+    out.push_back(static_cast<std::byte>((u >> (8 * s)) & 0xffu));
+}
+
+void put_i64(std::vector<std::byte>& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int s = 0; s < 8; ++s)
+    out.push_back(static_cast<std::byte>((u >> (8 * s)) & 0xffu));
+}
+
+std::int32_t get_i32(std::span<const std::byte> b, std::size_t at) {
+  std::uint32_t u = 0;
+  for (int s = 0; s < 4; ++s)
+    u |= static_cast<std::uint32_t>(b[at + static_cast<std::size_t>(s)])
+         << (8 * s);
+  return static_cast<std::int32_t>(u);
+}
+
+std::int64_t get_i64(std::span<const std::byte> b, std::size_t at) {
+  std::uint64_t u = 0;
+  for (int s = 0; s < 8; ++s)
+    u |= std::uint64_t{
+        static_cast<std::uint8_t>(b[at + static_cast<std::size_t>(s)])}
+         << (8 * s);
+  return static_cast<std::int64_t>(u);
+}
+
+class Bbox2dCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "bbox2d"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px,
+      const BlockGeometry& geom) const override {
+    RTC_CHECK_MSG(geom.image_width > 0, "bbox2d needs the image width");
+    // Bound the non-blank pixels in image coordinates.
+    std::int32_t x0 = geom.image_width, x1 = 0;
+    std::int64_t y0 = 0, y1 = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < px.size(); ++i) {
+      if (img::is_blank(px[i])) continue;
+      const auto ii = static_cast<std::int64_t>(i);
+      const int x = geom.x_of(ii);
+      const std::int64_t y = geom.y_of(ii);
+      if (!any) {
+        y0 = y;
+        y1 = y + 1;
+        any = true;
+      } else {
+        y0 = std::min(y0, y);
+        y1 = std::max(y1, y + 1);
+      }
+      x0 = std::min(x0, static_cast<std::int32_t>(x));
+      x1 = std::max(x1, static_cast<std::int32_t>(x + 1));
+    }
+    if (!any) {
+      x0 = 0;
+      x1 = 0;
+      y0 = y1 = 0;
+    }
+
+    std::vector<std::byte> out;
+    put_i32(out, x0);
+    put_i32(out, x1);
+    put_i64(out, y0);
+    put_i64(out, y1);
+    for_each_rect_pixel(px.size(), geom, x0, x1, y0, y1,
+                        [&](std::int64_t i) {
+                          out.push_back(static_cast<std::byte>(
+                              px[static_cast<std::size_t>(i)].v));
+                          out.push_back(static_cast<std::byte>(
+                              px[static_cast<std::size_t>(i)].a));
+                        });
+    return out;
+  }
+
+  void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
+              const BlockGeometry& geom) const override {
+    RTC_CHECK_MSG(bytes.size() >= 24, "truncated bbox2d header");
+    const std::int32_t x0 = get_i32(bytes, 0);
+    const std::int32_t x1 = get_i32(bytes, 4);
+    const std::int64_t y0 = get_i64(bytes, 8);
+    const std::int64_t y1 = get_i64(bytes, 16);
+    for (auto& p : out) p = img::kBlank;
+    std::size_t at = 24;
+    for_each_rect_pixel(
+        out.size(), geom, x0, x1, y0, y1, [&](std::int64_t i) {
+          RTC_CHECK_MSG(at + 2 <= bytes.size(), "bbox2d payload underrun");
+          out[static_cast<std::size_t>(i)] =
+              img::GrayA8{static_cast<std::uint8_t>(bytes[at]),
+                          static_cast<std::uint8_t>(bytes[at + 1])};
+          at += 2;
+        });
+    RTC_CHECK_MSG(at == bytes.size(), "trailing bbox2d payload");
+  }
+
+ private:
+  /// Visits (row-major) every in-span index whose image coordinates
+  /// fall inside the rectangle.
+  template <typename Fn>
+  static void for_each_rect_pixel(std::size_t span_size,
+                                  const BlockGeometry& geom,
+                                  std::int32_t x0, std::int32_t x1,
+                                  std::int64_t y0, std::int64_t y1,
+                                  Fn&& fn) {
+    const int w = geom.image_width;
+    for (std::int64_t y = y0; y < y1; ++y) {
+      for (std::int32_t x = x0; x < x1; ++x) {
+        const std::int64_t flat = y * w + x;
+        const std::int64_t i = flat - geom.span_begin;
+        if (i < 0 || i >= static_cast<std::int64_t>(span_size)) continue;
+        fn(i);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_bbox2d_codec() {
+  return std::make_unique<Bbox2dCodec>();
+}
+
+}  // namespace rtc::compress

@@ -1,0 +1,58 @@
+// Shared 2x2-cell iteration for the TRLE codecs (gray and color).
+//
+// Visits every 2x2 cell (aligned to even image coordinates) that
+// intersects a flattened span, in row-major cell order, handing the
+// callback the four positions' span indices (-1 when outside the span
+// or the image). Both encoder and decoder walk cells identically from
+// geometry alone, so streams carry no coordinates.
+#pragma once
+
+#include <cstdint>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::compress {
+
+/// Indices (into the span; -1 if outside) of one cell's positions in
+/// template bit order: bit0 (x,y), bit1 (x+1,y), bit2 (x,y+1),
+/// bit3 (x+1,y+1).
+struct CellPixels {
+  std::int64_t index[4];
+};
+
+template <typename Fn>
+void for_each_cell(std::int64_t span_size, int image_width,
+                   std::int64_t span_begin, Fn&& fn) {
+  if (span_size == 0) return;
+  RTC_CHECK_MSG(image_width > 0, "TRLE needs the parent image width");
+  const int w = image_width;
+  const std::int64_t first = span_begin;
+  const std::int64_t last = span_begin + span_size - 1;
+  const std::int64_t y0 = (first / w) & ~std::int64_t{1};
+  const std::int64_t y1 = last / w;
+
+  for (std::int64_t cy = y0; cy <= y1; cy += 2) {
+    for (int cx = 0; cx < w; cx += 2) {
+      CellPixels cell;
+      bool any = false;
+      for (int b = 0; b < 4; ++b) {
+        const int dx = b & 1;
+        const int dy = b >> 1;
+        const std::int64_t x = cx + dx;
+        const std::int64_t y = cy + dy;
+        std::int64_t idx = -1;
+        if (x < w) {
+          const std::int64_t flat = y * w + x;
+          if (flat >= first && flat <= last) {
+            idx = flat - first;
+            any = true;
+          }
+        }
+        cell.index[b] = idx;
+      }
+      if (any) fn(cell);
+    }
+  }
+}
+
+}  // namespace rtc::compress

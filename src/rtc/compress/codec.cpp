@@ -1,0 +1,16 @@
+#include "rtc/compress/codec.hpp"
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::compress {
+
+std::unique_ptr<Codec> make_codec(const std::string& name) {
+  if (name == "raw") return make_raw_codec();
+  if (name == "rle") return make_rle_codec();
+  if (name == "trle") return make_trle_codec();
+  if (name == "bbox") return make_bbox_codec();
+  if (name == "bbox2d") return make_bbox2d_codec();
+  throw ContractError("unknown codec: " + name);
+}
+
+}  // namespace rtc::compress

@@ -1,0 +1,69 @@
+// Codec interface for compressing pixel blocks on the wire.
+//
+// Composition methods transmit blocks that are contiguous ranges of a
+// row-major image. A codec sees the pixels plus enough geometry
+// (image width, span start) to recover each pixel's (x, y), which the
+// TRLE codec needs for its 2x2 templates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtc/image/image.hpp"
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::compress {
+
+/// Geometry of a transmitted block within its parent image.
+struct BlockGeometry {
+  int image_width = 0;         ///< parent image width in pixels
+  std::int64_t span_begin = 0; ///< flattened index of the first pixel
+
+  [[nodiscard]] int x_of(std::int64_t i) const {
+    return static_cast<int>((span_begin + i) % image_width);
+  }
+  [[nodiscard]] int y_of(std::int64_t i) const {
+    return static_cast<int>((span_begin + i) / image_width);
+  }
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px, const BlockGeometry& geom) const = 0;
+
+  /// Decodes exactly `out.size()` pixels (the receiver knows the block
+  /// geometry, as in the paper: block id -> pixel range is arithmetic).
+  virtual void decode(std::span<const std::byte> bytes,
+                      std::span<img::GrayA8> out,
+                      const BlockGeometry& geom) const = 0;
+};
+
+/// No compression: 2 bytes per pixel.
+[[nodiscard]] std::unique_ptr<Codec> make_raw_codec();
+
+/// Classic run-length encoding over identical (value, alpha) pixels.
+[[nodiscard]] std::unique_ptr<Codec> make_rle_codec();
+
+/// The paper's template run-length encoding (Section 3).
+[[nodiscard]] std::unique_ptr<Codec> make_trle_codec();
+
+/// Bounding window along the flattened span: trims leading/trailing
+/// blank pixels (a 1-D simplification of Ma et al.).
+[[nodiscard]] std::unique_ptr<Codec> make_bbox_codec();
+
+/// Ma et al.'s actual 2-D bounding rectangle of non-blank pixels.
+[[nodiscard]] std::unique_ptr<Codec> make_bbox2d_codec();
+
+/// Factory by name ("raw", "rle", "trle", "bbox", "bbox2d"); throws on
+/// unknown names.
+[[nodiscard]] std::unique_ptr<Codec> make_codec(const std::string& name);
+
+}  // namespace rtc::compress

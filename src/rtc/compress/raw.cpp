@@ -1,0 +1,27 @@
+#include "rtc/compress/codec.hpp"
+#include "rtc/image/serialize.hpp"
+
+namespace rtc::compress {
+
+namespace {
+
+class RawCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "raw"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px, const BlockGeometry&) const override {
+    return img::serialize_pixels(px);
+  }
+
+  void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
+              const BlockGeometry&) const override {
+    img::deserialize_pixels(bytes, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_raw_codec() { return std::make_unique<RawCodec>(); }
+
+}  // namespace rtc::compress

@@ -1,0 +1,55 @@
+// Classic run-length encoding over identical (value, alpha) pixels.
+//
+// Each run is [count-1 : u8][value : u8][alpha : u8]. As the paper
+// observes, this compresses blank regions well but does poorly on the
+// varied intensities of gray images (a 1-pixel run costs 3 bytes vs 2
+// raw) — which is exactly why TRLE exists.
+#include "rtc/common/check.hpp"
+#include "rtc/compress/codec.hpp"
+
+namespace rtc::compress {
+
+namespace {
+
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "rle"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px, const BlockGeometry&) const override {
+    std::vector<std::byte> out;
+    std::size_t i = 0;
+    while (i < px.size()) {
+      std::size_t run = 1;
+      while (i + run < px.size() && run < 256 && px[i + run] == px[i]) ++run;
+      out.push_back(static_cast<std::byte>(run - 1));
+      out.push_back(static_cast<std::byte>(px[i].v));
+      out.push_back(static_cast<std::byte>(px[i].a));
+      i += run;
+    }
+    return out;
+  }
+
+  void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
+              const BlockGeometry&) const override {
+    std::size_t o = 0;
+    std::size_t i = 0;
+    while (o < out.size()) {
+      RTC_CHECK_MSG(i + 3 <= bytes.size(), "truncated RLE stream");
+      const std::size_t run = static_cast<std::size_t>(bytes[i]) + 1;
+      const img::GrayA8 p{static_cast<std::uint8_t>(bytes[i + 1]),
+                          static_cast<std::uint8_t>(bytes[i + 2])};
+      i += 3;
+      RTC_CHECK_MSG(o + run <= out.size(), "RLE stream overruns block");
+      for (std::size_t k = 0; k < run; ++k) out[o + k] = p;
+      o += run;
+    }
+    RTC_CHECK_MSG(i == bytes.size(), "trailing bytes in RLE stream");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_rle_codec() { return std::make_unique<RleCodec>(); }
+
+}  // namespace rtc::compress

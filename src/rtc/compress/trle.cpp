@@ -1,0 +1,141 @@
+// Template run-length encoding (TRLE) — Section 3 of the paper.
+//
+// A *template* is the blank/non-blank occupancy pattern of a 2x2 pixel
+// cell; there are 16 templates (Figure 3), indexed by the 4-bit pattern
+//
+//     bit 0: (x,   y)      bit 1: (x+1, y)
+//     bit 2: (x,   y+1)    bit 3: (x+1, y+1)
+//
+// A TRLE code is one byte: the lower four bits hold the template, the
+// upper four bits hold (replications - 1), so one code covers up to 16
+// consecutive cells with the same template. The codes describe the
+// occupancy structure; the values of the non-blank pixels follow raw in
+// cell order. Gray images compress well because only the *occupancy*
+// needs to repeat, not the pixel values.
+//
+// Blocks are 1-D spans of a row-major image, so a block may start or end
+// mid-cell; out-of-span (and out-of-image, for odd widths) positions are
+// treated as blank on encode and skipped on decode, which keeps the two
+// sides in exact agreement using geometry arithmetic only.
+#include <cstring>
+
+#include "rtc/common/check.hpp"
+#include "rtc/compress/cells.hpp"
+#include "rtc/compress/codec.hpp"
+
+namespace rtc::compress {
+
+namespace {
+
+constexpr std::uint8_t kRunShift = 4;
+constexpr std::uint8_t kTemplateMask = 0x0f;
+constexpr int kMaxRun = 16;
+
+class TrleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "trle"; }
+
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px, const BlockGeometry& geom) const override {
+    std::vector<std::byte> codes;
+    std::vector<std::byte> payload;
+    int run = 0;
+    std::uint8_t run_template = 0;
+
+    for_each_cell(static_cast<std::int64_t>(px.size()), geom.image_width,
+                  geom.span_begin, [&](const CellPixels& cell) {
+      std::uint8_t tmpl = 0;
+      for (int b = 0; b < 4; ++b) {
+        const std::int64_t i = cell.index[b];
+        if (i >= 0 && !img::is_blank(px[static_cast<std::size_t>(i)]))
+          tmpl = static_cast<std::uint8_t>(tmpl | (1u << b));
+      }
+      if (run > 0 && tmpl == run_template && run < kMaxRun) {
+        ++run;
+      } else {
+        if (run > 0) emit(codes, run, run_template);
+        run = 1;
+        run_template = tmpl;
+      }
+      for (int b = 0; b < 4; ++b) {
+        const std::int64_t i = cell.index[b];
+        if (i >= 0 && (tmpl & (1u << b))) {
+          payload.push_back(
+              static_cast<std::byte>(px[static_cast<std::size_t>(i)].v));
+          payload.push_back(
+              static_cast<std::byte>(px[static_cast<std::size_t>(i)].a));
+        }
+      }
+    });
+    if (run > 0) emit(codes, run, run_template);
+
+    std::vector<std::byte> out;
+    out.reserve(4 + codes.size() + payload.size());
+    const auto n = static_cast<std::uint32_t>(codes.size());
+    for (int s = 0; s < 4; ++s)
+      out.push_back(static_cast<std::byte>((n >> (8 * s)) & 0xffu));
+    out.insert(out.end(), codes.begin(), codes.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+  }
+
+  void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
+              const BlockGeometry& geom) const override {
+    RTC_CHECK_MSG(bytes.size() >= 4, "truncated TRLE header");
+    std::uint32_t n_codes = 0;
+    for (int s = 0; s < 4; ++s)
+      n_codes |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(s)])
+                 << (8 * s);
+    RTC_CHECK_MSG(4 + n_codes <= bytes.size(), "truncated TRLE code block");
+    std::span<const std::byte> codes = bytes.subspan(4, n_codes);
+    std::span<const std::byte> payload = bytes.subspan(4 + n_codes);
+
+    std::size_t code_i = 0;
+    int remaining = 0;
+    std::uint8_t tmpl = 0;
+    std::size_t pay_i = 0;
+
+    for_each_cell(static_cast<std::int64_t>(out.size()), geom.image_width,
+                  geom.span_begin, [&](const CellPixels& cell) {
+      if (remaining == 0) {
+        RTC_CHECK_MSG(code_i < codes.size(), "TRLE code stream underrun");
+        const auto code = static_cast<std::uint8_t>(codes[code_i++]);
+        remaining = (code >> kRunShift) + 1;
+        tmpl = code & kTemplateMask;
+      }
+      --remaining;
+      for (int b = 0; b < 4; ++b) {
+        const std::int64_t i = cell.index[b];
+        if (i < 0) continue;
+        if (tmpl & (1u << b)) {
+          RTC_CHECK_MSG(pay_i + 2 <= payload.size(), "TRLE payload underrun");
+          out[static_cast<std::size_t>(i)] =
+              img::GrayA8{static_cast<std::uint8_t>(payload[pay_i]),
+                          static_cast<std::uint8_t>(payload[pay_i + 1])};
+          pay_i += 2;
+        } else {
+          out[static_cast<std::size_t>(i)] = img::kBlank;
+        }
+      }
+    });
+    RTC_CHECK_MSG(remaining == 0 && code_i == codes.size(),
+                  "TRLE code stream overrun");
+    RTC_CHECK_MSG(pay_i == payload.size(), "trailing TRLE payload");
+  }
+
+ private:
+  static void emit(std::vector<std::byte>& codes, int run,
+                   std::uint8_t tmpl) {
+    RTC_DCHECK(run >= 1 && run <= kMaxRun);
+    codes.push_back(
+        static_cast<std::byte>(((run - 1) << kRunShift) | tmpl));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_trle_codec() {
+  return std::make_unique<TrleCodec>();
+}
+
+}  // namespace rtc::compress

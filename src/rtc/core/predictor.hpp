@@ -1,0 +1,43 @@
+// Analytic dry run of a rotate-tiling schedule.
+//
+// Replays the exact timing semantics of comm::World (Ts-busy sends on a
+// serialized egress channel, availability-gated receives, To-per-pixel
+// composites) over an RtSchedule without touching any pixel data. For
+// an uncompressed run the predicted makespan equals the measured
+// virtual makespan *bit for bit* — the property test that pins the
+// simulator and the predictor to each other. This plays the role of
+// the paper's "theoretical analysis" columns, derived from our actual
+// schedule rather than the closed forms (which are kept, as printed,
+// in rtc/costmodel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtc/comm/network_model.hpp"
+#include "rtc/core/schedule.hpp"
+
+namespace rtc::core {
+
+struct StepPrediction {
+  double end_time = 0.0;          ///< max rank clock after this step
+  std::int64_t max_rank_sends = 0;
+  std::int64_t max_rank_bytes = 0;  ///< largest per-rank bytes sent
+};
+
+struct Prediction {
+  double makespan = 0.0;
+  std::vector<double> rank_clock;       ///< final clock per rank
+  std::vector<StepPrediction> steps;
+  std::int64_t total_bytes = 0;
+  std::int64_t total_messages = 0;
+};
+
+/// Predicts the composition time of `sched` over an image of
+/// `image_pixels` with `bytes_per_pixel` on the wire (no codec).
+[[nodiscard]] Prediction predict_rt_time(const RtSchedule& sched,
+                                         std::int64_t image_pixels,
+                                         int bytes_per_pixel,
+                                         const comm::NetworkModel& net);
+
+}  // namespace rtc::core

@@ -1,0 +1,117 @@
+#include "rtc/core/rt_compositor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rtc/common/check.hpp"
+#include "rtc/compositing/wire.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/tiling.hpp"
+
+namespace rtc::core {
+
+std::string RtCompositor::name() const {
+  switch (variant_) {
+    case RtVariant::kNrt:
+      return "rt_n";
+    case RtVariant::kTwoNrt:
+      return "rt_2n";
+    case RtVariant::kGeneralized:
+      return "rt";
+  }
+  return "rt";
+}
+
+img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
+                             const compositing::Options& opt) const {
+  const int p = comm.size();
+  const int r = comm.rank();
+  const RtSchedule sched =
+      build_rt_schedule(p, opt.initial_blocks, variant_);
+  const img::Tiling tiling(partial.pixel_count(), opt.initial_blocks);
+
+  img::Image buf = partial;
+
+  for (std::size_t s = 0; s < sched.steps.size(); ++s) {
+    const RtStep& step = sched.steps[s];
+    const int tag = static_cast<int>(s) + 1;
+
+    // Issue every send first so transmissions pipeline behind the
+    // receive/composite loop (the "tiling" payoff). With
+    // aggregate_messages, blocks bound for the same receiver ride in
+    // one message — the batching visible in the paper's Figure 1,
+    // where P1 ships blocks 0 and 3 to P0 as a single send. Both sides
+    // walk the schedule in the same order, so grouping is implicit.
+    if (opt.aggregate_messages) {
+      std::map<int, std::vector<const Merge*>> outgoing;  // by receiver
+      std::map<int, std::vector<const Merge*>> incoming_by_sender;
+      for (const Merge& m : step.merges) {
+        if (m.sender == r) outgoing[m.receiver].push_back(&m);
+        if (m.receiver == r) incoming_by_sender[m.sender].push_back(&m);
+      }
+      for (const auto& [receiver, merges] : outgoing) {
+        std::vector<std::byte> payload;
+        for (const Merge* m : merges) {
+          const img::PixelSpan span = tiling.block(step.depth, m->block);
+          const compress::BlockGeometry geom{partial.width(), span.begin};
+          compositing::append_block(comm, payload, buf.view(span), geom,
+                                    opt.codec);
+        }
+        comm.send(receiver, tag, std::move(payload));
+      }
+      std::vector<img::GrayA8> incoming;
+      for (const auto& [sender, merges] : incoming_by_sender) {
+        const std::vector<std::byte> payload = comm.recv(sender, tag);
+        std::span<const std::byte> rest(payload);
+        for (const Merge* m : merges) {
+          const img::PixelSpan span = tiling.block(step.depth, m->block);
+          const compress::BlockGeometry geom{partial.width(), span.begin};
+          incoming.resize(static_cast<std::size_t>(span.size()));
+          compositing::take_block(comm, rest, incoming, geom, opt.codec);
+          img::blend_in_place(buf.view(span), incoming, opt.blend,
+                              m->sender_front);
+          comm.charge_over(span.size());
+        }
+        RTC_CHECK_MSG(rest.empty(),
+                      "trailing bytes in aggregated message");
+      }
+      comm.mark(tag);
+      continue;
+    }
+
+    // Per-merge messages (the paper's per-message cost accounting).
+    for (const Merge& m : step.merges) {
+      if (m.sender != r) continue;
+      const img::PixelSpan span = tiling.block(step.depth, m.block);
+      const compress::BlockGeometry geom{partial.width(), span.begin};
+      compositing::send_block(comm, m.receiver, tag, buf.view(span), geom,
+                              opt.codec);
+    }
+    std::vector<img::GrayA8> incoming;
+    for (const Merge& m : step.merges) {
+      if (m.receiver != r) continue;
+      const img::PixelSpan span = tiling.block(step.depth, m.block);
+      const compress::BlockGeometry geom{partial.width(), span.begin};
+      incoming.resize(static_cast<std::size_t>(span.size()));
+      compositing::recv_block(comm, m.sender, tag, incoming, geom,
+                              opt.codec);
+      img::blend_in_place(buf.view(span), incoming, opt.blend,
+                          m.sender_front);
+      comm.charge_over(span.size());
+    }
+    comm.mark(tag);
+  }
+
+  if (!opt.gather) return img::Image{};
+  const std::vector<std::pair<int, std::int64_t>> owned =
+      sched.owned_blocks(r);
+  return compositing::gather_fragments(comm, buf, tiling, owned, opt.root,
+                                       partial.width(), partial.height());
+}
+
+std::unique_ptr<compositing::Compositor> make_rt_compositor(
+    RtVariant variant) {
+  return std::make_unique<RtCompositor>(variant);
+}
+
+}  // namespace rtc::core

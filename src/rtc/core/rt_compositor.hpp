@@ -1,0 +1,30 @@
+// Executes a rotate-tiling schedule as a message-passing program.
+#pragma once
+
+#include <memory>
+
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/core/schedule.hpp"
+
+namespace rtc::core {
+
+/// Rotate-tiling compositor. `initial_blocks` in Options is the paper's
+/// N (N_RT) or 2N (2N_RT). The schedule is recomputed locally by every
+/// rank from (P, N) — no coordination traffic.
+class RtCompositor final : public compositing::Compositor {
+ public:
+  explicit RtCompositor(RtVariant variant) : variant_(variant) {}
+
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+                               const compositing::Options& opt) const override;
+
+ private:
+  RtVariant variant_;
+};
+
+[[nodiscard]] std::unique_ptr<compositing::Compositor> make_rt_compositor(
+    RtVariant variant);
+
+}  // namespace rtc::core

@@ -1,0 +1,217 @@
+#include "rtc/core/schedule.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::core {
+
+namespace {
+
+/// One surviving copy of a tile: held by `owner`, covering the
+/// contiguous depth interval [lo, hi] of source ranks.
+struct Copy {
+  int owner;
+  int lo;
+  int hi;
+};
+
+int ceil_log2(int p) {
+  RTC_DCHECK(p >= 1);
+  return static_cast<int>(std::bit_width(static_cast<unsigned>(p) - 1));
+}
+
+}  // namespace
+
+std::string to_string(RtVariant v) {
+  switch (v) {
+    case RtVariant::kNrt:
+      return "N_RT";
+    case RtVariant::kTwoNrt:
+      return "2N_RT";
+    case RtVariant::kGeneralized:
+      return "RT";
+  }
+  return "?";
+}
+
+int RtSchedule::final_depth() const {
+  return steps.empty() ? 0 : static_cast<int>(steps.size()) - 1;
+}
+
+std::vector<std::pair<int, std::int64_t>> RtSchedule::owned_blocks(
+    int rank) const {
+  std::vector<std::pair<int, std::int64_t>> out;
+  const int d = final_depth();
+  for (std::int64_t b = 0; b < static_cast<std::int64_t>(final_owner.size());
+       ++b) {
+    if (final_owner[static_cast<std::size_t>(b)] == rank)
+      out.emplace_back(d, b);
+  }
+  return out;
+}
+
+std::int64_t RtSchedule::sends_in_step(int rank, int s) const {
+  std::int64_t n = 0;
+  for (const Merge& m : steps[static_cast<std::size_t>(s)].merges)
+    n += (m.sender == rank) ? 1 : 0;
+  return n;
+}
+
+std::int64_t RtSchedule::recvs_in_step(int rank, int s) const {
+  std::int64_t n = 0;
+  for (const Merge& m : steps[static_cast<std::size_t>(s)].merges)
+    n += (m.receiver == rank) ? 1 : 0;
+  return n;
+}
+
+RtSchedule build_rt_schedule(int ranks, int initial_blocks,
+                             RtVariant variant) {
+  RTC_CHECK_MSG(ranks >= 1, "need at least one rank");
+  RTC_CHECK_MSG(initial_blocks >= 1, "need at least one initial block");
+  switch (variant) {
+    case RtVariant::kNrt:
+      RTC_CHECK_MSG(ranks % 2 == 0 || ranks == 1,
+                    "N_RT requires an even number of processors");
+      break;
+    case RtVariant::kTwoNrt:
+      RTC_CHECK_MSG(initial_blocks % 2 == 0,
+                    "2N_RT requires an even number of initial blocks");
+      break;
+    case RtVariant::kGeneralized:
+      break;
+  }
+
+  RtSchedule sched;
+  sched.ranks = ranks;
+  sched.initial_blocks = initial_blocks;
+  sched.variant = variant;
+
+  const int total_steps = ceil_log2(ranks);
+  if (total_steps == 0) {
+    sched.final_owner.assign(static_cast<std::size_t>(initial_blocks), 0);
+    return sched;
+  }
+
+  // copies[b]: surviving copies of tile b, ordered front to back.
+  // Coverage intervals always partition [0, ranks-1].
+  std::vector<std::vector<Copy>> copies(
+      static_cast<std::size_t>(initial_blocks));
+  for (auto& c : copies) {
+    c.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) c.push_back(Copy{r, r, r});
+  }
+
+  for (int s = 1; s <= total_steps; ++s) {
+    RtStep step;
+    step.depth = s - 1;
+    const auto blocks = static_cast<std::int64_t>(copies.size());
+
+    // Greedy per-step load counters drive the "rotate": receivers (who
+    // also composite) and senders are chosen to even out work, with a
+    // block-index rotation as the tie-break. A cross-step ownership
+    // count breaks the remaining ties: the sender releases its copy,
+    // so the copy-richer rank should send — otherwise a rank that
+    // accumulates copies is forced into every later step's merges.
+    std::vector<std::int64_t> sends(static_cast<std::size_t>(ranks), 0);
+    std::vector<std::int64_t> recvs(static_cast<std::size_t>(ranks), 0);
+    std::vector<std::int64_t> owned(static_cast<std::size_t>(ranks), 0);
+    for (const auto& cs : copies)
+      for (const Copy& c : cs) owned[static_cast<std::size_t>(c.owner)] += 1;
+
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      auto& cs = copies[static_cast<std::size_t>(b)];
+      const auto c = static_cast<int>(cs.size());
+      if (c <= 1) continue;
+
+      // Pick the idle copy for odd counts: it must sit at an even
+      // position so both sides still pair up adjacently; rotate the
+      // choice with the block index and step so the idle role — and
+      // the interval shapes it induces — spread over the ranks.
+      int idle = -1;
+      if (c % 2 == 1) {
+        const int choices = (c + 1) / 2;
+        idle = 2 * static_cast<int>((b + s) % choices);
+      }
+
+      std::vector<Copy> next;
+      next.reserve(static_cast<std::size_t>(c / 2 + 1));
+      int i = 0;
+      int pair_index = 0;
+      while (i < c) {
+        if (i == idle) {
+          next.push_back(cs[static_cast<std::size_t>(i)]);
+          ++i;
+          continue;
+        }
+        RTC_DCHECK(i + 1 < c);
+        const Copy& front = cs[static_cast<std::size_t>(i)];
+        const Copy& back = cs[static_cast<std::size_t>(i + 1)];
+        RTC_DCHECK(front.hi + 1 == back.lo);  // depth-adjacent
+
+        // Receiver choice: balance this step's (receives, sends), then
+        // ownership across steps, then rotate by block index.
+        const auto load = [&](const Copy& rx, const Copy& tx) {
+          const std::int64_t r_load =
+              recvs[static_cast<std::size_t>(rx.owner)];
+          const std::int64_t s_load =
+              sends[static_cast<std::size_t>(tx.owner)];
+          // Lexicographic (bottleneck, sum, copies kept by receiver).
+          return (std::max(r_load, s_load) * 4 + (r_load + s_load)) *
+                     (2 * ranks) +
+                 owned[static_cast<std::size_t>(rx.owner)] -
+                 owned[static_cast<std::size_t>(tx.owner)];
+        };
+        const std::int64_t front_rx = load(front, back);
+        const std::int64_t back_rx = load(back, front);
+        bool front_receives;
+        if (front_rx != back_rx) {
+          front_receives = front_rx < back_rx;
+        } else {
+          front_receives = ((b + s + pair_index) % 2) == 0;
+        }
+
+        const Copy& rx = front_receives ? front : back;
+        const Copy& tx = front_receives ? back : front;
+        Merge m;
+        m.block = b;
+        m.sender = tx.owner;
+        m.receiver = rx.owner;
+        m.sender_front = tx.lo < rx.lo;
+        step.merges.push_back(m);
+        sends[static_cast<std::size_t>(tx.owner)] += 1;
+        recvs[static_cast<std::size_t>(rx.owner)] += 1;
+        owned[static_cast<std::size_t>(tx.owner)] -= 1;
+
+        next.push_back(Copy{rx.owner, front.lo, back.hi});
+        i += 2;
+        ++pair_index;
+      }
+      cs = std::move(next);
+    }
+    sched.steps.push_back(std::move(step));
+
+    // Split every tile in half for the next step (children inherit the
+    // parent's copies); skip after the last step.
+    if (s < total_steps) {
+      std::vector<std::vector<Copy>> split;
+      split.reserve(copies.size() * 2);
+      for (auto& cs : copies) {
+        split.push_back(cs);
+        split.push_back(std::move(cs));
+      }
+      copies = std::move(split);
+    }
+  }
+
+  sched.final_owner.reserve(copies.size());
+  for (const auto& cs : copies) {
+    RTC_CHECK_MSG(cs.size() == 1 && cs[0].lo == 0 && cs[0].hi == ranks - 1,
+                  "rotate-tiling schedule did not converge");
+    sched.final_owner.push_back(cs[0].owner);
+  }
+  return sched;
+}
+
+}  // namespace rtc::core

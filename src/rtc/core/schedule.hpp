@@ -1,0 +1,91 @@
+// Rotate-tiling (RT) composition schedules — the paper's contribution.
+//
+// The RT method composites P partial images in ceil(log2 P) steps.
+// Each sub-image starts as B0 blocks; every image tile initially has P
+// copies (one per rank). A step pairs up the surviving copies of every
+// tile and merges each pair with "over" at one of the two owners; every
+// tile is then split in half and the process repeats. Two properties
+// give the method its name and its performance:
+//
+//  * tiling  — with B0 > 1 a rank exchanges several smaller blocks per
+//    step, so a receiver overlaps compositing one block with the flight
+//    of the next and the optimal B0 balances startup cost against that
+//    pipelining gain (Section 2.3 of the paper);
+//  * rotate  — the pairing and the merge direction rotate with the tile
+//    index, so send/receive/composite load spreads over all ranks and
+//    the final image ends up evenly distributed.
+//
+// The paper's printed send/receive equations (1)-(4) are corrupted in
+// the available text and mutually inconsistent (see DESIGN.md §2.1);
+// the schedule here is reconstructed from the worked example, the
+// algorithm listings and the cost table, with one deliberate deviation:
+// merges only ever fuse *depth-adjacent* rank intervals, so the
+// non-commutative "over" is applied in correct front-to-back order for
+// every tile (the paper's own P=3 example fuses ranks {0,2} before rank
+// 1 joins, which is order-incorrect for translucent data).
+//
+// The schedule is a pure function of (P, B0): every rank computes it
+// locally and no coordination messages are needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtc::core {
+
+/// One copy-pair merge: `receiver` composites `sender`'s partial of
+/// tile `block` (at the step's depth) with its own.
+struct Merge {
+  std::int64_t block = 0;
+  int sender = 0;
+  int receiver = 0;
+  /// True when the sender's coverage interval is in front (smaller
+  /// ranks) of the receiver's — decides the side of the "over".
+  bool sender_front = false;
+};
+
+/// One communication step; operates on blocks at split depth `depth`.
+struct RtStep {
+  int depth = 0;
+  std::vector<Merge> merges;  ///< ordered by block, deterministic
+};
+
+/// Which of the paper's two RT flavors a schedule was validated as.
+enum class RtVariant {
+  kNrt,         ///< N_RT:  P even, any B0          (paper §2.2)
+  kTwoNrt,      ///< 2N_RT: any P,  B0 even         (paper §2.1)
+  kGeneralized  ///< any (P, B0) — an extension beyond the paper
+};
+
+[[nodiscard]] std::string to_string(RtVariant v);
+
+/// A complete rotate-tiling composition schedule.
+struct RtSchedule {
+  int ranks = 1;
+  int initial_blocks = 1;
+  RtVariant variant = RtVariant::kGeneralized;
+  std::vector<RtStep> steps;  ///< ceil(log2 ranks) entries
+
+  /// Split depth of the final blocks (= steps-1, or 0 when P == 1).
+  [[nodiscard]] int final_depth() const;
+  /// Owner rank of every final block (size initial_blocks * 2^depth).
+  std::vector<int> final_owner;
+
+  /// Final blocks owned by `rank`, as (depth, index) pairs.
+  [[nodiscard]] std::vector<std::pair<int, std::int64_t>> owned_blocks(
+      int rank) const;
+
+  /// Messages sent by `rank` in step `s` (0-based).
+  [[nodiscard]] std::int64_t sends_in_step(int rank, int s) const;
+  [[nodiscard]] std::int64_t recvs_in_step(int rank, int s) const;
+};
+
+/// Builds the RT schedule for P ranks and B0 initial blocks per
+/// sub-image. `variant` validates the paper's applicability rules:
+/// kNrt requires P even, kTwoNrt requires B0 even, kGeneralized accepts
+/// anything with P >= 1, B0 >= 1.
+[[nodiscard]] RtSchedule build_rt_schedule(int ranks, int initial_blocks,
+                                           RtVariant variant);
+
+}  // namespace rtc::core

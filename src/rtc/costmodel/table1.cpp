@@ -1,0 +1,178 @@
+#include "rtc/costmodel/table1.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::costmodel {
+
+namespace {
+
+double pow_int(double x, int e) {
+  double r = 1.0;
+  for (int i = 0; i < e; ++i) r *= x;
+  return r;
+}
+
+/// (1 - (1/2)^S)
+double shrink(int s) { return 1.0 - std::ldexp(1.0, -s); }
+
+}  // namespace
+
+int steps_log2(int ranks) {
+  RTC_CHECK(ranks >= 1);
+  return static_cast<int>(
+      std::bit_width(static_cast<unsigned>(ranks) - 1));
+}
+
+MethodCost predict_binary_swap(const Params& p) {
+  RTC_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(p.ranks)),
+                "binary-swap model needs a power-of-two P");
+  const int s = steps_log2(p.ranks);
+  const double a = static_cast<double>(p.image_pixels);
+  MethodCost c;
+  for (int k = 1; k <= s; ++k) {
+    const double block = a / std::ldexp(1.0, k);
+    c.comm += p.net.ts + block * p.bytes_per_pixel * p.net.tp_byte;
+    c.comp += block * p.net.to_pixel;
+  }
+  return c;
+}
+
+MethodCost predict_parallel_pipelined(const Params& p) {
+  const double a = static_cast<double>(p.image_pixels);
+  const double block = a / p.ranks;
+  MethodCost c;
+  c.comm = (p.ranks - 1) *
+           (p.net.ts + block * p.bytes_per_pixel * p.net.tp_byte);
+  c.comp = (p.ranks - 1) * block * p.net.to_pixel;
+  return c;
+}
+
+MethodCost predict_two_n_rt(const Params& p, int n) {
+  RTC_CHECK(n >= 1);
+  const int s = steps_log2(p.ranks);
+  const double a = static_cast<double>(p.image_pixels);
+  MethodCost c;
+  for (int k = 1; k <= s; ++k) {
+    const double block = a / (n * std::ldexp(1.0, k - 1));
+    c.comm += k * (p.net.ts + block * p.bytes_per_pixel * p.net.tp_byte);
+    c.comp += k * block * p.net.to_pixel;
+  }
+  return c;
+}
+
+MethodCost predict_n_rt(const Params& p, int n) {
+  RTC_CHECK(n >= 1);
+  const int s = steps_log2(p.ranks);
+  const double a = static_cast<double>(p.image_pixels);
+  MethodCost c;
+  for (int k = 1; k <= s; ++k) {
+    const double msgs = k / 2 + 1;  // floor(k/2) + 1
+    const double block = a / (n * std::ldexp(1.0, k - 1));
+    c.comm +=
+        msgs * (p.net.ts + block * p.bytes_per_pixel * p.net.tp_byte);
+    c.comp += msgs * block * p.net.to_pixel;
+  }
+  return c;
+}
+
+double literal_two_n_rt_time(double a, const comm::NetworkModel& net,
+                             int ranks, double n) {
+  const int s = steps_log2(ranks);
+  const double sh = shrink(s);
+  return net.ts * std::pow(n, s) +
+         (a / n) * (net.tp_byte + net.to_pixel * s * sh) * sh;
+}
+
+double literal_n_rt_time(double a, const comm::NetworkModel& net,
+                         int ranks, double n) {
+  const int s = steps_log2(ranks);
+  const double sh = shrink(s);
+  return net.ts * std::pow(n, s) +
+         (a / n) * (net.tp_byte + net.to_pixel * s) * sh;
+}
+
+namespace {
+
+/// Solves f(n) = rhs for the increasing f given by each bound equation.
+template <typename F>
+double solve_increasing(F f, double rhs, double lo, double hi) {
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < rhs) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double eq5_bound(double a, const comm::NetworkModel& net, int ranks) {
+  const int s = steps_log2(ranks);
+  const double sh = shrink(s);
+  const double rhs =
+      (2.0 * a / net.ts) * (net.tp_byte + net.to_pixel * s * sh) * sh;
+  auto f = [s](double n) {
+    return n * (n + 2.0) * (pow_int(n + 2.0, s) - pow_int(n, s));
+  };
+  return solve_increasing(f, rhs, 0.0, 4096.0);
+}
+
+double eq6_bound(double a, const comm::NetworkModel& net, int ranks) {
+  const int s = steps_log2(ranks);
+  const double sh = shrink(s);
+  const double rhs =
+      (2.0 * a / net.ts) * (net.tp_byte + net.to_pixel * s * sh) * sh;
+  auto f = [s](double n) {
+    return n * (n + 1.0) * (pow_int(n + 1.0, s) - pow_int(n, s));
+  };
+  return solve_increasing(f, rhs, 0.0, 4096.0);
+}
+
+namespace {
+
+template <typename Cost>
+int argmin_blocks(int max_n, Cost cost) {
+  int best = 1;
+  double best_t = cost(1);
+  for (int n = 2; n <= max_n; ++n) {
+    const double t = cost(n);
+    if (t < best_t) {
+      best_t = t;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int best_two_n_rt_blocks(const Params& p, int max_n) {
+  const double a =
+      static_cast<double>(p.image_pixels) * p.bytes_per_pixel;
+  int best = 2;
+  double best_t = literal_two_n_rt_time(a, p.net, p.ranks, 2.0);
+  for (int n = 4; n <= max_n; n += 2) {  // 2N_RT: even block counts
+    const double t = literal_two_n_rt_time(a, p.net, p.ranks, n);
+    if (t < best_t) {
+      best_t = t;
+      best = n;
+    }
+  }
+  return best;
+}
+
+int best_n_rt_blocks(const Params& p, int max_n) {
+  const double a =
+      static_cast<double>(p.image_pixels) * p.bytes_per_pixel;
+  return argmin_blocks(max_n, [&](int n) {
+    return literal_n_rt_time(a, p.net, p.ranks, n);
+  });
+}
+
+}  // namespace rtc::costmodel

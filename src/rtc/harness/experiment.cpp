@@ -1,0 +1,45 @@
+#include "rtc/harness/experiment.hpp"
+
+#include "rtc/common/check.hpp"
+#include "rtc/comm/world.hpp"
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/compress/codec.hpp"
+
+namespace rtc::harness {
+
+CompositionRun run_composition(const CompositionConfig& config,
+                               const std::vector<img::Image>& partials) {
+  RTC_CHECK_MSG(!partials.empty(), "need at least one partial image");
+  const int p = static_cast<int>(partials.size());
+
+  const std::unique_ptr<compositing::Compositor> method =
+      compositing::make_compositor(config.method);
+  std::unique_ptr<compress::Codec> codec;
+  if (!config.codec.empty() && config.codec != "raw")
+    codec = compress::make_codec(config.codec);
+
+  compositing::Options opt;
+  opt.initial_blocks = config.initial_blocks;
+  opt.codec = codec.get();
+  opt.gather = config.gather;
+  opt.root = 0;
+  opt.aggregate_messages = config.aggregate_messages;
+  opt.blend = config.blend;
+
+  comm::World world(p, config.net);
+  world.set_record_events(config.record_events);
+  std::vector<img::Image> results(static_cast<std::size_t>(p));
+  const comm::RunResult rr = world.run([&](comm::Comm& comm) {
+    results[static_cast<std::size_t>(comm.rank())] =
+        method->run(comm, partials[static_cast<std::size_t>(comm.rank())],
+                    opt);
+  });
+
+  CompositionRun out;
+  out.stats = rr.stats;
+  out.time = rr.makespan();
+  out.image = std::move(results[0]);
+  return out;
+}
+
+}  // namespace rtc::harness

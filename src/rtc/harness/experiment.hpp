@@ -1,0 +1,38 @@
+// Composition experiment driver: run one (method, N, codec, network)
+// configuration over a set of partial images and report the virtual
+// composition time — the quantity plotted in the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtc/comm/network_model.hpp"
+#include "rtc/comm/stats.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/image/ops.hpp"
+
+namespace rtc::harness {
+
+struct CompositionConfig {
+  std::string method = "rt_n";  ///< see compositing::compositor_names()
+  int initial_blocks = 1;       ///< the paper's N (RT methods only)
+  std::string codec;            ///< "", "raw", "rle", "trle", "bbox"
+  comm::NetworkModel net = comm::sp2_hps_model();
+  bool gather = false;  ///< paper's composition time excludes gather
+  bool aggregate_messages = false;  ///< RT: one message per receiver/step
+  img::BlendMode blend = img::BlendMode::kOver;
+  bool record_events = false;  ///< capture Event timeline into stats
+};
+
+struct CompositionRun {
+  double time = 0.0;      ///< virtual makespan (seconds)
+  comm::RunStats stats;   ///< per-rank traffic and clocks
+  img::Image image;       ///< assembled image (when gather)
+};
+
+/// Runs the configured composition collectively over `partials`
+/// (one per rank, depth-ordered). Deterministic in virtual time.
+[[nodiscard]] CompositionRun run_composition(
+    const CompositionConfig& config, const std::vector<img::Image>& partials);
+
+}  // namespace rtc::harness

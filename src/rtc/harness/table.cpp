@@ -1,0 +1,51 @@
+#include "rtc/harness/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  RTC_CHECK_MSG(cells.size() == headers_.size(),
+                "row width does not match the header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    rule += std::string(width[c], '-') + (c + 1 < headers_.size() ? "  " : "");
+  os << rule << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+}  // namespace rtc::harness

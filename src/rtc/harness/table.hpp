@@ -1,0 +1,26 @@
+// Plain-text aligned table printer for the figure/table benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtc::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` significant decimals.
+  [[nodiscard]] static std::string num(double v, int prec = 4);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtc::harness

@@ -1,0 +1,19 @@
+// Chrome-trace export of a composition run's virtual timeline.
+//
+// Enable event recording (CompositionConfig::record_events or
+// World::set_record_events), run, then write the stats here and load
+// the JSON in chrome://tracing / Perfetto: one track per rank, with
+// send-startup, receive-wait, over-composite and codec intervals in
+// virtual time (microseconds).
+#pragma once
+
+#include <string>
+
+#include "rtc/comm/stats.hpp"
+
+namespace rtc::harness {
+
+void write_chrome_trace(const comm::RunStats& stats,
+                        const std::string& path);
+
+}  // namespace rtc::harness

@@ -1,0 +1,76 @@
+// A row-major grayscale-with-alpha raster image.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::img {
+
+/// Half-open range of flattened (row-major) pixel indices.
+///
+/// Composition methods in the paper partition the image into 1-D blocks
+/// of consecutive scanlines/pixels; a PixelSpan is that block geometry.
+struct PixelSpan {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] constexpr std::int64_t size() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return end <= begin; }
+  friend constexpr bool operator==(const PixelSpan&, const PixelSpan&) = default;
+};
+
+/// Grayscale+alpha image with premultiplied 8-bit channels.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height) : w_(width), h_(height) {
+    RTC_CHECK(width >= 0 && height >= 0);
+    px_.resize(static_cast<std::size_t>(w_) * static_cast<std::size_t>(h_));
+  }
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] std::int64_t pixel_count() const {
+    return static_cast<std::int64_t>(px_.size());
+  }
+
+  [[nodiscard]] GrayA8& at(int x, int y) {
+    RTC_DCHECK(x >= 0 && x < w_ && y >= 0 && y < h_);
+    return px_[static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) +
+               static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const GrayA8& at(int x, int y) const {
+    return const_cast<Image*>(this)->at(x, y);
+  }
+
+  [[nodiscard]] std::span<GrayA8> pixels() { return px_; }
+  [[nodiscard]] std::span<const GrayA8> pixels() const { return px_; }
+
+  /// View of the pixels covered by a flattened-index span.
+  [[nodiscard]] std::span<GrayA8> view(PixelSpan s) {
+    RTC_CHECK(s.begin >= 0 && s.end <= pixel_count() && s.begin <= s.end);
+    return std::span<GrayA8>(px_).subspan(static_cast<std::size_t>(s.begin),
+                                          static_cast<std::size_t>(s.size()));
+  }
+  [[nodiscard]] std::span<const GrayA8> view(PixelSpan s) const {
+    RTC_CHECK(s.begin >= 0 && s.end <= pixel_count() && s.begin <= s.end);
+    return std::span<const GrayA8>(px_).subspan(
+        static_cast<std::size_t>(s.begin), static_cast<std::size_t>(s.size()));
+  }
+
+  void fill(GrayA8 p) { std::fill(px_.begin(), px_.end(), p); }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<GrayA8> px_;
+};
+
+}  // namespace rtc::img

@@ -1,0 +1,66 @@
+#include "rtc/image/io.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::img {
+
+namespace {
+
+void write_p5(const std::string& path, int w, int h,
+              const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  RTC_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  out << "P5\n" << w << " " << h << "\n255\n";
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+}  // namespace
+
+void write_pgm(const Image& image, const std::string& path) {
+  std::vector<unsigned char> bytes;
+  bytes.reserve(static_cast<std::size_t>(image.pixel_count()));
+  for (const GrayA8 p : image.pixels()) bytes.push_back(p.v);
+  write_p5(path, image.width(), image.height(), bytes);
+}
+
+void write_pgm_with_alpha(const Image& image, const std::string& path) {
+  const int w = image.width();
+  std::vector<unsigned char> bytes;
+  bytes.reserve(static_cast<std::size_t>(image.pixel_count()) * 2);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < w; ++x) bytes.push_back(image.at(x, y).v);
+    for (int x = 0; x < w; ++x) bytes.push_back(image.at(x, y).a);
+  }
+  write_p5(path, w * 2, image.height(), bytes);
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RTC_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  std::string magic;
+  in >> magic;
+  RTC_CHECK_MSG(magic == "P5", "not a binary PGM: " + path);
+  int w = 0, h = 0, maxval = 0;
+  in >> w >> h >> maxval;
+  RTC_CHECK_MSG(maxval == 255, "only maxval 255 supported: " + path);
+  in.get();  // single whitespace after the header
+  Image img(w, h);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(img.pixel_count()));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  RTC_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(bytes.size()),
+                "short read: " + path);
+  auto px = img.pixels();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    px[i].v = bytes[i];
+    px[i].a = bytes[i] != 0 ? 255 : 0;
+  }
+  return img;
+}
+
+}  // namespace rtc::img

@@ -1,0 +1,23 @@
+// Minimal netpbm I/O so examples can write inspectable output.
+#pragma once
+
+#include <string>
+
+#include "rtc/image/image.hpp"
+
+namespace rtc::img {
+
+/// Writes the intensity channel as a binary PGM (P5) file.
+/// Pixels are un-premultiplied against a black background, i.e. the
+/// stored value is exactly the premultiplied intensity.
+void write_pgm(const Image& image, const std::string& path);
+
+/// Writes intensity and alpha side by side (width doubles) — handy for
+/// eyeballing partial images.
+void write_pgm_with_alpha(const Image& image, const std::string& path);
+
+/// Reads a binary PGM (P5, maxval 255) as an image whose alpha is 255
+/// where the intensity is non-zero and 0 elsewhere.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+}  // namespace rtc::img

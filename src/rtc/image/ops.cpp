@@ -1,0 +1,75 @@
+#include "rtc/image/ops.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::img {
+
+void over_in_place_front(std::span<GrayA8> dst, std::span<const GrayA8> src) {
+  RTC_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = over(src[i], dst[i]);
+}
+
+void over_in_place_back(std::span<GrayA8> dst, std::span<const GrayA8> src) {
+  RTC_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = over(dst[i], src[i]);
+}
+
+void max_in_place(std::span<GrayA8> dst, std::span<const GrayA8> src) {
+  RTC_CHECK(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    dst[i] = max_blend(dst[i], src[i]);
+}
+
+void blend_in_place(std::span<GrayA8> dst, std::span<const GrayA8> src,
+                    BlendMode mode, bool src_front) {
+  switch (mode) {
+    case BlendMode::kOver:
+      if (src_front) {
+        over_in_place_front(dst, src);
+      } else {
+        over_in_place_back(dst, src);
+      }
+      break;
+    case BlendMode::kMax:
+      max_in_place(dst, src);
+      break;
+  }
+}
+
+std::int64_t count_non_blank(std::span<const GrayA8> px) {
+  std::int64_t n = 0;
+  for (const GrayA8 p : px) n += is_blank(p) ? 0 : 1;
+  return n;
+}
+
+int max_channel_diff(std::span<const GrayA8> a, std::span<const GrayA8> b) {
+  RTC_CHECK(a.size() == b.size());
+  int worst = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(int{a[i].v} - int{b[i].v}));
+    worst = std::max(worst, std::abs(int{a[i].a} - int{b[i].a}));
+  }
+  return worst;
+}
+
+int max_channel_diff(const Image& a, const Image& b) {
+  RTC_CHECK(a.width() == b.width() && a.height() == b.height());
+  return max_channel_diff(a.pixels(), b.pixels());
+}
+
+Image composite_reference(std::span<const Image> parts, BlendMode mode) {
+  RTC_CHECK(!parts.empty());
+  Image out = parts[0];
+  for (std::size_t r = 1; r < parts.size(); ++r) {
+    RTC_CHECK(parts[r].width() == out.width() &&
+              parts[r].height() == out.height());
+    blend_in_place(out.pixels(), parts[r].pixels(), mode,
+                   /*src_front=*/false);
+  }
+  return out;
+}
+
+}  // namespace rtc::img

@@ -1,0 +1,50 @@
+// Bulk pixel operations on spans (the image-composition hot path).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rtc/image/image.hpp"
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::img {
+
+/// How two partial-image pixels merge.
+enum class BlendMode {
+  kOver,  ///< Porter-Duff over: order-sensitive, for translucent data
+  kMax    ///< maximum-intensity projection: commutative
+};
+
+/// Composites `src` over `dst` in place: dst = src OVER dst.
+/// Used when the incoming partial image is in front of the local one.
+void over_in_place_front(std::span<GrayA8> dst, std::span<const GrayA8> src);
+
+/// Composites `dst` over `src` in place: dst = dst OVER src.
+/// Used when the incoming partial image is behind the local one.
+void over_in_place_back(std::span<GrayA8> dst, std::span<const GrayA8> src);
+
+/// Per-channel max in place (MIP merge; order irrelevant).
+void max_in_place(std::span<GrayA8> dst, std::span<const GrayA8> src);
+
+/// Mode-dispatched merge: folds `src` into `dst`; for kOver,
+/// `src_front` says whether `src` is in front of `dst` in depth order.
+void blend_in_place(std::span<GrayA8> dst, std::span<const GrayA8> src,
+                    BlendMode mode, bool src_front);
+
+/// Number of non-blank pixels in a span.
+[[nodiscard]] std::int64_t count_non_blank(std::span<const GrayA8> px);
+
+/// Largest per-channel absolute difference between two equal-size spans.
+[[nodiscard]] int max_channel_diff(std::span<const GrayA8> a,
+                                   std::span<const GrayA8> b);
+
+/// Largest per-channel absolute difference between two images
+/// (they must have identical dimensions).
+[[nodiscard]] int max_channel_diff(const Image& a, const Image& b);
+
+/// Sequential front-to-back reference composition of `parts`
+/// (parts[0] is front-most). All parts must share dimensions.
+[[nodiscard]] Image composite_reference(std::span<const Image> parts,
+                                        BlendMode mode = BlendMode::kOver);
+
+}  // namespace rtc::img

@@ -1,0 +1,75 @@
+// Pixel types and the Porter–Duff "over" operator.
+//
+// The paper composites grayscale partial images; a partial image pixel
+// carries an intensity and an opacity. We store *premultiplied* alpha
+// (value <= alpha in the fully-saturated sense), which makes "over"
+// associative in exact arithmetic:
+//
+//   out = front + (1 - a_front) * back        (per channel)
+//
+// Pixels are 8-bit per channel as on the paper's SP2 system; integer
+// "over" uses round-to-nearest so associativity error across different
+// composition trees stays within 1-2 LSB (tests account for this; exact
+// tests use opaque/transparent pixels for which integer over is exact).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace rtc::img {
+
+/// Premultiplied gray + alpha pixel, 8 bits per channel.
+struct GrayA8 {
+  std::uint8_t v = 0;  ///< premultiplied intensity
+  std::uint8_t a = 0;  ///< opacity (255 = opaque)
+
+  friend auto operator<=>(const GrayA8&, const GrayA8&) = default;
+};
+
+/// A fully transparent ("blank") pixel.
+inline constexpr GrayA8 kBlank{0, 0};
+
+/// True when the pixel contributes nothing under "over".
+[[nodiscard]] constexpr bool is_blank(GrayA8 p) { return p.a == 0 && p.v == 0; }
+
+namespace detail {
+/// Round-to-nearest scaling of x * w / 255 for 8-bit channels.
+[[nodiscard]] constexpr std::uint8_t mul255(std::uint32_t x, std::uint32_t w) {
+  const std::uint32_t t = x * w + 128;
+  return static_cast<std::uint8_t>((t + (t >> 8)) >> 8);
+}
+}  // namespace detail
+
+/// Porter–Duff "over" for premultiplied pixels: `front` occludes `back`.
+[[nodiscard]] constexpr GrayA8 over(GrayA8 front, GrayA8 back) {
+  const std::uint32_t inv = 255u - front.a;
+  GrayA8 out;
+  out.v = static_cast<std::uint8_t>(front.v + detail::mul255(back.v, inv));
+  out.a = static_cast<std::uint8_t>(front.a + detail::mul255(back.a, inv));
+  return out;
+}
+
+/// Maximum-intensity blend (MIP): per-channel max. Unlike "over" it is
+/// commutative, so any composition order — including the ring seam of
+/// the parallel-pipelined method — yields the exact same image.
+[[nodiscard]] constexpr GrayA8 max_blend(GrayA8 a, GrayA8 b) {
+  return GrayA8{a.v > b.v ? a.v : b.v, a.a > b.a ? a.a : b.a};
+}
+
+/// Exact floating-point "over" used as a reference in tests.
+struct GrayAF {
+  float v = 0.0f;
+  float a = 0.0f;
+};
+
+[[nodiscard]] constexpr GrayAF over(GrayAF front, GrayAF back) {
+  const float inv = 1.0f - front.a;
+  return GrayAF{front.v + inv * back.v, front.a + inv * back.a};
+}
+
+[[nodiscard]] constexpr GrayAF widen(GrayA8 p) {
+  return GrayAF{static_cast<float>(p.v) / 255.0f,
+                static_cast<float>(p.a) / 255.0f};
+}
+
+}  // namespace rtc::img

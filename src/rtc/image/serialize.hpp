@@ -1,0 +1,24 @@
+// Raw (uncompressed) wire format for pixel blocks.
+//
+// Each GrayA8 pixel serializes to two bytes (value, alpha) — the same
+// per-pixel footprint the paper assumes when charging transmission cost.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::img {
+
+inline constexpr std::size_t kBytesPerPixel = 2;
+
+[[nodiscard]] std::vector<std::byte> serialize_pixels(
+    std::span<const GrayA8> px);
+
+/// Decodes exactly `px.size()` pixels from `bytes` into `px`.
+void deserialize_pixels(std::span<const std::byte> bytes,
+                        std::span<GrayA8> px);
+
+}  // namespace rtc::img

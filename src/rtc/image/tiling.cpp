@@ -1,0 +1,44 @@
+#include "rtc/image/tiling.hpp"
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::img {
+
+Tiling::Tiling(std::int64_t pixels, int blocks0)
+    : pixels_(pixels), blocks0_(blocks0) {
+  RTC_CHECK(pixels >= 0);
+  RTC_CHECK_MSG(blocks0 >= 1, "a tiling needs at least one block");
+}
+
+std::int64_t Tiling::block_count(int depth) const {
+  RTC_CHECK(depth >= 0 && depth < 48);
+  return static_cast<std::int64_t>(blocks0_) << depth;
+}
+
+PixelSpan Tiling::block(int depth, std::int64_t index) const {
+  RTC_CHECK(depth >= 0 && depth < 48);
+  RTC_CHECK(index >= 0 && index < block_count(depth));
+
+  // Top-level block: near-equal partition of [0, pixels) into blocks0
+  // parts, remainder spread over the leading blocks.
+  const std::int64_t top = index >> depth;
+  const std::int64_t q = pixels_ / blocks0_;
+  const std::int64_t r = pixels_ % blocks0_;
+  PixelSpan s;
+  s.begin = top * q + std::min(top, r);
+  s.end = s.begin + q + (top < r ? 1 : 0);
+
+  // Descend the binary-split path encoded in the low `depth` bits of
+  // `index` (most-significant split first).
+  for (int bit = depth - 1; bit >= 0; --bit) {
+    const std::int64_t mid = s.begin + (s.size() + 1) / 2;  // big half first
+    if ((index >> bit) & 1) {
+      s.begin = mid;
+    } else {
+      s.end = mid;
+    }
+  }
+  return s;
+}
+
+}  // namespace rtc::img

@@ -1,0 +1,41 @@
+// Block (tile) geometry for image composition.
+//
+// Every composition method in the paper partitions the image into
+// contiguous 1-D blocks of the flattened pixel array and, in the RT
+// method, repeatedly halves each block between communication steps.
+// Tiling computes the pixel span of block `index` at split `depth`
+// deterministically, so every rank agrees on geometry with no metadata
+// exchange (block id -> pixel range is pure arithmetic).
+#pragma once
+
+#include <cstdint>
+
+#include "rtc/image/image.hpp"
+
+namespace rtc::img {
+
+/// Deterministic 1-D recursive tiling of `pixels` into `blocks0` initial
+/// blocks, each halved `depth` times.
+class Tiling {
+ public:
+  /// `pixels` total flattened pixels, `blocks0` >= 1 initial blocks.
+  Tiling(std::int64_t pixels, int blocks0);
+
+  [[nodiscard]] std::int64_t pixels() const { return pixels_; }
+  [[nodiscard]] int initial_blocks() const { return blocks0_; }
+
+  /// Number of blocks at a given split depth: blocks0 * 2^depth.
+  [[nodiscard]] std::int64_t block_count(int depth) const;
+
+  /// Pixel span of block `index` at split `depth`.
+  ///
+  /// Depth-(d+1) blocks 2i and 2i+1 are exactly the two halves of
+  /// depth-d block i (larger-or-equal half first when the size is odd).
+  [[nodiscard]] PixelSpan block(int depth, std::int64_t index) const;
+
+ private:
+  std::int64_t pixels_;
+  int blocks0_;
+};
+
+}  // namespace rtc::img

@@ -1,0 +1,208 @@
+#include "rtc/partition/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::part {
+
+namespace {
+
+/// Near-equal split of [lo, hi) into `count` pieces; piece i.
+std::pair<int, int> piece(int lo, int hi, int count, int i) {
+  const int extent = hi - lo;
+  const int q = extent / count;
+  const int r = extent % count;
+  const int begin = lo + q * i + std::min(i, r);
+  const int end = begin + q + (i < r ? 1 : 0);
+  return {begin, end};
+}
+
+void set_axis(vol::Brick& b, int axis, int lo, int hi) {
+  switch (axis) {
+    case 0:
+      b.x0 = lo;
+      b.x1 = hi;
+      break;
+    case 1:
+      b.y0 = lo;
+      b.y1 = hi;
+      break;
+    case 2:
+      b.z0 = lo;
+      b.z1 = hi;
+      break;
+    default:
+      RTC_CHECK_MSG(false, "axis must be 0, 1 or 2");
+  }
+}
+
+std::pair<int, int> get_axis(const vol::Brick& b, int axis) {
+  switch (axis) {
+    case 0:
+      return {b.x0, b.x1};
+    case 1:
+      return {b.y0, b.y1};
+    default:
+      return {b.z0, b.z1};
+  }
+}
+
+}  // namespace
+
+std::vector<vol::Brick> slab_1d(const vol::Brick& bounds, int count,
+                                int axis) {
+  RTC_CHECK(count >= 1);
+  RTC_CHECK(axis >= 0 && axis <= 2);
+  const auto [lo, hi] = get_axis(bounds, axis);
+  RTC_CHECK_MSG(hi - lo >= count, "more slabs than voxels along the axis");
+  std::vector<vol::Brick> out(static_cast<std::size_t>(count), bounds);
+  for (int i = 0; i < count; ++i) {
+    const auto [b, e] = piece(lo, hi, count, i);
+    set_axis(out[static_cast<std::size_t>(i)], axis, b, e);
+  }
+  return out;
+}
+
+std::vector<vol::Brick> grid_2d(const vol::Brick& bounds, int count,
+                                int axis_a, int axis_b) {
+  RTC_CHECK(count >= 1);
+  RTC_CHECK(axis_a >= 0 && axis_a <= 2 && axis_b >= 0 && axis_b <= 2);
+  RTC_CHECK_MSG(axis_a != axis_b, "grid axes must differ");
+  int ga = 1;
+  for (int d = 1; d * d <= count; ++d)
+    if (count % d == 0) ga = d;
+  const int gb = count / ga;
+  const auto [alo, ahi] = get_axis(bounds, axis_a);
+  const auto [blo, bhi] = get_axis(bounds, axis_b);
+  RTC_CHECK_MSG(ahi - alo >= ga && bhi - blo >= gb,
+                "more grid cells than voxels along an axis");
+  std::vector<vol::Brick> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < ga; ++i) {
+    for (int j = 0; j < gb; ++j) {
+      vol::Brick b = bounds;
+      const auto [ab, ae] = piece(alo, ahi, ga, i);
+      const auto [bb, be] = piece(blo, bhi, gb, j);
+      set_axis(b, axis_a, ab, ae);
+      set_axis(b, axis_b, bb, be);
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::int64_t solid_voxels(const vol::Volume& v,
+                          const vol::TransferFunction& tf,
+                          const vol::Brick& brick) {
+  std::int64_t n = 0;
+  for (int z = brick.z0; z < brick.z1; ++z)
+    for (int y = brick.y0; y < brick.y1; ++y)
+      for (int x = brick.x0; x < brick.x1; ++x)
+        n += tf.transparent(v.at(x, y, z)) ? 0 : 1;
+  return n;
+}
+
+std::vector<vol::Brick> balanced_slab_1d(const vol::Volume& v,
+                                         const vol::TransferFunction& tf,
+                                         int count, int axis) {
+  RTC_CHECK(count >= 1);
+  RTC_CHECK(axis >= 0 && axis <= 2);
+  const vol::Brick bounds = v.bounds();
+  const auto [lo, hi] = get_axis(bounds, axis);
+  RTC_CHECK_MSG(hi - lo >= count, "more slabs than slices along the axis");
+
+  // Per-slice solid-voxel counts along the axis.
+  std::vector<std::int64_t> slice(static_cast<std::size_t>(hi - lo), 0);
+  for (int s = lo; s < hi; ++s) {
+    vol::Brick one = bounds;
+    set_axis(one, axis, s, s + 1);
+    slice[static_cast<std::size_t>(s - lo)] = solid_voxels(v, tf, one);
+  }
+
+  // Exact bottleneck minimization (the classic contiguous-partition
+  // problem): binary-search the smallest max-slab workload B for which
+  // a greedy packing needs at most `count` slabs, then cut with it.
+  const int n = hi - lo;
+  std::int64_t total = 0;
+  std::int64_t biggest = 0;
+  for (const std::int64_t w : slice) {
+    total += w;
+    biggest = std::max(biggest, w);
+  }
+
+  // feasible(B): can the slices be packed into <= count slabs of
+  // workload <= B, respecting that a slab holds >= 1 slice and that
+  // enough slices must remain for the leftover slabs?
+  const auto slabs_needed = [&](std::int64_t budget) {
+    int slabs = 1;
+    std::int64_t acc = 0;
+    for (int s = 0; s < n; ++s) {
+      const std::int64_t w = slice[static_cast<std::size_t>(s)];
+      if (acc + w > budget) {
+        ++slabs;
+        acc = w;
+      } else {
+        acc += w;
+      }
+    }
+    return slabs;
+  };
+  std::int64_t blo = biggest, bhi = total;
+  while (blo < bhi) {
+    const std::int64_t mid = blo + (bhi - blo) / 2;
+    if (slabs_needed(mid) <= count) {
+      bhi = mid;
+    } else {
+      blo = mid + 1;
+    }
+  }
+  const std::int64_t budget = blo;
+
+  // Cut greedily under the budget, but never leave fewer slices than
+  // remaining slabs (every rank must own at least one slice), and
+  // spend any slice surplus on the *later* (typically emptier) side.
+  std::vector<vol::Brick> out;
+  out.reserve(static_cast<std::size_t>(count));
+  int begin = lo;
+  for (int i = 0; i < count; ++i) {
+    const int slabs_left = count - i;
+    const int max_end = hi - (slabs_left - 1);
+    int end = begin + 1;
+    if (i == count - 1) {
+      end = hi;
+    } else {
+      std::int64_t acc = slice[static_cast<std::size_t>(begin - lo)];
+      while (end < max_end &&
+             acc + slice[static_cast<std::size_t>(end - lo)] <= budget) {
+        acc += slice[static_cast<std::size_t>(end - lo)];
+        ++end;
+      }
+    }
+    vol::Brick b = bounds;
+    set_axis(b, axis, begin, end);
+    out.push_back(b);
+    begin = end;
+  }
+  RTC_DCHECK(begin == hi);
+  return out;
+}
+
+std::vector<int> visibility_order(const std::vector<vol::Brick>& bricks,
+                                  const double dir[3]) {
+  std::vector<int> order(bricks.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto depth = [&](int i) {
+    const vol::Brick& b = bricks[static_cast<std::size_t>(i)];
+    const double cx = 0.5 * (b.x0 + b.x1);
+    const double cy = 0.5 * (b.y0 + b.y1);
+    const double cz = 0.5 * (b.z0 + b.z1);
+    return cx * dir[0] + cy * dir[1] + cz * dir[2];
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return depth(a) < depth(b); });
+  return order;
+}
+
+}  // namespace rtc::part

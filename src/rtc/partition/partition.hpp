@@ -1,0 +1,53 @@
+// Object-space volume partitioning — the 1-D and 2-D schemes of the
+// authors' companion paper [15] (data-partitioning stage).
+//
+// Each rank renders one brick; the bricks are then sorted into
+// visibility (front-to-back) order for the chosen view so that rank
+// index equals depth order, which is what every compositor assumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::part {
+
+/// Splits `bounds` into `count` near-equal slabs along `axis`
+/// (0 = x, 1 = y, 2 = z).
+[[nodiscard]] std::vector<vol::Brick> slab_1d(const vol::Brick& bounds,
+                                              int count, int axis);
+
+/// Splits `bounds` into a near-square ga x gb grid over axes
+/// (axis_a, axis_b); ga * gb == count, with ga chosen as the largest
+/// divisor of count not exceeding sqrt(count).
+[[nodiscard]] std::vector<vol::Brick> grid_2d(const vol::Brick& bounds,
+                                              int count, int axis_a,
+                                              int axis_b);
+
+/// Workload-balanced 1-D partitioning — the point of the authors'
+/// companion partitioning paper [15]: rendering cost is dominated by
+/// the *non-transparent* voxels (shear-warp skips the rest via RLE),
+/// so slab cuts are placed on the prefix sums of per-slice solid-voxel
+/// counts rather than at uniform thickness. Every slab gets at least
+/// one slice; slabs are contiguous along `axis` and cover `v` exactly.
+[[nodiscard]] std::vector<vol::Brick> balanced_slab_1d(
+    const vol::Volume& v, const vol::TransferFunction& tf, int count,
+    int axis);
+
+/// Solid (non-transparent under `tf`) voxels inside a brick — the
+/// rendering-workload proxy used by balanced_slab_1d and the harness's
+/// render-stage cost model.
+[[nodiscard]] std::int64_t solid_voxels(const vol::Volume& v,
+                                        const vol::TransferFunction& tf,
+                                        const vol::Brick& brick);
+
+/// Orders brick indices front-to-back for an orthographic view along
+/// `dir` (the vector pointing *away* from the viewer, i.e. the ray
+/// direction). Works for any non-overlapping axis-aligned partition of
+/// a box (sorts by brick-center projection; stable).
+[[nodiscard]] std::vector<int> visibility_order(
+    const std::vector<vol::Brick>& bricks, const double dir[3]);
+
+}  // namespace rtc::part

@@ -1,0 +1,87 @@
+// Orthographic camera and the view geometry shared by both renderers.
+//
+// The paper-era shear-warp factorization targets parallel projection;
+// the camera is an orthographic view of the volume given by yaw/pitch
+// angles, a pixel scale, and the output raster size.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace rtc::render {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  [[nodiscard]] double operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  friend Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(double s, Vec3 a) {
+    return {s * a.x, s * a.y, s * a.z};
+  }
+};
+
+[[nodiscard]] inline double dot(Vec3 a, Vec3 b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+[[nodiscard]] inline Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+[[nodiscard]] inline Vec3 normalized(Vec3 a) {
+  const double n = std::sqrt(dot(a, a));
+  return {a.x / n, a.y / n, a.z / n};
+}
+
+/// Orthographic view: rays travel along direction(); the image plane is
+/// spanned by right()/up() through the volume center.
+struct OrthoCamera {
+  double yaw_deg = 0.0;    ///< rotation about +y (0 looks along +z)
+  double pitch_deg = 0.0;  ///< elevation; keep |pitch| < 80 degrees
+  double scale = 1.0;      ///< pixels per voxel unit
+  int width = 512;
+  int height = 512;
+  Vec3 center{};           ///< world point mapped to the image center
+
+  [[nodiscard]] Vec3 direction() const {
+    constexpr double kPi = 3.14159265358979323846;
+    const double ya = yaw_deg * kPi / 180.0;
+    const double pa = pitch_deg * kPi / 180.0;
+    return normalized(Vec3{std::cos(pa) * std::sin(ya), std::sin(pa),
+                           std::cos(pa) * std::cos(ya)});
+  }
+  [[nodiscard]] Vec3 right() const {
+    return normalized(cross(Vec3{0.0, 1.0, 0.0}, direction()));
+  }
+  [[nodiscard]] Vec3 up() const { return cross(direction(), right()); }
+
+  /// Screen position of a world point (x right, y down).
+  [[nodiscard]] std::array<double, 2> project(Vec3 p) const {
+    const Vec3 q = p - center;
+    return {0.5 * width + scale * dot(q, right()),
+            0.5 * height - scale * dot(q, up())};
+  }
+};
+
+/// Camera centered on a volume of the given dimensions.
+[[nodiscard]] inline OrthoCamera centered_camera(int nx, int ny, int nz,
+                                                 double yaw_deg,
+                                                 double pitch_deg,
+                                                 int size, double scale) {
+  OrthoCamera cam;
+  cam.yaw_deg = yaw_deg;
+  cam.pitch_deg = pitch_deg;
+  cam.scale = scale;
+  cam.width = size;
+  cam.height = size;
+  cam.center = Vec3{0.5 * (nx - 1), 0.5 * (ny - 1), 0.5 * (nz - 1)};
+  return cam;
+}
+
+}  // namespace rtc::render

@@ -1,0 +1,73 @@
+#include "rtc/render/rle_volume.hpp"
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::render {
+
+namespace {
+
+int axis_lo(const vol::Brick& b, int axis) {
+  return axis == 0 ? b.x0 : (axis == 1 ? b.y0 : b.z0);
+}
+int axis_hi(const vol::Brick& b, int axis) {
+  return axis == 0 ? b.x1 : (axis == 1 ? b.y1 : b.z1);
+}
+
+}  // namespace
+
+RleVolume::RleVolume(const vol::Volume& v, const vol::TransferFunction& tf,
+                     const vol::Brick& region, int principal)
+    : frame_(axis_frame(principal)), region_(region) {
+  RTC_CHECK(principal >= 0 && principal <= 2);
+  const int a0 = axis_lo(region, frame_.a), a1 = axis_hi(region, frame_.a);
+  const int b0 = axis_lo(region, frame_.b), b1 = axis_hi(region, frame_.b);
+  const int c0 = axis_lo(region, frame_.c), c1 = axis_hi(region, frame_.c);
+  slices_ = c1 - c0;
+  rows_ = b1 - b0;
+  RTC_CHECK(slices_ >= 0 && rows_ >= 0);
+  rows_runs_.resize(static_cast<std::size_t>(slices_) *
+                    static_cast<std::size_t>(rows_));
+
+  int p[3];
+  for (int k = c0; k < c1; ++k) {
+    p[frame_.c] = k;
+    for (int j = b0; j < b1; ++j) {
+      p[frame_.b] = j;
+      auto& runs = rows_runs_[static_cast<std::size_t>(k - c0) *
+                                  static_cast<std::size_t>(rows_) +
+                              static_cast<std::size_t>(j - b0)];
+      int start = -1;
+      for (int i = a0; i < a1; ++i) {
+        p[frame_.a] = i;
+        const bool solid = !tf.transparent(v.at(p[0], p[1], p[2]));
+        if (solid && start < 0) start = i;
+        if (!solid && start >= 0) {
+          runs.push_back(Run{start, i});
+          start = -1;
+        }
+      }
+      if (start >= 0) runs.push_back(Run{start, a1});
+    }
+  }
+}
+
+const std::vector<Run>& RleVolume::runs(int k, int j) const {
+  const int c0 = axis_lo(region_, frame_.c);
+  const int b0 = axis_lo(region_, frame_.b);
+  RTC_DCHECK(k >= c0 && k - c0 < slices_);
+  RTC_DCHECK(j >= b0 && j - b0 < rows_);
+  return rows_runs_[static_cast<std::size_t>(k - c0) *
+                        static_cast<std::size_t>(rows_) +
+                    static_cast<std::size_t>(j - b0)];
+}
+
+double RleVolume::occupancy() const {
+  std::int64_t solid = 0;
+  for (const auto& runs : rows_runs_)
+    for (const Run& r : runs) solid += r.end - r.begin;
+  const std::int64_t total = region_.voxels();
+  return total == 0 ? 0.0
+                    : static_cast<double>(solid) / static_cast<double>(total);
+}
+
+}  // namespace rtc::render

@@ -1,0 +1,56 @@
+// Run-length classified volume (Lacroute & Levoy [11]).
+//
+// For a fixed transfer function and principal axis, stores per slice
+// and per row the runs of non-transparent voxels, letting the shear-
+// warp compositor skip empty space — the optimization that makes
+// shear-warp fast and that shapes the blank structure of the partial
+// images the composition stage compresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::render {
+
+/// Non-transparent interval [begin, end) along the fast axis of a row.
+struct Run {
+  int begin = 0;
+  int end = 0;
+};
+
+/// Axis mapping: principal axis c; in-slice axes a (fast) and b (rows).
+struct AxisFrame {
+  int a = 0, b = 1, c = 2;
+};
+[[nodiscard]] inline AxisFrame axis_frame(int principal) {
+  return AxisFrame{(principal + 1) % 3, (principal + 2) % 3, principal};
+}
+
+class RleVolume {
+ public:
+  /// Classifies `region` of `v` under `tf` along principal axis `c`.
+  RleVolume(const vol::Volume& v, const vol::TransferFunction& tf,
+            const vol::Brick& region, int principal);
+
+  [[nodiscard]] int principal() const { return frame_.c; }
+  [[nodiscard]] const AxisFrame& frame() const { return frame_; }
+  [[nodiscard]] const vol::Brick& region() const { return region_; }
+
+  /// Runs of row `j` (axis b) in slice `k` (axis c), in region coords.
+  [[nodiscard]] const std::vector<Run>& runs(int k, int j) const;
+
+  /// Fraction of region voxels inside a run (diagnostics/tests).
+  [[nodiscard]] double occupancy() const;
+
+ private:
+  AxisFrame frame_;
+  vol::Brick region_;
+  int slices_ = 0;
+  int rows_ = 0;
+  std::vector<std::vector<Run>> rows_runs_;  // [slice * rows_ + row]
+};
+
+}  // namespace rtc::render

@@ -1,0 +1,76 @@
+// Internal: classified in-slice bilinear sampling shared by both
+// renderers (pre-classified rendering: classify at voxels, then
+// interpolate the premultiplied samples).
+#pragma once
+
+#include <cmath>
+
+#include "rtc/image/pixel.hpp"
+#include "rtc/render/rle_volume.hpp"
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::render::detail {
+
+/// Classified sample at integer in-slice coords (transparent outside
+/// `region`).
+inline img::GrayAF classify_at(const vol::Volume& v,
+                               const vol::TransferFunction& tf,
+                               const vol::Brick& region,
+                               const AxisFrame& f, int i, int j, int k) {
+  int p[3];
+  p[f.a] = i;
+  p[f.b] = j;
+  p[f.c] = k;
+  if (!region.contains(p[0], p[1], p[2])) return img::GrayAF{};
+  return tf.classify(v.at(p[0], p[1], p[2]));
+}
+
+/// Bilinear interpolation of classified samples within slice k.
+inline img::GrayAF classify_bilinear(const vol::Volume& v,
+                                     const vol::TransferFunction& tf,
+                                     const vol::Brick& region,
+                                     const AxisFrame& f, double i_real,
+                                     double j_real, int k) {
+  const int i0 = static_cast<int>(std::floor(i_real));
+  const int j0 = static_cast<int>(std::floor(j_real));
+  const auto ti = static_cast<float>(i_real - i0);
+  const auto tj = static_cast<float>(j_real - j0);
+  const img::GrayAF c00 = classify_at(v, tf, region, f, i0, j0, k);
+  const img::GrayAF c10 = classify_at(v, tf, region, f, i0 + 1, j0, k);
+  const img::GrayAF c01 = classify_at(v, tf, region, f, i0, j0 + 1, k);
+  const img::GrayAF c11 = classify_at(v, tf, region, f, i0 + 1, j0 + 1, k);
+  const float w00 = (1.0f - ti) * (1.0f - tj);
+  const float w10 = ti * (1.0f - tj);
+  const float w01 = (1.0f - ti) * tj;
+  const float w11 = ti * tj;
+  return img::GrayAF{
+      w00 * c00.v + w10 * c10.v + w01 * c01.v + w11 * c11.v,
+      w00 * c00.a + w10 * c10.a + w01 * c01.a + w11 * c11.a};
+}
+
+/// Front-to-back accumulation into `acc` (premultiplied).
+inline void accumulate(img::GrayAF& acc, const img::GrayAF& s) {
+  const float inv = 1.0f - acc.a;
+  acc.v += inv * s.v;
+  acc.a += inv * s.a;
+}
+
+/// Maximum-intensity accumulation (MIP).
+inline void accumulate_max(img::GrayAF& acc, const img::GrayAF& s) {
+  acc.v = s.v > acc.v ? s.v : acc.v;
+  acc.a = s.a > acc.a ? s.a : acc.a;
+}
+
+inline constexpr float kOpaque = 0.998f;
+
+/// Quantizes a premultiplied float pixel to 8-bit.
+inline img::GrayA8 quantize(const img::GrayAF& p) {
+  auto q = [](float x) {
+    const float c = x < 0.0f ? 0.0f : (x > 1.0f ? 1.0f : x);
+    return static_cast<std::uint8_t>(c * 255.0f + 0.5f);
+  };
+  return img::GrayA8{q(p.v), q(p.a)};
+}
+
+}  // namespace rtc::render::detail

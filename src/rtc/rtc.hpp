@@ -1,0 +1,36 @@
+// Convenience umbrella header: the public API of the rtcomp library.
+//
+// Fine-grained headers remain available; include this one to get the
+// whole pipeline (volumes -> partition -> render -> composite) plus
+// the experiment harness.
+#pragma once
+
+#include "rtc/color/render.hpp"
+#include "rtc/comm/network_model.hpp"
+#include "rtc/comm/stats.hpp"
+#include "rtc/comm/world.hpp"
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/compress/codec.hpp"
+#include "rtc/core/predictor.hpp"
+#include "rtc/core/rt_compositor.hpp"
+#include "rtc/core/schedule.hpp"
+#include "rtc/costmodel/table1.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "rtc/harness/scene.hpp"
+#include "rtc/harness/table.hpp"
+#include "rtc/harness/trace.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/image/io.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/pixel.hpp"
+#include "rtc/image/serialize.hpp"
+#include "rtc/image/tiling.hpp"
+#include "rtc/partition/partition.hpp"
+#include "rtc/render/camera.hpp"
+#include "rtc/render/renderer.hpp"
+#include "rtc/render/rle_volume.hpp"
+#include "rtc/volume/histogram.hpp"
+#include "rtc/volume/io.hpp"
+#include "rtc/volume/phantom.hpp"
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"

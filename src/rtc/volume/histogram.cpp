@@ -1,0 +1,18 @@
+#include "rtc/volume/histogram.hpp"
+
+namespace rtc::vol {
+
+std::array<std::int64_t, 256> histogram(const Volume& v) {
+  std::array<std::int64_t, 256> h{};
+  for (const std::uint8_t x : v.data()) ++h[x];
+  return h;
+}
+
+double transparent_fraction(const Volume& v, const TransferFunction& tf) {
+  if (v.voxel_count() == 0) return 1.0;
+  std::int64_t n = 0;
+  for (const std::uint8_t x : v.data()) n += tf.transparent(x) ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(v.voxel_count());
+}
+
+}  // namespace rtc::vol

@@ -1,0 +1,19 @@
+// Volume statistics used by tests and DESIGN.md's phantom calibration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::vol {
+
+/// 256-bin voxel-value histogram.
+[[nodiscard]] std::array<std::int64_t, 256> histogram(const Volume& v);
+
+/// Fraction of voxels that are transparent under `tf`.
+[[nodiscard]] double transparent_fraction(const Volume& v,
+                                          const TransferFunction& tf);
+
+}  // namespace rtc::vol

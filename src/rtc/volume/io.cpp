@@ -1,0 +1,88 @@
+#include "rtc/volume/io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::vol {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'T', 'V', '1'};
+
+void read_exact(std::ifstream& in, void* dst, std::streamsize n,
+                const std::string& path) {
+  in.read(static_cast<char*>(dst), n);
+  RTC_CHECK_MSG(in.gcount() == n, "short read: " + path);
+}
+
+std::uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u32le(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xffu);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xffu);
+  p[2] = static_cast<unsigned char>((v >> 16) & 0xffu);
+  p[3] = static_cast<unsigned char>((v >> 24) & 0xffu);
+}
+
+}  // namespace
+
+Volume read_raw8(const std::string& path, int nx, int ny, int nz) {
+  RTC_CHECK(nx > 0 && ny > 0 && nz > 0);
+  std::ifstream in(path, std::ios::binary);
+  RTC_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  Volume v(nx, ny, nz);
+  read_exact(in, v.data().data(),
+             static_cast<std::streamsize>(v.data().size()), path);
+  return v;
+}
+
+void write_raw8(const Volume& v, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  RTC_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(v.data().data()),
+            static_cast<std::streamsize>(v.data().size()));
+  RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+Volume read_rtv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RTC_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  unsigned char header[16];
+  read_exact(in, header, sizeof(header), path);
+  RTC_CHECK_MSG(std::memcmp(header, kMagic, 4) == 0,
+                "not an RTV volume: " + path);
+  const auto nx = static_cast<int>(get_u32le(header + 4));
+  const auto ny = static_cast<int>(get_u32le(header + 8));
+  const auto nz = static_cast<int>(get_u32le(header + 12));
+  RTC_CHECK_MSG(nx > 0 && ny > 0 && nz > 0 &&
+                    static_cast<std::int64_t>(nx) * ny * nz <
+                        (std::int64_t{1} << 33),
+                "implausible RTV dimensions: " + path);
+  Volume v(nx, ny, nz);
+  read_exact(in, v.data().data(),
+             static_cast<std::streamsize>(v.data().size()), path);
+  return v;
+}
+
+void write_rtv(const Volume& v, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  RTC_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  unsigned char header[16];
+  std::memcpy(header, kMagic, 4);
+  put_u32le(header + 4, static_cast<std::uint32_t>(v.nx()));
+  put_u32le(header + 8, static_cast<std::uint32_t>(v.ny()));
+  put_u32le(header + 12, static_cast<std::uint32_t>(v.nz()));
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(v.data().data()),
+            static_cast<std::streamsize>(v.data().size()));
+  RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+}  // namespace rtc::vol

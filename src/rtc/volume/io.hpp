@@ -1,0 +1,31 @@
+// Volume dataset I/O.
+//
+// Two formats:
+//  * headerless .raw — 8-bit voxels, x fastest, caller supplies the
+//    dimensions. This is the format the Chapel Hill volumes circulate
+//    in, so users who have the paper's actual "engine"/"brain"/"head"
+//    datasets can load them in place of the phantoms.
+//  * .rtv — a 16-byte self-describing container (magic "RTV1" + u32
+//    dimensions, little-endian) around the same voxel payload.
+#pragma once
+
+#include <string>
+
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::vol {
+
+/// Reads nx*ny*nz 8-bit voxels from a headerless raw file.
+[[nodiscard]] Volume read_raw8(const std::string& path, int nx, int ny,
+                               int nz);
+
+/// Writes headerless 8-bit voxels.
+void write_raw8(const Volume& v, const std::string& path);
+
+/// Reads an .rtv container (dimensions from the header).
+[[nodiscard]] Volume read_rtv(const std::string& path);
+
+/// Writes an .rtv container.
+void write_rtv(const Volume& v, const std::string& path);
+
+}  // namespace rtc::vol

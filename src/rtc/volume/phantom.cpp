@@ -1,0 +1,239 @@
+#include "rtc/volume/phantom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::vol {
+
+namespace {
+
+/// Integer lattice hash -> [0, 1).
+float lattice(int x, int y, int z, std::uint32_t seed) {
+  std::uint32_t h = seed;
+  h ^= static_cast<std::uint32_t>(x) * 0x8da6b343u;
+  h ^= static_cast<std::uint32_t>(y) * 0xd8163841u;
+  h ^= static_cast<std::uint32_t>(z) * 0xcb1ab31fu;
+  h ^= h >> 13;
+  h *= 0x9e3779b1u;
+  h ^= h >> 16;
+  return static_cast<float>(h & 0xffffffu) / static_cast<float>(0x1000000);
+}
+
+float smooth(float t) { return t * t * (3.0f - 2.0f * t); }
+
+float noise_octave(float x, float y, float z, std::uint32_t seed) {
+  const int xi = static_cast<int>(std::floor(x));
+  const int yi = static_cast<int>(std::floor(y));
+  const int zi = static_cast<int>(std::floor(z));
+  const float tx = smooth(x - static_cast<float>(xi));
+  const float ty = smooth(y - static_cast<float>(yi));
+  const float tz = smooth(z - static_cast<float>(zi));
+  float c[2][2][2];
+  for (int dz = 0; dz < 2; ++dz)
+    for (int dy = 0; dy < 2; ++dy)
+      for (int dx = 0; dx < 2; ++dx)
+        c[dz][dy][dx] = lattice(xi + dx, yi + dy, zi + dz, seed);
+  auto lerp = [](float a, float b, float t) { return a + t * (b - a); };
+  const float x00 = lerp(c[0][0][0], c[0][0][1], tx);
+  const float x01 = lerp(c[0][1][0], c[0][1][1], tx);
+  const float x10 = lerp(c[1][0][0], c[1][0][1], tx);
+  const float x11 = lerp(c[1][1][0], c[1][1][1], tx);
+  const float y0 = lerp(x00, x01, ty);
+  const float y1 = lerp(x10, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+struct Vec3 {
+  float x, y, z;
+};
+
+std::uint8_t to_voxel(float v) {
+  return static_cast<std::uint8_t>(
+      std::clamp(v, 0.0f, 255.0f));
+}
+
+}  // namespace
+
+float value_noise(float x, float y, float z, std::uint32_t seed) {
+  float sum = 0.0f;
+  float amp = 0.5f;
+  float freq = 1.0f;
+  for (int o = 0; o < 3; ++o) {
+    sum += amp * noise_octave(x * freq, y * freq, z * freq, seed + 77u * static_cast<std::uint32_t>(o));
+    amp *= 0.5f;
+    freq *= 2.0f;
+  }
+  return sum / 0.875f;  // normalize the geometric amplitude sum
+}
+
+Volume make_engine(int n, std::uint32_t seed) {
+  RTC_CHECK(n >= 16);
+  Volume v(n, n, n);
+  const float fn = static_cast<float>(n);
+  // Casting body: a block occupying the middle ~60% of the volume,
+  // with four cylinder bores along z and a side gallery along x.
+  const float bx0 = 0.18f * fn, bx1 = 0.82f * fn;
+  const float by0 = 0.25f * fn, by1 = 0.75f * fn;
+  const float bz0 = 0.15f * fn, bz1 = 0.85f * fn;
+  const float bore_r = 0.09f * fn;
+  const float gallery_r = 0.05f * fn;
+  const Vec3 bores[4] = {
+      {0.34f * fn, 0.42f * fn, 0.0f},
+      {0.54f * fn, 0.42f * fn, 0.0f},
+      {0.46f * fn, 0.60f * fn, 0.0f},
+      {0.66f * fn, 0.60f * fn, 0.0f},
+  };
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float fx = static_cast<float>(x);
+        const float fy = static_cast<float>(y);
+        const float fz = static_cast<float>(z);
+        bool metal = fx >= bx0 && fx < bx1 && fy >= by0 && fy < by1 &&
+                     fz >= bz0 && fz < bz1;
+        if (metal) {
+          for (const Vec3& b : bores) {
+            const float dx = fx - b.x;
+            const float dy = fy - b.y;
+            if (dx * dx + dy * dy < bore_r * bore_r) {
+              metal = false;
+              break;
+            }
+          }
+        }
+        if (metal) {
+          const float dy = fy - 0.5f * fn;
+          const float dz = fz - 0.3f * fn;
+          if (dy * dy + dz * dz < gallery_r * gallery_r) metal = false;
+        }
+        if (!metal) {
+          v.at(x, y, z) = 0;
+          continue;
+        }
+        // Cast-iron texture: high density with mild porosity noise.
+        const float t =
+            value_noise(fx * 0.11f, fy * 0.11f, fz * 0.11f, seed);
+        v.at(x, y, z) = to_voxel(205.0f + 45.0f * t);
+      }
+    }
+  }
+  return v;
+}
+
+Volume make_brain(int n, std::uint32_t seed) {
+  RTC_CHECK(n >= 16);
+  Volume v(n, n, n);
+  const float fn = static_cast<float>(n);
+  const float cx = 0.5f * fn, cy = 0.5f * fn, cz = 0.5f * fn;
+  const float ra = 0.36f * fn, rb = 0.42f * fn, rc = 0.32f * fn;
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / ra;
+        const float dy = (static_cast<float>(y) - cy) / rb;
+        const float dz = (static_cast<float>(z) - cz) / rc;
+        const float r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        // Cortical folding: perturb the ellipsoid boundary with angular
+        // harmonics plus noise so partial images have convoluted edges.
+        const float theta = std::atan2(dy, dx);
+        const float phi = std::atan2(dz, std::sqrt(dx * dx + dy * dy));
+        const float fold = 0.055f * std::sin(9.0f * theta) *
+                               std::cos(7.0f * phi) +
+                           0.07f * (value_noise(static_cast<float>(x) * 0.07f,
+                                                static_cast<float>(y) * 0.07f,
+                                                static_cast<float>(z) * 0.07f,
+                                                seed) -
+                                    0.5f);
+        if (r > 1.0f + fold) {
+          v.at(x, y, z) = 0;
+          continue;
+        }
+        // Ventricles: two low-intensity lobes near the center.
+        const float vx = dx * 1.8f;
+        const float vy = (dy - 0.05f) * 3.0f;
+        const float vz = dz * 2.4f;
+        const float vent =
+            std::min(std::hypot(vx - 0.35f, vy, vz),
+                     std::hypot(vx + 0.35f, vy, vz));
+        float val;
+        if (vent < 0.5f) {
+          val = 55.0f;  // CSF: dark in this MR-like ramp
+        } else {
+          // Gray/white matter banding by depth plus texture.
+          const float band = 0.5f + 0.5f * std::sin(14.0f * r);
+          const float t = value_noise(static_cast<float>(x) * 0.15f,
+                                      static_cast<float>(y) * 0.15f,
+                                      static_cast<float>(z) * 0.15f,
+                                      seed + 9u);
+          val = 95.0f + 55.0f * band + 35.0f * t;
+        }
+        v.at(x, y, z) = to_voxel(val);
+      }
+    }
+  }
+  return v;
+}
+
+Volume make_head(int n, std::uint32_t seed) {
+  RTC_CHECK(n >= 16);
+  Volume v(n, n, n);
+  const float fn = static_cast<float>(n);
+  const float cx = 0.5f * fn, cy = 0.5f * fn, cz = 0.5f * fn;
+  const float ra = 0.38f * fn, rb = 0.44f * fn, rc = 0.40f * fn;
+  const float shell = 0.07f;  // skull thickness in normalized radius
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / ra;
+        const float dy = (static_cast<float>(y) - cy) / rb;
+        const float dz = (static_cast<float>(z) - cz) / rc;
+        const float r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (r > 1.0f) {
+          v.at(x, y, z) = 0;
+          continue;
+        }
+        // Orbital and nasal cavities open through the front (+y).
+        const bool orbit =
+            dy > 0.45f &&
+            (std::hypot(dx - 0.38f, dz - 0.18f) < 0.22f ||
+             std::hypot(dx + 0.38f, dz - 0.18f) < 0.22f);
+        const bool nasal = dy > 0.5f && std::abs(dx) < 0.12f && dz < 0.05f &&
+                           dz > -0.45f;
+        if (orbit || nasal) {
+          v.at(x, y, z) = 0;
+          continue;
+        }
+        float val;
+        if (r > 1.0f - shell) {
+          val = 225.0f;  // bone
+        } else {
+          const float t = value_noise(static_cast<float>(x) * 0.12f,
+                                      static_cast<float>(y) * 0.12f,
+                                      static_cast<float>(z) * 0.12f,
+                                      seed + 3u);
+          val = 85.0f + 40.0f * t;  // soft tissue
+        }
+        v.at(x, y, z) = to_voxel(val);
+      }
+    }
+  }
+  return v;
+}
+
+Volume make_phantom(const std::string& name, int n) {
+  if (name == "engine") return make_engine(n);
+  if (name == "brain") return make_brain(n);
+  if (name == "head") return make_head(n);
+  throw ContractError("unknown phantom: " + name);
+}
+
+TransferFunction phantom_transfer(const std::string& name) {
+  if (name == "engine") return ct_transfer(120);
+  if (name == "brain") return mr_transfer();
+  if (name == "head") return ct_transfer(60);
+  throw ContractError("unknown phantom: " + name);
+}
+
+}  // namespace rtc::vol

@@ -1,0 +1,43 @@
+// Synthetic stand-ins for the paper's Chapel Hill test volumes.
+//
+// The original "engine" (CT engine block), "brain" (MR head) and
+// "head" (CT head) datasets are not redistributable, so these phantoms
+// synthesize volumes with matching compositing-relevant structure: the
+// occupancy, surface complexity and histogram shape that determine the
+// blank-pixel fraction and run structure of rendered partial images —
+// the properties that drive TRLE/RLE ratios and bounding rectangles
+// (see DESIGN.md §2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::vol {
+
+/// CT engine-block analogue: a dense rectangular casting with
+/// cylindrical bores, a bimodal metal/air histogram and hard edges.
+[[nodiscard]] Volume make_engine(int n = 128, std::uint32_t seed = 1);
+
+/// MR brain analogue: a convoluted cortical ellipsoid with sinusoidal
+/// folding, interior ventricles and a soft-tissue histogram.
+[[nodiscard]] Volume make_brain(int n = 128, std::uint32_t seed = 2);
+
+/// CT head analogue: skull shell around soft interior with orbital and
+/// nasal cavities.
+[[nodiscard]] Volume make_head(int n = 128, std::uint32_t seed = 3);
+
+/// Factory by paper dataset name ("engine", "brain", "head").
+[[nodiscard]] Volume make_phantom(const std::string& name, int n = 128);
+
+/// The transfer function each paper dataset is rendered with.
+[[nodiscard]] TransferFunction phantom_transfer(const std::string& name);
+
+/// Deterministic value noise in [0, 1) (3 octaves), used by phantoms
+/// and available for tests that need reproducible organic variation.
+[[nodiscard]] float value_noise(float x, float y, float z,
+                                std::uint32_t seed);
+
+}  // namespace rtc::vol

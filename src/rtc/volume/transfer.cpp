@@ -1,0 +1,63 @@
+#include "rtc/volume/transfer.hpp"
+
+#include <algorithm>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::vol {
+
+TransferFunction::TransferFunction(std::vector<Node> nodes) {
+  RTC_CHECK_MSG(!nodes.empty(), "transfer function needs nodes");
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node& a, const Node& b) { return a.value < b.value; });
+  for (int v = 0; v < 256; ++v) {
+    const auto val = static_cast<std::uint8_t>(v);
+    float intensity = 0.0f;
+    float opacity = 0.0f;
+    if (val <= nodes.front().value) {
+      intensity = nodes.front().intensity;
+      opacity = nodes.front().opacity;
+    } else if (val >= nodes.back().value) {
+      intensity = nodes.back().intensity;
+      opacity = nodes.back().opacity;
+    } else {
+      for (std::size_t i = 1; i < nodes.size(); ++i) {
+        if (val > nodes[i].value) continue;
+        const Node& lo = nodes[i - 1];
+        const Node& hi = nodes[i];
+        const float t = hi.value == lo.value
+                            ? 0.0f
+                            : static_cast<float>(val - lo.value) /
+                                  static_cast<float>(hi.value - lo.value);
+        intensity = lo.intensity + t * (hi.intensity - lo.intensity);
+        opacity = lo.opacity + t * (hi.opacity - lo.opacity);
+        break;
+      }
+    }
+    // Premultiply so compositing is a pure "over".
+    lut_[static_cast<std::size_t>(v)] =
+        img::GrayAF{intensity * opacity, opacity};
+  }
+}
+
+TransferFunction ct_transfer(std::uint8_t threshold) {
+  const auto t = threshold;
+  return TransferFunction({
+      {0, 0.0f, 0.0f},
+      {t, 0.0f, 0.0f},
+      {static_cast<std::uint8_t>(std::min(255, t + 30)), 0.55f, 0.35f},
+      {255, 1.0f, 0.95f},
+  });
+}
+
+TransferFunction mr_transfer() {
+  return TransferFunction({
+      {0, 0.0f, 0.0f},
+      {40, 0.0f, 0.0f},
+      {90, 0.45f, 0.12f},
+      {160, 0.8f, 0.35f},
+      {255, 1.0f, 0.6f},
+  });
+}
+
+}  // namespace rtc::vol

@@ -1,0 +1,50 @@
+// Transfer functions: voxel value -> (intensity, opacity).
+//
+// Classification happens before compositing (pre-classified shear-warp,
+// as in Lacroute & Levoy); the renderer works from a 256-entry lookup
+// table of premultiplied float samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::vol {
+
+class TransferFunction {
+ public:
+  struct Node {
+    std::uint8_t value;   ///< voxel value this node anchors
+    float intensity;      ///< emitted gray level in [0, 1]
+    float opacity;        ///< per-sample opacity in [0, 1]
+  };
+
+  /// Piecewise-linear over `nodes` (sorted by value; values outside the
+  /// node range clamp to the nearest node).
+  explicit TransferFunction(std::vector<Node> nodes);
+
+  /// Premultiplied classified sample for a voxel value.
+  [[nodiscard]] img::GrayAF classify(std::uint8_t v) const {
+    return lut_[v];
+  }
+
+  /// True when the voxel contributes nothing (opacity below epsilon);
+  /// drives run-length classification and blank-pixel statistics.
+  [[nodiscard]] bool transparent(std::uint8_t v) const {
+    return lut_[v].a <= 1.0f / 512.0f;
+  }
+
+ private:
+  std::array<img::GrayAF, 256> lut_{};
+};
+
+/// CT-like ramp: air transparent below `threshold`, dense material
+/// bright and nearly opaque above it.
+[[nodiscard]] TransferFunction ct_transfer(std::uint8_t threshold);
+
+/// MR-like soft ramp: gradual opacity over the soft-tissue band.
+[[nodiscard]] TransferFunction mr_transfer();
+
+}  // namespace rtc::vol

@@ -1,0 +1,70 @@
+// Scalar volume dataset (8-bit voxels), as used by the paper's test
+// samples (CT/MR volumes from the Chapel Hill suite).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::vol {
+
+/// Axis-aligned voxel box [x0,x1) x [y0,y1) x [z0,z1).
+struct Brick {
+  int x0 = 0, x1 = 0;
+  int y0 = 0, y1 = 0;
+  int z0 = 0, z1 = 0;
+
+  [[nodiscard]] std::int64_t voxels() const {
+    return static_cast<std::int64_t>(x1 - x0) * (y1 - y0) * (z1 - z0);
+  }
+  [[nodiscard]] bool contains(int x, int y, int z) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1 && z >= z0 && z < z1;
+  }
+  friend bool operator==(const Brick&, const Brick&) = default;
+};
+
+/// Row-major (x fastest) 8-bit scalar grid.
+class Volume {
+ public:
+  Volume() = default;
+  Volume(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+    RTC_CHECK(nx >= 0 && ny >= 0 && nz >= 0);
+    data_.resize(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                 static_cast<std::size_t>(nz));
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::int64_t voxel_count() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] Brick bounds() const { return Brick{0, nx_, 0, ny_, 0, nz_}; }
+
+  [[nodiscard]] std::uint8_t& at(int x, int y, int z) {
+    RTC_DCHECK(bounds().contains(x, y, z));
+    return data_[(static_cast<std::size_t>(z) * static_cast<std::size_t>(ny_) +
+                  static_cast<std::size_t>(y)) *
+                     static_cast<std::size_t>(nx_) +
+                 static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::uint8_t at(int x, int y, int z) const {
+    return const_cast<Volume*>(this)->at(x, y, z);
+  }
+
+  /// Clamped read: out-of-bounds coordinates return 0 (empty space).
+  [[nodiscard]] std::uint8_t sample(int x, int y, int z) const {
+    if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 || z >= nz_) return 0;
+    return at(x, y, z);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return data_; }
+  [[nodiscard]] std::vector<std::uint8_t>& data() { return data_; }
+
+ private:
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace rtc::vol

@@ -1,0 +1,189 @@
+// The RGBA extension: pixels, codec, renderer, and distributed
+// composition against the color reference.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rtc/color/render.hpp"
+#include "rtc/comm/world.hpp"
+#include "rtc/compress/codec.hpp"
+#include "rtc/image/serialize.hpp"
+#include "rtc/partition/partition.hpp"
+#include "rtc/render/renderer.hpp"
+#include "rtc/volume/phantom.hpp"
+
+namespace rtc::color {
+namespace {
+
+RgbaImage random_color_image(int w, int h, std::uint32_t seed,
+                             double blank = 0.3, bool binary = true) {
+  RgbaImage out(w, h);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (RgbA8& p : out.pixels()) {
+    if (coin(rng) < blank) continue;
+    if (binary) {
+      p = RgbA8{static_cast<std::uint8_t>(byte(rng)),
+                static_cast<std::uint8_t>(byte(rng)),
+                static_cast<std::uint8_t>(byte(rng)), 255};
+    } else {
+      p.a = static_cast<std::uint8_t>(1 + byte(rng) % 255);
+      p.r = static_cast<std::uint8_t>(byte(rng) % (p.a + 1));
+      p.g = static_cast<std::uint8_t>(byte(rng) % (p.a + 1));
+      p.b = static_cast<std::uint8_t>(byte(rng) % (p.a + 1));
+    }
+  }
+  return out;
+}
+
+TEST(ColorPixel, OverSemantics) {
+  const RgbA8 front{100, 50, 0, 255};
+  const RgbA8 back{0, 0, 99, 255};
+  EXPECT_EQ(over(front, back), front);  // opaque front wins
+  EXPECT_EQ(over(kBlank, back), back);
+  EXPECT_EQ(over(front, kBlank), front);
+}
+
+TEST(ColorPixel, MaxBlendPerChannel) {
+  EXPECT_EQ(max_blend(RgbA8{10, 200, 5, 100}, RgbA8{20, 100, 5, 50}),
+            (RgbA8{20, 200, 5, 100}));
+}
+
+TEST(ColorImage, SerializeRoundTrip) {
+  const RgbaImage im = random_color_image(13, 7, 1, 0.2, false);
+  const auto bytes = serialize_pixels(im.pixels());
+  EXPECT_EQ(bytes.size(), static_cast<std::size_t>(im.pixel_count()) * 4);
+  RgbaImage back(13, 7);
+  deserialize_pixels(bytes, back.pixels());
+  EXPECT_EQ(im, back);
+}
+
+TEST(ColorTrle, RoundTripAcrossGeometries) {
+  for (const int w : {16, 17}) {
+    for (const std::int64_t begin : {0L, 5L, 33L}) {
+      for (const double blank : {0.0, 0.6, 1.0}) {
+        const RgbaImage parent = random_color_image(
+            w, 12, static_cast<std::uint32_t>(begin + w), blank, false);
+        const std::int64_t len =
+            std::min<std::int64_t>(parent.pixel_count() - begin, 90);
+        const img::PixelSpan span{begin, begin + len};
+        const auto bytes =
+            trle_encode_color(parent.view(span), w, begin);
+        std::vector<RgbA8> out(static_cast<std::size_t>(len));
+        trle_decode_color(bytes, out, w, begin);
+        const auto in = parent.view(span);
+        for (std::size_t i = 0; i < out.size(); ++i)
+          EXPECT_EQ(out[i], in[i]);
+      }
+    }
+  }
+}
+
+TEST(ColorTrle, CodeStreamMatchesGrayForSameOccupancy) {
+  // Same occupancy pattern -> byte-identical code block (the payload
+  // differs: 4 B/pixel vs 2). The structure/payload split is format-
+  // agnostic, which is the point of the TRLE design.
+  const int w = 24, h = 6;
+  RgbaImage cim(w, h);
+  img::Image gim(w, h);
+  std::mt19937 rng(9);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if ((x / 3 + y / 2) % 2 == 0) continue;  // blank
+      cim.at(x, y) = RgbA8{static_cast<std::uint8_t>(rng() % 256),
+                           static_cast<std::uint8_t>(rng() % 256),
+                           static_cast<std::uint8_t>(rng() % 256), 255};
+      gim.at(x, y) =
+          img::GrayA8{static_cast<std::uint8_t>(rng() % 256), 255};
+    }
+  }
+  const auto cbytes = trle_encode_color(cim.pixels(), w, 0);
+  const auto gcodec = compress::make_trle_codec();
+  const auto gbytes =
+      gcodec->encode(gim.pixels(), compress::BlockGeometry{w, 0});
+  // Header (code count) + code bytes must match exactly.
+  std::uint32_t nc = 0, ng = 0;
+  for (int s = 0; s < 4; ++s) {
+    nc |= static_cast<std::uint32_t>(cbytes[static_cast<std::size_t>(s)]) << (8 * s);
+    ng |= static_cast<std::uint32_t>(gbytes[static_cast<std::size_t>(s)]) << (8 * s);
+  }
+  ASSERT_EQ(nc, ng);
+  for (std::uint32_t i = 0; i < nc; ++i)
+    EXPECT_EQ(cbytes[4 + i], gbytes[4 + i]) << "code " << i;
+}
+
+TEST(ColorRender, PhantomRendersInColor) {
+  const vol::Volume v = vol::make_head(32);
+  const ColorTransferFunction tf = phantom_color_transfer("head");
+  const render::OrthoCamera cam =
+      render::centered_camera(32, 32, 32, 25.0, 15.0, 64, 1.5);
+  const RgbaImage im = render_raycast_color(v, tf, v.bounds(), cam);
+  EXPECT_GT(count_non_blank(im.pixels()), 400);
+  // The head preset is warm: red should dominate blue overall.
+  std::int64_t red = 0, blue = 0;
+  for (const RgbA8 p : im.pixels()) {
+    red += p.r;
+    blue += p.b;
+  }
+  EXPECT_GT(red, blue);
+}
+
+class ColorComposite : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(ColorComposite, MatchesReference) {
+  const auto [p, blocks, trle] = GetParam();
+  std::vector<RgbaImage> partials;
+  for (int r = 0; r < p; ++r)
+    partials.push_back(random_color_image(
+        33, 14, 500u + static_cast<std::uint32_t>(r), 0.3, true));
+  const RgbaImage ref = composite_reference(partials);
+
+  comm::World world(p, comm::sp2_hps_model());
+  std::vector<RgbaImage> results(static_cast<std::size_t>(p));
+  world.run([&](comm::Comm& c) {
+    results[static_cast<std::size_t>(c.rank())] = composite_rt_color(
+        c, partials[static_cast<std::size_t>(c.rank())], blocks, trle);
+  });
+  EXPECT_EQ(max_channel_diff(results[0], ref), 0)
+      << "P=" << p << " N=" << blocks << " trle=" << trle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColorComposite,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 12),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Bool()));
+
+TEST(ColorPipeline, EndToEnd) {
+  const vol::Volume v = vol::make_engine(32);
+  const ColorTransferFunction tf = phantom_color_transfer("engine");
+  const render::OrthoCamera cam =
+      render::centered_camera(32, 32, 32, 30.0, 20.0, 64, 1.5);
+  const int p = 4;
+  const int axis = render::principal_axis(cam.direction());
+  const auto bricks = part::slab_1d(v.bounds(), p, axis);
+  const render::Vec3 d = cam.direction();
+  const double dir[3] = {d.x, d.y, d.z};
+  const auto order = part::visibility_order(bricks, dir);
+
+  std::vector<RgbaImage> partials;
+  for (int r = 0; r < p; ++r)
+    partials.push_back(render_raycast_color(
+        v, tf,
+        bricks[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])],
+        cam));
+
+  comm::World world(p, comm::sp2_hps_model());
+  std::vector<RgbaImage> results(static_cast<std::size_t>(p));
+  world.run([&](comm::Comm& c) {
+    results[static_cast<std::size_t>(c.rank())] = composite_rt_color(
+        c, partials[static_cast<std::size_t>(c.rank())], 3, true);
+  });
+  const RgbaImage ref = composite_reference(partials);
+  EXPECT_LE(max_channel_diff(results[0], ref), 6);
+  EXPECT_GT(count_non_blank(results[0].pixels()), 300);
+}
+
+}  // namespace
+}  // namespace rtc::color

@@ -1,0 +1,274 @@
+// The message-passing substrate: semantics, determinism, virtual time.
+#include "rtc/comm/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <cstring>
+#include <numeric>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::comm {
+namespace {
+
+std::vector<std::byte> bytes_of(int v) {
+  std::vector<std::byte> b(sizeof(v));
+  std::memcpy(b.data(), &v, sizeof(v));
+  return b;
+}
+
+int int_of(const std::vector<std::byte>& b) {
+  int v = 0;
+  std::memcpy(&v, b.data(), sizeof(v));
+  return v;
+}
+
+TEST(World, PingPong) {
+  World world(2, NetworkModel{});
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 7, bytes_of(42));
+      EXPECT_EQ(int_of(c.recv(1, 8)), 43);
+    } else {
+      EXPECT_EQ(int_of(c.recv(0, 7)), 42);
+      c.send(0, 8, bytes_of(43));
+    }
+  });
+}
+
+TEST(World, FifoOrderPerSourceAndTag) {
+  World world(2, NetworkModel{});
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 20; ++i) c.send(1, 1, bytes_of(i));
+    } else {
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(int_of(c.recv(0, 1)), i);
+    }
+  });
+}
+
+TEST(World, TagsMatchIndependently) {
+  World world(2, NetworkModel{});
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of(10));
+      c.send(1, 2, bytes_of(20));
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(int_of(c.recv(0, 2)), 20);
+      EXPECT_EQ(int_of(c.recv(0, 1)), 10);
+    }
+  });
+}
+
+TEST(World, VirtualTimeIsDeterministicAcrossRuns) {
+  const NetworkModel m;
+  auto run_once = [&] {
+    World world(8, m);
+    const RunResult r = world.run([](Comm& c) {
+      // Ring shift with per-rank compute, twice.
+      for (int step = 0; step < 2; ++step) {
+        c.send((c.rank() + 1) % c.size(), step, bytes_of(c.rank()));
+        (void)c.recv((c.rank() + c.size() - 1) % c.size(), step);
+        c.compute(0.001 * (c.rank() + 1));
+      }
+    });
+    return r.makespan();
+  };
+  const double a = run_once();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(run_once(), a);
+}
+
+TEST(World, ExchangeCostsTsPlusWire) {
+  // One binary-swap style exchange must cost exactly Ts + bytes*Tp
+  // (Table 1's per-step BS cost).
+  NetworkModel m;
+  m.ts = 0.25;
+  m.tp_byte = 0.5;
+  m.to_pixel = 0.0;
+  World world(2, m);
+  const RunResult r = world.run([](Comm& c) {
+    const int peer = 1 - c.rank();
+    c.send(peer, 0, std::vector<std::byte>(10));
+    (void)c.recv(peer, 0);
+  });
+  EXPECT_DOUBLE_EQ(r.makespan(), 0.25 + 10 * 0.5);
+}
+
+TEST(World, SecondSendQueuesBehindFirstOnEgress) {
+  NetworkModel m;
+  m.ts = 1.0;
+  m.tp_byte = 1.0;
+  World world(2, m);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 0, std::vector<std::byte>(4));
+      c.send(1, 1, std::vector<std::byte>(4));
+      // Sender CPU is busy only for the startups.
+      EXPECT_DOUBLE_EQ(c.now(), 2.0);
+    } else {
+      (void)c.recv(0, 0);
+      // First message: departs at 1.0 (after Ts), lands at 1+4.
+      EXPECT_DOUBLE_EQ(c.now(), 5.0);
+      (void)c.recv(0, 1);
+      // Second transmission starts only after the first clears: 5+4.
+      EXPECT_DOUBLE_EQ(c.now(), 9.0);
+    }
+  });
+  EXPECT_DOUBLE_EQ(r.makespan(), 9.0);
+}
+
+TEST(World, ReceiveOverlapsWithLocalCompute) {
+  NetworkModel m;
+  m.ts = 1.0;
+  m.tp_byte = 1.0;
+  World world(2, m);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 0, std::vector<std::byte>(4));
+    } else {
+      c.compute(10.0);  // the message is long in flight by now
+      (void)c.recv(0, 0);
+      EXPECT_DOUBLE_EQ(c.now(), 10.0);  // no extra wait
+    }
+  });
+}
+
+TEST(World, BarrierAlignsClocksToMax) {
+  World world(4, NetworkModel{});
+  world.run([](Comm& c) {
+    c.compute(0.5 * (c.rank() + 1));
+    c.barrier();
+    EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  });
+}
+
+TEST(World, ChargeOverUsesToPerPixel) {
+  NetworkModel m;
+  m.to_pixel = 0.25;
+  World world(1, m);
+  const RunResult r = world.run([](Comm& c) { c.charge_over(8); });
+  EXPECT_DOUBLE_EQ(r.makespan(), 2.0);
+  EXPECT_EQ(r.stats.ranks[0].pixels_composited, 8);
+}
+
+TEST(World, StatsCountTraffic) {
+  World world(2, NetworkModel{});
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, std::vector<std::byte>(100));
+    if (c.rank() == 1) (void)c.recv(0, 0);
+  });
+  EXPECT_EQ(r.stats.ranks[0].messages_sent, 1);
+  EXPECT_EQ(r.stats.ranks[0].bytes_sent, 100);
+  EXPECT_EQ(r.stats.ranks[1].messages_received, 1);
+  EXPECT_EQ(r.stats.ranks[1].bytes_received, 100);
+  EXPECT_EQ(r.stats.total_bytes_sent(), 100);
+  EXPECT_EQ(r.stats.total_messages(), 1);
+}
+
+TEST(World, DeadlockTimesOutWithError) {
+  World world(2, NetworkModel{});
+  world.set_recv_timeout(0.2);
+  EXPECT_THROW(world.run([](Comm& c) {
+    if (c.rank() == 0) (void)c.recv(1, 9);  // never sent
+  }),
+               std::runtime_error);
+}
+
+TEST(World, RankExceptionPropagates) {
+  World world(4, NetworkModel{});
+  world.set_recv_timeout(0.5);
+  EXPECT_THROW(world.run([](Comm& c) {
+    if (c.rank() == 2) throw std::runtime_error("boom");
+    if (c.rank() == 0) (void)c.recv(3, 1);  // would block forever
+  }),
+               std::runtime_error);
+}
+
+TEST(World, SelfSendRejected) {
+  World world(2, NetworkModel{});
+  EXPECT_THROW(world.run([](Comm& c) {
+    if (c.rank() == 0) c.send(0, 0, {});
+  }),
+               ContractError);
+}
+
+TEST(World, GatherCollectsAllPayloadsAtRoot) {
+  World world(5, NetworkModel{});
+  world.run([](Comm& c) {
+    auto all = gather(c, /*root=*/2, /*tag=*/3, bytes_of(c.rank() * 11));
+    if (c.rank() == 2) {
+      ASSERT_EQ(all.size(), 5u);
+      for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(int_of(all[static_cast<std::size_t>(i)]), i * 11);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(World, VirtualTimeImmuneToRealSchedulingJitter) {
+  // Inject real (wall-clock) sleeps that differ per rank and per run:
+  // virtual clocks must not move, because they depend only on the
+  // message DAG. This is the property that makes the "SP2 measurements"
+  // reproducible.
+  NetworkModel m;
+  auto run_once = [&](unsigned seed) {
+    World world(4, m);
+    const RunResult r = world.run([&](Comm& c) {
+      std::mt19937 rng(seed + static_cast<unsigned>(c.rank()));
+      for (int t = 0; t < 3; ++t) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(rng() % 2000));
+        c.send((c.rank() + 1) % 4, t, bytes_of(t));
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(rng() % 2000));
+        (void)c.recv((c.rank() + 3) % 4, t);
+        c.compute(0.5);
+      }
+    });
+    return r;
+  };
+  const RunResult a = run_once(1);
+  const RunResult b = run_once(99);
+  ASSERT_EQ(a.stats.ranks.size(), b.stats.ranks.size());
+  for (std::size_t i = 0; i < a.stats.ranks.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.stats.ranks[i].clock, b.stats.ranks[i].clock);
+}
+
+TEST(World, IsReusableAcrossRuns) {
+  // A World can host several runs; clocks, mailboxes and barriers
+  // reset between them (the harness reuses nothing today, but the
+  // animation loop could).
+  World world(3, NetworkModel{});
+  for (int round = 0; round < 3; ++round) {
+    const RunResult r = world.run([](Comm& c) {
+      EXPECT_DOUBLE_EQ(c.now(), 0.0);
+      c.send((c.rank() + 1) % 3, 0, bytes_of(c.rank()));
+      (void)c.recv((c.rank() + 2) % 3, 0);
+      c.barrier();
+    });
+    EXPECT_GT(r.makespan(), 0.0);
+    EXPECT_EQ(r.stats.ranks[0].messages_sent, 1);
+  }
+}
+
+TEST(World, ManyRanksStress) {
+  World world(32, NetworkModel{});
+  const RunResult r = world.run([](Comm& c) {
+    // All-to-next ring, 3 rounds.
+    for (int t = 0; t < 3; ++t) {
+      c.send((c.rank() + 1) % c.size(), t, bytes_of(c.rank()));
+      const int got = int_of(c.recv((c.rank() + 31) % c.size(), t));
+      EXPECT_EQ(got, (c.rank() + 31) % 32);
+    }
+  });
+  EXPECT_GT(r.makespan(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtc::comm

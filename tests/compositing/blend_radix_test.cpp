@@ -1,0 +1,154 @@
+// Blend modes (over vs MIP), the radix-k extension compositor, and
+// message aggregation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::compositing {
+namespace {
+
+std::vector<img::Image> make_partials(int ranks, double blank,
+                                      bool binary) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        41, 17, 2000u + static_cast<std::uint32_t>(r), blank, binary));
+  return out;
+}
+
+img::Image run_one(harness::CompositionConfig cfg,
+                   const std::vector<img::Image>& partials) {
+  cfg.gather = true;
+  return harness::run_composition(cfg, partials).image;
+}
+
+// ---- Blend modes ---------------------------------------------------
+
+TEST(BlendOps, MaxInPlace) {
+  img::Image a(4, 1), b(4, 1);
+  a.at(0, 0) = {10, 200};
+  b.at(0, 0) = {20, 100};
+  a.at(1, 0) = {30, 30};
+  img::max_in_place(a.pixels(), b.pixels());
+  EXPECT_EQ(a.at(0, 0), (img::GrayA8{20, 200}));
+  EXPECT_EQ(a.at(1, 0), (img::GrayA8{30, 30}));
+}
+
+TEST(BlendOps, MaxIsCommutativeAndAssociative) {
+  std::vector<img::Image> parts;
+  for (int r = 0; r < 6; ++r)
+    parts.push_back(test::random_image(16, 16, 7u + static_cast<std::uint32_t>(r), 0.2));
+  const img::Image fwd =
+      img::composite_reference(parts, img::BlendMode::kMax);
+  std::vector<img::Image> rev(parts.rbegin(), parts.rend());
+  const img::Image bwd =
+      img::composite_reference(rev, img::BlendMode::kMax);
+  EXPECT_EQ(img::max_channel_diff(fwd, bwd), 0);
+}
+
+using MipCase = std::tuple<std::string, int, int>;
+
+class MipEquivalence : public ::testing::TestWithParam<MipCase> {};
+
+TEST_P(MipEquivalence, EveryMethodMatchesMaxReferenceExactly) {
+  const auto [method, ranks, blocks] = GetParam();
+  const auto partials = make_partials(ranks, 0.25, /*binary=*/false);
+  const img::Image ref =
+      img::composite_reference(partials, img::BlendMode::kMax);
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.initial_blocks = blocks;
+  cfg.blend = img::BlendMode::kMax;
+  const img::Image got = run_one(cfg, partials);
+  // Max has no rounding at all: exact for every method, including the
+  // loose ring (commutativity removes the seam defect).
+  EXPECT_EQ(img::max_channel_diff(got, ref), 0) << method;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MipEquivalence,
+    ::testing::Values(MipCase{"bswap", 8, 1}, MipCase{"pp", 7, 1},
+                      MipCase{"pp", 8, 1}, MipCase{"pp_exact", 5, 1},
+                      MipCase{"direct", 5, 1}, MipCase{"rt_n", 6, 3},
+                      MipCase{"rt_2n", 7, 4}, MipCase{"radix", 12, 3},
+                      MipCase{"radix", 9, 4}));
+
+// ---- Radix-k (over) ------------------------------------------------
+
+using RadixCase = std::tuple<int /*ranks*/, int /*k*/>;
+
+class RadixEquivalence : public ::testing::TestWithParam<RadixCase> {};
+
+TEST_P(RadixEquivalence, MatchesReference) {
+  const auto [ranks, k] = GetParam();
+  const auto partials = make_partials(ranks, 0.3, /*binary=*/true);
+  const img::Image ref = img::composite_reference(partials);
+  harness::CompositionConfig cfg;
+  cfg.method = "radix";
+  cfg.initial_blocks = k;
+  const img::Image got = run_one(cfg, partials);
+  EXPECT_EQ(img::max_channel_diff(got, ref), 0)
+      << "P=" << ranks << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 30,
+                                         32, 7, 11),
+                       ::testing::Values(2, 3, 4, 8)));
+
+TEST(Radix, FewerRoundsThanBinarySwapWhenKIsLarger) {
+  // P=16, k=4: two rounds of 3 messages each vs binary-swap's four
+  // rounds of one — radix trades message count per round for rounds.
+  const auto partials = make_partials(16, 0.3, true);
+  harness::CompositionConfig cfg;
+  cfg.method = "radix";
+  cfg.initial_blocks = 4;
+  const auto radix = harness::run_composition(cfg, partials);
+  cfg.method = "bswap";
+  const auto bswap = harness::run_composition(cfg, partials);
+  // 16 ranks: radix-4 sends 2 rounds * 3 msgs, bswap 4 rounds * 1 msg.
+  EXPECT_EQ(radix.stats.ranks[0].messages_sent, 6);
+  EXPECT_EQ(bswap.stats.ranks[0].messages_sent, 4);
+}
+
+// ---- RT message aggregation ----------------------------------------
+
+TEST(Aggregation, SameImageFewerMessages) {
+  const auto partials = make_partials(9, 0.3, true);
+  harness::CompositionConfig plain;
+  plain.method = "rt_2n";
+  plain.initial_blocks = 4;
+  plain.gather = true;
+  harness::CompositionConfig agg = plain;
+  agg.aggregate_messages = true;
+
+  const auto a = harness::run_composition(plain, partials);
+  const auto b = harness::run_composition(agg, partials);
+  EXPECT_EQ(img::max_channel_diff(a.image, b.image), 0);
+  EXPECT_LT(b.stats.total_messages(), a.stats.total_messages());
+  // Payload bytes grow only by the 8-byte length prefixes.
+  EXPECT_LT(b.stats.total_bytes_sent(),
+            a.stats.total_bytes_sent() +
+                8 * a.stats.total_messages());
+}
+
+TEST(Aggregation, WorksWithCodec) {
+  const auto partials = make_partials(6, 0.5, false);
+  harness::CompositionConfig cfg;
+  cfg.method = "rt_n";
+  cfg.initial_blocks = 4;
+  cfg.codec = "trle";
+  cfg.aggregate_messages = true;
+  cfg.gather = true;
+  const img::Image got = harness::run_composition(cfg, partials).image;
+  const img::Image ref = img::composite_reference(partials);
+  EXPECT_LE(img::max_channel_diff(got, ref), 8);
+}
+
+}  // namespace
+}  // namespace rtc::compositing

@@ -1,0 +1,73 @@
+// The compositor factory and library-boundary error behavior.
+#include <gtest/gtest.h>
+
+#include "rtc/common/check.hpp"
+#include "rtc/compositing/compositor.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "testutil.hpp"
+
+namespace rtc::compositing {
+namespace {
+
+TEST(Factory, EveryAdvertisedNameConstructs) {
+  for (const std::string& name : compositor_names()) {
+    const auto c = make_compositor(name);
+    ASSERT_NE(c, nullptr) << name;
+    EXPECT_EQ(c->name(), name);
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_compositor("quantum-swap"), ContractError);
+  EXPECT_THROW(make_compositor(""), ContractError);
+}
+
+TEST(Factory, RunCompositionRejectsBadInputs) {
+  std::vector<img::Image> none;
+  harness::CompositionConfig cfg;
+  EXPECT_THROW((void)harness::run_composition(cfg, none), ContractError);
+
+  std::vector<img::Image> partials{test::random_image(8, 8, 1)};
+  cfg.method = "no-such-method";
+  EXPECT_THROW((void)harness::run_composition(cfg, partials),
+               ContractError);
+  cfg.method = "rt_n";
+  cfg.codec = "no-such-codec";
+  EXPECT_THROW((void)harness::run_composition(cfg, partials),
+               ContractError);
+}
+
+TEST(Factory, VariantRestrictionsSurfaceThroughTheRun) {
+  // N_RT on odd P and 2N_RT with odd blocks must fail loudly, as the
+  // paper's applicability rules demand.
+  std::vector<img::Image> partials;
+  for (int r = 0; r < 3; ++r)
+    partials.push_back(test::random_image(8, 8, 10u + static_cast<std::uint32_t>(r)));
+  harness::CompositionConfig cfg;
+  cfg.method = "rt_n";  // odd P = 3
+  cfg.initial_blocks = 2;
+  EXPECT_THROW((void)harness::run_composition(cfg, partials),
+               ContractError);
+  cfg.method = "rt_2n";
+  cfg.initial_blocks = 3;  // odd block count
+  EXPECT_THROW((void)harness::run_composition(cfg, partials),
+               ContractError);
+  cfg.method = "rt";  // generalized takes anything
+  cfg.initial_blocks = 3;
+  EXPECT_NO_THROW((void)harness::run_composition(cfg, partials));
+}
+
+TEST(Factory, BswapRejectsNonPowerOfTwoButAnyVariantAccepts) {
+  std::vector<img::Image> partials;
+  for (int r = 0; r < 6; ++r)
+    partials.push_back(test::random_image(8, 8, 20u + static_cast<std::uint32_t>(r)));
+  harness::CompositionConfig cfg;
+  cfg.method = "bswap";
+  EXPECT_THROW((void)harness::run_composition(cfg, partials),
+               ContractError);
+  cfg.method = "bswap_any";
+  EXPECT_NO_THROW((void)harness::run_composition(cfg, partials));
+}
+
+}  // namespace
+}  // namespace rtc::compositing

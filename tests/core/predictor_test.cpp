@@ -1,0 +1,95 @@
+// The dry-run predictor must reproduce the simulator's virtual time
+// exactly for uncompressed runs — this pins the two implementations of
+// the timing semantics to each other.
+#include "rtc/core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rtc/harness/experiment.hpp"
+#include "testutil.hpp"
+
+namespace rtc::core {
+namespace {
+
+using Case = std::tuple<int /*ranks*/, int /*blocks*/>;
+
+class PredictorMatchesSimulator : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PredictorMatchesSimulator, MakespanBitForBit) {
+  const auto [p, b0] = GetParam();
+  const int w = 64, h = 48;
+
+  std::vector<img::Image> partials;
+  for (int r = 0; r < p; ++r)
+    partials.push_back(test::random_image(
+        w, h, 300u + static_cast<std::uint32_t>(r), 0.3));
+
+  harness::CompositionConfig cfg;
+  cfg.method = "rt";
+  cfg.initial_blocks = b0;
+  cfg.net = comm::sp2_hps_model();
+  const harness::CompositionRun run =
+      harness::run_composition(cfg, partials);
+
+  const RtSchedule sched =
+      build_rt_schedule(p, b0, RtVariant::kGeneralized);
+  const Prediction pred = predict_rt_time(
+      sched, static_cast<std::int64_t>(w) * h, 2, cfg.net);
+
+  EXPECT_DOUBLE_EQ(pred.makespan, run.time);
+  // Traffic totals must agree too.
+  EXPECT_EQ(pred.total_bytes, run.stats.total_bytes_sent());
+  EXPECT_EQ(pred.total_messages, run.stats.total_messages());
+  // Per-rank final clocks.
+  for (int r = 0; r < p; ++r)
+    EXPECT_DOUBLE_EQ(pred.rank_clock[static_cast<std::size_t>(r)],
+                     run.stats.ranks[static_cast<std::size_t>(r)].clock);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredictorMatchesSimulator,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 7, 8, 16, 32),
+                       ::testing::Values(1, 2, 3, 4, 6)));
+
+TEST(Predictor, StepsAreMonotoneInTime) {
+  const RtSchedule sched =
+      build_rt_schedule(16, 4, RtVariant::kGeneralized);
+  const Prediction pred =
+      predict_rt_time(sched, 512 * 512, 2, comm::sp2_hps_model());
+  ASSERT_EQ(pred.steps.size(), sched.steps.size());
+  double prev = 0.0;
+  for (const StepPrediction& sp : pred.steps) {
+    EXPECT_GT(sp.end_time, prev);
+    prev = sp.end_time;
+    EXPECT_GE(sp.max_rank_sends, 1);
+    EXPECT_GT(sp.max_rank_bytes, 0);
+  }
+  EXPECT_DOUBLE_EQ(pred.makespan, pred.steps.back().end_time);
+}
+
+TEST(Predictor, ScalesWithNetworkConstants) {
+  const RtSchedule sched =
+      build_rt_schedule(8, 2, RtVariant::kGeneralized);
+  comm::NetworkModel base = comm::sp2_hps_model();
+  comm::NetworkModel slow = base;
+  slow.tp_byte *= 10.0;
+  const double t0 = predict_rt_time(sched, 512 * 512, 2, base).makespan;
+  const double t1 = predict_rt_time(sched, 512 * 512, 2, slow).makespan;
+  EXPECT_GT(t1, t0);
+  comm::NetworkModel chatty = base;
+  chatty.ts *= 10.0;
+  EXPECT_GT(predict_rt_time(sched, 512 * 512, 2, chatty).makespan, t0);
+}
+
+TEST(Predictor, SingleRankIsFree) {
+  const RtSchedule sched =
+      build_rt_schedule(1, 4, RtVariant::kGeneralized);
+  EXPECT_DOUBLE_EQ(
+      predict_rt_time(sched, 1000, 2, comm::sp2_hps_model()).makespan,
+      0.0);
+}
+
+}  // namespace
+}  // namespace rtc::core

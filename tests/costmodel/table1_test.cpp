@@ -1,0 +1,173 @@
+// The published cost model: Table 1 rows, Section 2.3 closed forms and
+// the Equation (5)/(6) optimal-N bounds with the paper's constants.
+#include "rtc/costmodel/table1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::costmodel {
+namespace {
+
+Params paper_params() {
+  Params p;
+  p.ranks = 32;
+  p.image_pixels = 512 * 512;
+  p.bytes_per_pixel = 2;
+  p.net = comm::paper_example_model();
+  return p;
+}
+
+TEST(Table1, StepsLog2) {
+  EXPECT_EQ(steps_log2(1), 0);
+  EXPECT_EQ(steps_log2(2), 1);
+  EXPECT_EQ(steps_log2(3), 2);
+  EXPECT_EQ(steps_log2(32), 5);
+  EXPECT_EQ(steps_log2(33), 6);
+}
+
+TEST(Table1, BinarySwapHandComputed) {
+  Params p;
+  p.ranks = 4;
+  p.image_pixels = 100;
+  p.bytes_per_pixel = 1;
+  p.net.ts = 1.0;
+  p.net.tp_byte = 0.1;
+  p.net.to_pixel = 0.01;
+  const MethodCost c = predict_binary_swap(p);
+  // steps: blocks 50 then 25: comm = 2*Ts + (50+25)*0.1, comp = 75*.01.
+  EXPECT_DOUBLE_EQ(c.comm, 2.0 + 7.5);
+  EXPECT_DOUBLE_EQ(c.comp, 0.75);
+  EXPECT_DOUBLE_EQ(c.total(), 10.25);
+}
+
+TEST(Table1, BinarySwapRejectsNonPowerOfTwo) {
+  Params p;
+  p.ranks = 12;
+  EXPECT_THROW((void)predict_binary_swap(p), ContractError);
+}
+
+TEST(Table1, ParallelPipelinedHandComputed) {
+  Params p;
+  p.ranks = 5;
+  p.image_pixels = 100;
+  p.bytes_per_pixel = 1;
+  p.net.ts = 1.0;
+  p.net.tp_byte = 0.1;
+  p.net.to_pixel = 0.01;
+  const MethodCost c = predict_parallel_pipelined(p);
+  EXPECT_DOUBLE_EQ(c.comm, 4 * (1.0 + 2.0));
+  EXPECT_DOUBLE_EQ(c.comp, 4 * 0.2);
+}
+
+TEST(Table1, TwoNrtStepCostGrowsWithK) {
+  // Step k charges k messages of A/(n*2^(k-1)): hand-check n=1, P=4.
+  Params p;
+  p.ranks = 4;
+  p.image_pixels = 64;
+  p.bytes_per_pixel = 1;
+  p.net.ts = 1.0;
+  p.net.tp_byte = 1.0;
+  p.net.to_pixel = 0.0;
+  const MethodCost c = predict_two_n_rt(p, 1);
+  // k=1: 1*(1 + 64); k=2: 2*(1 + 32) -> comm = 65 + 66 = 131.
+  EXPECT_DOUBLE_EQ(c.comm, 131.0);
+}
+
+TEST(Table1, NrtUsesFewerMessagesThanTwoNrt) {
+  const Params p = paper_params();
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_LT(predict_n_rt(p, n).comm, predict_two_n_rt(p, n).comm)
+        << "n=" << n;
+  }
+}
+
+TEST(Table1, RtBeatsBaselinesAtPaperOperatingPoint) {
+  // The paper's headline: on 32 processors with the paper's constants
+  // and best block counts, both RT variants beat binary-swap and
+  // parallel-pipelined in the published model (Figure 6's theory bars).
+  const Params p = paper_params();
+  const double bs = predict_binary_swap(p).total();
+  const double pp = predict_parallel_pipelined(p).total();
+  const double rt2n = predict_two_n_rt(p, 4).total();
+  const double rtn = predict_n_rt(p, 4).total();
+  EXPECT_LT(rt2n, bs);
+  EXPECT_LT(rt2n, pp);
+  EXPECT_LT(rtn, rt2n);  // N_RT's fewer messages win, as in Figure 6
+  EXPECT_LT(bs, pp);
+}
+
+TEST(ClosedForm, MatchesPaperStructure) {
+  // Closed form at n=1 reduces to Ts + A*(Tp + To*S*(1-2^-S))(1-2^-S).
+  comm::NetworkModel net;
+  net.ts = 2.0;
+  net.tp_byte = 1.0;
+  net.to_pixel = 0.0;
+  const double t = literal_two_n_rt_time(100.0, net, 2, 1.0);
+  // S=1: Ts*1 + 100*(1)*(0.5) = 2 + 50.
+  EXPECT_DOUBLE_EQ(t, 52.0);
+}
+
+TEST(Eq5, ReproducesThePaperWorkedExample) {
+  // "According to Equation (5), the performance bound of N is 4.3"
+  // (P=32, Ts=0.005, Tp=0.00004, To=0.0002). The bound lands there
+  // with A as the wire size of a 512x512 gray+alpha image.
+  const double bound =
+      eq5_bound(2.0 * 512 * 512, comm::paper_example_model(), 32);
+  EXPECT_NEAR(bound, 4.3, 0.25);
+}
+
+TEST(Eq6, ValueWithPaperConstantsIsStable) {
+  // The paper quotes 3.4 for Equation (6); the equation as printed
+  // (with its 2A/(N(N+1)) difference term) yields ~5.3 instead — the
+  // discrepancy is recorded in EXPERIMENTS.md. This test pins our
+  // implementation of the printed formula.
+  const double bound =
+      eq6_bound(2.0 * 512 * 512, comm::paper_example_model(), 32);
+  EXPECT_NEAR(bound, 5.33, 0.3);
+}
+
+TEST(Eq5, BoundGrowsWithBandwidthCost) {
+  // More expensive transmission (bigger Tp) pushes the optimum toward
+  // more, smaller blocks.
+  comm::NetworkModel cheap = comm::sp2_hps_model();
+  comm::NetworkModel dear = cheap;
+  dear.tp_byte *= 10.0;
+  const double a = 2.0 * 512 * 512;
+  EXPECT_GT(eq5_bound(a, dear, 32), eq5_bound(a, cheap, 32));
+}
+
+TEST(Eq5, BoundShrinksWithStartupCost) {
+  comm::NetworkModel base = comm::sp2_hps_model();
+  comm::NetworkModel slow_start = base;
+  slow_start.ts *= 10.0;
+  const double a = 2.0 * 512 * 512;
+  EXPECT_LT(eq5_bound(a, slow_start, 32), eq5_bound(a, base, 32));
+}
+
+TEST(BestBlocks, ClosedFormIsUShaped) {
+  // The Section 2.3 closed form trades Ts*N^S startup against A/N
+  // data movement, so composition time is U-shaped in the block count
+  // (Figure 5's premise) and the optimum is small.
+  const Params p = paper_params();
+  const double a =
+      static_cast<double>(p.image_pixels) * p.bytes_per_pixel;
+  const int best2 = best_two_n_rt_blocks(p, 32);
+  const int best1 = best_n_rt_blocks(p, 32);
+  EXPECT_GE(best2, 2);
+  EXPECT_LE(best2, 8);
+  EXPECT_GE(best1, 2);
+  EXPECT_LE(best1, 8);
+  EXPECT_EQ(best2 % 2, 0);
+  EXPECT_LT(literal_two_n_rt_time(a, p.net, p.ranks, best2),
+            literal_two_n_rt_time(a, p.net, p.ranks, 2));
+  EXPECT_LT(literal_two_n_rt_time(a, p.net, p.ranks, best2),
+            literal_two_n_rt_time(a, p.net, p.ranks, 32));
+  EXPECT_LT(literal_n_rt_time(a, p.net, p.ranks, best1),
+            literal_n_rt_time(a, p.net, p.ranks, 1));
+  EXPECT_LT(literal_n_rt_time(a, p.net, p.ranks, best1),
+            literal_n_rt_time(a, p.net, p.ranks, 32));
+}
+
+}  // namespace
+}  // namespace rtc::costmodel

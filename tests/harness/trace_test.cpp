@@ -1,0 +1,92 @@
+// Event recording and the Chrome-trace export.
+#include "rtc/harness/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rtc/harness/experiment.hpp"
+#include "testutil.hpp"
+
+namespace rtc::harness {
+namespace {
+
+CompositionRun traced_run() {
+  std::vector<img::Image> partials;
+  for (int r = 0; r < 4; ++r)
+    partials.push_back(
+        test::random_image(32, 32, 80u + static_cast<std::uint32_t>(r), 0.3));
+  CompositionConfig cfg;
+  cfg.method = "rt_2n";
+  cfg.initial_blocks = 4;
+  cfg.record_events = true;
+  return run_composition(cfg, partials);
+}
+
+TEST(Trace, EventsAreRecordedAndWellFormed) {
+  const CompositionRun run = traced_run();
+  std::size_t total = 0;
+  for (const comm::RankStats& r : run.stats.ranks) {
+    EXPECT_FALSE(r.events.empty());
+    double last_end = 0.0;
+    for (const comm::Event& e : r.events) {
+      EXPECT_LE(e.start, e.end);
+      EXPECT_GE(e.start, 0.0);
+      EXPECT_LE(e.end, r.clock + 1e-12);
+      // Events on one rank are emitted in clock order.
+      EXPECT_GE(e.end, last_end - 1e-12);
+      last_end = e.end;
+      ++total;
+    }
+    EXPECT_FALSE(r.marks.empty());
+  }
+  EXPECT_GT(total, 10u);
+}
+
+TEST(Trace, DisabledByDefault) {
+  std::vector<img::Image> partials;
+  for (int r = 0; r < 2; ++r)
+    partials.push_back(test::random_image(16, 16, 5u + static_cast<std::uint32_t>(r)));
+  CompositionConfig cfg;
+  cfg.method = "bswap";
+  const CompositionRun run = run_composition(cfg, partials);
+  for (const comm::RankStats& r : run.stats.ranks)
+    EXPECT_TRUE(r.events.empty());
+}
+
+TEST(Trace, ChromeTraceIsValidJsonShape) {
+  const CompositionRun run = traced_run();
+  const std::string path =
+      std::string(::testing::TempDir()) + "/trace.json";
+  write_chrome_trace(run.stats, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s[s.size() - 2], ']');  // trailing newline after ]
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"send->"), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"step 1\""), std::string::npos);
+  // Balanced braces (cheap structural check).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EventTimeBudgetAddsUp) {
+  // send + recv-wait + over + compute intervals on a rank can never
+  // exceed its final clock (they are disjoint by construction).
+  const CompositionRun run = traced_run();
+  for (const comm::RankStats& r : run.stats.ranks) {
+    double busy = 0.0;
+    for (const comm::Event& e : r.events) busy += e.end - e.start;
+    EXPECT_LE(busy, r.clock + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rtc::harness

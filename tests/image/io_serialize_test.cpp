@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "rtc/common/check.hpp"
+#include "rtc/image/io.hpp"
+#include "rtc/image/ops.hpp"
+#include "rtc/image/serialize.hpp"
+
+namespace rtc::img {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, RoundTrip) {
+  std::mt19937 rng(21);
+  std::uniform_int_distribution<int> dist(0, 255);
+  std::vector<GrayA8> px(1000);
+  for (GrayA8& p : px) {
+    p.v = static_cast<std::uint8_t>(dist(rng));
+    p.a = static_cast<std::uint8_t>(dist(rng));
+  }
+  const std::vector<std::byte> bytes = serialize_pixels(px);
+  EXPECT_EQ(bytes.size(), px.size() * kBytesPerPixel);
+  std::vector<GrayA8> out(px.size());
+  deserialize_pixels(bytes, out);
+  EXPECT_EQ(px, out);
+}
+
+TEST(Serialize, SizeMismatchThrows) {
+  std::vector<std::byte> bytes(10);
+  std::vector<GrayA8> out(4);  // needs 8 bytes
+  EXPECT_THROW(deserialize_pixels(bytes, out), ContractError);
+}
+
+TEST(Io, PgmRoundTripOfOpaqueImage) {
+  Image img(17, 9);
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> dist(1, 255);
+  for (GrayA8& p : img.pixels())
+    p = GrayA8{static_cast<std::uint8_t>(dist(rng)), 255};
+  const std::string path = temp_path("roundtrip.pgm");
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  EXPECT_EQ(back.width(), img.width());
+  EXPECT_EQ(back.height(), img.height());
+  EXPECT_EQ(max_channel_diff(img, back), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Io, ReadMissingFileThrows) {
+  EXPECT_THROW(read_pgm("/nonexistent/nowhere.pgm"), ContractError);
+}
+
+TEST(Io, AlphaSideBySideDoublesWidth) {
+  Image img(6, 4);
+  const std::string path = temp_path("alpha.pgm");
+  write_pgm_with_alpha(img, path);
+  const Image back = read_pgm(path);
+  EXPECT_EQ(back.width(), 12);
+  EXPECT_EQ(back.height(), 4);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtc::img

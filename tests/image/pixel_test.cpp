@@ -1,0 +1,109 @@
+#include "rtc/image/pixel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rtc::img {
+namespace {
+
+TEST(Pixel, BlankIsIdentityInFront) {
+  const GrayA8 p{120, 200};
+  EXPECT_EQ(over(kBlank, p), p);
+}
+
+TEST(Pixel, BlankIsIdentityBehind) {
+  const GrayA8 p{120, 200};
+  EXPECT_EQ(over(p, kBlank), p);
+}
+
+TEST(Pixel, OpaqueFrontWins) {
+  const GrayA8 front{200, 255};
+  const GrayA8 back{17, 255};
+  EXPECT_EQ(over(front, back), front);
+}
+
+TEST(Pixel, HalfTransparentOverOpaque) {
+  // front: premultiplied value 64 at alpha 128; back: opaque 255.
+  const GrayA8 out = over(GrayA8{64, 128}, GrayA8{255, 255});
+  // out.v = 64 + (127/255)*255 = 191, out.a = 255.
+  EXPECT_EQ(out.a, 255);
+  EXPECT_NEAR(out.v, 191, 1);
+}
+
+TEST(Pixel, MatchesFloatReference) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> dist(0, 255);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a8 = static_cast<std::uint8_t>(dist(rng));
+    GrayA8 f{static_cast<std::uint8_t>(dist(rng) % (a8 + 1)), a8};
+    const auto b8 = static_cast<std::uint8_t>(dist(rng));
+    GrayA8 b{static_cast<std::uint8_t>(dist(rng) % (b8 + 1)), b8};
+    const GrayA8 got = over(f, b);
+    const GrayAF ref = over(widen(f), widen(b));
+    EXPECT_NEAR(got.v, ref.v * 255.0f, 1.0f);
+    EXPECT_NEAR(got.a, ref.a * 255.0f, 1.0f);
+  }
+}
+
+TEST(Pixel, FloatOverIsAssociative) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (int i = 0; i < 1000; ++i) {
+    auto mk = [&] {
+      const float a = dist(rng);
+      return GrayAF{dist(rng) * a, a};
+    };
+    const GrayAF x = mk(), y = mk(), z = mk();
+    const GrayAF l = over(over(x, y), z);
+    const GrayAF r = over(x, over(y, z));
+    EXPECT_NEAR(l.v, r.v, 1e-5f);
+    EXPECT_NEAR(l.a, r.a, 1e-5f);
+  }
+}
+
+TEST(Pixel, IntegerOverNearlyAssociative) {
+  // Different composition trees may differ by a couple of LSBs — the
+  // bound the method-equivalence tests rely on.
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> dist(0, 255);
+  int worst = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto mk = [&] {
+      const auto a = static_cast<std::uint8_t>(dist(rng));
+      return GrayA8{static_cast<std::uint8_t>(dist(rng) % (a + 1)), a};
+    };
+    const GrayA8 x = mk(), y = mk(), z = mk();
+    const GrayA8 l = over(over(x, y), z);
+    const GrayA8 r = over(x, over(y, z));
+    worst = std::max({worst, std::abs(int{l.v} - int{r.v}),
+                      std::abs(int{l.a} - int{r.a})});
+  }
+  EXPECT_LE(worst, 2);
+}
+
+TEST(Pixel, BinaryAlphaIsExactlyAssociative) {
+  // With alpha restricted to {0, 255} integer over is exact, which the
+  // schedule-correctness property tests exploit.
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<int> dist(0, 255);
+  for (int i = 0; i < 3000; ++i) {
+    auto mk = [&] {
+      const bool opaque = dist(rng) % 2 == 0;
+      return opaque ? GrayA8{static_cast<std::uint8_t>(dist(rng)), 255}
+                    : kBlank;
+    };
+    const GrayA8 x = mk(), y = mk(), z = mk();
+    EXPECT_EQ(over(over(x, y), z), over(x, over(y, z)));
+  }
+}
+
+TEST(Pixel, IsBlank) {
+  EXPECT_TRUE(is_blank(kBlank));
+  EXPECT_FALSE(is_blank(GrayA8{0, 1}));
+  EXPECT_FALSE(is_blank(GrayA8{1, 0}));
+}
+
+}  // namespace
+}  // namespace rtc::img

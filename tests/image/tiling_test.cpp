@@ -1,0 +1,83 @@
+#include "rtc/image/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::img {
+namespace {
+
+using TilingCase = std::tuple<std::int64_t /*pixels*/, int /*blocks0*/,
+                              int /*depth*/>;
+
+class TilingProperty : public ::testing::TestWithParam<TilingCase> {};
+
+TEST_P(TilingProperty, BlocksPartitionThePixelRange) {
+  const auto [pixels, blocks0, depth] = GetParam();
+  const Tiling t(pixels, blocks0);
+  std::int64_t expect_begin = 0;
+  for (std::int64_t i = 0; i < t.block_count(depth); ++i) {
+    const PixelSpan s = t.block(depth, i);
+    EXPECT_EQ(s.begin, expect_begin);
+    EXPECT_LE(s.begin, s.end);
+    expect_begin = s.end;
+  }
+  EXPECT_EQ(expect_begin, pixels);
+}
+
+TEST_P(TilingProperty, ChildrenAreExactHalvesOfParent) {
+  const auto [pixels, blocks0, depth] = GetParam();
+  if (depth == 0) return;
+  const Tiling t(pixels, blocks0);
+  for (std::int64_t i = 0; i < t.block_count(depth - 1); ++i) {
+    const PixelSpan parent = t.block(depth - 1, i);
+    const PixelSpan left = t.block(depth, 2 * i);
+    const PixelSpan right = t.block(depth, 2 * i + 1);
+    EXPECT_EQ(left.begin, parent.begin);
+    EXPECT_EQ(left.end, right.begin);
+    EXPECT_EQ(right.end, parent.end);
+    EXPECT_LE(std::abs(left.size() - right.size()), 1);
+    EXPECT_GE(left.size(), right.size());  // big half first
+  }
+}
+
+TEST_P(TilingProperty, BlockSizesNearEqual) {
+  const auto [pixels, blocks0, depth] = GetParam();
+  const Tiling t(pixels, blocks0);
+  std::int64_t lo = pixels, hi = 0;
+  for (std::int64_t i = 0; i < t.block_count(depth); ++i) {
+    const auto sz = t.block(depth, i).size();
+    lo = std::min(lo, sz);
+    hi = std::max(hi, sz);
+  }
+  // Near-equal top split then exact halving: spread stays small.
+  EXPECT_LE(hi - lo, depth + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TilingProperty,
+    ::testing::Combine(::testing::Values<std::int64_t>(0, 1, 7, 64, 1000,
+                                                       512 * 512),
+                       ::testing::Values(1, 2, 3, 4, 5, 8, 32),
+                       ::testing::Values(0, 1, 2, 3, 5)));
+
+TEST(Tiling, RejectsBadArguments) {
+  EXPECT_THROW(Tiling(-1, 1), ContractError);
+  EXPECT_THROW(Tiling(10, 0), ContractError);
+  const Tiling t(10, 2);
+  EXPECT_THROW((void)t.block(0, 2), ContractError);
+  EXPECT_THROW((void)t.block(-1, 0), ContractError);
+}
+
+TEST(Tiling, PaperGeometry512) {
+  // 512x512 image, 4 initial blocks (the paper's 2N_RT best case).
+  const Tiling t(512 * 512, 4);
+  EXPECT_EQ(t.block(0, 0).size(), 65536);
+  EXPECT_EQ(t.block_count(4), 64);
+  EXPECT_EQ(t.block(4, 0).size(), 4096);
+}
+
+}  // namespace
+}  // namespace rtc::img

@@ -1,0 +1,188 @@
+#include "rtc/partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "rtc/common/check.hpp"
+#include "rtc/volume/phantom.hpp"
+
+namespace rtc::part {
+namespace {
+
+using Case = std::tuple<int /*count*/, int /*axis*/>;
+
+class SlabProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SlabProperty, CoversBoundsDisjointly) {
+  const auto [count, axis] = GetParam();
+  const vol::Brick bounds{0, 64, 0, 48, 0, 50};
+  const auto bricks = slab_1d(bounds, count, axis);
+  ASSERT_EQ(static_cast<int>(bricks.size()), count);
+  std::int64_t total = 0;
+  for (const auto& b : bricks) total += b.voxels();
+  EXPECT_EQ(total, bounds.voxels());
+  // Consecutive slabs touch along the chosen axis.
+  for (std::size_t i = 1; i < bricks.size(); ++i) {
+    const auto& a = bricks[i - 1];
+    const auto& b = bricks[i];
+    switch (axis) {
+      case 0:
+        EXPECT_EQ(a.x1, b.x0);
+        break;
+      case 1:
+        EXPECT_EQ(a.y1, b.y0);
+        break;
+      default:
+        EXPECT_EQ(a.z1, b.z0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlabProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16, 32),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(Grid2d, NearSquareFactorsAndCoverage) {
+  const vol::Brick bounds{0, 64, 0, 64, 0, 64};
+  for (const int count : {1, 2, 4, 6, 12, 32, 36}) {
+    const auto bricks = grid_2d(bounds, count, 0, 1);
+    ASSERT_EQ(static_cast<int>(bricks.size()), count) << count;
+    std::int64_t total = 0;
+    for (const auto& b : bricks) {
+      total += b.voxels();
+      EXPECT_EQ(b.z0, 0);
+      EXPECT_EQ(b.z1, 64);
+    }
+    EXPECT_EQ(total, bounds.voxels()) << count;
+  }
+}
+
+TEST(Grid2d, RejectsSameAxes) {
+  const vol::Brick bounds{0, 8, 0, 8, 0, 8};
+  EXPECT_THROW(grid_2d(bounds, 4, 1, 1), ContractError);
+}
+
+TEST(SolidVoxels, CountsUnderTransferFunction) {
+  vol::Volume v(4, 4, 4);
+  v.at(0, 0, 0) = 200;
+  v.at(3, 3, 3) = 200;
+  v.at(1, 1, 1) = 10;  // transparent under ct_transfer(120)
+  const vol::TransferFunction tf = vol::ct_transfer(120);
+  EXPECT_EQ(solid_voxels(v, tf, v.bounds()), 2);
+  EXPECT_EQ(solid_voxels(v, tf, vol::Brick{0, 2, 0, 2, 0, 2}), 1);
+}
+
+TEST(BalancedSlab, CoversAndRespectsBudgetOptimality) {
+  const vol::Volume v = vol::make_engine(48);
+  const vol::TransferFunction tf = vol::phantom_transfer("engine");
+  for (const int count : {2, 3, 5, 8, 16}) {
+    const auto bricks = balanced_slab_1d(v, tf, count, 2);
+    ASSERT_EQ(static_cast<int>(bricks.size()), count);
+    // Coverage: contiguous, disjoint, exact.
+    std::int64_t voxels = 0;
+    for (std::size_t i = 0; i < bricks.size(); ++i) {
+      voxels += bricks[i].voxels();
+      if (i > 0) {
+        EXPECT_EQ(bricks[i - 1].z1, bricks[i].z0);
+      }
+      EXPECT_GT(bricks[i].z1, bricks[i].z0);  // at least one slice
+    }
+    EXPECT_EQ(voxels, v.bounds().voxels());
+  }
+}
+
+TEST(BalancedSlab, BeatsUniformOnMaxWorkload) {
+  // The engine occupies the middle ~70% of the axis; uniform slabs
+  // give border ranks nothing while balanced slabs equalize within
+  // slice granularity.
+  const vol::Volume v = vol::make_engine(48);
+  const vol::TransferFunction tf = vol::phantom_transfer("engine");
+  const int count = 8;
+  auto max_work = [&](const std::vector<vol::Brick>& bricks) {
+    std::int64_t w = 0;
+    for (const auto& b : bricks)
+      w = std::max(w, solid_voxels(v, tf, b));
+    return w;
+  };
+  const auto uniform = slab_1d(v.bounds(), count, 2);
+  const auto balanced = balanced_slab_1d(v, tf, count, 2);
+  EXPECT_LT(max_work(balanced), max_work(uniform));
+}
+
+TEST(BalancedSlab, OptimalBottleneckAgainstBruteForce) {
+  // Small synthetic volume with a hand-made occupancy profile; compare
+  // the bottleneck against exhaustive search over cut positions.
+  vol::Volume v(4, 4, 8);
+  const int profile[8] = {0, 6, 1, 1, 4, 0, 3, 2};
+  for (int z = 0; z < 8; ++z)
+    for (int i = 0; i < profile[z]; ++i) v.at(i % 4, i / 4, z) = 255;
+  const vol::TransferFunction tf = vol::ct_transfer(120);
+
+  for (const int count : {2, 3, 4}) {
+    const auto bricks = balanced_slab_1d(v, tf, count, 2);
+    std::int64_t got = 0;
+    for (const auto& b : bricks)
+      got = std::max(got, solid_voxels(v, tf, b));
+
+    // Brute force over all contiguous partitions into `count` parts.
+    std::int64_t best = 1'000'000;
+    std::vector<int> cuts(static_cast<std::size_t>(count - 1));
+    auto rec = [&](auto&& self, int idx, int from) -> void {
+      if (idx == count - 1) {
+        std::int64_t worst = 0;
+        int b = 0;
+        for (int i = 0; i < count; ++i) {
+          const int e = i + 1 < count
+                            ? cuts[static_cast<std::size_t>(i)]
+                            : 8;
+          std::int64_t w = 0;
+          for (int z = b; z < e; ++z) w += profile[z];
+          worst = std::max(worst, w);
+          b = e;
+        }
+        best = std::min(best, worst);
+        return;
+      }
+      for (int c = from; c <= 8 - (count - 1 - idx); ++c) {
+        cuts[static_cast<std::size_t>(idx)] = c;
+        self(self, idx + 1, c + 1);
+      }
+    };
+    rec(rec, 0, 1);
+    EXPECT_EQ(got, best) << "count=" << count;
+  }
+}
+
+TEST(VisibilityOrder, FrontToBackAlongView) {
+  const vol::Brick bounds{0, 60, 0, 60, 0, 60};
+  const auto bricks = slab_1d(bounds, 6, 2);
+  const double forward[3] = {0.0, 0.0, 1.0};
+  const auto order = visibility_order(bricks, forward);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i], static_cast<int>(i));
+  const double backward[3] = {0.0, 0.0, -1.0};
+  const auto rev = visibility_order(bricks, backward);
+  for (std::size_t i = 0; i < rev.size(); ++i)
+    EXPECT_EQ(rev[i], static_cast<int>(order.size() - 1 - i));
+}
+
+TEST(VisibilityOrder, ObliqueViewSortsByProjectedCenter) {
+  const vol::Brick bounds{0, 40, 0, 40, 0, 40};
+  const auto bricks = grid_2d(bounds, 4, 0, 1);
+  const double dir[3] = {0.7, 0.5, 0.51};
+  const auto order = visibility_order(bricks, dir);
+  double prev = -1e30;
+  for (const int i : order) {
+    const auto& b = bricks[static_cast<std::size_t>(i)];
+    const double d = 0.5 * (b.x0 + b.x1) * dir[0] +
+                     0.5 * (b.y0 + b.y1) * dir[1] +
+                     0.5 * (b.z0 + b.z1) * dir[2];
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace rtc::part

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rtc/image/ops.hpp"
+#include "rtc/render/renderer.hpp"
+#include "rtc/volume/phantom.hpp"
+
+namespace rtc::render {
+namespace {
+
+double mean_abs_diff(const img::Image& a, const img::Image& b) {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < a.pixel_count(); ++i) {
+    sum += std::abs(int{a.pixels()[static_cast<std::size_t>(i)].v} -
+                    int{b.pixels()[static_cast<std::size_t>(i)].v});
+  }
+  return sum / static_cast<double>(a.pixel_count());
+}
+
+TEST(Perspective, ConvergesToOrthographicFromFarAway) {
+  const vol::Volume v = vol::make_engine(32);
+  const vol::TransferFunction tf = vol::phantom_transfer("engine");
+
+  // Orthographic reference looking along +z at unit scale.
+  const OrthoCamera ortho = centered_camera(32, 32, 32, 0.0, 0.0, 64, 1.0);
+  const img::Image ref = render_raycast(v, tf, v.bounds(), ortho);
+
+  // Eye far behind the volume with a field of view matched so the
+  // image plane footprint equals 64 voxels at the volume center.
+  PerspectiveCamera persp;
+  const double dist = 4000.0;
+  persp.target = Vec3{15.5, 15.5, 15.5};
+  persp.eye = Vec3{15.5, 15.5, 15.5 - dist};
+  constexpr double kPi = 3.14159265358979323846;
+  persp.fov_deg = 2.0 * std::atan(32.0 / dist) * 180.0 / kPi;
+  persp.width = persp.height = 64;
+  const img::Image got =
+      render_raycast_perspective(v, tf, v.bounds(), persp);
+
+  EXPECT_LT(mean_abs_diff(got, ref), 2.0);
+}
+
+TEST(Perspective, CloserEyeMagnifies) {
+  const vol::Volume v = vol::make_head(32);
+  const vol::TransferFunction tf = vol::phantom_transfer("head");
+  PerspectiveCamera cam;
+  cam.target = Vec3{15.5, 15.5, 15.5};
+  cam.fov_deg = 45.0;
+  cam.width = cam.height = 64;
+
+  cam.eye = Vec3{15.5, 15.5, -80.0};
+  const std::int64_t far_px = img::count_non_blank(
+      render_raycast_perspective(v, tf, v.bounds(), cam).pixels());
+  cam.eye = Vec3{15.5, 15.5, -30.0};
+  const std::int64_t near_px = img::count_non_blank(
+      render_raycast_perspective(v, tf, v.bounds(), cam).pixels());
+  EXPECT_GT(near_px, far_px + far_px / 2);
+}
+
+TEST(Perspective, SamplesBehindTheEyeAreIgnored) {
+  // Eye inside the volume: only the forward half contributes, and the
+  // renderer must not crash or wrap.
+  const vol::Volume v = vol::make_brain(24);
+  const vol::TransferFunction tf = vol::phantom_transfer("brain");
+  PerspectiveCamera cam;
+  cam.target = Vec3{11.5, 11.5, 40.0};
+  cam.eye = Vec3{11.5, 11.5, 11.5};
+  cam.fov_deg = 60.0;
+  cam.width = cam.height = 48;
+  const img::Image im =
+      render_raycast_perspective(v, tf, v.bounds(), cam);
+  EXPECT_GT(img::count_non_blank(im.pixels()), 0);
+}
+
+TEST(Perspective, MipModeWorks) {
+  const vol::Volume v = vol::make_engine(24);
+  const vol::TransferFunction tf = vol::phantom_transfer("engine");
+  PerspectiveCamera cam;
+  cam.target = Vec3{11.5, 11.5, 11.5};
+  cam.eye = Vec3{60.0, 40.0, -50.0};
+  cam.width = cam.height = 48;
+  const img::Image im = render_raycast_perspective(
+      v, tf, v.bounds(), cam, RenderMode::kMip);
+  EXPECT_GT(img::count_non_blank(im.pixels()), 50);
+}
+
+}  // namespace
+}  // namespace rtc::render

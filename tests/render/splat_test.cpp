@@ -1,0 +1,90 @@
+// The splatting renderer: structural agreement with the ray-caster and
+// the partial-image properties the composition stage needs.
+#include <gtest/gtest.h>
+
+#include "rtc/image/ops.hpp"
+#include "rtc/partition/partition.hpp"
+#include "rtc/render/renderer.hpp"
+#include "rtc/volume/phantom.hpp"
+
+namespace rtc::render {
+namespace {
+
+TEST(Splat, BlankOutsideProjection) {
+  const vol::Volume v = vol::make_engine(32);
+  const vol::TransferFunction tf = vol::phantom_transfer("engine");
+  const OrthoCamera cam = centered_camera(32, 32, 32, 20.0, 10.0, 128, 1.0);
+  const img::Image im = render_splat(v, tf, v.bounds(), cam);
+  EXPECT_TRUE(img::is_blank(im.at(0, 0)));
+  EXPECT_TRUE(img::is_blank(im.at(127, 0)));
+  EXPECT_TRUE(img::is_blank(im.at(127, 127)));
+  EXPECT_GT(img::count_non_blank(im.pixels()), 500);
+}
+
+TEST(Splat, Deterministic) {
+  const vol::Volume v = vol::make_head(24);
+  const vol::TransferFunction tf = vol::phantom_transfer("head");
+  const OrthoCamera cam = centered_camera(24, 24, 24, 30.0, 15.0, 64, 1.5);
+  const img::Image a = render_splat(v, tf, v.bounds(), cam);
+  const img::Image b = render_splat(v, tf, v.bounds(), cam);
+  EXPECT_EQ(img::max_channel_diff(a, b), 0);
+}
+
+TEST(Splat, CoversSameSilhouetteAsRaycast) {
+  // Footprints soften edges, but the opaque interior must match the
+  // ray-caster's silhouette: count pixels that are solid in one and
+  // blank in the other — only a thin edge band may differ.
+  const vol::Volume v = vol::make_engine(32);
+  const vol::TransferFunction tf = vol::phantom_transfer("engine");
+  const OrthoCamera cam = centered_camera(32, 32, 32, 0.0, 0.0, 96, 2.0);
+  const img::Image sp = render_splat(v, tf, v.bounds(), cam);
+  const img::Image rc = render_raycast(v, tf, v.bounds(), cam);
+  std::int64_t solid_mismatch = 0;
+  for (std::int64_t i = 0; i < sp.pixel_count(); ++i) {
+    const bool a =
+        sp.pixels()[static_cast<std::size_t>(i)].a > 200;
+    const bool b =
+        rc.pixels()[static_cast<std::size_t>(i)].a > 200;
+    solid_mismatch += (a != b) ? 1 : 0;
+  }
+  const std::int64_t silhouette =
+      img::count_non_blank(rc.pixels());
+  EXPECT_LT(solid_mismatch, silhouette / 4);
+}
+
+TEST(Splat, MipModeNeverDimsUnderOver) {
+  const vol::Volume v = vol::make_brain(24);
+  const vol::TransferFunction tf = vol::phantom_transfer("brain");
+  const OrthoCamera cam = centered_camera(24, 24, 24, 10.0, 5.0, 48, 1.4);
+  const img::Image mip =
+      render_splat(v, tf, v.bounds(), cam, RenderMode::kMip);
+  EXPECT_GT(img::count_non_blank(mip.pixels()), 100);
+}
+
+TEST(Splat, SlabPartialsCompositeCloseToFullRender) {
+  // Footprints bleed ~2px across slab boundaries in screen space, so
+  // partial compositing only matches the full render approximately —
+  // but the structure must hold (this is exactly the softer-edged
+  // workload splatting contributes to the composition benches).
+  const vol::Volume v = vol::make_head(32);
+  const vol::TransferFunction tf = vol::phantom_transfer("head");
+  const OrthoCamera cam = centered_camera(32, 32, 32, 0.0, 0.0, 64, 1.0);
+  const img::Image full = render_splat(v, tf, v.bounds(), cam);
+
+  const auto bricks = part::slab_1d(v.bounds(), 4, 2);
+  std::vector<img::Image> partials;
+  for (const auto& b : bricks)
+    partials.push_back(render_splat(v, tf, b, cam));
+  const img::Image merged = img::composite_reference(partials);
+
+  double diff_sum = 0.0;
+  for (std::int64_t i = 0; i < full.pixel_count(); ++i) {
+    diff_sum += std::abs(
+        int{merged.pixels()[static_cast<std::size_t>(i)].v} -
+        int{full.pixels()[static_cast<std::size_t>(i)].v});
+  }
+  EXPECT_LT(diff_sum / static_cast<double>(full.pixel_count()), 4.0);
+}
+
+}  // namespace
+}  // namespace rtc::render

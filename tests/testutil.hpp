@@ -1,0 +1,62 @@
+// Shared helpers for the rtcomp test suite.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "rtc/image/image.hpp"
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::test {
+
+/// Random image; `blank_ratio` of pixels are fully transparent, the
+/// rest carry random premultiplied values. `binary_alpha` restricts
+/// alpha to {0, 255} (integer "over" is exact there).
+inline img::Image random_image(int w, int h, std::uint32_t seed,
+                               double blank_ratio = 0.3,
+                               bool binary_alpha = false) {
+  img::Image out(w, h);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (img::GrayA8& p : out.pixels()) {
+    if (coin(rng) < blank_ratio) {
+      p = img::kBlank;
+      continue;
+    }
+    if (binary_alpha) {
+      p = img::GrayA8{static_cast<std::uint8_t>(byte(rng)), 255};
+    } else {
+      p.a = static_cast<std::uint8_t>(1 + byte(rng) % 255);
+      p.v = static_cast<std::uint8_t>(byte(rng) % (p.a + 1));
+    }
+  }
+  return out;
+}
+
+/// Image with contiguous blank/solid bands (good for RLE-style codecs).
+inline img::Image banded_image(int w, int h, std::uint32_t seed,
+                               int band = 9) {
+  img::Image out(w, h);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const bool solid = ((x / band) + (y / band)) % 2 == 0;
+      out.at(x, y) = solid
+                         ? img::GrayA8{static_cast<std::uint8_t>(byte(rng)),
+                                       255}
+                         : img::kBlank;
+    }
+  }
+  return out;
+}
+
+/// Label image for order tests: every pixel opaque, value = rank id.
+inline img::Image label_image(int w, int h, std::uint8_t label) {
+  img::Image out(w, h);
+  out.fill(img::GrayA8{label, 255});
+  return out;
+}
+
+}  // namespace rtc::test

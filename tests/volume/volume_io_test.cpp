@@ -1,0 +1,61 @@
+#include "rtc/volume/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "rtc/common/check.hpp"
+#include "rtc/volume/phantom.hpp"
+
+namespace rtc::vol {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(VolumeIo, RawRoundTrip) {
+  const Volume v = make_engine(24);
+  const std::string path = temp_path("engine.raw");
+  write_raw8(v, path);
+  const Volume back = read_raw8(path, 24, 24, 24);
+  EXPECT_EQ(back.data(), v.data());
+  std::remove(path.c_str());
+}
+
+TEST(VolumeIo, RtvRoundTripKeepsDimensions) {
+  const Volume v = make_brain(20);
+  const std::string path = temp_path("brain.rtv");
+  write_rtv(v, path);
+  const Volume back = read_rtv(path);
+  EXPECT_EQ(back.nx(), 20);
+  EXPECT_EQ(back.ny(), 20);
+  EXPECT_EQ(back.nz(), 20);
+  EXPECT_EQ(back.data(), v.data());
+  std::remove(path.c_str());
+}
+
+TEST(VolumeIo, RawTruncatedFileThrows) {
+  const std::string path = temp_path("short.raw");
+  std::ofstream(path, std::ios::binary) << "tiny";
+  EXPECT_THROW((void)read_raw8(path, 8, 8, 8), ContractError);
+  std::remove(path.c_str());
+}
+
+TEST(VolumeIo, RtvBadMagicThrows) {
+  const std::string path = temp_path("bad.rtv");
+  std::ofstream(path, std::ios::binary)
+      << "NOPE0123456789abcdef-this-is-not-a-volume";
+  EXPECT_THROW((void)read_rtv(path), ContractError);
+  std::remove(path.c_str());
+}
+
+TEST(VolumeIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_rtv("/nonexistent/vol.rtv"), ContractError);
+  EXPECT_THROW((void)read_raw8("/nonexistent/vol.raw", 4, 4, 4),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace rtc::vol

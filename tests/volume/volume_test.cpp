@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "rtc/volume/histogram.hpp"
+#include "rtc/volume/phantom.hpp"
+#include "rtc/volume/transfer.hpp"
+#include "rtc/volume/volume.hpp"
+
+namespace rtc::vol {
+namespace {
+
+TEST(Volume, IndexingAndBounds) {
+  Volume v(3, 4, 5);
+  EXPECT_EQ(v.voxel_count(), 60);
+  v.at(2, 3, 4) = 99;
+  EXPECT_EQ(v.at(2, 3, 4), 99);
+  EXPECT_EQ(v.sample(-1, 0, 0), 0);
+  EXPECT_EQ(v.sample(3, 0, 0), 0);
+  EXPECT_TRUE(v.bounds().contains(2, 3, 4));
+  EXPECT_FALSE(v.bounds().contains(3, 3, 4));
+  EXPECT_EQ(v.bounds().voxels(), 60);
+}
+
+TEST(Transfer, LutInterpolatesBetweenNodes) {
+  const TransferFunction tf({{0, 0.0f, 0.0f}, {100, 1.0f, 1.0f}});
+  EXPECT_FLOAT_EQ(tf.classify(0).a, 0.0f);
+  EXPECT_FLOAT_EQ(tf.classify(100).a, 1.0f);
+  EXPECT_NEAR(tf.classify(50).a, 0.5f, 0.01f);
+  // Premultiplied: value = intensity * opacity.
+  EXPECT_NEAR(tf.classify(50).v, 0.25f, 0.01f);
+  // Clamp above the last node.
+  EXPECT_FLOAT_EQ(tf.classify(255).a, 1.0f);
+}
+
+TEST(Transfer, TransparencyPredicate) {
+  const TransferFunction tf = ct_transfer(120);
+  EXPECT_TRUE(tf.transparent(0));
+  EXPECT_TRUE(tf.transparent(120));
+  EXPECT_FALSE(tf.transparent(200));
+}
+
+TEST(Phantom, Deterministic) {
+  const Volume a = make_engine(32);
+  const Volume b = make_engine(32);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Phantom, EngineIsBimodal) {
+  // CT engine: mostly air plus a dense metal mode, little in between.
+  const Volume v = make_engine(48);
+  const auto h = histogram(v);
+  std::int64_t air = h[0];
+  std::int64_t mid = 0, metal = 0;
+  for (int i = 1; i < 150; ++i) mid += h[static_cast<std::size_t>(i)];
+  for (int i = 150; i < 256; ++i) metal += h[static_cast<std::size_t>(i)];
+  EXPECT_GT(air, v.voxel_count() / 2);
+  EXPECT_GT(metal, v.voxel_count() / 20);
+  EXPECT_LT(mid, metal / 2);
+}
+
+TEST(Phantom, OccupancyInCompositingRelevantRange) {
+  // DESIGN.md 2.3: each phantom should be mostly empty space with a
+  // substantive object, so partial images have 40-70%+ blank pixels.
+  for (const char* name : {"engine", "brain", "head"}) {
+    const Volume v = make_phantom(name, 48);
+    const TransferFunction tf = phantom_transfer(name);
+    const double empty = transparent_fraction(v, tf);
+    EXPECT_GT(empty, 0.45) << name;
+    EXPECT_LT(empty, 0.95) << name;
+  }
+}
+
+TEST(Phantom, HeadHasSkullShellAndInterior) {
+  const Volume v = make_head(48);
+  const auto h = histogram(v);
+  std::int64_t bone = 0, soft = 0;
+  for (int i = 200; i < 256; ++i) bone += h[static_cast<std::size_t>(i)];
+  for (int i = 60; i < 150; ++i) soft += h[static_cast<std::size_t>(i)];
+  EXPECT_GT(bone, 0);
+  EXPECT_GT(soft, bone);  // interior dominates the thin shell
+}
+
+TEST(Phantom, UnknownNameThrows) {
+  EXPECT_THROW(make_phantom("teapot", 32), ContractError);
+  EXPECT_THROW((void)phantom_transfer("teapot"), ContractError);
+}
+
+TEST(Noise, DeterministicAndBounded) {
+  for (int i = 0; i < 100; ++i) {
+    const float x = 0.37f * static_cast<float>(i);
+    const float n = value_noise(x, 2.0f * x, 0.5f * x, 42);
+    EXPECT_GE(n, 0.0f);
+    EXPECT_LE(n, 1.0f);
+    EXPECT_FLOAT_EQ(n, value_noise(x, 2.0f * x, 0.5f * x, 42));
+  }
+}
+
+}  // namespace
+}  // namespace rtc::vol

@@ -1,0 +1,231 @@
+// rtcomp — command-line front end for the library.
+//
+//   rtcomp info
+//   rtcomp render   --dataset engine --ranks 8 --method rt_n --blocks 3
+//                   [--codec trle] [--image 512] [--volume 96]
+//                   [--renderer shearwarp|raycast|splat] [--mip]
+//                   [--partition slab|grid|balanced] [--out out.pgm]
+//                   [--trace timeline.json]
+//   rtcomp schedule --ranks 3 --blocks 4 [--variant n|2n|any]
+//   rtcomp predict  --ranks 32 --blocks 4 [--pixels 262144]
+//                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
+//
+// Exit codes: 0 ok, 2 usage error.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "rtc/rtc.hpp"
+
+namespace {
+
+using namespace rtc;
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << key << "\n";
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (key == "mip") {
+        kv_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --" << key << "\n";
+        std::exit(2);
+      }
+      kv_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::stoi(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv_.count(key) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+int cmd_info() {
+  std::cout << "rtcomp — rotate-tiling image composition "
+               "(reproduction of Lin/Yang/Chung, IPPS 2001)\n\n";
+  std::cout << "composition methods:";
+  for (const std::string& m : compositing::compositor_names())
+    std::cout << " " << m;
+  std::cout << "\ncodecs:              raw rle trle bbox bbox2d\n"
+            << "datasets (phantoms): engine brain head\n"
+            << "renderers:           shearwarp raycast splat\n"
+            << "partitions:          slab grid balanced\n"
+            << "network presets:     sp2-hps (default), paper-example\n";
+  return 0;
+}
+
+int cmd_render(const Args& a) {
+  const std::string dataset = a.get("dataset", "engine");
+  const int ranks = a.get_int("ranks", 8);
+  const std::string method = a.get("method", "rt_n");
+  const int blocks = a.get_int("blocks", 3);
+  const std::string renderer = a.get("renderer", "shearwarp");
+  const std::string partition = a.get("partition", "slab");
+  const bool mip = a.has("mip");
+
+  harness::Scene scene = harness::make_scene(
+      dataset, a.get_int("volume", 96), a.get_int("image", 512),
+      a.get_double("yaw", 30.0), a.get_double("pitch", 20.0));
+
+  // Partition + render (by hand so renderer/mode are selectable).
+  const render::Vec3 d = scene.camera.direction();
+  const int axis = render::principal_axis(d);
+  std::vector<vol::Brick> bricks;
+  if (partition == "grid") {
+    bricks = part::grid_2d(scene.volume.bounds(), ranks, (axis + 1) % 3,
+                           (axis + 2) % 3);
+  } else if (partition == "balanced") {
+    bricks = part::balanced_slab_1d(scene.volume, scene.tf, ranks, axis);
+  } else {
+    bricks = part::slab_1d(scene.volume.bounds(), ranks, axis);
+  }
+  const double dir[3] = {d.x, d.y, d.z};
+  const auto order = part::visibility_order(bricks, dir);
+  const render::RenderMode rmode =
+      mip ? render::RenderMode::kMip : render::RenderMode::kComposite;
+  std::vector<img::Image> partials;
+  for (int r = 0; r < ranks; ++r) {
+    const vol::Brick& brick =
+        bricks[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])];
+    if (renderer == "raycast") {
+      partials.push_back(render::render_raycast(scene.volume, scene.tf,
+                                                brick, scene.camera, rmode));
+    } else if (renderer == "splat") {
+      partials.push_back(render::render_splat(scene.volume, scene.tf,
+                                              brick, scene.camera, rmode));
+    } else {
+      partials.push_back(render::render_shearwarp(
+          scene.volume, scene.tf, brick, scene.camera, rmode));
+    }
+  }
+
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.initial_blocks = blocks;
+  cfg.codec = a.get("codec", "");
+  cfg.blend = mip ? img::BlendMode::kMax : img::BlendMode::kOver;
+  cfg.gather = true;
+  cfg.record_events = a.has("trace");
+  if (a.get("net", "sp2-hps") == "paper-example")
+    cfg.net = comm::paper_example_model();
+  const harness::CompositionRun run =
+      harness::run_composition(cfg, partials);
+
+  std::cout << "dataset=" << dataset << " ranks=" << ranks
+            << " method=" << method << " blocks=" << blocks
+            << " codec=" << (cfg.codec.empty() ? "raw" : cfg.codec)
+            << (mip ? " (MIP)" : "") << "\n"
+            << "composition time: " << run.time << " s (virtual)\n"
+            << "wire traffic:     "
+            << static_cast<double>(run.stats.total_bytes_sent()) / 1e6
+            << " MB in " << run.stats.total_messages() << " messages\n";
+
+  const std::string out = a.get("out", "");
+  if (!out.empty()) {
+    img::write_pgm(run.image, out);
+    std::cout << "wrote " << out << "\n";
+  }
+  if (a.has("trace")) {
+    harness::write_chrome_trace(run.stats, a.get("trace", ""));
+    std::cout << "wrote " << a.get("trace", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_schedule(const Args& a) {
+  const int ranks = a.get_int("ranks", 3);
+  const int blocks = a.get_int("blocks", 4);
+  const std::string variant = a.get("variant", "any");
+  core::RtVariant v = core::RtVariant::kGeneralized;
+  if (variant == "n") v = core::RtVariant::kNrt;
+  if (variant == "2n") v = core::RtVariant::kTwoNrt;
+  const core::RtSchedule s = core::build_rt_schedule(ranks, blocks, v);
+  std::cout << core::to_string(v) << ", P=" << ranks << ", " << blocks
+            << " initial blocks, " << s.steps.size() << " steps\n";
+  for (std::size_t k = 0; k < s.steps.size(); ++k) {
+    std::cout << "step " << (k + 1) << ":\n";
+    for (const core::Merge& m : s.steps[k].merges)
+      std::cout << "  P" << m.sender << " -> P" << m.receiver
+                << "  block " << m.block << "  (sender "
+                << (m.sender_front ? "front" : "back") << ")\n";
+  }
+  std::cout << "final owners:";
+  for (const int o : s.final_owner) std::cout << " " << o;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  const int ranks = a.get_int("ranks", 32);
+  const int blocks = a.get_int("blocks", 4);
+  comm::NetworkModel net = comm::sp2_hps_model();
+  net.ts = a.get_double("ts", net.ts);
+  net.tp_byte = a.get_double("tp", net.tp_byte);
+  net.to_pixel = a.get_double("to", net.to_pixel);
+  const auto pixels =
+      static_cast<std::int64_t>(a.get_int("pixels", 512 * 512));
+
+  const core::RtSchedule s = core::build_rt_schedule(
+      ranks, blocks, core::RtVariant::kGeneralized);
+  const core::Prediction p = core::predict_rt_time(s, pixels, 2, net);
+  std::cout << "RT, P=" << ranks << ", " << blocks
+            << " blocks, A=" << pixels << " px\n"
+            << "predicted composition time: " << p.makespan << " s\n"
+            << "total traffic: "
+            << static_cast<double>(p.total_bytes) / 1e6 << " MB in "
+            << p.total_messages << " messages\n";
+  for (std::size_t k = 0; k < p.steps.size(); ++k)
+    std::cout << "  step " << (k + 1)
+              << ": ends " << p.steps[k].end_time << " s, max "
+              << p.steps[k].max_rank_sends << " sends/rank\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rtcomp <info|render|schedule|predict> "
+                 "[--key value ...]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "render") return cmd_render(args);
+    if (cmd == "schedule") return cmd_schedule(args);
+    if (cmd == "predict") return cmd_predict(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 2;
+}
