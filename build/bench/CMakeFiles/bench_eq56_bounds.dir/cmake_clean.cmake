@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq56_bounds.dir/bench_eq56_bounds.cpp.o"
+  "CMakeFiles/bench_eq56_bounds.dir/bench_eq56_bounds.cpp.o.d"
+  "bench_eq56_bounds"
+  "bench_eq56_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq56_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

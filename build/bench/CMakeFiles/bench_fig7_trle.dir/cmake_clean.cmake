@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_trle.dir/bench_fig7_trle.cpp.o"
+  "CMakeFiles/bench_fig7_trle.dir/bench_fig7_trle.cpp.o.d"
+  "bench_fig7_trle"
+  "bench_fig7_trle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_trle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_trle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_imagesize.dir/bench_imagesize.cpp.o"
+  "CMakeFiles/bench_imagesize.dir/bench_imagesize.cpp.o.d"
+  "bench_imagesize"
+  "bench_imagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_imagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

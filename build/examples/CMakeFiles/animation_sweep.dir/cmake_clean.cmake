@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/animation_sweep.dir/animation_sweep.cpp.o"
+  "CMakeFiles/animation_sweep.dir/animation_sweep.cpp.o.d"
+  "animation_sweep"
+  "animation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/animation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

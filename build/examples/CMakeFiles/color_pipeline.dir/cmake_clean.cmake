@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_pipeline.dir/color_pipeline.cpp.o"
+  "CMakeFiles/color_pipeline.dir/color_pipeline.cpp.o.d"
+  "color_pipeline"
+  "color_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

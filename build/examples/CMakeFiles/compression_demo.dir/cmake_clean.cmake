@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_demo.dir/compression_demo.cpp.o"
+  "CMakeFiles/compression_demo.dir/compression_demo.cpp.o.d"
+  "compression_demo"
+  "compression_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_pipeline.dir/mip_pipeline.cpp.o"
+  "CMakeFiles/mip_pipeline.dir/mip_pipeline.cpp.o.d"
+  "mip_pipeline"
+  "mip_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

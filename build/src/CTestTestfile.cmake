@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rtc/image")
+subdirs("rtc/comm")
+subdirs("rtc/compress")
+subdirs("rtc/compositing")
+subdirs("rtc/core")
+subdirs("rtc/costmodel")
+subdirs("rtc/volume")
+subdirs("rtc/partition")
+subdirs("rtc/render")
+subdirs("rtc/harness")
+subdirs("rtc/color")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_color.dir/composite.cpp.o"
+  "CMakeFiles/rtc_color.dir/composite.cpp.o.d"
+  "CMakeFiles/rtc_color.dir/image.cpp.o"
+  "CMakeFiles/rtc_color.dir/image.cpp.o.d"
+  "CMakeFiles/rtc_color.dir/raycast.cpp.o"
+  "CMakeFiles/rtc_color.dir/raycast.cpp.o.d"
+  "CMakeFiles/rtc_color.dir/transfer.cpp.o"
+  "CMakeFiles/rtc_color.dir/transfer.cpp.o.d"
+  "CMakeFiles/rtc_color.dir/trle_color.cpp.o"
+  "CMakeFiles/rtc_color.dir/trle_color.cpp.o.d"
+  "librtc_color.a"
+  "librtc_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_comm.dir/world.cpp.o"
+  "CMakeFiles/rtc_comm.dir/world.cpp.o.d"
+  "librtc_comm.a"
+  "librtc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

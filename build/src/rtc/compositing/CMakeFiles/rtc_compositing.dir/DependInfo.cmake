@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/compositing/binary_swap.cpp" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/binary_swap.cpp.o" "gcc" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/binary_swap.cpp.o.d"
+  "/root/repo/src/rtc/compositing/binary_swap_any.cpp" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/binary_swap_any.cpp.o" "gcc" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/binary_swap_any.cpp.o.d"
+  "/root/repo/src/rtc/compositing/direct_send.cpp" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/direct_send.cpp.o" "gcc" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/direct_send.cpp.o.d"
+  "/root/repo/src/rtc/compositing/pipelined.cpp" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/pipelined.cpp.o" "gcc" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/pipelined.cpp.o.d"
+  "/root/repo/src/rtc/compositing/radix.cpp" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/radix.cpp.o" "gcc" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/radix.cpp.o.d"
+  "/root/repo/src/rtc/compositing/wire.cpp" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/wire.cpp.o" "gcc" "src/rtc/compositing/CMakeFiles/rtc_compositing.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtc/image/CMakeFiles/rtc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/comm/CMakeFiles/rtc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/compress/CMakeFiles/rtc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

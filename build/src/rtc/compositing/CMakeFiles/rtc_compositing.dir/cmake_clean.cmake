@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_compositing.dir/binary_swap.cpp.o"
+  "CMakeFiles/rtc_compositing.dir/binary_swap.cpp.o.d"
+  "CMakeFiles/rtc_compositing.dir/binary_swap_any.cpp.o"
+  "CMakeFiles/rtc_compositing.dir/binary_swap_any.cpp.o.d"
+  "CMakeFiles/rtc_compositing.dir/direct_send.cpp.o"
+  "CMakeFiles/rtc_compositing.dir/direct_send.cpp.o.d"
+  "CMakeFiles/rtc_compositing.dir/pipelined.cpp.o"
+  "CMakeFiles/rtc_compositing.dir/pipelined.cpp.o.d"
+  "CMakeFiles/rtc_compositing.dir/radix.cpp.o"
+  "CMakeFiles/rtc_compositing.dir/radix.cpp.o.d"
+  "CMakeFiles/rtc_compositing.dir/wire.cpp.o"
+  "CMakeFiles/rtc_compositing.dir/wire.cpp.o.d"
+  "librtc_compositing.a"
+  "librtc_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/compress/bbox.cpp" "src/rtc/compress/CMakeFiles/rtc_compress.dir/bbox.cpp.o" "gcc" "src/rtc/compress/CMakeFiles/rtc_compress.dir/bbox.cpp.o.d"
+  "/root/repo/src/rtc/compress/bbox2d.cpp" "src/rtc/compress/CMakeFiles/rtc_compress.dir/bbox2d.cpp.o" "gcc" "src/rtc/compress/CMakeFiles/rtc_compress.dir/bbox2d.cpp.o.d"
+  "/root/repo/src/rtc/compress/codec.cpp" "src/rtc/compress/CMakeFiles/rtc_compress.dir/codec.cpp.o" "gcc" "src/rtc/compress/CMakeFiles/rtc_compress.dir/codec.cpp.o.d"
+  "/root/repo/src/rtc/compress/raw.cpp" "src/rtc/compress/CMakeFiles/rtc_compress.dir/raw.cpp.o" "gcc" "src/rtc/compress/CMakeFiles/rtc_compress.dir/raw.cpp.o.d"
+  "/root/repo/src/rtc/compress/rle.cpp" "src/rtc/compress/CMakeFiles/rtc_compress.dir/rle.cpp.o" "gcc" "src/rtc/compress/CMakeFiles/rtc_compress.dir/rle.cpp.o.d"
+  "/root/repo/src/rtc/compress/trle.cpp" "src/rtc/compress/CMakeFiles/rtc_compress.dir/trle.cpp.o" "gcc" "src/rtc/compress/CMakeFiles/rtc_compress.dir/trle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtc/image/CMakeFiles/rtc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

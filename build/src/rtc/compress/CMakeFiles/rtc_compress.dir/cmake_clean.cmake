@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_compress.dir/bbox.cpp.o"
+  "CMakeFiles/rtc_compress.dir/bbox.cpp.o.d"
+  "CMakeFiles/rtc_compress.dir/bbox2d.cpp.o"
+  "CMakeFiles/rtc_compress.dir/bbox2d.cpp.o.d"
+  "CMakeFiles/rtc_compress.dir/codec.cpp.o"
+  "CMakeFiles/rtc_compress.dir/codec.cpp.o.d"
+  "CMakeFiles/rtc_compress.dir/raw.cpp.o"
+  "CMakeFiles/rtc_compress.dir/raw.cpp.o.d"
+  "CMakeFiles/rtc_compress.dir/rle.cpp.o"
+  "CMakeFiles/rtc_compress.dir/rle.cpp.o.d"
+  "CMakeFiles/rtc_compress.dir/trle.cpp.o"
+  "CMakeFiles/rtc_compress.dir/trle.cpp.o.d"
+  "librtc_compress.a"
+  "librtc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/core/factory.cpp" "src/rtc/core/CMakeFiles/rtc_core.dir/factory.cpp.o" "gcc" "src/rtc/core/CMakeFiles/rtc_core.dir/factory.cpp.o.d"
+  "/root/repo/src/rtc/core/predictor.cpp" "src/rtc/core/CMakeFiles/rtc_core.dir/predictor.cpp.o" "gcc" "src/rtc/core/CMakeFiles/rtc_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/rtc/core/rt_compositor.cpp" "src/rtc/core/CMakeFiles/rtc_core.dir/rt_compositor.cpp.o" "gcc" "src/rtc/core/CMakeFiles/rtc_core.dir/rt_compositor.cpp.o.d"
+  "/root/repo/src/rtc/core/schedule.cpp" "src/rtc/core/CMakeFiles/rtc_core.dir/schedule.cpp.o" "gcc" "src/rtc/core/CMakeFiles/rtc_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtc/compositing/CMakeFiles/rtc_compositing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/comm/CMakeFiles/rtc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/compress/CMakeFiles/rtc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/image/CMakeFiles/rtc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_core.dir/factory.cpp.o"
+  "CMakeFiles/rtc_core.dir/factory.cpp.o.d"
+  "CMakeFiles/rtc_core.dir/predictor.cpp.o"
+  "CMakeFiles/rtc_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/rtc_core.dir/rt_compositor.cpp.o"
+  "CMakeFiles/rtc_core.dir/rt_compositor.cpp.o.d"
+  "CMakeFiles/rtc_core.dir/schedule.cpp.o"
+  "CMakeFiles/rtc_core.dir/schedule.cpp.o.d"
+  "librtc_core.a"
+  "librtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

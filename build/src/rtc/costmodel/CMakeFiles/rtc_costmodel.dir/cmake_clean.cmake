@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_costmodel.dir/table1.cpp.o"
+  "CMakeFiles/rtc_costmodel.dir/table1.cpp.o.d"
+  "librtc_costmodel.a"
+  "librtc_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtc_costmodel.a"
+)

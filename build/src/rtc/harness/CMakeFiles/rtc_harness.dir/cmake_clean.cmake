@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_harness.dir/experiment.cpp.o"
+  "CMakeFiles/rtc_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/rtc_harness.dir/scene.cpp.o"
+  "CMakeFiles/rtc_harness.dir/scene.cpp.o.d"
+  "CMakeFiles/rtc_harness.dir/table.cpp.o"
+  "CMakeFiles/rtc_harness.dir/table.cpp.o.d"
+  "CMakeFiles/rtc_harness.dir/trace.cpp.o"
+  "CMakeFiles/rtc_harness.dir/trace.cpp.o.d"
+  "librtc_harness.a"
+  "librtc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

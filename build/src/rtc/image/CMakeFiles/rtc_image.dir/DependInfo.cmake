@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/image/io.cpp" "src/rtc/image/CMakeFiles/rtc_image.dir/io.cpp.o" "gcc" "src/rtc/image/CMakeFiles/rtc_image.dir/io.cpp.o.d"
+  "/root/repo/src/rtc/image/ops.cpp" "src/rtc/image/CMakeFiles/rtc_image.dir/ops.cpp.o" "gcc" "src/rtc/image/CMakeFiles/rtc_image.dir/ops.cpp.o.d"
+  "/root/repo/src/rtc/image/serialize.cpp" "src/rtc/image/CMakeFiles/rtc_image.dir/serialize.cpp.o" "gcc" "src/rtc/image/CMakeFiles/rtc_image.dir/serialize.cpp.o.d"
+  "/root/repo/src/rtc/image/tiling.cpp" "src/rtc/image/CMakeFiles/rtc_image.dir/tiling.cpp.o" "gcc" "src/rtc/image/CMakeFiles/rtc_image.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

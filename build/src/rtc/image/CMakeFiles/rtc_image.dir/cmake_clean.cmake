@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_image.dir/io.cpp.o"
+  "CMakeFiles/rtc_image.dir/io.cpp.o.d"
+  "CMakeFiles/rtc_image.dir/ops.cpp.o"
+  "CMakeFiles/rtc_image.dir/ops.cpp.o.d"
+  "CMakeFiles/rtc_image.dir/serialize.cpp.o"
+  "CMakeFiles/rtc_image.dir/serialize.cpp.o.d"
+  "CMakeFiles/rtc_image.dir/tiling.cpp.o"
+  "CMakeFiles/rtc_image.dir/tiling.cpp.o.d"
+  "librtc_image.a"
+  "librtc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

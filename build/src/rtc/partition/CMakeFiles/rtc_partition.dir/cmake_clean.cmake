@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_partition.dir/partition.cpp.o"
+  "CMakeFiles/rtc_partition.dir/partition.cpp.o.d"
+  "librtc_partition.a"
+  "librtc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/render/perspective.cpp" "src/rtc/render/CMakeFiles/rtc_render.dir/perspective.cpp.o" "gcc" "src/rtc/render/CMakeFiles/rtc_render.dir/perspective.cpp.o.d"
+  "/root/repo/src/rtc/render/raycast.cpp" "src/rtc/render/CMakeFiles/rtc_render.dir/raycast.cpp.o" "gcc" "src/rtc/render/CMakeFiles/rtc_render.dir/raycast.cpp.o.d"
+  "/root/repo/src/rtc/render/rle_volume.cpp" "src/rtc/render/CMakeFiles/rtc_render.dir/rle_volume.cpp.o" "gcc" "src/rtc/render/CMakeFiles/rtc_render.dir/rle_volume.cpp.o.d"
+  "/root/repo/src/rtc/render/shearwarp.cpp" "src/rtc/render/CMakeFiles/rtc_render.dir/shearwarp.cpp.o" "gcc" "src/rtc/render/CMakeFiles/rtc_render.dir/shearwarp.cpp.o.d"
+  "/root/repo/src/rtc/render/splat.cpp" "src/rtc/render/CMakeFiles/rtc_render.dir/splat.cpp.o" "gcc" "src/rtc/render/CMakeFiles/rtc_render.dir/splat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtc/image/CMakeFiles/rtc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/volume/CMakeFiles/rtc_volume.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_render.dir/perspective.cpp.o"
+  "CMakeFiles/rtc_render.dir/perspective.cpp.o.d"
+  "CMakeFiles/rtc_render.dir/raycast.cpp.o"
+  "CMakeFiles/rtc_render.dir/raycast.cpp.o.d"
+  "CMakeFiles/rtc_render.dir/rle_volume.cpp.o"
+  "CMakeFiles/rtc_render.dir/rle_volume.cpp.o.d"
+  "CMakeFiles/rtc_render.dir/shearwarp.cpp.o"
+  "CMakeFiles/rtc_render.dir/shearwarp.cpp.o.d"
+  "CMakeFiles/rtc_render.dir/splat.cpp.o"
+  "CMakeFiles/rtc_render.dir/splat.cpp.o.d"
+  "librtc_render.a"
+  "librtc_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

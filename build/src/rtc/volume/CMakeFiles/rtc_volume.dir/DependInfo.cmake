@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/volume/histogram.cpp" "src/rtc/volume/CMakeFiles/rtc_volume.dir/histogram.cpp.o" "gcc" "src/rtc/volume/CMakeFiles/rtc_volume.dir/histogram.cpp.o.d"
+  "/root/repo/src/rtc/volume/io.cpp" "src/rtc/volume/CMakeFiles/rtc_volume.dir/io.cpp.o" "gcc" "src/rtc/volume/CMakeFiles/rtc_volume.dir/io.cpp.o.d"
+  "/root/repo/src/rtc/volume/phantom.cpp" "src/rtc/volume/CMakeFiles/rtc_volume.dir/phantom.cpp.o" "gcc" "src/rtc/volume/CMakeFiles/rtc_volume.dir/phantom.cpp.o.d"
+  "/root/repo/src/rtc/volume/transfer.cpp" "src/rtc/volume/CMakeFiles/rtc_volume.dir/transfer.cpp.o" "gcc" "src/rtc/volume/CMakeFiles/rtc_volume.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtc/image/CMakeFiles/rtc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtc_volume.dir/histogram.cpp.o"
+  "CMakeFiles/rtc_volume.dir/histogram.cpp.o.d"
+  "CMakeFiles/rtc_volume.dir/io.cpp.o"
+  "CMakeFiles/rtc_volume.dir/io.cpp.o.d"
+  "CMakeFiles/rtc_volume.dir/phantom.cpp.o"
+  "CMakeFiles/rtc_volume.dir/phantom.cpp.o.d"
+  "CMakeFiles/rtc_volume.dir/transfer.cpp.o"
+  "CMakeFiles/rtc_volume.dir/transfer.cpp.o.d"
+  "librtc_volume.a"
+  "librtc_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtc_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blend_radix_test.dir/compositing/blend_radix_test.cpp.o"
+  "CMakeFiles/blend_radix_test.dir/compositing/blend_radix_test.cpp.o.d"
+  "blend_radix_test"
+  "blend_radix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blend_radix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_fuzz_test.dir/compositing/conformance_fuzz_test.cpp.o"
+  "CMakeFiles/conformance_fuzz_test.dir/compositing/conformance_fuzz_test.cpp.o.d"
+  "conformance_fuzz_test"
+  "conformance_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_serialize_test.dir/image/io_serialize_test.cpp.o"
+  "CMakeFiles/io_serialize_test.dir/image/io_serialize_test.cpp.o.d"
+  "io_serialize_test"
+  "io_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_test.dir/compositing/methods_test.cpp.o"
+  "CMakeFiles/methods_test.dir/compositing/methods_test.cpp.o.d"
+  "methods_test"
+  "methods_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_test.dir/render/perspective_test.cpp.o"
+  "CMakeFiles/perspective_test.dir/render/perspective_test.cpp.o.d"
+  "perspective_test"
+  "perspective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

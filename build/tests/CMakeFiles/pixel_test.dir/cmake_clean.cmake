@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixel_test.dir/image/pixel_test.cpp.o"
+  "CMakeFiles/pixel_test.dir/image/pixel_test.cpp.o.d"
+  "pixel_test"
+  "pixel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splat_test.dir/render/splat_test.cpp.o"
+  "CMakeFiles/splat_test.dir/render/splat_test.cpp.o.d"
+  "splat_test"
+  "splat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trle_test.dir/compress/trle_test.cpp.o"
+  "CMakeFiles/trle_test.dir/compress/trle_test.cpp.o.d"
+  "trle_test"
+  "trle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trle_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_test.dir/comm/world_test.cpp.o"
+  "CMakeFiles/world_test.dir/comm/world_test.cpp.o.d"
+  "world_test"
+  "world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

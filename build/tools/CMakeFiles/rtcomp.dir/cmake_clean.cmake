@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtcomp.dir/rtcomp_cli.cpp.o"
+  "CMakeFiles/rtcomp.dir/rtcomp_cli.cpp.o.d"
+  "rtcomp"
+  "rtcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
