@@ -162,6 +162,7 @@ bench/CMakeFiles/bench_eq56_bounds.dir/bench_eq56_bounds.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/harness/experiment.hpp \
+ /root/repo/src/rtc/comm/fault.hpp /usr/include/c++/12/limits \
  /root/repo/src/rtc/comm/stats.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/rtc/image/image.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
@@ -188,8 +189,7 @@ bench/CMakeFiles/bench_eq56_bounds.dir/bench_eq56_bounds.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -181,7 +181,7 @@ examples/CMakeFiles/animation_sweep.dir/animation_sweep.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/rtc/image/image.hpp \

@@ -221,8 +221,11 @@ src/rtc/color/CMakeFiles/rtc_color.dir/raycast.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/rtc/comm/network_model.hpp \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/rtc/comm/error.hpp /root/repo/src/rtc/comm/fault.hpp \
+ /usr/include/c++/12/limits /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/rtc/core/schedule.hpp \
@@ -236,8 +239,7 @@ src/rtc/color/CMakeFiles/rtc_color.dir/raycast.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \

@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtc/comm/fault.cpp" "src/rtc/comm/CMakeFiles/rtc_comm.dir/fault.cpp.o" "gcc" "src/rtc/comm/CMakeFiles/rtc_comm.dir/fault.cpp.o.d"
+  "/root/repo/src/rtc/comm/frame.cpp" "src/rtc/comm/CMakeFiles/rtc_comm.dir/frame.cpp.o" "gcc" "src/rtc/comm/CMakeFiles/rtc_comm.dir/frame.cpp.o.d"
   "/root/repo/src/rtc/comm/world.cpp" "src/rtc/comm/CMakeFiles/rtc_comm.dir/world.cpp.o" "gcc" "src/rtc/comm/CMakeFiles/rtc_comm.dir/world.cpp.o.d"
   )
 

@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rtc_comm.dir/fault.cpp.o"
+  "CMakeFiles/rtc_comm.dir/fault.cpp.o.d"
+  "CMakeFiles/rtc_comm.dir/frame.cpp.o"
+  "CMakeFiles/rtc_comm.dir/frame.cpp.o.d"
   "CMakeFiles/rtc_comm.dir/world.cpp.o"
   "CMakeFiles/rtc_comm.dir/world.cpp.o.d"
   "librtc_comm.a"

@@ -214,8 +214,11 @@ src/rtc/compositing/CMakeFiles/rtc_compositing.dir/binary_swap.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/span \
- /root/repo/src/rtc/comm/network_model.hpp \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/rtc/comm/error.hpp /root/repo/src/rtc/comm/fault.hpp \
+ /usr/include/c++/12/limits /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/rtc/compress/codec.hpp /root/repo/src/rtc/image/image.hpp \

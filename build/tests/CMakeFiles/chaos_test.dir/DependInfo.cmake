@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compositing/chaos_test.cpp" "tests/CMakeFiles/chaos_test.dir/compositing/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/chaos_test.dir/compositing/chaos_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtc/harness/CMakeFiles/rtc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/core/CMakeFiles/rtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/compositing/CMakeFiles/rtc_compositing.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/compress/CMakeFiles/rtc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/comm/CMakeFiles/rtc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/image/CMakeFiles/rtc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/volume/CMakeFiles/rtc_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/partition/CMakeFiles/rtc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/render/CMakeFiles/rtc_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/costmodel/CMakeFiles/rtc_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtc/color/CMakeFiles/rtc_color.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

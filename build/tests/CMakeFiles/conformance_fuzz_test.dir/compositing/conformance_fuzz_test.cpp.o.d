@@ -322,6 +322,7 @@ tests/CMakeFiles/conformance_fuzz_test.dir/compositing/conformance_fuzz_test.cpp
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/rtc/harness/experiment.hpp \
+ /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /root/repo/src/rtc/image/image.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

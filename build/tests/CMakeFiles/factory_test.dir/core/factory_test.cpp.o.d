@@ -296,6 +296,9 @@ tests/CMakeFiles/factory_test.dir/core/factory_test.cpp.o: \
  /root/repo/src/rtc/common/check.hpp \
  /root/repo/src/rtc/compositing/compositor.hpp \
  /root/repo/src/rtc/comm/world.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/rtc/comm/error.hpp /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /root/repo/src/rtc/compress/codec.hpp \
  /root/repo/src/rtc/image/image.hpp /usr/include/c++/12/algorithm \

@@ -294,6 +294,7 @@ tests/CMakeFiles/golden_test.dir/harness/golden_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rtc/harness/experiment.hpp \
+ /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /root/repo/src/rtc/image/image.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

@@ -295,6 +295,7 @@ tests/CMakeFiles/harness_test.dir/harness/harness_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rtc/common/check.hpp \
  /root/repo/src/rtc/harness/experiment.hpp \
+ /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /root/repo/src/rtc/image/image.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

@@ -302,7 +302,9 @@ tests/CMakeFiles/pipeline_test.dir/integration/pipeline_test.cpp.o: \
  /root/repo/src/rtc/color/pixel.hpp /root/repo/src/rtc/image/pixel.hpp \
  /root/repo/src/rtc/common/check.hpp /root/repo/src/rtc/image/image.hpp \
  /root/repo/src/rtc/image/ops.hpp /root/repo/src/rtc/color/transfer.hpp \
- /root/repo/src/rtc/comm/world.hpp \
+ /root/repo/src/rtc/comm/world.hpp /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/rtc/comm/error.hpp /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /root/repo/src/rtc/core/schedule.hpp \
  /root/repo/src/rtc/render/camera.hpp /usr/include/c++/12/cmath \

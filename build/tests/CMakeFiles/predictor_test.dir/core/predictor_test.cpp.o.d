@@ -296,8 +296,9 @@ tests/CMakeFiles/predictor_test.dir/core/predictor_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rtc/harness/experiment.hpp \
- /root/repo/src/rtc/comm/stats.hpp /root/repo/src/rtc/image/image.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/rtc/comm/fault.hpp /root/repo/src/rtc/comm/stats.hpp \
+ /root/repo/src/rtc/image/image.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span \
  /root/repo/src/rtc/common/check.hpp /root/repo/src/rtc/image/pixel.hpp \

@@ -300,6 +300,7 @@ tests/CMakeFiles/trace_test.dir/harness/trace_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/rtc/harness/experiment.hpp \
+ /root/repo/src/rtc/comm/fault.hpp \
  /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/image/image.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

@@ -210,11 +210,14 @@ tests/CMakeFiles/world_test.dir/comm/world_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
- /root/repo/src/rtc/comm/network_model.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/rtc/comm/error.hpp /root/repo/src/rtc/comm/fault.hpp \
+ /usr/include/c++/12/limits /root/repo/src/rtc/comm/network_model.hpp \
  /root/repo/src/rtc/comm/stats.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -243,8 +246,7 @@ tests/CMakeFiles/world_test.dir/comm/world_test.cpp.o: \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
- /usr/include/regex.h /usr/include/c++/12/any \
- /usr/include/c++/12/optional /usr/include/c++/12/variant \
+ /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the comm substrate and the chaos suite under ThreadSanitizer
+# (and optionally AddressSanitizer+UBSan) and runs the concurrency-
+# sensitive tests. The World runs one real thread per rank, so TSan is
+# the authoritative race check for the mailbox/death/barrier paths —
+# including the fault-injection ones that crash ranks mid-run.
+#
+# Usage: scripts/check_sanitizers.sh [thread|address|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+TESTS="world_test|frame_test|chaos_test|wire_test|methods_test"
+
+run_mode() {
+  local san="$1"
+  local dir="build-$san"
+  echo "== RTC_SANITIZE=$san =="
+  cmake -B "$dir" -S . -DRTC_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$dir" -j --target \
+        world_test frame_test chaos_test wire_test methods_test
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" -R "$TESTS")
+}
+
+case "$MODE" in
+  thread)  run_mode thread ;;
+  address) run_mode address ;;
+  all)     run_mode thread; run_mode address ;;
+  *) echo "usage: $0 [thread|address|all]" >&2; exit 2 ;;
+esac
+echo "sanitizer checks passed"

@@ -1,0 +1,83 @@
+// Typed communication failures.
+//
+// A failing chaos run is only actionable if the error says *which* rank
+// was stuck on *what*. CommError therefore carries the full context of
+// the failing operation: the waiting rank, the peer and tag it was
+// matched against, the rank's virtual time, the wall-clock seconds it
+// waited, and a snapshot of the rank's mailbox (every pending
+// (src, tag) queue and its depth) taken at failure time.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rtc::comm {
+
+class CommError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kTimeout,      ///< recv exceeded the wall-clock deadlock timeout
+    kPeerDead,     ///< matched peer crashed before sending
+    kMessageLost,  ///< retry budget exhausted (drop/corruption persisted)
+  };
+
+  CommError(Kind kind, int rank, int peer, int tag, double virtual_time,
+            double elapsed_wall, std::string mailbox_snapshot)
+      : std::runtime_error(format(kind, rank, peer, tag, virtual_time,
+                                  elapsed_wall, mailbox_snapshot)),
+        kind_(kind),
+        rank_(rank),
+        peer_(peer),
+        tag_(tag),
+        virtual_time_(virtual_time),
+        elapsed_wall_(elapsed_wall),
+        mailbox_snapshot_(std::move(mailbox_snapshot)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int peer() const { return peer_; }
+  [[nodiscard]] int tag() const { return tag_; }
+  [[nodiscard]] double virtual_time() const { return virtual_time_; }
+  /// Wall-clock seconds spent waiting (timeout errors; 0 otherwise).
+  [[nodiscard]] double elapsed() const { return elapsed_wall_; }
+  /// Pending (src, tag) -> depth entries of the rank's mailbox.
+  [[nodiscard]] const std::string& mailbox_snapshot() const {
+    return mailbox_snapshot_;
+  }
+
+ private:
+  static std::string kind_name(Kind k) {
+    switch (k) {
+      case Kind::kTimeout:
+        return "timeout";
+      case Kind::kPeerDead:
+        return "peer dead";
+      case Kind::kMessageLost:
+        return "message lost";
+    }
+    return "?";
+  }
+
+  static std::string format(Kind kind, int rank, int peer, int tag,
+                            double virtual_time, double elapsed_wall,
+                            const std::string& snapshot) {
+    std::string s = "comm error (" + kind_name(kind) + "): rank " +
+                    std::to_string(rank) + " waiting on (src=" +
+                    std::to_string(peer) + ", tag=" + std::to_string(tag) +
+                    ") at virtual t=" + std::to_string(virtual_time);
+    if (elapsed_wall > 0.0)
+      s += " after " + std::to_string(elapsed_wall) + "s wall";
+    if (!snapshot.empty()) s += "; mailbox: " + snapshot;
+    return s;
+  }
+
+  Kind kind_;
+  int rank_;
+  int peer_;
+  int tag_;
+  double virtual_time_;
+  double elapsed_wall_;
+  std::string mailbox_snapshot_;
+};
+
+}  // namespace rtc::comm

@@ -1,0 +1,124 @@
+#include "rtc/comm/fault.hpp"
+
+#include <cstddef>
+
+namespace rtc::comm {
+
+namespace {
+
+// splitmix64 — small, well-mixed, and stable across platforms.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+}
+
+double to_unit(std::uint64_t h) {
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// Per-decision salts so the drop/corrupt/delay/duplicate coins of one
+// attempt are independent.
+constexpr std::uint64_t kSaltDrop = 0xD0;
+constexpr std::uint64_t kSaltCorrupt = 0xC0;
+constexpr std::uint64_t kSaltDelay = 0x1A;
+constexpr std::uint64_t kSaltDelayMag = 0x1B;
+constexpr std::uint64_t kSaltDuplicate = 0xDD;
+constexpr std::uint64_t kSaltBit = 0xB1;
+
+}  // namespace
+
+double FaultInjector::uniform(int src, int dst, int tag, std::uint32_t seq,
+                              int attempt, std::uint64_t salt) const {
+  std::uint64_t h = mix(plan_.seed);
+  h = combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  h = combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  h = combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = combine(h, seq);
+  h = combine(h,
+              static_cast<std::uint64_t>(static_cast<std::int64_t>(attempt)));
+  h = combine(h, salt);
+  return to_unit(h);
+}
+
+WireShaping FaultInjector::shape(int src, int dst, int tag,
+                                 std::uint32_t seq,
+                                 std::int64_t payload_bytes,
+                                 const NetworkModel& model,
+                                 const ResiliencePolicy& policy) const {
+  WireShaping s;
+  if (plan_.any_wire_faults()) {
+    // Delay spike: the message makes it but arrives late (congestion,
+    // adaptive routing detour). Independent of the retry loop.
+    if (plan_.delay > 0.0 &&
+        uniform(src, dst, tag, seq, 0, kSaltDelay) < plan_.delay) {
+      s.delayed = true;
+      s.extra_delay += plan_.delay_mean *
+                       (0.5 + uniform(src, dst, tag, seq, 0, kSaltDelayMag));
+    }
+    if (plan_.duplicate > 0.0 &&
+        uniform(src, dst, tag, seq, 0, kSaltDuplicate) < plan_.duplicate)
+      s.duplicate = true;
+
+    // Delivery attempts: attempt 0 is the original transmission; each
+    // failure waits out the (backed-off) retransmit timeout and resends,
+    // paying Ts and the payload's wire time again.
+    bool delivered = false;
+    for (int attempt = 0; attempt <= policy.retries; ++attempt) {
+      const bool dropped =
+          plan_.drop > 0.0 &&
+          uniform(src, dst, tag, seq, attempt, kSaltDrop) < plan_.drop;
+      const bool corrupted =
+          !dropped && plan_.corrupt > 0.0 &&
+          uniform(src, dst, tag, seq, attempt, kSaltCorrupt) < plan_.corrupt;
+      if (!dropped && !corrupted) {
+        delivered = true;
+        break;
+      }
+      if (dropped)
+        s.drops += 1;
+      else
+        s.crc_failures += 1;
+      s.extra_delay += policy.timeout * static_cast<double>(1 << attempt);
+      if (attempt < policy.retries) {
+        s.retransmits += 1;
+        s.extra_delay += model.ts + model.wire_time(payload_bytes);
+      } else if (corrupted) {
+        // The final attempt arrived damaged: deliver it damaged so the
+        // receiver's CRC — not an oracle — makes the call.
+        s.corrupt_delivery = true;
+        s.corrupt_salt =
+            static_cast<std::uint64_t>(seq) +
+            std::uint64_t{0x5EED} * static_cast<std::uint64_t>(attempt + 1);
+      }
+    }
+    s.lost = !delivered;
+  }
+  return s;
+}
+
+bool FaultInjector::should_crash(int rank, int sends_attempted,
+                                 double clock) const {
+  for (const FaultPlan::Crash& c : plan_.crashes) {
+    if (c.rank != rank) continue;
+    if (c.after_sends >= 0 && sends_attempted > c.after_sends) return true;
+    if (clock >= c.at_time) return true;
+  }
+  return false;
+}
+
+void FaultInjector::flip_bit(std::vector<std::byte>& frame,
+                             std::uint64_t salt) {
+  if (frame.empty()) return;
+  const std::uint64_t h = mix(combine(mix(salt), kSaltBit));
+  const std::size_t bit = static_cast<std::size_t>(h % (frame.size() * 8));
+  frame[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
+}  // namespace rtc::comm

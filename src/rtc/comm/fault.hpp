@@ -1,0 +1,126 @@
+// Deterministic fault injection for the message-passing substrate.
+//
+// The paper assumes a perfectly reliable SP2 interconnect; a production
+// deployment cannot. This module describes faults (FaultPlan), decides
+// them reproducibly (FaultInjector), and parameterizes how the runtime
+// reacts (ResiliencePolicy).
+//
+// Determinism: every decision is a pure hash of
+// (seed, src, dst, tag, seq, attempt) — independent of thread
+// scheduling — so a faulty run is exactly as reproducible in virtual
+// time as a clean one. Re-running a chaos experiment with the same seed
+// replays the same drops, bit-flips, delays and crashes.
+//
+// Recovery model (see docs/fault_model.md): every message is framed and
+// CRC-checksummed (frame.hpp). A dropped or corrupted delivery is
+// detected — by retransmit timeout or by CRC/NACK respectively — and
+// the sender retransmits with exponential backoff, up to
+// ResiliencePolicy::retries times. Each failed attempt charges
+// `timeout * 2^attempt + Ts + wire_time(payload)` of virtual time to
+// the message's availability, so retries delay the receiver exactly as
+// a real reliable protocol would. A message whose retry budget is
+// exhausted is *lost*: the receiver observes CommError::kMessageLost
+// (or a nullopt from try_recv) at the virtual time it gave up waiting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "rtc/comm/network_model.hpp"
+
+namespace rtc::comm {
+
+/// How the runtime reacts to wire faults and dead peers.
+struct ResiliencePolicy {
+  /// Retransmissions attempted per message before declaring it lost.
+  int retries = 4;
+  /// Base retransmit timeout in *virtual* seconds; attempt i waits
+  /// timeout * 2^i (exponential backoff).
+  double timeout = 0.01;
+  enum class PeerLoss {
+    kThrow,  ///< recv throws CommError (fail-stop diagnostics)
+    kBlank,  ///< compositors substitute an all-blank block and continue
+  };
+  PeerLoss on_peer_loss = PeerLoss::kThrow;
+};
+
+/// A seeded schedule of faults. All rates are per-delivery-attempt
+/// probabilities in [0, 1]; crashes are threshold-triggered.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  double drop = 0.0;       ///< P(attempt silently dropped)
+  double corrupt = 0.0;    ///< P(attempt arrives with a flipped bit)
+  double duplicate = 0.0;  ///< P(message delivered twice)
+  double delay = 0.0;      ///< P(delay spike on the message)
+  double delay_mean = 0.0; ///< mean extra virtual seconds per spike
+
+  /// Rank death. A rank crashes just before completing send number
+  /// `after_sends + 1`, or at the first comm operation once its
+  /// virtual clock reaches `at_time` — whichever triggers first.
+  struct Crash {
+    int rank = -1;
+    int after_sends = -1;  ///< -1: no message-count trigger
+    double at_time = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Crash> crashes;
+
+  [[nodiscard]] bool any_wire_faults() const {
+    return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0;
+  }
+  [[nodiscard]] bool enabled() const {
+    return any_wire_faults() || !crashes.empty();
+  }
+};
+
+/// Everything the injector decided about one message, resolved at send
+/// time (the decisions depend only on the plan and the message key, so
+/// resolving them eagerly keeps the virtual-time DAG deterministic).
+struct WireShaping {
+  double extra_delay = 0.0;  ///< virtual seconds added to availability
+  int retransmits = 0;       ///< resends performed
+  int drops = 0;             ///< attempts that vanished on the wire
+  int crc_failures = 0;      ///< attempts that arrived damaged
+  bool delayed = false;      ///< a delay spike fired
+  bool duplicate = false;    ///< deliver a second copy
+  bool lost = false;         ///< retry budget exhausted
+  /// When lost via corruption, the delivered frame keeps the damage so
+  /// the receiver's CRC check (not an oracle) detects it; salt picks
+  /// the flipped bit.
+  bool corrupt_delivery = false;
+  std::uint64_t corrupt_salt = 0;
+};
+
+/// Pure-function fault decider over a FaultPlan.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Resolves the fault outcome of message (src -> dst, tag, seq) of
+  /// `payload_bytes`, including all retry accounting under `policy`.
+  [[nodiscard]] WireShaping shape(int src, int dst, int tag,
+                                  std::uint32_t seq,
+                                  std::int64_t payload_bytes,
+                                  const NetworkModel& model,
+                                  const ResiliencePolicy& policy) const;
+
+  /// True when `rank` must die now: `sends_attempted` counts the
+  /// in-progress send (1-based), `clock` is the rank's virtual time.
+  [[nodiscard]] bool should_crash(int rank, int sends_attempted,
+                                  double clock) const;
+
+  /// Flips one deterministically-chosen bit of `frame` (for lost
+  /// corrupt deliveries).
+  static void flip_bit(std::vector<std::byte>& frame, std::uint64_t salt);
+
+ private:
+  [[nodiscard]] double uniform(int src, int dst, int tag, std::uint32_t seq,
+                               int attempt, std::uint64_t salt) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace rtc::comm

@@ -1,0 +1,96 @@
+#include "rtc/comm/frame.hpp"
+
+#include <array>
+
+namespace rtc::comm {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int s = 0; s < 4; ++s)
+    out.push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int s = 0; s < 8; ++s)
+    out.push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int s = 0; s < 4; ++s)
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(s)]))
+         << (8 * s);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::byte> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int s = 0; s < 8; ++s)
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(s)]))
+         << (8 * s);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::byte b : data)
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::byte> encode_frame(std::uint32_t seq,
+                                    std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, seq);
+  put_u64(out, static_cast<std::uint64_t>(payload.size()));
+  put_u32(out, crc32(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+DecodedFrame decode_frame(std::span<const std::byte> frame) {
+  DecodedFrame d;
+  if (frame.size() < kFrameHeaderBytes) {
+    d.status = FrameStatus::kTruncated;
+    return d;
+  }
+  if (get_u32(frame, 0) != kFrameMagic) {
+    d.status = FrameStatus::kBadMagic;
+    return d;
+  }
+  d.seq = get_u32(frame, 4);
+  const std::uint64_t len = get_u64(frame, 8);
+  if (len != frame.size() - kFrameHeaderBytes) {
+    d.status = FrameStatus::kBadLength;
+    return d;
+  }
+  const std::span<const std::byte> payload = frame.subspan(kFrameHeaderBytes);
+  if (get_u32(frame, 16) != crc32(payload)) {
+    d.status = FrameStatus::kBadCrc;
+    return d;
+  }
+  d.status = FrameStatus::kOk;
+  d.payload = payload;
+  return d;
+}
+
+}  // namespace rtc::comm

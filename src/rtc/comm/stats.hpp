@@ -23,6 +23,19 @@ struct RankStats {
   std::int64_t messages_received = 0;
   std::int64_t bytes_received = 0;
   std::int64_t pixels_composited = 0;
+  // Fault/recovery counters (all zero on a clean run). Wire-level
+  // counters are accounted at the receiver, which is where the
+  // protocol observes them (a retransmit is seen as a late arrival).
+  std::int64_t retransmits = 0;           ///< resends this rank absorbed
+  std::int64_t crc_failures = 0;          ///< damaged frames detected
+  std::int64_t drops_detected = 0;        ///< drops recovered by timeout
+  std::int64_t duplicates_discarded = 0;  ///< repeated sequence numbers
+  std::int64_t delays_injected = 0;       ///< delay spikes absorbed
+  std::int64_t lost_messages = 0;         ///< retry budget exhausted
+  std::int64_t lost_pixels = 0;           ///< pixels substituted blank
+  /// Block ids the compositor had to substitute blank (degradation).
+  std::vector<std::int64_t> lost_blocks;
+  bool crashed = false;  ///< this rank died under a fault plan
   double clock = 0.0;  ///< final virtual time of this rank (seconds)
   /// (id, virtual time) checkpoints recorded via Comm::mark — the
   /// compositors mark the end of each communication step so benches
@@ -60,6 +73,67 @@ struct RunStats {
     for (const RankStats& r : ranks)
       n = r.messages_sent > n ? r.messages_sent : n;
     return n;
+  }
+
+  // --- fault/degradation aggregates -------------------------------
+
+  [[nodiscard]] std::int64_t total_retransmits() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.retransmits;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_crc_failures() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.crc_failures;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_drops_detected() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.drops_detected;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_duplicates_discarded() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.duplicates_discarded;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_lost_messages() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.lost_messages;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_lost_pixels() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.lost_pixels;
+    return n;
+  }
+
+  /// Every block id any rank substituted blank, in rank order.
+  [[nodiscard]] std::vector<std::int64_t> all_lost_blocks() const {
+    std::vector<std::int64_t> out;
+    for (const RankStats& r : ranks)
+      out.insert(out.end(), r.lost_blocks.begin(), r.lost_blocks.end());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<int> dead_ranks() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      if (ranks[i].crashed) out.push_back(static_cast<int>(i));
+    return out;
+  }
+
+  /// True when the result is not guaranteed bit-exact: some work was
+  /// lost (dead rank or exhausted retries) and substituted blank.
+  [[nodiscard]] bool degraded() const {
+    for (const RankStats& r : ranks)
+      if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
+    return false;
   }
 
   /// Latest virtual time any rank recorded for checkpoint `id`

@@ -1,15 +1,32 @@
 #include "rtc/comm/world.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "rtc/common/check.hpp"
+#include "rtc/comm/frame.hpp"
 
 namespace rtc::comm {
+
+namespace {
+
+/// Internal control-flow signal: a rank reached its scheduled crash
+/// point. Caught by World::run's thread wrapper; never user-visible.
+struct RankCrashSignal {};
+
+std::uint64_t seq_key(int src, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         seq;
+}
+
+}  // namespace
 
 struct World::Mailbox {
   std::mutex mu;
@@ -18,10 +35,19 @@ struct World::Mailbox {
   std::map<std::pair<int, int>, std::deque<Envelope>> queues;
 };
 
+struct World::DeathState {
+  explicit DeathState(int size)
+      : dead(static_cast<std::size_t>(size)),
+        time(static_cast<std::size_t>(size), 0.0) {}
+  std::vector<std::atomic<bool>> dead;
+  std::vector<double> time;  ///< write-once before the flag is set
+};
+
 struct World::BarrierState {
   std::mutex mu;
   std::condition_variable cv;
   int waiting = 0;
+  int dead = 0;  ///< crashed ranks never arrive; don't wait for them
   std::uint64_t generation = 0;
   double max_clock = 0.0;
 };
@@ -32,9 +58,15 @@ World::World(int size, NetworkModel model) : size_(size), model_(model) {
   for (int i = 0; i < size; ++i)
     mailboxes_.push_back(std::make_unique<Mailbox>());
   barrier_ = std::make_unique<BarrierState>();
+  deaths_ = std::make_unique<DeathState>(size);
 }
 
 World::~World() = default;
+
+void World::set_fault_plan(const FaultPlan& plan) {
+  injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan)
+                             : nullptr;
+}
 
 void World::deliver(int dst, int src, int tag, Envelope e) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
@@ -45,23 +77,84 @@ void World::deliver(int dst, int src, int tag, Envelope e) {
   box.cv.notify_all();
 }
 
-World::Envelope World::take(int rank, int src, int tag) {
+bool World::is_dead(int rank) const {
+  return deaths_->dead[static_cast<std::size_t>(rank)].load(
+      std::memory_order_acquire);
+}
+
+double World::death_time(int rank) const {
+  return deaths_->time[static_cast<std::size_t>(rank)];
+}
+
+void World::mark_dead(int rank, double at_virtual_time) {
+  deaths_->time[static_cast<std::size_t>(rank)] = at_virtual_time;
+  deaths_->dead[static_cast<std::size_t>(rank)].store(
+      true, std::memory_order_release);
+  // Wake every blocked receiver so dead-peer checks re-run, and release
+  // any barrier that was only waiting for this rank.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  BarrierState& b = *barrier_;
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.dead += 1;
+  if (b.waiting > 0 && b.waiting + b.dead >= size_) {
+    b.waiting = 0;
+    ++b.generation;
+    b.cv.notify_all();
+  }
+}
+
+std::string World::mailbox_snapshot(int rank) const {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [key, q] : box.queues) {
+    if (q.empty()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "(src=" << key.first << ", tag=" << key.second << "): "
+       << q.size();
+  }
+  return first ? "empty" : os.str();
+}
+
+std::optional<World::Envelope> World::take(int rank, int src, int tag,
+                                           double virtual_now) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mu);
   auto ready = [&] {
     auto it = box.queues.find({src, tag});
     return it != box.queues.end() && !it->second.empty();
   };
-  if (!box.cv.wait_for(lock,
-                       std::chrono::duration<double>(recv_timeout_), ready)) {
-    throw std::runtime_error("comm deadlock: rank " + std::to_string(rank) +
-                             " waited for (src=" + std::to_string(src) +
-                             ", tag=" + std::to_string(tag) + ")");
+  const auto started = std::chrono::steady_clock::now();
+  const bool woke = box.cv.wait_for(
+      lock, std::chrono::duration<double>(recv_timeout_),
+      [&] { return ready() || is_dead(src); });
+  if (ready()) {
+    auto& q = box.queues[{src, tag}];
+    Envelope e = std::move(q.front());
+    q.pop_front();
+    return e;
   }
-  auto& q = box.queues[{src, tag}];
-  Envelope e = std::move(q.front());
-  q.pop_front();
-  return e;
+  if (woke && is_dead(src)) return std::nullopt;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [key, q] : box.queues) {
+    if (q.empty()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "(src=" << key.first << ", tag=" << key.second << "): "
+       << q.size();
+  }
+  throw CommError(CommError::Kind::kTimeout, rank, src, tag, virtual_now,
+                  elapsed, first ? "empty" : os.str());
 }
 
 void World::enter_barrier(Comm& c) {
@@ -69,7 +162,7 @@ void World::enter_barrier(Comm& c) {
   std::unique_lock<std::mutex> lock(b.mu);
   b.max_clock = std::max(b.max_clock, c.clock_);
   const std::uint64_t gen = b.generation;
-  if (++b.waiting == size_) {
+  if (++b.waiting + b.dead >= size_) {
     b.waiting = 0;
     ++b.generation;
     c.clock_ = b.max_clock;
@@ -84,11 +177,17 @@ void World::enter_barrier(Comm& c) {
 
 RunResult World::run(const std::function<void(Comm&)>& body) {
   barrier_->waiting = 0;
+  barrier_->dead = 0;
   barrier_->generation = 0;
   barrier_->max_clock = 0.0;
   for (auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
     box->queues.clear();
+  }
+  for (int r = 0; r < size_; ++r) {
+    deaths_->dead[static_cast<std::size_t>(r)].store(
+        false, std::memory_order_release);
+    deaths_->time[static_cast<std::size_t>(r)] = 0.0;
   }
 
   std::vector<Comm> comms;
@@ -102,6 +201,9 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
     threads.emplace_back([&, r] {
       try {
         body(comms[static_cast<std::size_t>(r)]);
+      } catch (const RankCrashSignal&) {
+        // Scheduled death, not an error: mark_dead already ran inside
+        // Comm::die(); the stats flag is set after the join below.
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Unblock peers stuck in recv/barrier so the run can fail fast.
@@ -118,6 +220,7 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   result.stats.ranks.reserve(static_cast<std::size_t>(size_));
   for (Comm& c : comms) {
     c.stats_.clock = c.clock_;
+    c.stats_.crashed = is_dead(c.rank_);
     result.stats.ranks.push_back(c.stats_);
   }
   return result;
@@ -127,9 +230,28 @@ int Comm::size() const { return world_->size(); }
 
 const NetworkModel& Comm::model() const { return world_->model(); }
 
+const ResiliencePolicy& Comm::resilience() const {
+  return world_->resilience();
+}
+
+bool Comm::peer_dead(int rank) const { return world_->is_dead(rank); }
+
+void Comm::die() {
+  world_->mark_dead(rank_, clock_);
+  throw RankCrashSignal{};
+}
+
+void Comm::maybe_crash(bool counting_send) {
+  if (world_->injector_ == nullptr) return;
+  const int sends = counting_send ? send_calls_ : 0;
+  if (world_->injector_->should_crash(rank_, sends, clock_)) die();
+}
+
 void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   RTC_CHECK(dst >= 0 && dst < size());
   RTC_CHECK_MSG(dst != rank_, "self-sends are not modeled");
+  ++send_calls_;
+  maybe_crash(/*counting_send=*/true);
   const auto bytes = static_cast<std::int64_t>(payload.size());
   const NetworkModel& m = world_->model();
   // The sender's CPU is busy for the startup time Ts; the transmission
@@ -137,13 +259,39 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   // in-flight message at a time, later sends queue behind it). This is
   // what lets a receiver overlap compositing block i with the flight of
   // block i+1 — the mechanism behind the paper's optimal block count.
+  // The 20-byte frame header rides free: per-message software overhead
+  // is what Ts already models, so framing leaves clean-run virtual
+  // times bit-identical.
   const double issue = clock_;
   clock_ += m.ts;
   const double depart = std::max(clock_, egress_free_);
   egress_free_ = depart + m.wire_time(bytes);
+
+  const std::uint32_t seq = next_seq_++;
   World::Envelope e;
+  e.frame = encode_frame(seq, payload);
   e.available_at = egress_free_;
-  e.payload = std::move(payload);
+
+  std::optional<World::Envelope> dup;
+  if (world_->injector_ != nullptr) {
+    const WireShaping s = world_->injector_->shape(
+        rank_, dst, tag, seq, bytes, m, world_->resilience());
+    e.available_at += s.extra_delay;
+    e.retransmits = s.retransmits;
+    e.drops = s.drops;
+    e.crc_failures = s.crc_failures;
+    e.delayed = s.delayed;
+    e.lost = s.lost;
+    if (s.corrupt_delivery)
+      FaultInjector::flip_bit(e.frame, s.corrupt_salt);
+    if (s.duplicate) {
+      dup = World::Envelope{};
+      dup->frame = e.frame;
+      dup->available_at = e.available_at + m.wire_time(bytes);
+      dup->duplicate = true;
+    }
+  }
+
   stats_.messages_sent += 1;
   stats_.bytes_sent += bytes;
   if (world_->record_events_) {
@@ -151,26 +299,87 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
         Event{Event::Kind::kSend, issue, clock_, dst, bytes});
   }
   world_->deliver(dst, rank_, tag, std::move(e));
+  if (dup) world_->deliver(dst, rank_, tag, std::move(*dup));
+}
+
+Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
+  RTC_CHECK(src >= 0 && src < size());
+  RTC_CHECK_MSG(src != rank_, "self-receives are not modeled");
+  maybe_crash(/*counting_send=*/false);
+  const double wait_from = clock_;
+  for (;;) {
+    std::optional<World::Envelope> e =
+        world_->take(rank_, src, tag, clock_);
+    if (!e) {
+      // Peer crashed with nothing pending: the loss is detected one
+      // retransmit timeout after the peer's (deterministic) death time.
+      clock_ = std::max(clock_, world_->death_time(src) +
+                                    world_->resilience().timeout);
+      stats_.lost_messages += 1;
+      if (world_->record_events_ && clock_ > wait_from)
+        stats_.events.push_back(
+            Event{Event::Kind::kRecvWait, wait_from, clock_, src, 0});
+      return RecvOutcome{RecvStatus::kPeerDead, {}};
+    }
+    // Wire-fault accounting is observed by the receiving protocol side
+    // (a retransmit is seen as a late, recovered arrival).
+    stats_.retransmits += e->retransmits;
+    stats_.drops_detected += e->drops;
+    stats_.crc_failures += e->crc_failures;
+    if (e->delayed) stats_.delays_injected += 1;
+
+    const DecodedFrame d = decode_frame(e->frame);
+    if (d.ok() && !seen_seqs_.insert(seq_key(src, d.seq)).second) {
+      // Sequence number already consumed: injected duplicate. Discard
+      // without advancing the clock — protocol-level dedup is free.
+      stats_.duplicates_discarded += 1;
+      continue;
+    }
+    clock_ = std::max(clock_, e->available_at);
+    if (world_->record_events_ && clock_ > wait_from)
+      stats_.events.push_back(Event{
+          Event::Kind::kRecvWait, wait_from, clock_, src,
+          static_cast<std::int64_t>(e->frame.size())});
+    if (e->lost || !d.ok()) {
+      // Retry budget exhausted (the frame either never got through or
+      // is still damaged — the CRC, not an oracle, catches the latter).
+      if (!d.ok() && !e->lost) stats_.crc_failures += 1;
+      stats_.lost_messages += 1;
+      return RecvOutcome{RecvStatus::kLost, {}};
+    }
+    stats_.messages_received += 1;
+    stats_.bytes_received += static_cast<std::int64_t>(d.payload.size());
+    return RecvOutcome{
+        RecvStatus::kOk,
+        std::vector<std::byte>(d.payload.begin(), d.payload.end())};
+  }
 }
 
 std::vector<std::byte> Comm::recv(int src, int tag) {
-  RTC_CHECK(src >= 0 && src < size());
-  RTC_CHECK_MSG(src != rank_, "self-receives are not modeled");
-  World::Envelope e = world_->take(rank_, src, tag);
-  const double wait_from = clock_;
-  clock_ = std::max(clock_, e.available_at);
-  stats_.messages_received += 1;
-  stats_.bytes_received += static_cast<std::int64_t>(e.payload.size());
-  if (world_->record_events_ && clock_ > wait_from) {
-    stats_.events.push_back(
-        Event{Event::Kind::kRecvWait, wait_from, clock_, src,
-              static_cast<std::int64_t>(e.payload.size())});
+  RecvOutcome out = recv_outcome(src, tag);
+  switch (out.status) {
+    case RecvStatus::kOk:
+      return std::move(out.payload);
+    case RecvStatus::kPeerDead:
+      throw CommError(CommError::Kind::kPeerDead, rank_, src, tag, clock_,
+                      0.0, world_->mailbox_snapshot(rank_));
+    case RecvStatus::kLost:
+      throw CommError(CommError::Kind::kMessageLost, rank_, src, tag,
+                      clock_, 0.0, world_->mailbox_snapshot(rank_));
   }
-  return std::move(e.payload);
+  RTC_CHECK(false);
+  return {};
+}
+
+std::optional<std::vector<std::byte>> Comm::try_recv(int src, int tag) {
+  RecvOutcome out = recv_outcome(src, tag);
+  if (out.status != RecvStatus::kOk) return std::nullopt;
+  return std::move(out.payload);
 }
 
 void Comm::compute(double seconds) {
   RTC_CHECK(seconds >= 0.0);
+  maybe_crash(/*counting_send=*/false);
   const double from = clock_;
   clock_ += seconds;
   if (world_->record_events_ && seconds > 0.0) {
@@ -190,24 +399,51 @@ void Comm::charge_over(std::int64_t pixels) {
   }
 }
 
+void Comm::note_loss(std::int64_t block_id, std::int64_t pixels) {
+  RTC_CHECK(pixels >= 0);
+  stats_.lost_blocks.push_back(block_id);
+  stats_.lost_pixels += pixels;
+}
+
 void Comm::mark(int id) { stats_.marks.emplace_back(id, clock_); }
 
-void Comm::barrier() { world_->enter_barrier(*this); }
+void Comm::barrier() {
+  maybe_crash(/*counting_send=*/false);
+  world_->enter_barrier(*this);
+}
 
-std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
-                                           std::vector<std::byte> payload) {
-  std::vector<std::vector<std::byte>> out;
+GatherResult gather_partial(Comm& comm, int root, int tag,
+                            std::vector<std::byte> payload) {
+  GatherResult out;
   if (comm.rank() == root) {
-    out.resize(static_cast<std::size_t>(comm.size()));
-    out[static_cast<std::size_t>(root)] = std::move(payload);
+    const auto n = static_cast<std::size_t>(comm.size());
+    out.payloads.resize(n);
+    out.valid.assign(n, 1);
+    out.payloads[static_cast<std::size_t>(root)] = std::move(payload);
+    const bool blank_on_loss =
+        comm.resilience().on_peer_loss == ResiliencePolicy::PeerLoss::kBlank;
     for (int src = 0; src < comm.size(); ++src) {
       if (src == root) continue;
-      out[static_cast<std::size_t>(src)] = comm.recv(src, tag);
+      if (blank_on_loss) {
+        std::optional<std::vector<std::byte>> p = comm.try_recv(src, tag);
+        if (p) {
+          out.payloads[static_cast<std::size_t>(src)] = std::move(*p);
+        } else {
+          out.valid[static_cast<std::size_t>(src)] = 0;
+        }
+      } else {
+        out.payloads[static_cast<std::size_t>(src)] = comm.recv(src, tag);
+      }
     }
   } else {
     comm.send(root, tag, std::move(payload));
   }
   return out;
+}
+
+std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
+                                           std::vector<std::byte> payload) {
+  return gather_partial(comm, root, tag, std::move(payload)).payloads;
 }
 
 }  // namespace rtc::comm

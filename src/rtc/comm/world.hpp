@@ -12,6 +12,15 @@
 // DAG, never on real thread scheduling, so a run's reported composition
 // time is bit-for-bit deterministic — that is how 32-"processor" SP2
 // figures are reproduced on a single core.
+//
+// Resilience: every payload travels in a CRC-checksummed frame
+// (frame.hpp). A FaultPlan (fault.hpp) injects deterministic drops,
+// corruptions, duplicates, delay spikes and rank crashes; the runtime
+// recovers via retransmit-with-backoff in virtual time, detects
+// duplicates by sequence number, and reports unrecoverable losses as
+// typed CommErrors (error.hpp) or — through try_recv — as absent
+// payloads the compositors can degrade around. With no plan installed
+// the fast path is byte- and clock-identical to the fault-free build.
 #pragma once
 
 #include <cstddef>
@@ -19,9 +28,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
+#include "rtc/comm/error.hpp"
+#include "rtc/comm/fault.hpp"
 #include "rtc/comm/network_model.hpp"
 #include "rtc/comm/stats.hpp"
 
@@ -36,18 +49,34 @@ class Comm {
   [[nodiscard]] int size() const;
 
   /// Buffered, non-blocking send. Charges Ts startup to this rank's
-  /// clock; the payload becomes available to `dst` after the wire time.
+  /// clock; the payload becomes available to `dst` after the wire time
+  /// (plus any fault-injected retry/backoff penalties).
   void send(int dst, int tag, std::vector<std::byte> payload);
 
   /// Blocking receive matching (src, tag) in FIFO order.
   /// Advances this rank's clock to the message availability time.
+  /// Throws CommError when the message is unrecoverable (peer dead,
+  /// retry budget exhausted, or wall-clock deadlock timeout).
   [[nodiscard]] std::vector<std::byte> recv(int src, int tag);
+
+  /// recv that reports loss instead of throwing: nullopt when the peer
+  /// is dead or the message's retry budget was exhausted. The rank's
+  /// clock still advances to the virtual time the loss was detected.
+  /// Only a genuine wall-clock deadlock still throws.
+  [[nodiscard]] std::optional<std::vector<std::byte>> try_recv(int src,
+                                                               int tag);
+
+  /// True once `rank` has crashed under the fault plan.
+  [[nodiscard]] bool peer_dead(int rank) const;
 
   /// Charges local computation time to this rank's clock.
   void compute(double seconds);
 
   /// Records composited pixels (stats) and charges To per pixel.
   void charge_over(std::int64_t pixels);
+
+  /// Records a block lost to faults: `pixels` were substituted blank.
+  void note_loss(std::int64_t block_id, std::int64_t pixels);
 
   /// Records a (id, now) checkpoint in this rank's stats; free.
   void mark(int id);
@@ -58,17 +87,33 @@ class Comm {
   /// Cost model of the world this rank belongs to.
   [[nodiscard]] const NetworkModel& model() const;
 
-  /// Synchronizes all ranks; every clock becomes the global maximum.
+  /// Resilience policy of the world this rank belongs to.
+  [[nodiscard]] const ResiliencePolicy& resilience() const;
+
+  /// Synchronizes all live ranks; every clock becomes the global
+  /// maximum. Crashed ranks are not waited for.
   void barrier();
 
  private:
   friend class World;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
 
+  enum class RecvStatus { kOk, kLost, kPeerDead };
+  struct RecvOutcome {
+    RecvStatus status = RecvStatus::kOk;
+    std::vector<std::byte> payload;
+  };
+  [[nodiscard]] RecvOutcome recv_outcome(int src, int tag);
+  void maybe_crash(bool counting_send);
+  [[noreturn]] void die();
+
   World* world_;
   int rank_;
   double clock_ = 0.0;
   double egress_free_ = 0.0;  ///< when this rank's out-channel frees up
+  std::uint32_t next_seq_ = 1;  ///< wire-frame sequence counter
+  int send_calls_ = 0;          ///< sends attempted (crash thresholds)
+  std::unordered_set<std::uint64_t> seen_seqs_;  ///< (src, seq) dedup
   RankStats stats_;
 };
 
@@ -92,10 +137,21 @@ class World {
 
   /// Runs `body(comm)` once per rank, each on its own thread, and
   /// collects per-rank stats. Rethrows the first rank exception.
+  /// A rank crash scheduled by the fault plan is not an exception: the
+  /// rank's stats are marked `crashed` and the run completes.
   RunResult run(const std::function<void(Comm&)>& body);
 
   /// Seconds after which a blocked recv is declared a deadlock.
   void set_recv_timeout(double seconds) { recv_timeout_ = seconds; }
+
+  /// Installs a deterministic fault schedule (empty plan disables).
+  void set_fault_plan(const FaultPlan& plan);
+
+  /// Retry budget / backoff / peer-loss reaction for this world.
+  void set_resilience(const ResiliencePolicy& policy) { policy_ = policy; }
+  [[nodiscard]] const ResiliencePolicy& resilience() const {
+    return policy_;
+  }
 
   /// Record per-rank virtual-time Event intervals into the RunStats
   /// (for timeline export, e.g. harness::write_chrome_trace).
@@ -105,21 +161,39 @@ class World {
   friend class Comm;
 
   struct Envelope {
-    std::vector<std::byte> payload;
-    double available_at = 0.0;  ///< virtual availability time
+    std::vector<std::byte> frame;  ///< framed payload (frame.hpp)
+    double available_at = 0.0;     ///< virtual availability time
+    // Fault accounting resolved at send time (fault.hpp).
+    int retransmits = 0;
+    int drops = 0;
+    int crc_failures = 0;
+    bool delayed = false;
+    bool duplicate = false;  ///< injected second copy of the same seq
+    bool lost = false;       ///< retry budget exhausted
   };
   struct Mailbox;
 
   void deliver(int dst, int src, int tag, Envelope e);
-  Envelope take(int rank, int src, int tag);
+  /// Waits for a matching envelope. nullopt: `src` died and no message
+  /// is pending. Throws CommError(kTimeout) on wall-clock deadlock.
+  std::optional<Envelope> take(int rank, int src, int tag,
+                               double virtual_now);
   void enter_barrier(Comm& c);
+  void mark_dead(int rank, double at_virtual_time);
+  [[nodiscard]] bool is_dead(int rank) const;
+  [[nodiscard]] double death_time(int rank) const;
+  [[nodiscard]] std::string mailbox_snapshot(int rank) const;
 
   int size_;
   NetworkModel model_;
   double recv_timeout_ = 60.0;
   bool record_events_ = false;
+  ResiliencePolicy policy_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null: no faults
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
+  struct DeathState;
+  std::unique_ptr<DeathState> deaths_;
   struct BarrierState;
   std::unique_ptr<BarrierState> barrier_;
 };
@@ -129,5 +203,21 @@ class World {
 /// entry is moved through locally without a message.
 std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
                                            std::vector<std::byte> payload);
+
+/// Failure-aware gather: `valid[i]` marks whether rank i's payload
+/// arrived. Under ResiliencePolicy::PeerLoss::kBlank lost contributions
+/// leave valid[i] == 0 with an empty payload instead of throwing; under
+/// kThrow a loss propagates as CommError (legacy fail-stop behavior).
+struct GatherResult {
+  std::vector<std::vector<std::byte>> payloads;
+  std::vector<std::uint8_t> valid;
+  [[nodiscard]] bool complete() const {
+    for (const std::uint8_t v : valid)
+      if (!v) return false;
+    return true;
+  }
+};
+GatherResult gather_partial(Comm& comm, int root, int tag,
+                            std::vector<std::byte> payload);
 
 }  // namespace rtc::comm

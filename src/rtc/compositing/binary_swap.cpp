@@ -54,12 +54,15 @@ class BinarySwap final : public Compositor {
           static_cast<std::size_t>(keep_span.size()));
       send_block(comm, partner, k, buf.view(give_span), give_geom,
                  opt.codec);
-      recv_block(comm, partner, k, incoming, keep_geom, opt.codec);
-
-      // Partner covers the adjacent rank interval; in front iff smaller.
-      img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
-                          /*src_front=*/partner < r);
-      comm.charge_over(keep_span.size());
+      if (recv_block_or_blank(comm, partner, k, incoming, keep_geom,
+                              opt.codec, opt.resilience, keep)) {
+        // Partner covers the adjacent rank interval; in front iff
+        // smaller. A lost partner contribution stays blank (identity),
+        // so the blend and its To charge are skipped.
+        img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
+                            /*src_front=*/partner < r);
+        comm.charge_over(keep_span.size());
+      }
       comm.mark(k);
       index = keep;
     }

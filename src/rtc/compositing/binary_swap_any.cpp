@@ -49,10 +49,13 @@ class BinarySwapAny final : public Compositor {
       } else {
         std::vector<img::GrayA8> incoming(
             static_cast<std::size_t>(whole.size()));
-        recv_block(comm, r + 1, /*tag=*/0, incoming, geom, opt.codec);
-        img::blend_in_place(buf.pixels(), incoming, opt.blend,
-                            /*src_front=*/false);
-        comm.charge_over(whole.size());
+        if (recv_block_or_blank(comm, r + 1, /*tag=*/0, incoming, geom,
+                                opt.codec, opt.resilience,
+                                /*block_id=*/r + 1)) {
+          img::blend_in_place(buf.pixels(), incoming, opt.blend,
+                              /*src_front=*/false);
+          comm.charge_over(whole.size());
+        }
         unit = r / 2;
       }
     } else {
@@ -83,10 +86,12 @@ class BinarySwapAny final : public Compositor {
         std::vector<img::GrayA8> incoming(
             static_cast<std::size_t>(keep_span.size()));
         send_block(comm, partner, k, buf.view(give_span), gg, opt.codec);
-        recv_block(comm, partner, k, incoming, kg, opt.codec);
-        img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
-                            /*src_front=*/partner_unit < unit);
-        comm.charge_over(keep_span.size());
+        if (recv_block_or_blank(comm, partner, k, incoming, kg, opt.codec,
+                                opt.resilience, keep)) {
+          img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
+                              /*src_front=*/partner_unit < unit);
+          comm.charge_over(keep_span.size());
+        }
         comm.mark(k);
         index = keep;
       }

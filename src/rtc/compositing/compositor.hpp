@@ -44,6 +44,16 @@ struct Options {
   /// see bench_ablation_aggregation. Default off, matching the paper's
   /// per-message cost accounting.
   bool aggregate_messages = false;
+
+  /// Reaction to unrecoverable wire faults and dead peers (fault.hpp).
+  /// With kBlank a lost contribution is substituted by an all-blank
+  /// block (the TRLE all-blank template — identity under both `over`
+  /// and `max`), the lost block ids/pixels are recorded in the
+  /// RunStats, and the method terminates with a degraded image instead
+  /// of throwing. With kThrow (default) a loss propagates as a typed
+  /// comm::CommError. `retries`/`timeout` take effect when the policy
+  /// is also installed on the World (harness::run_composition does).
+  comm::ResiliencePolicy resilience;
 };
 
 class Compositor {

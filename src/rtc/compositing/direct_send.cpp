@@ -37,7 +37,11 @@ class DirectSend final : public Compositor {
     std::vector<img::GrayA8> incoming(
         static_cast<std::size_t>(partial.pixel_count()));
     auto fold = [&](int src, bool front) {
-      recv_block(comm, src, /*tag=*/1, incoming, geom, opt.codec);
+      // A lost sender contributes blank pixels: skip the fold entirely.
+      if (!recv_block_or_blank(comm, src, /*tag=*/1, incoming, geom,
+                               opt.codec, opt.resilience,
+                               /*block_id=*/src))
+        return;
       img::blend_in_place(out.pixels(), incoming, opt.blend, front);
       comm.charge_over(partial.pixel_count());
     };

@@ -72,7 +72,7 @@ class Pipelined final : public Compositor {
       send_state(comm, next, t, state, tiling, send_block_id,
                  partial.width(), opt.codec);
       state = recv_state(comm, prev, t, tiling, recv_block_id,
-                         partial.width(), opt.codec);
+                         partial.width(), opt.codec, opt.resilience);
 
       // Composite my own contribution for the received block.
       const img::PixelSpan s = tiling.block(0, recv_block_id);
@@ -149,10 +149,26 @@ class Pipelined final : public Compositor {
 
   static State recv_state(comm::Comm& comm, int src, int tag,
                           const img::Tiling& tiling, int block_id,
-                          int width, const compress::Codec* codec) {
+                          int width, const compress::Codec* codec,
+                          const comm::ResiliencePolicy& policy) {
     const img::PixelSpan s = tiling.block(0, block_id);
     const compress::BlockGeometry geom{width, s.begin};
-    const std::vector<std::byte> payload = comm.recv(src, tag);
+    std::vector<std::byte> payload;
+    if (policy.on_peer_loss == comm::ResiliencePolicy::PeerLoss::kBlank) {
+      std::optional<std::vector<std::byte>> p = comm.try_recv(src, tag);
+      if (!p) {
+        // The traveling accumulation for this block is gone: restart it
+        // from a blank segment; downstream ranks still fold their own
+        // contributions in, so the block degrades to a partial stack.
+        comm.note_loss(block_id, s.size());
+        State blank;
+        blank.back.assign(static_cast<std::size_t>(s.size()), img::kBlank);
+        return blank;
+      }
+      payload = std::move(*p);
+    } else {
+      payload = comm.recv(src, tag);
+    }
     std::span<const std::byte> rest(payload);
     RTC_CHECK(!rest.empty());
     const bool has_front = static_cast<std::uint8_t>(rest[0]) != 0;

@@ -97,20 +97,25 @@ class RadixK final : public Compositor {
       const compress::BlockGeometry geom{partial.width(), mine.begin};
       std::vector<std::vector<img::GrayA8>> arrived(
           static_cast<std::size_t>(g));
+      std::vector<std::uint8_t> ok(static_cast<std::size_t>(g), 0);
       for (int j = 0; j < g; ++j) {
         if (j == digit) continue;
         arrived[static_cast<std::size_t>(j)].resize(
             static_cast<std::size_t>(mine.size()));
-        recv_block(comm, base + j * stride, tag,
-                   arrived[static_cast<std::size_t>(j)], geom, opt.codec);
+        ok[static_cast<std::size_t>(j)] = recv_block_or_blank(
+            comm, base + j * stride, tag,
+            arrived[static_cast<std::size_t>(j)], geom, opt.codec,
+            opt.resilience, /*block_id=*/base + j * stride);
       }
       for (int j = digit - 1; j >= 0; --j) {
+        if (!ok[static_cast<std::size_t>(j)]) continue;  // lost: blank
         img::blend_in_place(buf.view(mine),
                             arrived[static_cast<std::size_t>(j)],
                             opt.blend, /*src_front=*/true);
         comm.charge_over(mine.size());
       }
       for (int j = digit + 1; j < g; ++j) {
+        if (!ok[static_cast<std::size_t>(j)]) continue;  // lost: blank
         img::blend_in_place(buf.view(mine),
                             arrived[static_cast<std::size_t>(j)],
                             opt.blend, /*src_front=*/false);

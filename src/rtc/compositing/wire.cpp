@@ -42,6 +42,31 @@ void recv_block(comm::Comm& comm, int src, int tag,
   }
 }
 
+bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
+                         std::span<img::GrayA8> out,
+                         const compress::BlockGeometry& geom,
+                         const compress::Codec* codec,
+                         const comm::ResiliencePolicy& policy,
+                         std::int64_t block_id) {
+  if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
+    recv_block(comm, src, tag, out, geom, codec);
+    return true;
+  }
+  const std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
+  if (!bytes) {
+    std::fill(out.begin(), out.end(), img::kBlank);
+    comm.note_loss(block_id, static_cast<std::int64_t>(out.size()));
+    return false;
+  }
+  if (codec == nullptr) {
+    img::deserialize_pixels(*bytes, out);
+  } else {
+    codec->decode(*bytes, out, geom);
+    comm.compute(codec_time(comm, out.size()));
+  }
+  return true;
+}
+
 void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
                   std::span<const img::GrayA8> px,
                   const compress::BlockGeometry& geom,
@@ -135,12 +160,14 @@ img::Image gather_fragments(
     payload.insert(payload.end(), frag.begin(), frag.end());
   }
 
-  std::vector<std::vector<std::byte>> all =
-      comm::gather(comm, root, kGatherTag, std::move(payload));
+  const comm::GatherResult all =
+      comm::gather_partial(comm, root, kGatherTag, std::move(payload));
   if (comm.rank() != root) return img::Image{};
 
   img::Image out(width, height);
-  for (const std::vector<std::byte>& buf : all) {
+  for (std::size_t src = 0; src < all.payloads.size(); ++src) {
+    if (!all.valid[src]) continue;  // lost rank: its blocks stay blank
+    const std::vector<std::byte>& buf = all.payloads[src];
     std::span<const std::byte> rest(buf);
     RTC_CHECK(rest.size() >= 4);
     std::uint32_t n = 0;
@@ -183,12 +210,14 @@ img::Image gather_spans(comm::Comm& comm, const img::Image& local,
   const std::vector<std::byte> body = img::serialize_pixels(local.view(span));
   payload.insert(payload.end(), body.begin(), body.end());
 
-  std::vector<std::vector<std::byte>> all =
-      comm::gather(comm, root, kGatherTag, std::move(payload));
+  const comm::GatherResult all =
+      comm::gather_partial(comm, root, kGatherTag, std::move(payload));
   if (comm.rank() != root) return img::Image{};
 
   img::Image out(width, height);
-  for (const std::vector<std::byte>& buf : all) {
+  for (std::size_t src = 0; src < all.payloads.size(); ++src) {
+    if (!all.valid[src]) continue;  // lost rank: its span stays blank
+    const std::vector<std::byte>& buf = all.payloads[src];
     std::span<const std::byte> rest(buf);
     RTC_CHECK(rest.size() >= 16);
     auto get_i64 = [&]() {

@@ -26,6 +26,19 @@ void recv_block(comm::Comm& comm, int src, int tag,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec);
 
+/// Fault-tolerant recv_block. Under PeerLoss::kBlank a lost message
+/// (dead peer or exhausted retry budget) fills `out` with blank pixels,
+/// records `block_id`/pixel count via Comm::note_loss, and returns
+/// false; the caller skips the blend (blank is the identity). Under
+/// kThrow it behaves exactly like recv_block. Returns true when real
+/// pixels arrived.
+bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
+                         std::span<img::GrayA8> out,
+                         const compress::BlockGeometry& geom,
+                         const compress::Codec* codec,
+                         const comm::ResiliencePolicy& policy,
+                         std::int64_t block_id);
+
 /// Appends one length-prefixed encoded block to `payload` — used to
 /// aggregate several blocks for the same receiver into one message.
 void append_block(comm::Comm& comm, std::vector<std::byte>& payload,

@@ -60,8 +60,28 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
         comm.send(receiver, tag, std::move(payload));
       }
       std::vector<img::GrayA8> incoming;
+      const bool blank_on_loss =
+          opt.resilience.on_peer_loss ==
+          comm::ResiliencePolicy::PeerLoss::kBlank;
       for (const auto& [sender, merges] : incoming_by_sender) {
-        const std::vector<std::byte> payload = comm.recv(sender, tag);
+        std::vector<std::byte> payload;
+        if (blank_on_loss) {
+          std::optional<std::vector<std::byte>> got =
+              comm.try_recv(sender, tag);
+          if (!got) {
+            // The whole aggregated message is gone: every block it
+            // carried degrades to blank (identity — no blend, no To).
+            for (const Merge* m : merges) {
+              const img::PixelSpan span =
+                  tiling.block(step.depth, m->block);
+              comm.note_loss(m->block, span.size());
+            }
+            continue;
+          }
+          payload = std::move(*got);
+        } else {
+          payload = comm.recv(sender, tag);
+        }
         std::span<const std::byte> rest(payload);
         for (const Merge* m : merges) {
           const img::PixelSpan span = tiling.block(step.depth, m->block);
@@ -93,11 +113,13 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
       const img::PixelSpan span = tiling.block(step.depth, m.block);
       const compress::BlockGeometry geom{partial.width(), span.begin};
       incoming.resize(static_cast<std::size_t>(span.size()));
-      compositing::recv_block(comm, m.sender, tag, incoming, geom,
-                              opt.codec);
-      img::blend_in_place(buf.view(span), incoming, opt.blend,
-                          m.sender_front);
-      comm.charge_over(span.size());
+      if (compositing::recv_block_or_blank(comm, m.sender, tag, incoming,
+                                           geom, opt.codec, opt.resilience,
+                                           m.block)) {
+        img::blend_in_place(buf.view(span), incoming, opt.blend,
+                            m.sender_front);
+        comm.charge_over(span.size());
+      }
     }
     comm.mark(tag);
   }

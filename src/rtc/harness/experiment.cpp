@@ -25,9 +25,12 @@ CompositionRun run_composition(const CompositionConfig& config,
   opt.root = 0;
   opt.aggregate_messages = config.aggregate_messages;
   opt.blend = config.blend;
+  opt.resilience = config.resilience;
 
   comm::World world(p, config.net);
   world.set_record_events(config.record_events);
+  world.set_fault_plan(config.fault);
+  world.set_resilience(config.resilience);
   std::vector<img::Image> results(static_cast<std::size_t>(p));
   const comm::RunResult rr = world.run([&](comm::Comm& comm) {
     results[static_cast<std::size_t>(comm.rank())] =
@@ -39,7 +42,28 @@ CompositionRun run_composition(const CompositionConfig& config,
   out.stats = rr.stats;
   out.time = rr.makespan();
   out.image = std::move(results[0]);
+  out.degraded = out.stats.degraded();
+  out.lost_pixels = out.stats.total_lost_pixels();
   return out;
+}
+
+std::string fault_summary(const comm::RunStats& stats) {
+  std::string s = "retx=" + std::to_string(stats.total_retransmits()) +
+                  " crc=" + std::to_string(stats.total_crc_failures()) +
+                  " drops=" + std::to_string(stats.total_drops_detected()) +
+                  " dups=" +
+                  std::to_string(stats.total_duplicates_discarded()) +
+                  " lost_msgs=" +
+                  std::to_string(stats.total_lost_messages()) +
+                  " lost_px=" + std::to_string(stats.total_lost_pixels()) +
+                  " dead=[";
+  const std::vector<int> dead = stats.dead_ranks();
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(dead[i]);
+  }
+  s += stats.degraded() ? "] degraded" : "] ok";
+  return s;
 }
 
 }  // namespace rtc::harness

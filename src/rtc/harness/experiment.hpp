@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "rtc/comm/fault.hpp"
 #include "rtc/comm/network_model.hpp"
 #include "rtc/comm/stats.hpp"
 #include "rtc/image/image.hpp"
@@ -22,17 +23,30 @@ struct CompositionConfig {
   bool aggregate_messages = false;  ///< RT: one message per receiver/step
   img::BlendMode blend = img::BlendMode::kOver;
   bool record_events = false;  ///< capture Event timeline into stats
+  /// Chaos knobs: deterministic fault schedule (default: none — the
+  /// zero-fault path is bit-identical to the pre-resilience build) and
+  /// the retry/peer-loss policy applied to both the wire protocol and
+  /// the compositors.
+  comm::FaultPlan fault;
+  comm::ResiliencePolicy resilience;
 };
 
 struct CompositionRun {
   double time = 0.0;      ///< virtual makespan (seconds)
-  comm::RunStats stats;   ///< per-rank traffic and clocks
+  comm::RunStats stats;   ///< per-rank traffic, clocks, fault counters
   img::Image image;       ///< assembled image (when gather)
+  bool degraded = false;  ///< some contribution was lost (stats say what)
+  std::int64_t lost_pixels = 0;  ///< pixels substituted blank
 };
 
 /// Runs the configured composition collectively over `partials`
-/// (one per rank, depth-ordered). Deterministic in virtual time.
+/// (one per rank, depth-ordered). Deterministic in virtual time — with
+/// or without a fault plan.
 [[nodiscard]] CompositionRun run_composition(
     const CompositionConfig& config, const std::vector<img::Image>& partials);
+
+/// One-line fault-counter summary for CLI/bench tables, e.g.
+/// "retx=3 crc=1 drops=2 dups=0 lost_msgs=0 lost_px=0 dead=[] ok".
+[[nodiscard]] std::string fault_summary(const comm::RunStats& stats);
 
 }  // namespace rtc::harness

@@ -179,6 +179,52 @@ TEST(World, DeadlockTimesOutWithError) {
                std::runtime_error);
 }
 
+TEST(World, DeadlockErrorCarriesContext) {
+  // The typed CommError must say who was stuck on what: rank, peer,
+  // tag, virtual time, wall-clock wait, and the mailbox snapshot.
+  World world(2, NetworkModel{});
+  world.set_recv_timeout(0.2);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 0) {
+        c.compute(1.5);
+        (void)c.recv(1, 9);  // never sent
+      }
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommError::Kind::kTimeout);
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.peer(), 1);
+    EXPECT_EQ(e.tag(), 9);
+    EXPECT_DOUBLE_EQ(e.virtual_time(), 1.5);
+    EXPECT_GE(e.elapsed(), 0.2);
+    EXPECT_EQ(e.mailbox_snapshot(), "empty");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos);
+    EXPECT_NE(what.find("tag=9"), std::string::npos);
+  }
+}
+
+TEST(World, DeadlockSnapshotListsPendingQueues) {
+  // A wrong-tag wait is the classic mismatch bug; the snapshot must
+  // show the message that DID arrive so the mismatch is obvious.
+  World world(2, NetworkModel{});
+  world.set_recv_timeout(0.3);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 1) c.send(0, 3, bytes_of(5));
+      if (c.rank() == 0) (void)c.recv(1, 9);  // wrong tag
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommError::Kind::kTimeout);
+    EXPECT_NE(e.mailbox_snapshot().find("(src=1, tag=3): 1"),
+              std::string::npos)
+        << e.mailbox_snapshot();
+  }
+}
+
 TEST(World, RankExceptionPropagates) {
   World world(4, NetworkModel{});
   world.set_recv_timeout(0.5);
@@ -268,6 +314,299 @@ TEST(World, ManyRanksStress) {
     }
   });
   EXPECT_GT(r.makespan(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection and the resilient wire protocol.
+
+TEST(Faults, ZeroFaultPlanLeavesVirtualTimeBitIdentical) {
+  // Installing a plan with no faults must not perturb the clocks at
+  // all — the resilient framing rides inside the Ts software overhead.
+  auto run_once = [&](bool with_plan) {
+    World world(4, NetworkModel{});
+    if (with_plan) {
+      FaultPlan plan;
+      plan.seed = 999;  // seed alone enables nothing
+      world.set_fault_plan(plan);
+    }
+    return world.run([](Comm& c) {
+      for (int t = 0; t < 3; ++t) {
+        c.send((c.rank() + 1) % 4, t, bytes_of(c.rank()));
+        (void)c.recv((c.rank() + 3) % 4, t);
+        c.compute(0.001 * (c.rank() + 1));
+      }
+    });
+  };
+  const RunResult clean = run_once(false);
+  const RunResult planned = run_once(true);
+  ASSERT_EQ(clean.stats.ranks.size(), planned.stats.ranks.size());
+  for (std::size_t i = 0; i < clean.stats.ranks.size(); ++i)
+    EXPECT_EQ(clean.stats.ranks[i].clock, planned.stats.ranks[i].clock);
+  EXPECT_EQ(planned.stats.total_retransmits(), 0);
+  EXPECT_FALSE(planned.stats.degraded());
+}
+
+TEST(Faults, DropsRecoverViaRetransmitAndChargeBackoff) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop = 0.5;
+  ResiliencePolicy pol;
+  pol.retries = 12;  // deep budget: every message must get through
+  auto run_once = [&](bool faults) {
+    World world(2, NetworkModel{});
+    if (faults) world.set_fault_plan(plan);
+    world.set_resilience(pol);
+    return world.run([](Comm& c) {
+      if (c.rank() == 0) {
+        for (int i = 0; i < 64; ++i) c.send(1, 1, bytes_of(i));
+      } else {
+        for (int i = 0; i < 64; ++i) EXPECT_EQ(int_of(c.recv(0, 1)), i);
+      }
+    });
+  };
+  const RunResult clean = run_once(false);
+  const RunResult faulty = run_once(true);
+  EXPECT_GT(faulty.stats.total_retransmits(), 0);
+  EXPECT_GT(faulty.stats.total_drops_detected(), 0);
+  EXPECT_EQ(faulty.stats.total_lost_messages(), 0);
+  EXPECT_FALSE(faulty.stats.degraded());
+  // Retransmit backoff is charged in virtual time.
+  EXPECT_GT(faulty.makespan(), clean.makespan());
+}
+
+TEST(Faults, CorruptionIsCaughtByCrcAndRecovered) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.corrupt = 0.4;
+  ResiliencePolicy pol;
+  pol.retries = 12;
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  world.set_resilience(pol);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 64; ++i) c.send(1, 1, bytes_of(i));
+    } else {
+      // Every payload arrives intact: damaged attempts never surface.
+      for (int i = 0; i < 64; ++i) EXPECT_EQ(int_of(c.recv(0, 1)), i);
+    }
+  });
+  EXPECT_GT(r.stats.total_crc_failures(), 0);
+  EXPECT_EQ(r.stats.total_lost_messages(), 0);
+}
+
+TEST(Faults, DuplicatesAreDiscardedBySequenceNumber) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.duplicate = 1.0;  // every message delivered twice
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 20; ++i) c.send(1, 1, bytes_of(i));
+    } else {
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(int_of(c.recv(0, 1)), i);
+    }
+  });
+  // recv i consumes original i and discards the copy of i-1 sitting in
+  // front of it; the 20th copy is still queued at exit.
+  EXPECT_EQ(r.stats.total_duplicates_discarded(), 19);
+  EXPECT_EQ(r.stats.ranks[1].messages_received, 20);
+}
+
+TEST(Faults, RetryExhaustionIsMessageLost) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop = 1.0;  // no attempt ever gets through
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of(1));
+      c.send(1, 2, bytes_of(2));
+    } else {
+      try {
+        (void)c.recv(0, 1);
+        ADD_FAILURE() << "expected CommError";
+      } catch (const CommError& e) {
+        EXPECT_EQ(e.kind(), CommError::Kind::kMessageLost);
+        EXPECT_EQ(e.rank(), 1);
+        EXPECT_EQ(e.peer(), 0);
+        EXPECT_EQ(e.tag(), 1);
+      }
+      // try_recv reports the same loss as an absent payload.
+      EXPECT_EQ(c.try_recv(0, 2), std::nullopt);
+    }
+  });
+}
+
+TEST(Faults, PersistentCorruptionDeliversDamagedFrameToCrcCheck) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.corrupt = 1.0;  // every attempt arrives damaged
+  ResiliencePolicy pol;
+  pol.retries = 2;
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  world.set_resilience(pol);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, bytes_of(1));
+    } else {
+      EXPECT_EQ(c.try_recv(0, 1), std::nullopt);
+    }
+  });
+  // The final damaged delivery is detected by the receiver's real CRC
+  // check, on top of the two failed (retransmitted) attempts.
+  EXPECT_GE(r.stats.total_crc_failures(), 3);
+  EXPECT_EQ(r.stats.total_lost_messages(), 1);
+  EXPECT_TRUE(r.stats.degraded());
+}
+
+TEST(Faults, CrashAfterSendsMakesPeerDead) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 1, .after_sends = 1});
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  ResiliencePolicy pol;
+  pol.on_peer_loss = ResiliencePolicy::PeerLoss::kBlank;
+  world.set_resilience(pol);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 1) {
+      c.send(0, 1, bytes_of(11));  // delivered
+      c.send(0, 2, bytes_of(22));  // dies mid-send
+      ADD_FAILURE() << "unreachable after crash";
+    } else {
+      EXPECT_EQ(int_of(c.recv(1, 1)), 11);
+      EXPECT_EQ(c.try_recv(1, 2), std::nullopt);
+      EXPECT_TRUE(c.peer_dead(1));
+    }
+  });
+  EXPECT_TRUE(r.stats.ranks[1].crashed);
+  EXPECT_EQ(r.stats.dead_ranks(), std::vector<int>{1});
+  EXPECT_TRUE(r.stats.degraded());
+}
+
+TEST(Faults, CrashAtVirtualTimeTriggersOnNextOperation) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 0, .at_time = 1.0});
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  ResiliencePolicy pol;
+  pol.on_peer_loss = ResiliencePolicy::PeerLoss::kBlank;
+  world.set_resilience(pol);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.compute(2.0);              // passes the threshold...
+      c.send(1, 1, bytes_of(1));   // ...so this op kills the rank
+      ADD_FAILURE() << "unreachable after crash";
+    } else {
+      EXPECT_EQ(c.try_recv(0, 1), std::nullopt);
+      // Loss is detected one retransmit timeout after the death time.
+      EXPECT_DOUBLE_EQ(c.now(), 2.0 + c.resilience().timeout);
+    }
+  });
+  EXPECT_TRUE(r.stats.ranks[0].crashed);
+}
+
+TEST(Faults, RecvFromDeadPeerThrowsUnderThrowPolicy) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 1, .after_sends = 0});
+  World world(2, NetworkModel{});
+  world.set_fault_plan(plan);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 1) {
+        c.send(0, 1, bytes_of(1));  // dies before this completes
+      } else {
+        (void)c.recv(1, 1);
+      }
+    });
+    FAIL() << "expected CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommError::Kind::kPeerDead);
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.peer(), 1);
+  }
+}
+
+TEST(Faults, BarrierDoesNotWaitForCrashedRanks) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 2, .at_time = 0.0});
+  World world(4, NetworkModel{});
+  world.set_fault_plan(plan);
+  const RunResult r = world.run([](Comm& c) {
+    if (c.rank() == 2) {
+      c.compute(0.0);  // first op at clock 0 >= 0: dies immediately
+      ADD_FAILURE() << "unreachable after crash";
+      return;
+    }
+    c.compute(0.5 * (c.rank() + 1));
+    c.barrier();  // must release with only three live ranks
+  });
+  EXPECT_TRUE(r.stats.ranks[2].crashed);
+}
+
+TEST(Faults, GatherPartialReportsDeadRanks) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 2, .at_time = 0.0});
+  World world(4, NetworkModel{});
+  world.set_fault_plan(plan);
+  ResiliencePolicy pol;
+  pol.on_peer_loss = ResiliencePolicy::PeerLoss::kBlank;
+  world.set_resilience(pol);
+  world.run([](Comm& c) {
+    const GatherResult res = gather_partial(c, 0, 5, bytes_of(c.rank()));
+    if (c.rank() == 0) {
+      EXPECT_FALSE(res.complete());
+      EXPECT_EQ(res.valid, (std::vector<std::uint8_t>{1, 1, 0, 1}));
+      EXPECT_EQ(int_of(res.payloads[1]), 1);
+      EXPECT_TRUE(res.payloads[2].empty());
+      EXPECT_EQ(int_of(res.payloads[3]), 3);
+    }
+  });
+}
+
+TEST(Faults, FaultyRunIsBitForBitDeterministic) {
+  // The whole point of eager, hash-based fault resolution: a chaotic
+  // run replays exactly — clocks AND fault counters — across runs,
+  // despite real thread-scheduling jitter.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop = 0.3;
+  plan.corrupt = 0.2;
+  plan.duplicate = 0.2;
+  plan.delay = 0.3;
+  plan.delay_mean = 0.004;
+  ResiliencePolicy pol;
+  pol.retries = 10;
+  auto run_once = [&] {
+    World world(4, NetworkModel{});
+    world.set_fault_plan(plan);
+    world.set_resilience(pol);
+    return world.run([](Comm& c) {
+      for (int t = 0; t < 5; ++t) {
+        c.send((c.rank() + 1) % 4, t, bytes_of(t));
+        (void)c.recv((c.rank() + 3) % 4, t);
+      }
+    });
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_GT(a.stats.total_retransmits() + a.stats.total_crc_failures() +
+                a.stats.total_duplicates_discarded(),
+            0);
+  ASSERT_EQ(a.stats.ranks.size(), b.stats.ranks.size());
+  for (std::size_t i = 0; i < a.stats.ranks.size(); ++i) {
+    EXPECT_EQ(a.stats.ranks[i].clock, b.stats.ranks[i].clock);
+    EXPECT_EQ(a.stats.ranks[i].retransmits, b.stats.ranks[i].retransmits);
+    EXPECT_EQ(a.stats.ranks[i].crc_failures,
+              b.stats.ranks[i].crc_failures);
+    EXPECT_EQ(a.stats.ranks[i].drops_detected,
+              b.stats.ranks[i].drops_detected);
+    EXPECT_EQ(a.stats.ranks[i].duplicates_discarded,
+              b.stats.ranks[i].duplicates_discarded);
+  }
 }
 
 }  // namespace

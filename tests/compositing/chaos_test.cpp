@@ -1,0 +1,238 @@
+// Chaos conformance: every compositor, under every fault class, must
+// either produce the exact reference image (faults recovered by the
+// wire protocol) or a cleanly *degraded* result whose losses are
+// accounted in RunStats — and must never hang or throw. Fault plans
+// are seeded, so each cell of the matrix replays identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::compositing {
+namespace {
+
+struct PlanCase {
+  const char* name;
+  comm::FaultPlan plan;
+  bool lossy;  ///< the plan can exceed the retry budget / kill ranks
+};
+
+std::vector<PlanCase> plan_cases(int ranks) {
+  std::vector<PlanCase> out;
+  out.push_back({"none", {}, false});
+
+  comm::FaultPlan drop;
+  drop.seed = 101;
+  drop.drop = 0.1;
+  out.push_back({"drop", drop, false});
+
+  comm::FaultPlan corrupt;
+  corrupt.seed = 202;
+  corrupt.corrupt = 0.1;
+  out.push_back({"corrupt", corrupt, false});
+
+  comm::FaultPlan delay;
+  delay.seed = 303;
+  delay.delay = 0.4;
+  delay.delay_mean = 0.002;
+  out.push_back({"delay", delay, false});
+
+  comm::FaultPlan dup;
+  dup.seed = 404;
+  dup.duplicate = 0.5;
+  out.push_back({"dup", dup, false});
+
+  comm::FaultPlan storm;  // most messages exhaust the retry budget
+  storm.seed = 505;
+  storm.drop = 0.9;
+  out.push_back({"storm", storm, true});
+
+  if (ranks >= 2) {
+    comm::FaultPlan crash;
+    crash.seed = 606;
+    crash.crashes.push_back(
+        {.rank = ranks - 1, .after_sends = 1});
+    out.push_back({"crash", crash, true});
+
+    comm::FaultPlan mayhem;  // crash + wire faults together
+    mayhem.seed = 707;
+    mayhem.drop = 0.2;
+    mayhem.corrupt = 0.1;
+    mayhem.duplicate = 0.2;
+    mayhem.crashes.push_back({.rank = 1, .at_time = 0.001});
+    out.push_back({"mayhem", mayhem, true});
+  }
+  return out;
+}
+
+std::vector<img::Image> make_partials(int ranks, int w, int h) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        w, h, 5000u + static_cast<std::uint32_t>(r), 0.3,
+        /*binary_alpha=*/true));
+  return out;
+}
+
+harness::CompositionRun run_chaos(const std::string& method,
+                                  const comm::FaultPlan& plan,
+                                  const std::vector<img::Image>& partials,
+                                  bool aggregate = false) {
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  // 2N_RT needs an even N; N_RT takes any N; others ignore it.
+  cfg.initial_blocks = method == "rt_2n" ? 4 : method == "rt_n" ? 3 : 1;
+  cfg.gather = true;
+  cfg.aggregate_messages = aggregate;
+  cfg.fault = plan;
+  cfg.resilience.retries = 6;  // drop/corrupt at 0.1 always recover
+  cfg.resilience.on_peer_loss =
+      comm::ResiliencePolicy::PeerLoss::kBlank;
+  return harness::run_composition(cfg, partials);
+}
+
+using Case = std::tuple<std::string /*method*/, int /*ranks*/>;
+
+class ChaosConformance : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ChaosConformance, RecoversExactlyOrDegradesCleanly) {
+  const auto [method, ranks] = GetParam();
+  const auto partials = make_partials(ranks, 24, 10);
+  const img::Image ref = img::composite_reference(partials);
+
+  for (const PlanCase& pc : plan_cases(ranks)) {
+    SCOPED_TRACE(std::string(pc.name) + " " + method +
+                 " P=" + std::to_string(ranks));
+    const harness::CompositionRun run =
+        run_chaos(method, pc.plan, partials);
+    ASSERT_EQ(run.image.width(), ref.width());
+    ASSERT_EQ(run.image.height(), ref.height());
+    if (!run.degraded) {
+      // All faults (if any) were absorbed by the wire protocol: the
+      // result must be the exact reference composite.
+      EXPECT_EQ(img::max_channel_diff(run.image, ref), 0);
+      EXPECT_EQ(run.lost_pixels, 0);
+    } else {
+      // Losses happened: they must be visible in the accounting.
+      EXPECT_TRUE(pc.lossy);
+      EXPECT_TRUE(run.stats.total_lost_pixels() > 0 ||
+                  run.stats.total_lost_messages() > 0 ||
+                  !run.stats.dead_ranks().empty());
+      EXPECT_EQ(run.lost_pixels, run.stats.total_lost_pixels());
+    }
+    // Recoverable-only plans must never degrade.
+    if (!pc.lossy) {
+      EXPECT_FALSE(run.degraded);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BinarySwap, ChaosConformance,
+    ::testing::Combine(::testing::Values("bswap"),
+                       ::testing::Values(2, 4, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    BinarySwapAnyP, ChaosConformance,
+    ::testing::Combine(::testing::Values("bswap_any"),
+                       ::testing::Values(2, 3, 4, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelined, ChaosConformance,
+    ::testing::Combine(::testing::Values("pp_exact"),
+                       ::testing::Values(2, 3, 4, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    RotateTilingEvenP, ChaosConformance,
+    ::testing::Combine(::testing::Values("rt_n"),
+                       ::testing::Values(2, 4, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    RotateTilingAnyP, ChaosConformance,
+    ::testing::Combine(::testing::Values("rt_2n"),
+                       ::testing::Values(2, 3, 4, 8)));
+
+INSTANTIATE_TEST_SUITE_P(
+    DirectSend, ChaosConformance,
+    ::testing::Combine(::testing::Values("direct"),
+                       ::testing::Values(2, 3, 4, 8)));
+
+TEST(Chaos, AggregatedRtDegradesWholeMessages) {
+  // With aggregate_messages, one lost message loses every block it
+  // carried; the accounting must still balance.
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  const img::Image ref = img::composite_reference(partials);
+  for (const PlanCase& pc : plan_cases(ranks)) {
+    SCOPED_TRACE(pc.name);
+    const harness::CompositionRun run =
+        run_chaos("rt_n", pc.plan, partials, /*aggregate=*/true);
+    if (!run.degraded) {
+      EXPECT_EQ(img::max_channel_diff(run.image, ref), 0);
+    } else {
+      EXPECT_TRUE(pc.lossy);
+    }
+  }
+}
+
+TEST(Chaos, FaultyCompositionIsDeterministic) {
+  // Same plan, same seed: identical makespan, counters, and pixels.
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  comm::FaultPlan plan;
+  plan.seed = 888;
+  plan.drop = 0.3;
+  plan.corrupt = 0.1;
+  plan.duplicate = 0.2;
+  auto once = [&] { return run_chaos("rt_2n", plan, partials); };
+  const harness::CompositionRun a = once();
+  const harness::CompositionRun b = once();
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.lost_pixels, b.lost_pixels);
+  EXPECT_EQ(a.stats.total_retransmits(), b.stats.total_retransmits());
+  EXPECT_EQ(img::max_channel_diff(a.image, b.image), 0);
+}
+
+TEST(Chaos, ZeroFaultPlanKeepsMakespanBitIdentical) {
+  // Acceptance gate: the resilient wire protocol adds zero virtual
+  // time when no faults fire.
+  const int ranks = 8;
+  const auto partials = make_partials(ranks, 24, 10);
+  harness::CompositionConfig clean;
+  clean.method = "bswap";
+  clean.gather = true;
+  harness::CompositionConfig planned = clean;
+  planned.fault.seed = 42;  // installed but all rates zero
+  const harness::CompositionRun a =
+      harness::run_composition(clean, partials);
+  const harness::CompositionRun b =
+      harness::run_composition(planned, partials);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(img::max_channel_diff(a.image, b.image), 0);
+}
+
+TEST(Chaos, FaultSummaryReportsCountersAndDegradation) {
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  comm::FaultPlan plan;
+  plan.seed = 99;
+  plan.crashes.push_back({.rank = 3, .after_sends = 0});
+  const harness::CompositionRun run =
+      run_chaos("direct", plan, partials);
+  const std::string s = harness::fault_summary(run.stats);
+  EXPECT_NE(s.find("dead=[3]"), std::string::npos) << s;
+  EXPECT_NE(s.find("degraded"), std::string::npos) << s;
+  const harness::CompositionRun ok =
+      run_chaos("direct", comm::FaultPlan{}, partials);
+  EXPECT_NE(harness::fault_summary(ok.stats).find(" ok"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtc::compositing

@@ -6,6 +6,11 @@
 //                   [--renderer shearwarp|raycast|splat] [--mip]
 //                   [--partition slab|grid|balanced] [--out out.pgm]
 //                   [--trace timeline.json]
+//                   [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
+//                   [--fault-dup P] [--fault-delay P]
+//                   [--fault-delay-mean S] [--fault-crash-rank R]
+//                   [--fault-crash-after SENDS] [--fault-crash-at T]
+//                   [--retries N] [--rto S] [--on-peer-loss blank|throw]
 //   rtcomp schedule --ranks 3 --blocks 4 [--variant n|2n|any]
 //   rtcomp predict  --ranks 32 --blocks 4 [--pixels 262144]
 //                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
@@ -134,6 +139,37 @@ int cmd_render(const Args& a) {
   cfg.record_events = a.has("trace");
   if (a.get("net", "sp2-hps") == "paper-example")
     cfg.net = comm::paper_example_model();
+
+  // Fault injection + resilience (docs/fault_model.md). The defaults
+  // leave the plan disabled, so a plain render stays on the
+  // bit-identical zero-fault fast path.
+  cfg.fault.seed = static_cast<std::uint64_t>(a.get_int("fault-seed", 1));
+  cfg.fault.drop = a.get_double("fault-drop", 0.0);
+  cfg.fault.corrupt = a.get_double("fault-corrupt", 0.0);
+  cfg.fault.duplicate = a.get_double("fault-dup", 0.0);
+  cfg.fault.delay = a.get_double("fault-delay", 0.0);
+  cfg.fault.delay_mean = a.get_double("fault-delay-mean", 0.001);
+  if (a.has("fault-crash-rank")) {
+    comm::FaultPlan::Crash crash;
+    crash.rank = a.get_int("fault-crash-rank", -1);
+    crash.after_sends = a.get_int("fault-crash-after", -1);
+    if (a.has("fault-crash-at"))
+      crash.at_time = a.get_double("fault-crash-at", 0.0);
+    if (crash.after_sends < 0 && !a.has("fault-crash-at"))
+      crash.after_sends = 0;  // bare --fault-crash-rank: die at 1st send
+    cfg.fault.crashes.push_back(crash);
+  }
+  cfg.resilience.retries = a.get_int("retries", cfg.resilience.retries);
+  cfg.resilience.timeout = a.get_double("rto", cfg.resilience.timeout);
+  const std::string on_loss = a.get("on-peer-loss", "blank");
+  if (on_loss != "blank" && on_loss != "throw") {
+    std::cerr << "unknown --on-peer-loss: " << on_loss << "\n";
+    return 2;
+  }
+  cfg.resilience.on_peer_loss =
+      on_loss == "throw" ? comm::ResiliencePolicy::PeerLoss::kThrow
+                         : comm::ResiliencePolicy::PeerLoss::kBlank;
+
   const harness::CompositionRun run =
       harness::run_composition(cfg, partials);
 
@@ -145,6 +181,13 @@ int cmd_render(const Args& a) {
             << "wire traffic:     "
             << static_cast<double>(run.stats.total_bytes_sent()) / 1e6
             << " MB in " << run.stats.total_messages() << " messages\n";
+  if (cfg.fault.enabled()) {
+    std::cout << "faults:           "
+              << harness::fault_summary(run.stats) << "\n";
+    if (run.degraded)
+      std::cout << "degraded result:  " << run.lost_pixels
+                << " pixels substituted blank\n";
+  }
 
   const std::string out = a.get("out", "");
   if (!out.empty()) {
