@@ -62,6 +62,84 @@ void BM_CodecDecode(benchmark::State& state, const char* name) {
 BENCHMARK_CAPTURE(BM_CodecDecode, rle, "rle");
 BENCHMARK_CAPTURE(BM_CodecDecode, trle, "trle");
 
+// The P=32 TRLE composition step: a rank receives one encoded block of
+// A/P pixels (512x512 image, 32 ranks -> 8192-pixel blocks) and folds
+// it into its local partial. "Unfused" is the legacy shape — decode
+// into a freshly allocated intermediate image, then blend. "Fused" is
+// the decode_blend path over a reused scratch: TRLE runs composite
+// straight into the destination and blank structure is skipped.
+constexpr int kStepWidth = 512;
+constexpr std::int64_t kStepPixels = 512LL * 512 / 32;
+
+void BM_DecodeBlendUnfused(benchmark::State& state, const char* name) {
+  const img::Image im = sparse_image(kStepWidth);
+  const auto codec = compress::make_codec(name);
+  const img::PixelSpan span{16 * kStepPixels, 17 * kStepPixels};
+  const compress::BlockGeometry geom{kStepWidth, span.begin};
+  const auto bytes = codec->encode(im.view(span), geom);
+  img::Image dst = sparse_image(kStepWidth);
+  for (auto _ : state) {
+    std::vector<img::GrayA8> incoming(
+        static_cast<std::size_t>(span.size()));
+    codec->decode(bytes, incoming, geom);
+    img::blend_in_place(dst.view(span), incoming, img::BlendMode::kOver,
+                        /*src_front=*/false);
+    benchmark::DoNotOptimize(dst.pixels().data());
+  }
+  state.SetItemsProcessed(state.iterations() * span.size());
+}
+BENCHMARK_CAPTURE(BM_DecodeBlendUnfused, trle, "trle");
+BENCHMARK_CAPTURE(BM_DecodeBlendUnfused, rle, "rle");
+
+void BM_DecodeBlendFused(benchmark::State& state, const char* name) {
+  const img::Image im = sparse_image(kStepWidth);
+  const auto codec = compress::make_codec(name);
+  const img::PixelSpan span{16 * kStepPixels, 17 * kStepPixels};
+  const compress::BlockGeometry geom{kStepWidth, span.begin};
+  const auto bytes = codec->encode(im.view(span), geom);
+  img::Image dst = sparse_image(kStepWidth);
+  std::vector<img::GrayA8> scratch;
+  for (auto _ : state) {
+    codec->decode_blend(bytes, dst.view(span), geom,
+                        img::BlendMode::kOver, /*src_front=*/false,
+                        scratch);
+    benchmark::DoNotOptimize(dst.pixels().data());
+  }
+  state.SetItemsProcessed(state.iterations() * span.size());
+}
+BENCHMARK_CAPTURE(BM_DecodeBlendFused, trle, "trle");
+BENCHMARK_CAPTURE(BM_DecodeBlendFused, rle, "rle");
+
+// Encode into a pooled (reused) buffer vs a fresh allocation per block
+// — the send side of the same composition step.
+void BM_EncodeFreshAlloc(benchmark::State& state) {
+  const img::Image im = sparse_image(kStepWidth);
+  const auto codec = compress::make_codec("trle");
+  const img::PixelSpan span{16 * kStepPixels, 17 * kStepPixels};
+  const compress::BlockGeometry geom{kStepWidth, span.begin};
+  for (auto _ : state) {
+    auto bytes = codec->encode(im.view(span), geom);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * span.size());
+}
+BENCHMARK(BM_EncodeFreshAlloc);
+
+void BM_EncodePooledBuffer(benchmark::State& state) {
+  const img::Image im = sparse_image(kStepWidth);
+  const auto codec = compress::make_codec("trle");
+  const img::PixelSpan span{16 * kStepPixels, 17 * kStepPixels};
+  const compress::BlockGeometry geom{kStepWidth, span.begin};
+  std::vector<std::byte> bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    codec->encode_into(im.view(span), geom, bytes);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * span.size());
+}
+BENCHMARK(BM_EncodePooledBuffer);
+
 void BM_BuildSchedule(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
-TESTS="world_test|frame_test|chaos_test|wire_test|methods_test"
+TESTS="world_test|frame_test|chaos_test|wire_test|methods_test|fuzz_corpus_test"
 
 run_mode() {
   local san="$1"
@@ -19,7 +19,8 @@ run_mode() {
   cmake -B "$dir" -S . -DRTC_SANITIZE="$san" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" -j --target \
-        world_test frame_test chaos_test wire_test methods_test
+        world_test frame_test chaos_test wire_test methods_test \
+        fuzz_corpus_test
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)" -R "$TESTS")
 }
 

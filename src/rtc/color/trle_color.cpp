@@ -5,6 +5,7 @@
 // split generalizes to color unchanged.
 #include "rtc/color/render.hpp"
 #include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compress/cells.hpp"
 
 namespace rtc::color {
@@ -69,14 +70,14 @@ std::vector<std::byte> trle_encode_color(std::span<const RgbA8> px,
 void trle_decode_color(std::span<const std::byte> bytes,
                        std::span<RgbA8> out, int image_width,
                        std::int64_t span_begin) {
-  RTC_CHECK_MSG(bytes.size() >= 4, "truncated TRLE header");
-  std::uint32_t n_codes = 0;
-  for (int s = 0; s < 4; ++s)
-    n_codes |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(s)])
-               << (8 * s);
-  RTC_CHECK_MSG(4 + n_codes <= bytes.size(), "truncated TRLE code block");
-  std::span<const std::byte> codes = bytes.subspan(4, n_codes);
-  std::span<const std::byte> payload = bytes.subspan(4 + n_codes);
+  // Reader-checked header: the legacy `4 + n_codes <= size` test
+  // wrapped for counts near UINT32_MAX and let subspan run off the
+  // buffer.
+  wire::WireReader r(bytes);
+  const std::uint32_t n_codes = r.u32("TRLE code count");
+  const std::span<const std::byte> codes =
+      r.bytes(n_codes, "TRLE code block");
+  const std::span<const std::byte> payload = r.rest();
 
   std::size_t code_i = 0;
   int remaining = 0;
@@ -87,7 +88,9 @@ void trle_decode_color(std::span<const std::byte> bytes,
       static_cast<std::int64_t>(out.size()), image_width, span_begin,
       [&](const compress::CellPixels& cell) {
         if (remaining == 0) {
-          RTC_CHECK_MSG(code_i < codes.size(), "TRLE code underrun");
+          wire::require(code_i < codes.size(),
+                        wire::DecodeError::Kind::kTruncated,
+                        "TRLE code underrun");
           const auto code = static_cast<std::uint8_t>(codes[code_i++]);
           remaining = (code >> kRunShift) + 1;
           tmpl = code & kTemplateMask;
@@ -97,7 +100,8 @@ void trle_decode_color(std::span<const std::byte> bytes,
           const std::int64_t i = cell.index[b];
           if (i < 0) continue;
           if (tmpl & (1u << b)) {
-            RTC_CHECK_MSG(pay_i + 4 <= payload.size(),
+            wire::require(pay_i + 4 <= payload.size(),
+                          wire::DecodeError::Kind::kTruncated,
                           "TRLE payload underrun");
             out[static_cast<std::size_t>(i)] =
                 RgbA8{static_cast<std::uint8_t>(payload[pay_i]),
@@ -110,9 +114,12 @@ void trle_decode_color(std::span<const std::byte> bytes,
           }
         }
       });
-  RTC_CHECK_MSG(remaining == 0 && code_i == codes.size(),
+  wire::require(remaining == 0 && code_i == codes.size(),
+                wire::DecodeError::Kind::kTrailing,
                 "TRLE code stream overrun");
-  RTC_CHECK_MSG(pay_i == payload.size(), "trailing TRLE payload");
+  wire::require(pay_i == payload.size(),
+                wire::DecodeError::Kind::kTrailing,
+                "trailing TRLE payload");
 }
 
 }  // namespace rtc::color

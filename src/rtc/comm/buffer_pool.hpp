@@ -1,0 +1,57 @@
+// Per-rank freelist of wire buffers for the hot composition path.
+//
+// Each composition step encodes, frames, receives, and decodes one or
+// more blocks; done naively that is four heap allocations per block,
+// paid ceil(log2 P) times per frame. A BufferPool keeps the byte
+// vectors alive between steps so steady-state traffic reuses their
+// capacity instead of reallocating.
+//
+// Ownership dance across threads: a sender acquires the frame buffer
+// from *its own* pool; the frame travels inside the mailbox envelope;
+// the receiver releases it into *its own* pool after parsing. Each
+// pool is only ever touched by its owning rank's thread, so there is
+// no locking, and because compositors send and receive symmetrically
+// the pools stay balanced. The pool caps its freelist, so a burst
+// (e.g. the final gather fan-in at the root) cannot pin unbounded
+// memory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtc::comm {
+
+class BufferPool {
+ public:
+  /// Returns a cleared buffer, reusing freed capacity when available.
+  [[nodiscard]] std::vector<std::byte> acquire() {
+    if (free_.empty()) {
+      ++misses_;
+      return {};
+    }
+    ++hits_;
+    std::vector<std::byte> b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// Returns a buffer's capacity to the pool. Capacity-less or
+  /// over-cap buffers are simply freed.
+  void release(std::vector<std::byte>&& b) {
+    if (b.capacity() == 0 || free_.size() >= kMaxFree) return;
+    free_.push_back(std::move(b));
+  }
+
+  // Reuse accounting (bench/diagnostics; not part of any invariant).
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxFree = 16;
+  std::vector<std::vector<std::byte>> free_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace rtc::comm

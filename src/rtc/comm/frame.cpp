@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "rtc/common/wire.hpp"
+
 namespace rtc::comm {
 
 namespace {
@@ -17,34 +19,6 @@ std::array<std::uint32_t, 256> make_crc_table() {
   return table;
 }
 
-void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
-  for (int s = 0; s < 4; ++s)
-    out.push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
-}
-
-void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
-  for (int s = 0; s < 8; ++s)
-    out.push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
-}
-
-std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
-  std::uint32_t v = 0;
-  for (int s = 0; s < 4; ++s)
-    v |= static_cast<std::uint32_t>(
-             static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(s)]))
-         << (8 * s);
-  return v;
-}
-
-std::uint64_t get_u64(std::span<const std::byte> in, std::size_t at) {
-  std::uint64_t v = 0;
-  for (int s = 0; s < 8; ++s)
-    v |= static_cast<std::uint64_t>(
-             static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(s)]))
-         << (8 * s);
-  return v;
-}
-
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::byte> data) {
@@ -55,15 +29,22 @@ std::uint32_t crc32(std::span<const std::byte> data) {
   return c ^ 0xFFFFFFFFu;
 }
 
+void encode_frame_into(std::vector<std::byte>& out, std::uint32_t seq,
+                       std::span<const std::byte> payload) {
+  out.clear();
+  out.reserve(kFrameHeaderBytes + payload.size());
+  wire::WireWriter w(out);
+  w.u32(kFrameMagic);
+  w.u32(seq);
+  w.u64(static_cast<std::uint64_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.bytes(payload);
+}
+
 std::vector<std::byte> encode_frame(std::uint32_t seq,
                                     std::span<const std::byte> payload) {
   std::vector<std::byte> out;
-  out.reserve(kFrameHeaderBytes + payload.size());
-  put_u32(out, kFrameMagic);
-  put_u32(out, seq);
-  put_u64(out, static_cast<std::uint64_t>(payload.size()));
-  put_u32(out, crc32(payload));
-  out.insert(out.end(), payload.begin(), payload.end());
+  encode_frame_into(out, seq, payload);
   return out;
 }
 
@@ -73,18 +54,22 @@ DecodedFrame decode_frame(std::span<const std::byte> frame) {
     d.status = FrameStatus::kTruncated;
     return d;
   }
-  if (get_u32(frame, 0) != kFrameMagic) {
+  // The header is fixed-size and just verified present, so these reads
+  // cannot throw; damage is reported as a status, never an exception.
+  wire::WireReader r(frame);
+  if (r.u32("frame magic") != kFrameMagic) {
     d.status = FrameStatus::kBadMagic;
     return d;
   }
-  d.seq = get_u32(frame, 4);
-  const std::uint64_t len = get_u64(frame, 8);
-  if (len != frame.size() - kFrameHeaderBytes) {
+  d.seq = r.u32("frame seq");
+  const std::uint64_t len = r.u64("frame length");
+  const std::uint32_t crc = r.u32("frame crc");
+  if (len != r.remaining()) {
     d.status = FrameStatus::kBadLength;
     return d;
   }
-  const std::span<const std::byte> payload = frame.subspan(kFrameHeaderBytes);
-  if (get_u32(frame, 16) != crc32(payload)) {
+  const std::span<const std::byte> payload = r.rest();
+  if (crc != crc32(payload)) {
     d.status = FrameStatus::kBadCrc;
     return d;
   }

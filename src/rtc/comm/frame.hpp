@@ -34,6 +34,11 @@ inline constexpr std::size_t kFrameHeaderBytes = 20;
 [[nodiscard]] std::vector<std::byte> encode_frame(
     std::uint32_t seq, std::span<const std::byte> payload);
 
+/// Same, appending into `out` (cleared first) so a pooled buffer's
+/// capacity is reused instead of reallocated per message.
+void encode_frame_into(std::vector<std::byte>& out, std::uint32_t seq,
+                       std::span<const std::byte> payload);
+
 enum class FrameStatus {
   kOk,
   kTruncated,  ///< shorter than a header

@@ -269,7 +269,11 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
 
   const std::uint32_t seq = next_seq_++;
   World::Envelope e;
-  e.frame = encode_frame(seq, payload);
+  // Frame into a pooled buffer, then recycle the caller's payload
+  // capacity: a steady-state composition step allocates nothing here.
+  e.frame = pool_.acquire();
+  encode_frame_into(e.frame, seq, payload);
+  pool_.release(std::move(payload));
   e.available_at = egress_free_;
 
   std::optional<World::Envelope> dup;
@@ -333,6 +337,7 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
       // Sequence number already consumed: injected duplicate. Discard
       // without advancing the clock — protocol-level dedup is free.
       stats_.duplicates_discarded += 1;
+      pool_.release(std::move(e->frame));
       continue;
     }
     clock_ = std::max(clock_, e->available_at);
@@ -345,13 +350,17 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
       // is still damaged — the CRC, not an oracle, catches the latter).
       if (!d.ok() && !e->lost) stats_.crc_failures += 1;
       stats_.lost_messages += 1;
+      pool_.release(std::move(e->frame));
       return RecvOutcome{RecvStatus::kLost, {}};
     }
     stats_.messages_received += 1;
     stats_.bytes_received += static_cast<std::int64_t>(d.payload.size());
-    return RecvOutcome{
-        RecvStatus::kOk,
-        std::vector<std::byte>(d.payload.begin(), d.payload.end())};
+    // Copy the payload out of the frame into a pooled buffer before the
+    // frame itself is recycled (d.payload aliases e->frame).
+    std::vector<std::byte> payload = pool_.acquire();
+    payload.assign(d.payload.begin(), d.payload.end());
+    pool_.release(std::move(e->frame));
+    return RecvOutcome{RecvStatus::kOk, std::move(payload)};
   }
 }
 

@@ -33,6 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "rtc/comm/buffer_pool.hpp"
 #include "rtc/comm/error.hpp"
 #include "rtc/comm/fault.hpp"
 #include "rtc/comm/network_model.hpp"
@@ -81,6 +82,12 @@ class Comm {
   /// Records a (id, now) checkpoint in this rank's stats; free.
   void mark(int id);
 
+  /// This rank's wire-buffer freelist (rank-thread private, lock-free).
+  /// send/recv recycle frame and payload buffers through it; callers
+  /// that are done with a received payload should release it back so
+  /// the next step's traffic reuses the capacity.
+  [[nodiscard]] BufferPool& pool() { return pool_; }
+
   /// Current virtual time of this rank.
   [[nodiscard]] double now() const { return clock_; }
 
@@ -114,6 +121,7 @@ class Comm {
   std::uint32_t next_seq_ = 1;  ///< wire-frame sequence counter
   int send_calls_ = 0;          ///< sends attempted (crash thresholds)
   std::unordered_set<std::uint64_t> seen_seqs_;  ///< (src, seq) dedup
+  BufferPool pool_;  ///< per-rank wire-buffer freelist
   RankStats stats_;
 };
 

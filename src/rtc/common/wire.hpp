@@ -1,0 +1,199 @@
+// Overflow-checked wire parsing and serialization primitives.
+//
+// Every length-prefixed structure that crosses the message-passing
+// substrate — frames, codec streams, aggregated blocks, gather
+// payloads — is parsed through a WireReader and written through a
+// WireWriter. The reader never does arithmetic that can wrap: each
+// read checks the *remaining* byte count (a subtraction that cannot
+// underflow, since the cursor never passes the end) instead of adding
+// attacker-controlled lengths to offsets. Malformed input therefore
+// surfaces as a typed DecodeError, never as out-of-bounds access.
+//
+// Trust boundary: CRC framing (rtc/comm/frame.hpp) catches random wire
+// damage, but a CRC collision or a buggy/hostile peer can deliver a
+// frame whose payload passes the checksum and is still garbage. All
+// deserializers treat payload bytes as untrusted and validate every
+// length, count, and coordinate against the receiver's own geometry
+// before touching memory (see docs/fault_model.md §6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::wire {
+
+/// Thrown when wire bytes fail structural validation. Derives from
+/// ContractError so legacy catch sites keep working, but carries a
+/// Kind so resilient callers can degrade on malformed input without
+/// masking genuine local contract bugs.
+class DecodeError : public ContractError {
+ public:
+  enum class Kind {
+    kTruncated,  ///< fewer bytes than the structure requires
+    kOverflow,   ///< a length/count exceeds the buffer or the output
+    kRange,      ///< a field value is outside its valid domain
+    kTrailing,   ///< well-formed prefix followed by unconsumed bytes
+    kMismatch,   ///< stream disagrees with receiver-side geometry
+  };
+
+  DecodeError(Kind kind, const std::string& what)
+      : ContractError("wire decode error: " + what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+[[noreturn]] inline void fail(DecodeError::Kind kind,
+                              const std::string& what) {
+  throw DecodeError(kind, what);
+}
+
+inline void require(bool ok, DecodeError::Kind kind, const char* what) {
+  if (!ok) fail(kind, what);
+}
+
+/// `count * size` with overflow detection (both in size_t domain).
+[[nodiscard]] inline std::size_t checked_mul(std::size_t count,
+                                             std::size_t size,
+                                             const char* what) {
+  if (size != 0 &&
+      count > std::numeric_limits<std::size_t>::max() / size)
+    fail(DecodeError::Kind::kOverflow, what);
+  return count * size;
+}
+
+/// Cursor over untrusted bytes. All reads are little-endian and
+/// bounds-checked against the remaining byte count; a short buffer
+/// raises DecodeError(kTruncated) naming the field.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+  /// Takes the next `n` bytes; kTruncated when fewer remain. The
+  /// comparison is against remaining(), so no offset addition that
+  /// could wrap ever happens.
+  [[nodiscard]] std::span<const std::byte> bytes(std::size_t n,
+                                                const char* what) {
+    if (n > remaining()) fail(DecodeError::Kind::kTruncated, what);
+    const std::span<const std::byte> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Takes every unread byte (possibly none).
+  [[nodiscard]] std::span<const std::byte> rest() {
+    return bytes(remaining(), "rest");
+  }
+
+  [[nodiscard]] std::uint8_t u8(const char* what) {
+    return static_cast<std::uint8_t>(bytes(1, what)[0]);
+  }
+
+  [[nodiscard]] std::uint32_t u32(const char* what) {
+    const std::span<const std::byte> b = bytes(4, what);
+    std::uint32_t v = 0;
+    for (int s = 0; s < 4; ++s)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(b[static_cast<std::size_t>(s)]))
+           << (8 * s);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64(const char* what) {
+    const std::span<const std::byte> b = bytes(8, what);
+    std::uint64_t v = 0;
+    for (int s = 0; s < 8; ++s)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(b[static_cast<std::size_t>(s)]))
+           << (8 * s);
+    return v;
+  }
+
+  [[nodiscard]] std::int32_t i32(const char* what) {
+    return static_cast<std::int32_t>(u32(what));
+  }
+
+  [[nodiscard]] std::int64_t i64(const char* what) {
+    return static_cast<std::int64_t>(u64(what));
+  }
+
+  /// Reads a u64 length prefix and takes that many bytes. The length
+  /// is validated against remaining() *before* any size_t narrowing,
+  /// so a 2^63-ish length cannot wrap into a small allocation.
+  [[nodiscard]] std::span<const std::byte> length_prefixed(
+      const char* what) {
+    const std::uint64_t len = u64(what);
+    if (len > remaining()) fail(DecodeError::Kind::kOverflow, what);
+    return bytes(static_cast<std::size_t>(len), what);
+  }
+
+  /// Declares the structure complete; kTrailing if bytes remain.
+  void finish(const char* what) const {
+    if (remaining() != 0) fail(DecodeError::Kind::kTrailing, what);
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Little-endian appender over a caller-owned vector, so serializers
+/// compose into pooled buffers without intermediate allocations.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::byte>& out) : out_(&out) {}
+
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
+
+  void u8(std::uint8_t v) { out_->push_back(static_cast<std::byte>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int s = 0; s < 4; ++s)
+      out_->push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int s = 0; s < 8; ++s)
+      out_->push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
+  }
+
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::byte> b) {
+    out_->insert(out_->end(), b.begin(), b.end());
+  }
+
+  /// Reserves a u64 length slot, returning its position for patch_u64
+  /// — lets a writer length-prefix a body it serializes in place.
+  [[nodiscard]] std::size_t reserve_u64() {
+    const std::size_t at = out_->size();
+    u64(0);
+    return at;
+  }
+
+  void patch_u64(std::size_t at, std::uint64_t v) {
+    RTC_DCHECK(at + 8 <= out_->size());
+    for (int s = 0; s < 8; ++s)
+      (*out_)[at + static_cast<std::size_t>(s)] =
+          static_cast<std::byte>((v >> (8 * s)) & 0xffu);
+  }
+
+ private:
+  std::vector<std::byte>* out_;
+};
+
+}  // namespace rtc::wire

@@ -34,6 +34,7 @@ class BinarySwap final : public Compositor {
 
     img::Image buf = partial;
     std::int64_t index = 0;  // live block is (depth=k, index) after step k
+    std::vector<img::GrayA8> scratch;  // decode_blend fallback, reused
 
     for (int k = 1; k <= steps; ++k) {
       const int bit = (r >> (k - 1)) & 1;
@@ -50,19 +51,15 @@ class BinarySwap final : public Compositor {
                                               give_span.begin};
       const compress::BlockGeometry keep_geom{partial.width(),
                                               keep_span.begin};
-      std::vector<img::GrayA8> incoming(
-          static_cast<std::size_t>(keep_span.size()));
       send_block(comm, partner, k, buf.view(give_span), give_geom,
                  opt.codec);
-      if (recv_block_or_blank(comm, partner, k, incoming, keep_geom,
-                              opt.codec, opt.resilience, keep)) {
-        // Partner covers the adjacent rank interval; in front iff
-        // smaller. A lost partner contribution stays blank (identity),
-        // so the blend and its To charge are skipped.
-        img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
-                            /*src_front=*/partner < r);
-        comm.charge_over(keep_span.size());
-      }
+      // Partner covers the adjacent rank interval; in front iff
+      // smaller. The fused receive composites decoded runs straight
+      // into the kept half — no intermediate image; a lost partner
+      // contribution is skipped (blank is the identity).
+      recv_block_blend(comm, partner, k, buf.view(keep_span), keep_geom,
+                       opt.codec, opt.blend, /*src_front=*/partner < r,
+                       opt.resilience, keep, scratch);
       comm.mark(k);
       index = keep;
     }

@@ -41,21 +41,16 @@ class BinarySwapAny final : public Compositor {
     const compress::BlockGeometry geom{partial.width(), 0};
     bool active = true;
     int unit = r;
+    std::vector<img::GrayA8> scratch;  // decode_blend fallback, reused
     if (r < 2 * folded) {
       if (r % 2 == 1) {
         send_block(comm, r - 1, /*tag=*/0, partial.view(whole), geom,
                    opt.codec);
         active = false;
       } else {
-        std::vector<img::GrayA8> incoming(
-            static_cast<std::size_t>(whole.size()));
-        if (recv_block_or_blank(comm, r + 1, /*tag=*/0, incoming, geom,
-                                opt.codec, opt.resilience,
-                                /*block_id=*/r + 1)) {
-          img::blend_in_place(buf.pixels(), incoming, opt.blend,
-                              /*src_front=*/false);
-          comm.charge_over(whole.size());
-        }
+        recv_block_blend(comm, r + 1, /*tag=*/0, buf.pixels(), geom,
+                         opt.codec, opt.blend, /*src_front=*/false,
+                         opt.resilience, /*block_id=*/r + 1, scratch);
         unit = r / 2;
       }
     } else {
@@ -83,15 +78,11 @@ class BinarySwapAny final : public Compositor {
         const img::PixelSpan give_span = tiling.block(k, give);
         const compress::BlockGeometry gg{partial.width(), give_span.begin};
         const compress::BlockGeometry kg{partial.width(), keep_span.begin};
-        std::vector<img::GrayA8> incoming(
-            static_cast<std::size_t>(keep_span.size()));
         send_block(comm, partner, k, buf.view(give_span), gg, opt.codec);
-        if (recv_block_or_blank(comm, partner, k, incoming, kg, opt.codec,
-                                opt.resilience, keep)) {
-          img::blend_in_place(buf.view(keep_span), incoming, opt.blend,
-                              /*src_front=*/partner_unit < unit);
-          comm.charge_over(keep_span.size());
-        }
+        recv_block_blend(comm, partner, k, buf.view(keep_span), kg,
+                         opt.codec, opt.blend,
+                         /*src_front=*/partner_unit < unit,
+                         opt.resilience, keep, scratch);
         comm.mark(k);
         index = keep;
       }

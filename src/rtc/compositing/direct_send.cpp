@@ -34,16 +34,12 @@ class DirectSend final : public Compositor {
     // appended at the back), then ranks in front (appended in front,
     // nearest first).
     img::Image out = partial;
-    std::vector<img::GrayA8> incoming(
-        static_cast<std::size_t>(partial.pixel_count()));
+    std::vector<img::GrayA8> scratch;  // decode_blend fallback, reused
     auto fold = [&](int src, bool front) {
-      // A lost sender contributes blank pixels: skip the fold entirely.
-      if (!recv_block_or_blank(comm, src, /*tag=*/1, incoming, geom,
-                               opt.codec, opt.resilience,
-                               /*block_id=*/src))
-        return;
-      img::blend_in_place(out.pixels(), incoming, opt.blend, front);
-      comm.charge_over(partial.pixel_count());
+      // Fused receive-and-blend; a lost sender contributes nothing.
+      recv_block_blend(comm, src, /*tag=*/1, out.pixels(), geom,
+                       opt.codec, opt.blend, front, opt.resilience,
+                       /*block_id=*/src, scratch);
     };
     for (int src = opt.root + 1; src < p; ++src) fold(src, /*front=*/false);
     for (int src = opt.root - 1; src >= 0; --src) fold(src, /*front=*/true);

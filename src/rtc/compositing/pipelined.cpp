@@ -20,6 +20,7 @@
 //                the destination; order-correct for any input at the
 //                cost of one extra in-flight segment after the seam.
 #include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compositing/compositor.hpp"
 #include "rtc/compositing/wire.hpp"
 #include "rtc/image/ops.hpp"
@@ -139,7 +140,7 @@ class Pipelined final : public Compositor {
                          const compress::Codec* codec) {
     const img::PixelSpan s = tiling.block(0, block_id);
     const compress::BlockGeometry geom{width, s.begin};
-    std::vector<std::byte> payload;
+    std::vector<std::byte> payload = comm.pool().acquire();
     payload.push_back(static_cast<std::byte>(state.front.empty() ? 0 : 1));
     if (!state.front.empty())
       append_segment(comm, payload, state.front, geom, codec);
@@ -169,57 +170,61 @@ class Pipelined final : public Compositor {
     } else {
       payload = comm.recv(src, tag);
     }
-    std::span<const std::byte> rest(payload);
-    RTC_CHECK(!rest.empty());
-    const bool has_front = static_cast<std::uint8_t>(rest[0]) != 0;
-    rest = rest.subspan(1);
-    State state;
-    if (has_front)
-      state.front = take_segment(comm, rest, s.size(), geom, codec);
-    state.back = take_segment(comm, rest, s.size(), geom, codec);
-    RTC_CHECK(rest.empty());
-    return state;
+    try {
+      wire::WireReader r(payload);
+      const bool has_front = r.u8("segment-state flag") != 0;
+      State state;
+      if (has_front)
+        state.front = take_segment(comm, r, s.size(), geom, codec);
+      state.back = take_segment(comm, r, s.size(), geom, codec);
+      r.finish("ring segment payload");
+      comm.pool().release(std::move(payload));
+      return state;
+    } catch (const wire::DecodeError&) {
+      // Malformed traveling accumulation: degrade like a lost message
+      // under kBlank (blank restart), propagate under kThrow.
+      if (policy.on_peer_loss !=
+          comm::ResiliencePolicy::PeerLoss::kBlank)
+        throw;
+      comm.pool().release(std::move(payload));
+      comm.note_loss(block_id, s.size());
+      State blank;
+      blank.back.assign(static_cast<std::size_t>(s.size()), img::kBlank);
+      return blank;
+    }
   }
 
   static void append_segment(comm::Comm& comm, std::vector<std::byte>& out,
                              std::span<const img::GrayA8> px,
                              const compress::BlockGeometry& geom,
                              const compress::Codec* codec) {
-    std::vector<std::byte> body;
+    // Length-prefix in place (no intermediate body buffer).
+    wire::WireWriter w(out);
+    const std::size_t at = w.reserve_u64();
+    const std::size_t body_begin = out.size();
     if (codec == nullptr) {
-      body = img::serialize_pixels(px);
+      img::serialize_pixels_into(px, out);
     } else {
-      body = codec->encode(px, geom);
+      codec->encode_into(px, geom, out);
       comm.compute(comm.model().tcodec_pixel *
                    static_cast<double>(px.size()));
     }
-    const auto len = static_cast<std::uint64_t>(body.size());
-    for (int b = 0; b < 8; ++b)
-      out.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xffu));
-    out.insert(out.end(), body.begin(), body.end());
+    w.patch_u64(at, static_cast<std::uint64_t>(out.size() - body_begin));
   }
 
   static std::vector<img::GrayA8> take_segment(
-      comm::Comm& comm, std::span<const std::byte>& rest,
-      std::int64_t pixels, const compress::BlockGeometry& geom,
-      const compress::Codec* codec) {
-    RTC_CHECK(rest.size() >= 8);
-    std::uint64_t len = 0;
-    for (int b = 0; b < 8; ++b)
-      len |= std::uint64_t{
-          static_cast<std::uint8_t>(rest[static_cast<std::size_t>(b)])}
-             << (8 * b);
-    rest = rest.subspan(8);
-    RTC_CHECK(rest.size() >= len);
+      comm::Comm& comm, wire::WireReader& r, std::int64_t pixels,
+      const compress::BlockGeometry& geom, const compress::Codec* codec) {
+    const std::span<const std::byte> body =
+        r.length_prefixed("ring segment");
     std::vector<img::GrayA8> px(static_cast<std::size_t>(pixels));
     if (codec == nullptr) {
-      img::deserialize_pixels(rest.first(len), px);
+      img::deserialize_pixels(body, px);
     } else {
-      codec->decode(rest.first(len), px, geom);
+      codec->decode(body, px, geom);
       comm.compute(comm.model().tcodec_pixel *
                    static_cast<double>(px.size()));
     }
-    rest = rest.subspan(len);
     return px;
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/image/serialize.hpp"
 
 namespace rtc::compositing {
@@ -13,19 +14,59 @@ double codec_time(const comm::Comm& comm, std::size_t pixels) {
   return comm.model().tcodec_pixel * static_cast<double>(pixels);
 }
 
+/// Encodes `px` into `out` (appending) through the codec, or raw.
+void encode_block_into(comm::Comm& comm, std::span<const img::GrayA8> px,
+                       const compress::BlockGeometry& geom,
+                       const compress::Codec* codec,
+                       std::vector<std::byte>& out) {
+  if (codec == nullptr) {
+    img::serialize_pixels_into(px, out);
+  } else {
+    codec->encode_into(px, geom, out);
+    comm.compute(codec_time(comm, px.size()));
+  }
+}
+
+/// Decodes one block payload into `out` and charges codec time.
+void decode_block(comm::Comm& comm, std::span<const std::byte> bytes,
+                  std::span<img::GrayA8> out,
+                  const compress::BlockGeometry& geom,
+                  const compress::Codec* codec) {
+  if (codec == nullptr) {
+    img::deserialize_pixels(bytes, out);
+  } else {
+    codec->decode(bytes, out, geom);
+    comm.compute(codec_time(comm, out.size()));
+  }
+}
+
+/// Fused decode-and-blend of one block payload into `dst`; charges the
+/// same codec time plus the blend's To that the decode-then-blend path
+/// would, so virtual-time results are unchanged.
+void decode_blend_block(comm::Comm& comm, std::span<const std::byte> bytes,
+                        std::span<img::GrayA8> dst,
+                        const compress::BlockGeometry& geom,
+                        const compress::Codec* codec, img::BlendMode mode,
+                        bool src_front, std::vector<img::GrayA8>& scratch) {
+  if (codec == nullptr) {
+    scratch.resize(dst.size());
+    img::deserialize_pixels(bytes, scratch);
+    img::blend_in_place(dst, scratch, mode, src_front);
+  } else {
+    codec->decode_blend(bytes, dst, geom, mode, src_front, scratch);
+    comm.compute(codec_time(comm, dst.size()));
+  }
+  comm.charge_over(static_cast<std::int64_t>(dst.size()));
+}
+
 }  // namespace
 
 void send_block(comm::Comm& comm, int dst, int tag,
                 std::span<const img::GrayA8> px,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec) {
-  std::vector<std::byte> bytes;
-  if (codec == nullptr) {
-    bytes = img::serialize_pixels(px);
-  } else {
-    bytes = codec->encode(px, geom);
-    comm.compute(codec_time(comm, px.size()));
-  }
+  std::vector<std::byte> bytes = comm.pool().acquire();
+  encode_block_into(comm, px, geom, codec, bytes);
   comm.send(dst, tag, std::move(bytes));
 }
 
@@ -33,13 +74,9 @@ void recv_block(comm::Comm& comm, int src, int tag,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec) {
-  const std::vector<std::byte> bytes = comm.recv(src, tag);
-  if (codec == nullptr) {
-    img::deserialize_pixels(bytes, out);
-  } else {
-    codec->decode(bytes, out, geom);
-    comm.compute(codec_time(comm, out.size()));
-  }
+  std::vector<std::byte> bytes = comm.recv(src, tag);
+  decode_block(comm, bytes, out, geom, codec);
+  comm.pool().release(std::move(bytes));
 }
 
 bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
@@ -52,92 +89,151 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
     recv_block(comm, src, tag, out, geom, codec);
     return true;
   }
-  const std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
-  if (!bytes) {
-    std::fill(out.begin(), out.end(), img::kBlank);
-    comm.note_loss(block_id, static_cast<std::int64_t>(out.size()));
-    return false;
+  std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
+  if (bytes) {
+    try {
+      decode_block(comm, *bytes, out, geom, codec);
+      comm.pool().release(std::move(*bytes));
+      return true;
+    } catch (const wire::DecodeError&) {
+      // A payload that passed the CRC but fails validation (collision,
+      // buggy peer) degrades exactly like a loss.
+      comm.pool().release(std::move(*bytes));
+    }
   }
-  if (codec == nullptr) {
-    img::deserialize_pixels(*bytes, out);
-  } else {
-    codec->decode(*bytes, out, geom);
-    comm.compute(codec_time(comm, out.size()));
+  std::fill(out.begin(), out.end(), img::kBlank);
+  comm.note_loss(block_id, static_cast<std::int64_t>(out.size()));
+  return false;
+}
+
+bool recv_block_blend(comm::Comm& comm, int src, int tag,
+                      std::span<img::GrayA8> dst,
+                      const compress::BlockGeometry& geom,
+                      const compress::Codec* codec, img::BlendMode mode,
+                      bool src_front, const comm::ResiliencePolicy& policy,
+                      std::int64_t block_id,
+                      std::vector<img::GrayA8>& scratch) {
+  if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
+    std::vector<std::byte> bytes = comm.recv(src, tag);
+    decode_blend_block(comm, bytes, dst, geom, codec, mode, src_front,
+                       scratch);
+    comm.pool().release(std::move(bytes));
+    return true;
   }
-  return true;
+  std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
+  if (bytes) {
+    try {
+      decode_blend_block(comm, *bytes, dst, geom, codec, mode, src_front,
+                         scratch);
+      comm.pool().release(std::move(*bytes));
+      return true;
+    } catch (const wire::DecodeError&) {
+      comm.pool().release(std::move(*bytes));
+    }
+  }
+  comm.note_loss(block_id, static_cast<std::int64_t>(dst.size()));
+  return false;
 }
 
 void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
                   std::span<const img::GrayA8> px,
                   const compress::BlockGeometry& geom,
                   const compress::Codec* codec) {
-  std::vector<std::byte> body;
-  if (codec == nullptr) {
-    body = img::serialize_pixels(px);
-  } else {
-    body = codec->encode(px, geom);
-    comm.compute(codec_time(comm, px.size()));
-  }
-  const auto len = static_cast<std::uint64_t>(body.size());
-  for (int b = 0; b < 8; ++b)
-    payload.push_back(static_cast<std::byte>((len >> (8 * b)) & 0xffu));
-  payload.insert(payload.end(), body.begin(), body.end());
+  // Length-prefix in place: reserve the u64, encode straight into
+  // `payload`, then patch the length — no intermediate body buffer.
+  wire::WireWriter w(payload);
+  const std::size_t at = w.reserve_u64();
+  const std::size_t body_begin = payload.size();
+  encode_block_into(comm, px, geom, codec, payload);
+  w.patch_u64(at, static_cast<std::uint64_t>(payload.size() - body_begin));
 }
 
 void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec) {
-  RTC_CHECK_MSG(rest.size() >= 8, "truncated aggregated block");
-  std::uint64_t len = 0;
-  for (int b = 0; b < 8; ++b)
-    len |= std::uint64_t{
-        static_cast<std::uint8_t>(rest[static_cast<std::size_t>(b)])}
-           << (8 * b);
-  rest = rest.subspan(8);
-  RTC_CHECK_MSG(rest.size() >= len, "aggregated block overruns message");
-  if (codec == nullptr) {
-    img::deserialize_pixels(rest.first(len), out);
-  } else {
-    codec->decode(rest.first(len), out, geom);
-    comm.compute(codec_time(comm, out.size()));
-  }
-  rest = rest.subspan(len);
+  wire::WireReader r(rest);
+  const std::span<const std::byte> body =
+      r.length_prefixed("aggregated block");
+  decode_block(comm, body, out, geom, codec);
+  rest = r.rest();
+}
+
+void take_block_blend(comm::Comm& comm, std::span<const std::byte>& rest,
+                      std::span<img::GrayA8> dst,
+                      const compress::BlockGeometry& geom,
+                      const compress::Codec* codec, img::BlendMode mode,
+                      bool src_front, std::vector<img::GrayA8>& scratch) {
+  wire::WireReader r(rest);
+  const std::span<const std::byte> body =
+      r.length_prefixed("aggregated block");
+  decode_blend_block(comm, body, dst, geom, codec, mode, src_front, scratch);
+  rest = r.rest();
 }
 
 std::vector<std::byte> pack_fragment(int depth, std::int64_t index,
                                      std::span<const img::GrayA8> px) {
   std::vector<std::byte> out;
   out.reserve(12 + px.size() * img::kBytesPerPixel);
-  const auto d = static_cast<std::uint32_t>(depth);
-  for (int s = 0; s < 4; ++s)
-    out.push_back(static_cast<std::byte>((d >> (8 * s)) & 0xffu));
-  const auto i = static_cast<std::uint64_t>(index);
-  for (int s = 0; s < 8; ++s)
-    out.push_back(static_cast<std::byte>((i >> (8 * s)) & 0xffu));
-  const std::vector<std::byte> body = img::serialize_pixels(px);
-  out.insert(out.end(), body.begin(), body.end());
+  wire::WireWriter w(out);
+  w.u32(static_cast<std::uint32_t>(depth));
+  w.u64(static_cast<std::uint64_t>(index));
+  img::serialize_pixels_into(px, out);
   return out;
 }
 
 Fragment unpack_fragment(std::span<const std::byte> bytes) {
-  RTC_CHECK_MSG(bytes.size() >= 12, "truncated fragment");
+  wire::WireReader r(bytes);
   Fragment f;
-  std::uint32_t d = 0;
-  for (int s = 0; s < 4; ++s)
-    d |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(s)])
-         << (8 * s);
-  f.depth = static_cast<int>(d);
-  std::uint64_t i = 0;
-  for (int s = 0; s < 8; ++s)
-    i |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(4 + s)])
-         << (8 * s);
-  f.index = static_cast<std::int64_t>(i);
-  const std::span<const std::byte> body = bytes.subspan(12);
-  RTC_CHECK(body.size() % img::kBytesPerPixel == 0);
+  f.depth = static_cast<int>(r.u32("fragment depth"));
+  f.index = static_cast<std::int64_t>(r.u64("fragment index"));
+  const std::span<const std::byte> body = r.rest();
+  wire::require(body.size() % img::kBytesPerPixel == 0,
+                wire::DecodeError::Kind::kMismatch,
+                "fragment payload is not a whole number of pixels");
   f.pixels.resize(body.size() / img::kBytesPerPixel);
   img::deserialize_pixels(body, f.pixels);
   return f;
+}
+
+void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
+                            std::span<const std::byte> payload) {
+  wire::WireReader r(payload);
+  const std::uint32_t n = r.u32("fragment count");
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const Fragment f =
+        unpack_fragment(r.length_prefixed("gathered fragment"));
+    // (depth, index) come off the wire: validate against the local
+    // tiling before the geometry lookup, which contract-checks.
+    wire::require(f.depth >= 0 && f.depth < 48,
+                  wire::DecodeError::Kind::kRange,
+                  "fragment depth outside tiling");
+    wire::require(f.index >= 0 && f.index < tiling.block_count(f.depth),
+                  wire::DecodeError::Kind::kRange,
+                  "fragment index outside tiling");
+    const img::PixelSpan span = tiling.block(f.depth, f.index);
+    wire::require(static_cast<std::size_t>(span.size()) == f.pixels.size(),
+                  wire::DecodeError::Kind::kMismatch,
+                  "fragment pixel count disagrees with its block");
+    std::span<img::GrayA8> dst = out.view(span);
+    std::copy(f.pixels.begin(), f.pixels.end(), dst.begin());
+  }
+  r.finish("gather payload");
+}
+
+void scatter_span_into(img::Image& out,
+                       std::span<const std::byte> payload) {
+  wire::WireReader r(payload);
+  img::PixelSpan sp;
+  sp.begin = r.i64("span begin");
+  sp.end = r.i64("span end");
+  // The span bounds come off the wire: reject before out.view(sp)
+  // indexes the image with them.
+  wire::require(sp.begin >= 0 && sp.begin <= sp.end &&
+                    sp.end <= out.pixel_count(),
+                wire::DecodeError::Kind::kRange,
+                "gathered span outside image");
+  img::deserialize_pixels(r.rest(), out.view(sp));
 }
 
 img::Image gather_fragments(
@@ -146,50 +242,38 @@ img::Image gather_fragments(
     int width, int height) {
   // Pack all locally-owned fragments into one gather payload:
   // [u32 count] then count packed fragments, each length-prefixed (u64).
-  std::vector<std::byte> payload;
-  const auto count = static_cast<std::uint32_t>(owned.size());
-  for (int s = 0; s < 4; ++s)
-    payload.push_back(static_cast<std::byte>((count >> (8 * s)) & 0xffu));
-  for (const auto& [depth, index] : owned) {
-    const img::PixelSpan span = tiling.block(depth, index);
-    std::vector<std::byte> frag =
-        pack_fragment(depth, index, local.view(span));
-    const auto len = static_cast<std::uint64_t>(frag.size());
-    for (int s = 0; s < 8; ++s)
-      payload.push_back(static_cast<std::byte>((len >> (8 * s)) & 0xffu));
-    payload.insert(payload.end(), frag.begin(), frag.end());
+  std::vector<std::byte> payload = comm.pool().acquire();
+  {
+    wire::WireWriter w(payload);
+    w.u32(static_cast<std::uint32_t>(owned.size()));
+    for (const auto& [depth, index] : owned) {
+      const img::PixelSpan span = tiling.block(depth, index);
+      const std::size_t at = w.reserve_u64();
+      const std::size_t body_begin = payload.size();
+      w.u32(static_cast<std::uint32_t>(depth));
+      w.u64(static_cast<std::uint64_t>(index));
+      img::serialize_pixels_into(local.view(span), payload);
+      w.patch_u64(at,
+                  static_cast<std::uint64_t>(payload.size() - body_begin));
+    }
   }
 
   const comm::GatherResult all =
       comm::gather_partial(comm, root, kGatherTag, std::move(payload));
   if (comm.rank() != root) return img::Image{};
 
+  const bool degrade = comm.resilience().on_peer_loss ==
+                       comm::ResiliencePolicy::PeerLoss::kBlank;
   img::Image out(width, height);
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its blocks stay blank
-    const std::vector<std::byte>& buf = all.payloads[src];
-    std::span<const std::byte> rest(buf);
-    RTC_CHECK(rest.size() >= 4);
-    std::uint32_t n = 0;
-    for (int s = 0; s < 4; ++s)
-      n |= static_cast<std::uint32_t>(rest[static_cast<std::size_t>(s)])
-           << (8 * s);
-    rest = rest.subspan(4);
-    for (std::uint32_t k = 0; k < n; ++k) {
-      RTC_CHECK(rest.size() >= 8);
-      std::uint64_t len = 0;
-      for (int s = 0; s < 8; ++s)
-        len |= std::uint64_t{
-            static_cast<std::uint8_t>(rest[static_cast<std::size_t>(s)])}
-               << (8 * s);
-      rest = rest.subspan(8);
-      RTC_CHECK(rest.size() >= len);
-      const Fragment f = unpack_fragment(rest.first(len));
-      rest = rest.subspan(len);
-      const img::PixelSpan span = tiling.block(f.depth, f.index);
-      RTC_CHECK(static_cast<std::size_t>(span.size()) == f.pixels.size());
-      std::span<img::GrayA8> dst = out.view(span);
-      std::copy(f.pixels.begin(), f.pixels.end(), dst.begin());
+    try {
+      scatter_fragments_into(out, tiling, all.payloads[src]);
+    } catch (const wire::DecodeError&) {
+      if (!degrade) throw;
+      // Malformed gather payload: the sender's remaining blocks stay
+      // blank, recorded as a loss attributed to that rank.
+      comm.note_loss(static_cast<std::int64_t>(src), 0);
     }
   }
   return out;
@@ -199,40 +283,29 @@ img::Image gather_spans(comm::Comm& comm, const img::Image& local,
                         img::PixelSpan span, int root, int width,
                         int height) {
   // Payload: [i64 begin][i64 end][raw pixels].
-  std::vector<std::byte> payload;
-  auto put_i64 = [&](std::int64_t v) {
-    const auto u = static_cast<std::uint64_t>(v);
-    for (int s = 0; s < 8; ++s)
-      payload.push_back(static_cast<std::byte>((u >> (8 * s)) & 0xffu));
-  };
-  put_i64(span.begin);
-  put_i64(span.end);
-  const std::vector<std::byte> body = img::serialize_pixels(local.view(span));
-  payload.insert(payload.end(), body.begin(), body.end());
+  std::vector<std::byte> payload = comm.pool().acquire();
+  {
+    wire::WireWriter w(payload);
+    w.i64(span.begin);
+    w.i64(span.end);
+    img::serialize_pixels_into(local.view(span), payload);
+  }
 
   const comm::GatherResult all =
       comm::gather_partial(comm, root, kGatherTag, std::move(payload));
   if (comm.rank() != root) return img::Image{};
 
+  const bool degrade = comm.resilience().on_peer_loss ==
+                       comm::ResiliencePolicy::PeerLoss::kBlank;
   img::Image out(width, height);
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its span stays blank
-    const std::vector<std::byte>& buf = all.payloads[src];
-    std::span<const std::byte> rest(buf);
-    RTC_CHECK(rest.size() >= 16);
-    auto get_i64 = [&]() {
-      std::uint64_t u = 0;
-      for (int s = 0; s < 8; ++s)
-        u |= std::uint64_t{
-            static_cast<std::uint8_t>(rest[static_cast<std::size_t>(s)])}
-             << (8 * s);
-      rest = rest.subspan(8);
-      return static_cast<std::int64_t>(u);
-    };
-    img::PixelSpan sp;
-    sp.begin = get_i64();
-    sp.end = get_i64();
-    img::deserialize_pixels(rest, out.view(sp));
+    try {
+      scatter_span_into(out, all.payloads[src]);
+    } catch (const wire::DecodeError&) {
+      if (!degrade) throw;
+      comm.note_loss(static_cast<std::int64_t>(src), 0);
+    }
   }
   return out;
 }

@@ -1,4 +1,12 @@
 // Helpers for moving pixel blocks between ranks through a codec.
+//
+// Everything received here crossed the wire and is untrusted: all
+// parsing goes through wire::WireReader, and malformed bytes surface as
+// typed wire::DecodeError instead of undefined behavior (see
+// docs/fault_model.md §6). The hot composition path is allocation-free
+// in steady state: encode buffers come from the rank's BufferPool,
+// received payloads are released back into it, and the *_blend variants
+// composite decoded runs directly into the destination block.
 #pragma once
 
 #include <cstdint>
@@ -9,29 +17,32 @@
 #include "rtc/comm/world.hpp"
 #include "rtc/compress/codec.hpp"
 #include "rtc/image/image.hpp"
+#include "rtc/image/ops.hpp"
 #include "rtc/image/tiling.hpp"
 
 namespace rtc::compositing {
 
 /// Encodes `px` (a block at `geom`) with `codec` (raw when null), sends
-/// it to `dst`, and charges codec compute time.
+/// it to `dst`, and charges codec compute time. The encode buffer is
+/// pooled; steady-state sends allocate nothing.
 void send_block(comm::Comm& comm, int dst, int tag,
                 std::span<const img::GrayA8> px,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec);
 
 /// Receives a block of `out.size()` pixels from `src` and decodes it.
+/// Malformed payload bytes throw wire::DecodeError.
 void recv_block(comm::Comm& comm, int src, int tag,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec);
 
 /// Fault-tolerant recv_block. Under PeerLoss::kBlank a lost message
-/// (dead peer or exhausted retry budget) fills `out` with blank pixels,
-/// records `block_id`/pixel count via Comm::note_loss, and returns
-/// false; the caller skips the blend (blank is the identity). Under
-/// kThrow it behaves exactly like recv_block. Returns true when real
-/// pixels arrived.
+/// (dead peer or exhausted retry budget) *or a malformed payload* fills
+/// `out` with blank pixels, records `block_id`/pixel count via
+/// Comm::note_loss, and returns false; the caller skips the blend
+/// (blank is the identity). Under kThrow it behaves exactly like
+/// recv_block. Returns true when real pixels arrived.
 bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
                          std::span<img::GrayA8> out,
                          const compress::BlockGeometry& geom,
@@ -39,19 +50,49 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
                          const comm::ResiliencePolicy& policy,
                          std::int64_t block_id);
 
+/// Fused fault-tolerant receive-and-blend: receives the peer's block
+/// and composites it straight into `dst` via Codec::decode_blend — no
+/// intermediate image materializes for codecs with a fused path (TRLE,
+/// RLE skip blank structure entirely). Charges the same codec and
+/// blend time as recv + blend, so virtual-time results are unchanged.
+/// Under PeerLoss::kBlank a loss or malformed payload notes the loss
+/// and returns false without contributing (a payload that decodes
+/// partway before failing validation may leave a partial contribution
+/// in `dst`; the loss is recorded either way). `scratch` backs codecs
+/// without a fused path and is reused across calls.
+bool recv_block_blend(comm::Comm& comm, int src, int tag,
+                      std::span<img::GrayA8> dst,
+                      const compress::BlockGeometry& geom,
+                      const compress::Codec* codec, img::BlendMode mode,
+                      bool src_front, const comm::ResiliencePolicy& policy,
+                      std::int64_t block_id,
+                      std::vector<img::GrayA8>& scratch);
+
 /// Appends one length-prefixed encoded block to `payload` — used to
 /// aggregate several blocks for the same receiver into one message.
+/// Encodes directly into `payload` (no intermediate body buffer).
 void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
                   std::span<const img::GrayA8> px,
                   const compress::BlockGeometry& geom,
                   const compress::Codec* codec);
 
 /// Consumes one length-prefixed block from `rest` (advancing it) and
-/// decodes exactly `out.size()` pixels.
+/// decodes exactly `out.size()` pixels. Malformed framing or payload
+/// throws wire::DecodeError.
 void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec);
+
+/// take_block fused with the blend: consumes one length-prefixed block
+/// from `rest` and composites it straight into `dst`. Charges codec
+/// time plus the blend's To like take_block + blend_in_place +
+/// charge_over would.
+void take_block_blend(comm::Comm& comm, std::span<const std::byte>& rest,
+                      std::span<img::GrayA8> dst,
+                      const compress::BlockGeometry& geom,
+                      const compress::Codec* codec, img::BlendMode mode,
+                      bool src_front, std::vector<img::GrayA8>& scratch);
 
 /// Tag bases; methods use step numbers below kGatherTag.
 inline constexpr int kGatherTag = 1'000'000;
@@ -66,11 +107,30 @@ struct Fragment {
   std::int64_t index = 0;
   std::vector<img::GrayA8> pixels;
 };
+/// Throws wire::DecodeError on malformed bytes (short header, payload
+/// not a whole number of pixels).
 [[nodiscard]] Fragment unpack_fragment(std::span<const std::byte> bytes);
+
+/// Decodes one rank's gather payload ([u32 count] then count
+/// length-prefixed fragments) and copies each fragment into its tiling
+/// span of `out`. Every wire-derived field — fragment lengths, depth,
+/// index, pixel counts — is validated against `tiling`/`out` before
+/// use; malformed bytes throw wire::DecodeError. Exposed as a free
+/// function so the untrusted-input path is testable without a World.
+void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
+                            std::span<const std::byte> payload);
+
+/// Decodes one rank's span-gather payload ([i64 begin][i64 end][raw
+/// pixels]) into `out`, validating the span against the image bounds
+/// and the payload size before writing. Throws wire::DecodeError.
+void scatter_span_into(img::Image& out, std::span<const std::byte> payload);
 
 /// Gathers the (depth, index) blocks each rank finally owns into the
 /// assembled image at `opt.root`; other ranks return an empty image.
-/// `owned` lists this rank's final blocks against `tiling`.
+/// `owned` lists this rank's final blocks against `tiling`. Under
+/// PeerLoss::kBlank a rank whose payload is lost or malformed leaves
+/// its blocks blank (recorded via note_loss); under kThrow malformed
+/// bytes propagate as wire::DecodeError.
 [[nodiscard]] img::Image gather_fragments(
     comm::Comm& comm, const img::Image& local, const img::Tiling& tiling,
     std::span<const std::pair<int, std::int64_t>> owned, int root,
@@ -78,7 +138,8 @@ struct Fragment {
 
 /// Gathers one arbitrary pixel span per rank (methods whose final
 /// blocks are not tiling-aligned, e.g. radix-k). Every rank passes its
-/// span; the assembled image returns at `root`.
+/// span; the assembled image returns at `root`. Loss/malformed-payload
+/// handling matches gather_fragments.
 [[nodiscard]] img::Image gather_spans(comm::Comm& comm,
                                       const img::Image& local,
                                       img::PixelSpan span, int root,

@@ -2,7 +2,7 @@
 // only the window between the first and last non-blank pixel of the
 // block. For 1-D block spans this is the exact analogue of the papers'
 // 2-D bounding rectangles.
-#include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compress/codec.hpp"
 #include "rtc/image/serialize.hpp"
 
@@ -10,48 +10,34 @@ namespace rtc::compress {
 
 namespace {
 
-void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
-  for (int s = 0; s < 4; ++s)
-    out.push_back(static_cast<std::byte>((v >> (8 * s)) & 0xffu));
-}
-
-std::uint32_t get_u32(std::span<const std::byte> bytes, std::size_t at) {
-  RTC_CHECK_MSG(at + 4 <= bytes.size(), "truncated bbox header");
-  std::uint32_t v = 0;
-  for (int s = 0; s < 4; ++s)
-    v |= static_cast<std::uint32_t>(bytes[at + static_cast<std::size_t>(s)])
-         << (8 * s);
-  return v;
-}
-
 class BboxCodec final : public Codec {
  public:
   [[nodiscard]] std::string name() const override { return "bbox"; }
 
-  [[nodiscard]] std::vector<std::byte> encode(
-      std::span<const img::GrayA8> px, const BlockGeometry&) const override {
+  void encode_into(std::span<const img::GrayA8> px, const BlockGeometry&,
+                   std::vector<std::byte>& out) const override {
     std::size_t lo = 0;
     std::size_t hi = px.size();
     while (lo < hi && img::is_blank(px[lo])) ++lo;
     while (hi > lo && img::is_blank(px[hi - 1])) --hi;
-    std::vector<std::byte> out;
-    put_u32(out, static_cast<std::uint32_t>(lo));
-    put_u32(out, static_cast<std::uint32_t>(hi - lo));
-    const std::vector<std::byte> body =
-        img::serialize_pixels(px.subspan(lo, hi - lo));
-    out.insert(out.end(), body.begin(), body.end());
-    return out;
+    wire::WireWriter w(out);
+    w.u32(static_cast<std::uint32_t>(lo));
+    w.u32(static_cast<std::uint32_t>(hi - lo));
+    img::serialize_pixels_into(px.subspan(lo, hi - lo), out);
   }
 
   void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
               const BlockGeometry&) const override {
-    const std::uint32_t lo = get_u32(bytes, 0);
-    const std::uint32_t n = get_u32(bytes, 4);
-    RTC_CHECK_MSG(lo + n <= out.size(), "bbox window overruns block");
-    RTC_CHECK(bytes.size() == 8 + static_cast<std::size_t>(n) *
-                                      img::kBytesPerPixel);
+    wire::WireReader r(bytes);
+    const std::uint32_t lo = r.u32("bbox window start");
+    const std::uint32_t n = r.u32("bbox window length");
+    // 64-bit sum: two u32 fields cannot wrap the comparison.
+    wire::require(std::uint64_t{lo} + n <= out.size(),
+                  wire::DecodeError::Kind::kOverflow,
+                  "bbox window overruns block");
+    const std::span<const std::byte> body = r.rest();
     for (auto& p : out) p = img::kBlank;
-    img::deserialize_pixels(bytes.subspan(8), out.subspan(lo, n));
+    img::deserialize_pixels(body, out.subspan(lo, n));
   }
 };
 

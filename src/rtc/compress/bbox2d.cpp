@@ -10,49 +10,20 @@
 // (The 1-D "bbox" codec trims only leading/trailing blanks; for wide
 // partial images whose content sits in the middle columns, the 2-D
 // rectangle is much tighter.)
-#include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compress/codec.hpp"
 
 namespace rtc::compress {
 
 namespace {
 
-void put_i32(std::vector<std::byte>& out, std::int32_t v) {
-  const auto u = static_cast<std::uint32_t>(v);
-  for (int s = 0; s < 4; ++s)
-    out.push_back(static_cast<std::byte>((u >> (8 * s)) & 0xffu));
-}
-
-void put_i64(std::vector<std::byte>& out, std::int64_t v) {
-  const auto u = static_cast<std::uint64_t>(v);
-  for (int s = 0; s < 8; ++s)
-    out.push_back(static_cast<std::byte>((u >> (8 * s)) & 0xffu));
-}
-
-std::int32_t get_i32(std::span<const std::byte> b, std::size_t at) {
-  std::uint32_t u = 0;
-  for (int s = 0; s < 4; ++s)
-    u |= static_cast<std::uint32_t>(b[at + static_cast<std::size_t>(s)])
-         << (8 * s);
-  return static_cast<std::int32_t>(u);
-}
-
-std::int64_t get_i64(std::span<const std::byte> b, std::size_t at) {
-  std::uint64_t u = 0;
-  for (int s = 0; s < 8; ++s)
-    u |= std::uint64_t{
-        static_cast<std::uint8_t>(b[at + static_cast<std::size_t>(s)])}
-         << (8 * s);
-  return static_cast<std::int64_t>(u);
-}
-
 class Bbox2dCodec final : public Codec {
  public:
   [[nodiscard]] std::string name() const override { return "bbox2d"; }
 
-  [[nodiscard]] std::vector<std::byte> encode(
-      std::span<const img::GrayA8> px,
-      const BlockGeometry& geom) const override {
+  void encode_into(std::span<const img::GrayA8> px,
+                   const BlockGeometry& geom,
+                   std::vector<std::byte>& out) const override {
     RTC_CHECK_MSG(geom.image_width > 0, "bbox2d needs the image width");
     // Bound the non-blank pixels in image coordinates.
     std::int32_t x0 = geom.image_width, x1 = 0;
@@ -80,11 +51,11 @@ class Bbox2dCodec final : public Codec {
       y0 = y1 = 0;
     }
 
-    std::vector<std::byte> out;
-    put_i32(out, x0);
-    put_i32(out, x1);
-    put_i64(out, y0);
-    put_i64(out, y1);
+    wire::WireWriter w(out);
+    w.i32(x0);
+    w.i32(x1);
+    w.i64(y0);
+    w.i64(y1);
     for_each_rect_pixel(px.size(), geom, x0, x1, y0, y1,
                         [&](std::int64_t i) {
                           out.push_back(static_cast<std::byte>(
@@ -92,27 +63,46 @@ class Bbox2dCodec final : public Codec {
                           out.push_back(static_cast<std::byte>(
                               px[static_cast<std::size_t>(i)].a));
                         });
-    return out;
   }
 
   void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
               const BlockGeometry& geom) const override {
-    RTC_CHECK_MSG(bytes.size() >= 24, "truncated bbox2d header");
-    const std::int32_t x0 = get_i32(bytes, 0);
-    const std::int32_t x1 = get_i32(bytes, 4);
-    const std::int64_t y0 = get_i64(bytes, 8);
-    const std::int64_t y1 = get_i64(bytes, 16);
+    wire::WireReader r(bytes);
+    const std::int32_t x0 = r.i32("bbox2d x0");
+    const std::int32_t x1 = r.i32("bbox2d x1");
+    const std::int64_t y0 = r.i64("bbox2d y0");
+    const std::int64_t y1 = r.i64("bbox2d y1");
+    // The rectangle comes off the wire: clamp it to the receiver's own
+    // geometry before looping, or a hostile header makes the row walk
+    // unbounded (a hang, even though the per-pixel span check would
+    // reject every index).
+    const int w = geom.image_width;
+    const std::int64_t rows_end =
+        out.empty() ? 0
+                    : (geom.span_begin +
+                       static_cast<std::int64_t>(out.size()) + w - 1) /
+                          w;
+    wire::require(x0 >= 0 && x1 >= x0 && x1 <= w,
+                  wire::DecodeError::Kind::kRange,
+                  "bbox2d x-window outside image");
+    wire::require(y0 >= 0 && y1 >= y0 && y1 <= rows_end,
+                  wire::DecodeError::Kind::kRange,
+                  "bbox2d y-window outside span rows");
+    const std::span<const std::byte> body = r.rest();
     for (auto& p : out) p = img::kBlank;
-    std::size_t at = 24;
+    std::size_t at = 0;
     for_each_rect_pixel(
         out.size(), geom, x0, x1, y0, y1, [&](std::int64_t i) {
-          RTC_CHECK_MSG(at + 2 <= bytes.size(), "bbox2d payload underrun");
+          wire::require(at + 2 <= body.size(),
+                        wire::DecodeError::Kind::kTruncated,
+                        "bbox2d payload underrun");
           out[static_cast<std::size_t>(i)] =
-              img::GrayA8{static_cast<std::uint8_t>(bytes[at]),
-                          static_cast<std::uint8_t>(bytes[at + 1])};
+              img::GrayA8{static_cast<std::uint8_t>(body[at]),
+                          static_cast<std::uint8_t>(body[at + 1])};
           at += 2;
         });
-    RTC_CHECK_MSG(at == bytes.size(), "trailing bbox2d payload");
+    wire::require(at == body.size(), wire::DecodeError::Kind::kTrailing,
+                  "trailing bbox2d payload");
   }
 
  private:

@@ -20,6 +20,39 @@ struct CellPixels {
   std::int64_t index[4];
 };
 
+namespace detail {
+
+/// Visits the cells of one row pair `cy` (even) that intersect the
+/// flattened interval [first, last] — the inner loop of for_each_cell,
+/// exposed so specialized walkers (e.g. the fused TRLE decode) can
+/// fall back to the exact generic enumeration on boundary row pairs.
+template <typename Fn>
+void for_each_cell_in_rowpair(std::int64_t cy, int w, std::int64_t first,
+                              std::int64_t last, Fn&& fn) {
+  for (int cx = 0; cx < w; cx += 2) {
+    CellPixels cell;
+    bool any = false;
+    for (int b = 0; b < 4; ++b) {
+      const int dx = b & 1;
+      const int dy = b >> 1;
+      const std::int64_t x = cx + dx;
+      const std::int64_t y = cy + dy;
+      std::int64_t idx = -1;
+      if (x < w) {
+        const std::int64_t flat = y * w + x;
+        if (flat >= first && flat <= last) {
+          idx = flat - first;
+          any = true;
+        }
+      }
+      cell.index[b] = idx;
+    }
+    if (any) fn(cell);
+  }
+}
+
+}  // namespace detail
+
 template <typename Fn>
 void for_each_cell(std::int64_t span_size, int image_width,
                    std::int64_t span_begin, Fn&& fn) {
@@ -31,28 +64,8 @@ void for_each_cell(std::int64_t span_size, int image_width,
   const std::int64_t y0 = (first / w) & ~std::int64_t{1};
   const std::int64_t y1 = last / w;
 
-  for (std::int64_t cy = y0; cy <= y1; cy += 2) {
-    for (int cx = 0; cx < w; cx += 2) {
-      CellPixels cell;
-      bool any = false;
-      for (int b = 0; b < 4; ++b) {
-        const int dx = b & 1;
-        const int dy = b >> 1;
-        const std::int64_t x = cx + dx;
-        const std::int64_t y = cy + dy;
-        std::int64_t idx = -1;
-        if (x < w) {
-          const std::int64_t flat = y * w + x;
-          if (flat >= first && flat <= last) {
-            idx = flat - first;
-            any = true;
-          }
-        }
-        cell.index[b] = idx;
-      }
-      if (any) fn(cell);
-    }
-  }
+  for (std::int64_t cy = y0; cy <= y1; cy += 2)
+    detail::for_each_cell_in_rowpair(cy, w, first, last, fn);
 }
 
 }  // namespace rtc::compress

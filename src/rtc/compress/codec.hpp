@@ -4,6 +4,13 @@
 // row-major image. A codec sees the pixels plus enough geometry
 // (image width, span start) to recover each pixel's (x, y), which the
 // TRLE codec needs for its 2x2 templates.
+//
+// Trust boundary: `decode`/`decode_blend` consume bytes that arrived
+// over the wire. CRC framing upstream catches random damage, but not
+// collisions or hostile peers, so every decoder validates lengths,
+// counts, and coordinates against the receiver's own geometry and
+// rejects malformed streams with wire::DecodeError — never with
+// out-of-bounds access or unbounded work.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "rtc/image/image.hpp"
+#include "rtc/image/ops.hpp"
 #include "rtc/image/pixel.hpp"
 
 namespace rtc::compress {
@@ -36,14 +44,37 @@ class Codec {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  [[nodiscard]] virtual std::vector<std::byte> encode(
-      std::span<const img::GrayA8> px, const BlockGeometry& geom) const = 0;
+  /// Appends the encoding of `px` to `out` (no clear), reusing the
+  /// buffer's capacity — the allocation-free hot path.
+  virtual void encode_into(std::span<const img::GrayA8> px,
+                           const BlockGeometry& geom,
+                           std::vector<std::byte>& out) const = 0;
+
+  /// Convenience wrapper around encode_into for cold paths.
+  [[nodiscard]] std::vector<std::byte> encode(
+      std::span<const img::GrayA8> px, const BlockGeometry& geom) const;
 
   /// Decodes exactly `out.size()` pixels (the receiver knows the block
   /// geometry, as in the paper: block id -> pixel range is arithmetic).
+  /// Throws wire::DecodeError on malformed input.
   virtual void decode(std::span<const std::byte> bytes,
                       std::span<img::GrayA8> out,
                       const BlockGeometry& geom) const = 0;
+
+  /// Fused decode-and-blend: composites the encoded block directly
+  /// into `dst` (`dst.size()` pixels at `geom`), equivalent to
+  /// decoding into a scratch block and calling img::blend_in_place
+  /// with the same `mode`/`src_front` — bit-identical, including the
+  /// full malformed-stream validation of `decode`. Codecs that encode
+  /// blank structure (TRLE, RLE) override this to skip blank runs
+  /// entirely: blank is the identity under both `over` and `max`, so
+  /// only the non-blank payload touches `dst`. The base implementation
+  /// decodes into `scratch` (resized as needed, capacity reused).
+  virtual void decode_blend(std::span<const std::byte> bytes,
+                            std::span<img::GrayA8> dst,
+                            const BlockGeometry& geom,
+                            img::BlendMode mode, bool src_front,
+                            std::vector<img::GrayA8>& scratch) const;
 };
 
 /// No compression: 2 bytes per pixel.

@@ -9,9 +9,9 @@ class RawCodec final : public Codec {
  public:
   [[nodiscard]] std::string name() const override { return "raw"; }
 
-  [[nodiscard]] std::vector<std::byte> encode(
-      std::span<const img::GrayA8> px, const BlockGeometry&) const override {
-    return img::serialize_pixels(px);
+  void encode_into(std::span<const img::GrayA8> px, const BlockGeometry&,
+                   std::vector<std::byte>& out) const override {
+    img::serialize_pixels_into(px, out);
   }
 
   void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,

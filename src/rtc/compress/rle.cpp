@@ -4,7 +4,7 @@
 // observes, this compresses blank regions well but does poorly on the
 // varied intensities of gray images (a 1-pixel run costs 3 bytes vs 2
 // raw) — which is exactly why TRLE exists.
-#include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compress/codec.hpp"
 
 namespace rtc::compress {
@@ -15,9 +15,8 @@ class RleCodec final : public Codec {
  public:
   [[nodiscard]] std::string name() const override { return "rle"; }
 
-  [[nodiscard]] std::vector<std::byte> encode(
-      std::span<const img::GrayA8> px, const BlockGeometry&) const override {
-    std::vector<std::byte> out;
+  void encode_into(std::span<const img::GrayA8> px, const BlockGeometry&,
+                   std::vector<std::byte>& out) const override {
     std::size_t i = 0;
     while (i < px.size()) {
       std::size_t run = 1;
@@ -27,24 +26,58 @@ class RleCodec final : public Codec {
       out.push_back(static_cast<std::byte>(px[i].a));
       i += run;
     }
-    return out;
   }
 
   void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
               const BlockGeometry&) const override {
-    std::size_t o = 0;
-    std::size_t i = 0;
-    while (o < out.size()) {
-      RTC_CHECK_MSG(i + 3 <= bytes.size(), "truncated RLE stream");
-      const std::size_t run = static_cast<std::size_t>(bytes[i]) + 1;
-      const img::GrayA8 p{static_cast<std::uint8_t>(bytes[i + 1]),
-                          static_cast<std::uint8_t>(bytes[i + 2])};
-      i += 3;
-      RTC_CHECK_MSG(o + run <= out.size(), "RLE stream overruns block");
+    walk(bytes, out.size(), [&](std::size_t o, std::size_t run,
+                                img::GrayA8 p) {
       for (std::size_t k = 0; k < run; ++k) out[o + k] = p;
+    });
+  }
+
+  void decode_blend(std::span<const std::byte> bytes,
+                    std::span<img::GrayA8> dst, const BlockGeometry&,
+                    img::BlendMode mode, bool src_front,
+                    std::vector<img::GrayA8>&) const override {
+    // Fused path: blank runs are the identity under both blend modes,
+    // so they cost nothing — only non-blank runs touch dst.
+    walk(bytes, dst.size(), [&](std::size_t o, std::size_t run,
+                                img::GrayA8 p) {
+      if (img::is_blank(p)) return;
+      if (mode == img::BlendMode::kMax) {
+        for (std::size_t k = 0; k < run; ++k)
+          dst[o + k] = img::max_blend(dst[o + k], p);
+      } else if (src_front) {
+        for (std::size_t k = 0; k < run; ++k)
+          dst[o + k] = img::over(p, dst[o + k]);
+      } else {
+        for (std::size_t k = 0; k < run; ++k)
+          dst[o + k] = img::over(dst[o + k], p);
+      }
+    });
+  }
+
+ private:
+  /// Shared validated walk over an untrusted RLE stream: calls
+  /// fn(offset, run, pixel) for each run, enforcing exact coverage of
+  /// `size` output pixels and full stream consumption.
+  template <typename Fn>
+  static void walk(std::span<const std::byte> bytes, std::size_t size,
+                   Fn&& fn) {
+    wire::WireReader r(bytes);
+    std::size_t o = 0;
+    while (o < size) {
+      const std::span<const std::byte> rec = r.bytes(3, "RLE run record");
+      const std::size_t run = static_cast<std::size_t>(rec[0]) + 1;
+      wire::require(run <= size - o, wire::DecodeError::Kind::kOverflow,
+                    "RLE run overruns block");
+      fn(o, run,
+         img::GrayA8{static_cast<std::uint8_t>(rec[1]),
+                     static_cast<std::uint8_t>(rec[2])});
       o += run;
     }
-    RTC_CHECK_MSG(i == bytes.size(), "trailing bytes in RLE stream");
+    r.finish("RLE stream");
   }
 };
 

@@ -20,6 +20,7 @@
 #include <cstring>
 
 #include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compress/cells.hpp"
 #include "rtc/compress/codec.hpp"
 
@@ -35,10 +36,17 @@ class TrleCodec final : public Codec {
  public:
   [[nodiscard]] std::string name() const override { return "trle"; }
 
-  [[nodiscard]] std::vector<std::byte> encode(
-      std::span<const img::GrayA8> px, const BlockGeometry& geom) const override {
-    std::vector<std::byte> codes;
-    std::vector<std::byte> payload;
+  void encode_into(std::span<const img::GrayA8> px,
+                   const BlockGeometry& geom,
+                   std::vector<std::byte>& out) const override {
+    // Codes precede the payload but their count is only known at the
+    // end, so the two streams build separately. thread_local keeps the
+    // scratch capacity alive across blocks (each rank is one thread),
+    // making steady-state encodes allocation-free.
+    static thread_local std::vector<std::byte> codes;
+    static thread_local std::vector<std::byte> payload;
+    codes.clear();
+    payload.clear();
     int run = 0;
     std::uint8_t run_template = 0;
 
@@ -69,36 +77,78 @@ class TrleCodec final : public Codec {
     });
     if (run > 0) emit(codes, run, run_template);
 
-    std::vector<std::byte> out;
-    out.reserve(4 + codes.size() + payload.size());
-    const auto n = static_cast<std::uint32_t>(codes.size());
-    for (int s = 0; s < 4; ++s)
-      out.push_back(static_cast<std::byte>((n >> (8 * s)) & 0xffu));
-    out.insert(out.end(), codes.begin(), codes.end());
-    out.insert(out.end(), payload.begin(), payload.end());
-    return out;
+    out.reserve(out.size() + 4 + codes.size() + payload.size());
+    wire::WireWriter w(out);
+    w.u32(static_cast<std::uint32_t>(codes.size()));
+    w.bytes(codes);
+    w.bytes(payload);
   }
 
   void decode(std::span<const std::byte> bytes, std::span<img::GrayA8> out,
               const BlockGeometry& geom) const override {
-    RTC_CHECK_MSG(bytes.size() >= 4, "truncated TRLE header");
-    std::uint32_t n_codes = 0;
-    for (int s = 0; s < 4; ++s)
-      n_codes |= static_cast<std::uint32_t>(bytes[static_cast<std::size_t>(s)])
-                 << (8 * s);
-    RTC_CHECK_MSG(4 + n_codes <= bytes.size(), "truncated TRLE code block");
-    std::span<const std::byte> codes = bytes.subspan(4, n_codes);
-    std::span<const std::byte> payload = bytes.subspan(4 + n_codes);
+    walk(bytes, out.size(), geom,
+         [&](std::size_t i, img::GrayA8 p) { out[i] = p; },
+         [&](std::size_t i) { out[i] = img::kBlank; });
+  }
+
+  void decode_blend(std::span<const std::byte> bytes,
+                    std::span<img::GrayA8> dst, const BlockGeometry& geom,
+                    img::BlendMode mode, bool src_front,
+                    std::vector<img::GrayA8>&) const override {
+    // Fused path — the paper's Section 3 payoff: blank template bits
+    // are the identity under both blend modes, so cells of blank
+    // structure cost nothing; only payload pixels touch dst.
+    if (mode == img::BlendMode::kMax) {
+      walk_fused(bytes, dst.size(), geom,
+                 [&](std::size_t i, img::GrayA8 p) {
+                   dst[i] = img::max_blend(dst[i], p);
+                 });
+    } else if (src_front) {
+      walk_fused(bytes, dst.size(), geom,
+                 [&](std::size_t i, img::GrayA8 p) {
+                   dst[i] = img::over(p, dst[i]);
+                 });
+    } else {
+      walk_fused(bytes, dst.size(), geom,
+                 [&](std::size_t i, img::GrayA8 p) {
+                   dst[i] = img::over(dst[i], p);
+                 });
+    }
+  }
+
+ private:
+  static void emit(std::vector<std::byte>& codes, int run,
+                   std::uint8_t tmpl) {
+    RTC_DCHECK(run >= 1 && run <= kMaxRun);
+    codes.push_back(
+        static_cast<std::byte>(((run - 1) << kRunShift) | tmpl));
+  }
+
+  /// Shared validated walk over an untrusted TRLE stream: `set(i, p)`
+  /// for every payload pixel, `clear(i)` for every in-span blank bit.
+  /// The code-count header is bounds-checked through the reader (no
+  /// `4 + n` arithmetic that can wrap), and the stream must cover the
+  /// cells exactly with no trailing codes or payload.
+  template <typename Set, typename Clear>
+  static void walk(std::span<const std::byte> bytes, std::size_t size,
+                   const BlockGeometry& geom, Set&& set, Clear&& clear) {
+    wire::WireReader r(bytes);
+    const std::uint32_t n_codes = r.u32("TRLE code count");
+    const std::span<const std::byte> codes =
+        r.bytes(n_codes, "TRLE code block");
+    const std::span<const std::byte> payload = r.rest();
 
     std::size_t code_i = 0;
     int remaining = 0;
     std::uint8_t tmpl = 0;
     std::size_t pay_i = 0;
 
-    for_each_cell(static_cast<std::int64_t>(out.size()), geom.image_width,
+    for_each_cell(static_cast<std::int64_t>(size), geom.image_width,
                   geom.span_begin, [&](const CellPixels& cell) {
       if (remaining == 0) {
-        RTC_CHECK_MSG(code_i < codes.size(), "TRLE code stream underrun");
+        wire::require(code_i < codes.size(),
+                      wire::DecodeError::Kind::kTruncated,
+                      "TRLE code stream underrun");
         const auto code = static_cast<std::uint8_t>(codes[code_i++]);
         remaining = (code >> kRunShift) + 1;
         tmpl = code & kTemplateMask;
@@ -108,27 +158,137 @@ class TrleCodec final : public Codec {
         const std::int64_t i = cell.index[b];
         if (i < 0) continue;
         if (tmpl & (1u << b)) {
-          RTC_CHECK_MSG(pay_i + 2 <= payload.size(), "TRLE payload underrun");
-          out[static_cast<std::size_t>(i)] =
+          wire::require(pay_i + 2 <= payload.size(),
+                        wire::DecodeError::Kind::kTruncated,
+                        "TRLE payload underrun");
+          set(static_cast<std::size_t>(i),
               img::GrayA8{static_cast<std::uint8_t>(payload[pay_i]),
-                          static_cast<std::uint8_t>(payload[pay_i + 1])};
+                          static_cast<std::uint8_t>(payload[pay_i + 1])});
           pay_i += 2;
         } else {
-          out[static_cast<std::size_t>(i)] = img::kBlank;
+          clear(static_cast<std::size_t>(i));
         }
       }
     });
-    RTC_CHECK_MSG(remaining == 0 && code_i == codes.size(),
+    wire::require(remaining == 0 && code_i == codes.size(),
+                  wire::DecodeError::Kind::kTrailing,
                   "TRLE code stream overrun");
-    RTC_CHECK_MSG(pay_i == payload.size(), "trailing TRLE payload");
+    wire::require(pay_i == payload.size(),
+                  wire::DecodeError::Kind::kTrailing,
+                  "trailing TRLE payload");
   }
 
- private:
-  static void emit(std::vector<std::byte>& codes, int run,
-                   std::uint8_t tmpl) {
-    RTC_DCHECK(run >= 1 && run <= kMaxRun);
-    codes.push_back(
-        static_cast<std::byte>(((run - 1) << kRunShift) | tmpl));
+  /// Fused-blend walk: like walk() but without blank writes, which
+  /// lets it exploit the structure/payload split fully. Interior row
+  /// pairs (both rows inside the span) address cells by direct index
+  /// arithmetic — no per-pixel bounds checks — and a run of blank
+  /// templates skips its cells in O(1) with no payload and no dst
+  /// access. Boundary row pairs fall back to the generic enumeration,
+  /// so the cell order (and thus code/payload consumption) is exactly
+  /// walk()'s; the decode_blend-vs-decode+blend property tests pin the
+  /// equivalence across odd widths and mid-cell span starts.
+  template <typename Set>
+  static void walk_fused(std::span<const std::byte> bytes,
+                         std::size_t size, const BlockGeometry& geom,
+                         Set&& set) {
+    wire::WireReader r(bytes);
+    const std::uint32_t n_codes = r.u32("TRLE code count");
+    const std::span<const std::byte> codes =
+        r.bytes(n_codes, "TRLE code block");
+    const std::span<const std::byte> payload = r.rest();
+
+    std::size_t code_i = 0;
+    int remaining = 0;
+    std::uint8_t tmpl = 0;
+    std::size_t pay_i = 0;
+
+    const auto fetch = [&] {
+      wire::require(code_i < codes.size(),
+                    wire::DecodeError::Kind::kTruncated,
+                    "TRLE code stream underrun");
+      const auto code = static_cast<std::uint8_t>(codes[code_i++]);
+      remaining = (code >> kRunShift) + 1;
+      tmpl = code & kTemplateMask;
+    };
+    const auto take_px = [&]() -> img::GrayA8 {
+      wire::require(pay_i + 2 <= payload.size(),
+                    wire::DecodeError::Kind::kTruncated,
+                    "TRLE payload underrun");
+      const img::GrayA8 p{static_cast<std::uint8_t>(payload[pay_i]),
+                          static_cast<std::uint8_t>(payload[pay_i + 1])};
+      pay_i += 2;
+      return p;
+    };
+
+    if (size != 0) {
+      RTC_CHECK_MSG(geom.image_width > 0,
+                    "TRLE needs the parent image width");
+      const int w = geom.image_width;
+      const std::int64_t first = geom.span_begin;
+      const std::int64_t last =
+          first + static_cast<std::int64_t>(size) - 1;
+      const std::int64_t y0 = (first / w) & ~std::int64_t{1};
+      const std::int64_t y1 = last / w;
+      for (std::int64_t cy = y0; cy <= y1; cy += 2) {
+        const bool interior =
+            cy * w >= first && (cy + 2) * w - 1 <= last;
+        if (!interior) {
+          detail::for_each_cell_in_rowpair(
+              cy, w, first, last, [&](const CellPixels& cell) {
+                if (remaining == 0) fetch();
+                --remaining;
+                for (int b = 0; b < 4; ++b) {
+                  const std::int64_t i = cell.index[b];
+                  if (i < 0) continue;
+                  if (tmpl & (1u << b))
+                    set(static_cast<std::size_t>(i), take_px());
+                }
+              });
+          continue;
+        }
+        const std::int64_t row_base = cy * w - first;
+        int cx = 0;
+        while (cx + 1 < w) {
+          if (remaining == 0) fetch();
+          if (tmpl == 0) {
+            // Bulk-skip blank cells: consume the run against this
+            // row's full cells without touching payload or dst.
+            const int n_full = (w - cx) / 2;
+            const int k = remaining < n_full ? remaining : n_full;
+            remaining -= k;
+            cx += 2 * k;
+            continue;
+          }
+          --remaining;
+          const std::int64_t base = row_base + cx;
+          if (tmpl & 1u) set(static_cast<std::size_t>(base), take_px());
+          if (tmpl & 2u)
+            set(static_cast<std::size_t>(base + 1), take_px());
+          if (tmpl & 4u)
+            set(static_cast<std::size_t>(base + w), take_px());
+          if (tmpl & 8u)
+            set(static_cast<std::size_t>(base + w + 1), take_px());
+          cx += 2;
+        }
+        if (cx < w) {
+          // Odd width: the row's last cell covers x = cx only; bits
+          // 1/3 address out-of-image pixels and carry no payload
+          // (matching the generic walk's index < 0 skip).
+          if (remaining == 0) fetch();
+          --remaining;
+          const std::int64_t base = row_base + cx;
+          if (tmpl & 1u) set(static_cast<std::size_t>(base), take_px());
+          if (tmpl & 4u)
+            set(static_cast<std::size_t>(base + w), take_px());
+        }
+      }
+    }
+    wire::require(remaining == 0 && code_i == codes.size(),
+                  wire::DecodeError::Kind::kTrailing,
+                  "TRLE code stream overrun");
+    wire::require(pay_i == payload.size(),
+                  wire::DecodeError::Kind::kTrailing,
+                  "trailing TRLE payload");
   }
 };
 

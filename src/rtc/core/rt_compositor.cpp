@@ -4,6 +4,7 @@
 #include <map>
 
 #include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compositing/wire.hpp"
 #include "rtc/image/ops.hpp"
 #include "rtc/image/tiling.hpp"
@@ -31,6 +32,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
   const img::Tiling tiling(partial.pixel_count(), opt.initial_blocks);
 
   img::Image buf = partial;
+  std::vector<img::GrayA8> scratch;  // decode_blend fallback, reused
 
   for (std::size_t s = 0; s < sched.steps.size(); ++s) {
     const RtStep& step = sched.steps[s];
@@ -50,7 +52,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
         if (m.receiver == r) incoming_by_sender[m.sender].push_back(&m);
       }
       for (const auto& [receiver, merges] : outgoing) {
-        std::vector<std::byte> payload;
+        std::vector<std::byte> payload = comm.pool().acquire();
         for (const Merge* m : merges) {
           const img::PixelSpan span = tiling.block(step.depth, m->block);
           const compress::BlockGeometry geom{partial.width(), span.begin};
@@ -59,7 +61,6 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
         }
         comm.send(receiver, tag, std::move(payload));
       }
-      std::vector<img::GrayA8> incoming;
       const bool blank_on_loss =
           opt.resilience.on_peer_loss ==
           comm::ResiliencePolicy::PeerLoss::kBlank;
@@ -83,17 +84,30 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
           payload = comm.recv(sender, tag);
         }
         std::span<const std::byte> rest(payload);
-        for (const Merge* m : merges) {
-          const img::PixelSpan span = tiling.block(step.depth, m->block);
-          const compress::BlockGeometry geom{partial.width(), span.begin};
-          incoming.resize(static_cast<std::size_t>(span.size()));
-          compositing::take_block(comm, rest, incoming, geom, opt.codec);
-          img::blend_in_place(buf.view(span), incoming, opt.blend,
-                              m->sender_front);
-          comm.charge_over(span.size());
+        std::size_t done = 0;
+        try {
+          for (const Merge* m : merges) {
+            const img::PixelSpan span = tiling.block(step.depth, m->block);
+            const compress::BlockGeometry geom{partial.width(),
+                                               span.begin};
+            compositing::take_block_blend(comm, rest, buf.view(span),
+                                          geom, opt.codec, opt.blend,
+                                          m->sender_front, scratch);
+            ++done;
+          }
+          wire::require(rest.empty(), wire::DecodeError::Kind::kTrailing,
+                        "trailing bytes in aggregated message");
+        } catch (const wire::DecodeError&) {
+          if (!blank_on_loss) throw;
+          // Malformed aggregate: blocks not yet consumed degrade to
+          // losses, same as if the message never arrived.
+          for (std::size_t i = done; i < merges.size(); ++i) {
+            const img::PixelSpan span =
+                tiling.block(step.depth, merges[i]->block);
+            comm.note_loss(merges[i]->block, span.size());
+          }
         }
-        RTC_CHECK_MSG(rest.empty(),
-                      "trailing bytes in aggregated message");
+        comm.pool().release(std::move(payload));
       }
       comm.mark(tag);
       continue;
@@ -107,19 +121,14 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
       compositing::send_block(comm, m.receiver, tag, buf.view(span), geom,
                               opt.codec);
     }
-    std::vector<img::GrayA8> incoming;
     for (const Merge& m : step.merges) {
       if (m.receiver != r) continue;
       const img::PixelSpan span = tiling.block(step.depth, m.block);
       const compress::BlockGeometry geom{partial.width(), span.begin};
-      incoming.resize(static_cast<std::size_t>(span.size()));
-      if (compositing::recv_block_or_blank(comm, m.sender, tag, incoming,
-                                           geom, opt.codec, opt.resilience,
-                                           m.block)) {
-        img::blend_in_place(buf.view(span), incoming, opt.blend,
-                            m.sender_front);
-        comm.charge_over(span.size());
-      }
+      compositing::recv_block_blend(comm, m.sender, tag, buf.view(span),
+                                    geom, opt.codec, opt.blend,
+                                    m.sender_front, opt.resilience,
+                                    m.block, scratch);
     }
     comm.mark(tag);
   }

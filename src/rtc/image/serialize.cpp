@@ -1,22 +1,29 @@
 #include "rtc/image/serialize.hpp"
 
-#include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 
 namespace rtc::img {
 
-std::vector<std::byte> serialize_pixels(std::span<const GrayA8> px) {
-  std::vector<std::byte> out;
-  out.reserve(px.size() * kBytesPerPixel);
+void serialize_pixels_into(std::span<const GrayA8> px,
+                           std::vector<std::byte>& out) {
+  out.reserve(out.size() + px.size() * kBytesPerPixel);
   for (const GrayA8 p : px) {
     out.push_back(static_cast<std::byte>(p.v));
     out.push_back(static_cast<std::byte>(p.a));
   }
+}
+
+std::vector<std::byte> serialize_pixels(std::span<const GrayA8> px) {
+  std::vector<std::byte> out;
+  serialize_pixels_into(px, out);
   return out;
 }
 
 void deserialize_pixels(std::span<const std::byte> bytes,
                         std::span<GrayA8> px) {
-  RTC_CHECK(bytes.size() == px.size() * kBytesPerPixel);
+  wire::require(bytes.size() == px.size() * kBytesPerPixel,
+                wire::DecodeError::Kind::kMismatch,
+                "raw pixel payload size");
   for (std::size_t i = 0; i < px.size(); ++i) {
     px[i].v = static_cast<std::uint8_t>(bytes[2 * i]);
     px[i].a = static_cast<std::uint8_t>(bytes[2 * i + 1]);

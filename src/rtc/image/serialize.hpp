@@ -17,7 +17,13 @@ inline constexpr std::size_t kBytesPerPixel = 2;
 [[nodiscard]] std::vector<std::byte> serialize_pixels(
     std::span<const GrayA8> px);
 
-/// Decodes exactly `px.size()` pixels from `bytes` into `px`.
+/// Appends the serialization of `px` to `out` (no clear), so callers
+/// can compose length-prefixed payloads into pooled buffers.
+void serialize_pixels_into(std::span<const GrayA8> px,
+                           std::vector<std::byte>& out);
+
+/// Decodes exactly `px.size()` pixels from `bytes` into `px`; throws
+/// wire::DecodeError when the byte count disagrees.
 void deserialize_pixels(std::span<const std::byte> bytes,
                         std::span<GrayA8> px);
 

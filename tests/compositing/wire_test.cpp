@@ -88,6 +88,39 @@ TEST(Wire, GatherSpansAssemblesDisjointPieces) {
   }
 }
 
+TEST(Wire, PooledBuffersRecycleInSteadyState) {
+  // Symmetric block exchange must converge to zero allocations per
+  // round: after a warm-up round the pool serves every acquire (the
+  // frame on send, the payload copy on recv, the encode buffer).
+  const img::Image im = test::banded_image(16, 8, 4);
+  const auto codec = compress::make_trle_codec();
+  const compress::BlockGeometry geom{16, 0};
+  constexpr int kRounds = 8;
+
+  comm::World world(2, comm::NetworkModel{});
+  std::size_t hits[2] = {0, 0};
+  std::size_t misses[2] = {0, 0};
+  world.run([&](comm::Comm& c) {
+    const int peer = 1 - c.rank();
+    std::vector<img::GrayA8> out(
+        static_cast<std::size_t>(im.pixel_count()));
+    for (int round = 0; round < kRounds; ++round) {
+      send_block(c, peer, round, im.pixels(), geom, codec.get());
+      recv_block(c, peer, round, out, geom, codec.get());
+    }
+    hits[c.rank()] = c.pool().hits();
+    misses[c.rank()] = c.pool().misses();
+  });
+  for (int r = 0; r < 2; ++r) {
+    // Warm-up can miss; steady-state rounds must all hit. Each round
+    // performs three acquires per rank, so demand at least the last
+    // kRounds - 2 rounds' worth of hits.
+    EXPECT_GE(hits[r], static_cast<std::size_t>(3 * (kRounds - 2)))
+        << "rank " << r;
+    EXPECT_LE(misses[r], static_cast<std::size_t>(3 * 2)) << "rank " << r;
+  }
+}
+
 TEST(Stats, MarkEndTracksLatestCheckpoint) {
   comm::World world(2, comm::NetworkModel{});
   const comm::RunResult r = world.run([](comm::Comm& c) {

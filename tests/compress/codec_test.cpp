@@ -6,7 +6,9 @@
 #include <tuple>
 
 #include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
 #include "rtc/compress/codec.hpp"
+#include "rtc/image/ops.hpp"
 #include "rtc/image/serialize.hpp"
 #include "testutil.hpp"
 
@@ -38,6 +40,43 @@ TEST_P(CodecRoundTrip, DecodeRecoversEncodeExactly) {
 
   const auto in = parent.view(span);
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST_P(CodecRoundTrip, DecodeBlendMatchesDecodeThenBlend) {
+  // The fused path must be bit-identical to decode-into-scratch +
+  // blend_in_place, for every mode, over the same geometry grid
+  // (odd widths, mid-cell span starts, empty blocks, blank ratios).
+  const auto [name, width, begin, len, blank] = GetParam();
+  const std::unique_ptr<Codec> codec = make_codec(name);
+  const int height =
+      static_cast<int>((begin + len + width - 1) / width) + 2;
+  const img::Image parent = test::random_image(
+      width, height, 123u + static_cast<std::uint32_t>(begin), blank);
+  const img::PixelSpan span{begin, begin + len};
+  const BlockGeometry geom{width, span.begin};
+  const std::vector<std::byte> bytes =
+      codec->encode(parent.view(span), geom);
+
+  const img::Image base = test::random_image(
+      width, height, 321u + static_cast<std::uint32_t>(begin), blank);
+  std::vector<img::GrayA8> decoded(static_cast<std::size_t>(len));
+  codec->decode(bytes, decoded, geom);
+
+  for (const auto [mode, front] :
+       {std::pair{img::BlendMode::kOver, true},
+        std::pair{img::BlendMode::kOver, false},
+        std::pair{img::BlendMode::kMax, false}}) {
+    std::vector<img::GrayA8> want(base.view(span).begin(),
+                                  base.view(span).end());
+    img::blend_in_place(want, decoded, mode, front);
+
+    std::vector<img::GrayA8> got(base.view(span).begin(),
+                                 base.view(span).end());
+    std::vector<img::GrayA8> scratch;
+    codec->decode_blend(bytes, got, geom, mode, front, scratch);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], want[i]) << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -142,12 +181,13 @@ TEST(Codec, Bbox2dAllBlankIsHeaderOnly) {
   EXPECT_EQ(make_codec("bbox2d")->encode(im.pixels(), geom).size(), 24u);
 }
 
-TEST(Codec, CorruptedStreamsThrowNotCrash) {
-  // Decoders must reject malformed input with ContractError — they sit
-  // on the wire and cannot trust the sender.
+TEST(Codec, CorruptedStreamsThrowTypedDecodeError) {
+  // Decoders sit on the wire and cannot trust the sender: malformed
+  // input must surface as wire::DecodeError (a ContractError subtype
+  // resilient callers can catch without masking local bugs).
   const img::Image im = test::banded_image(32, 8, 3);
   const BlockGeometry geom{32, 0};
-  for (const char* name : {"rle", "trle", "bbox", "bbox2d"}) {
+  for (const char* name : {"raw", "rle", "trle", "bbox", "bbox2d"}) {
     const auto codec = make_codec(name);
     auto bytes = codec->encode(im.pixels(), geom);
     std::vector<img::GrayA8> out(
@@ -156,16 +196,56 @@ TEST(Codec, CorruptedStreamsThrowNotCrash) {
     std::vector<std::byte> cut(bytes.begin(),
                                bytes.begin() + static_cast<long>(
                                                    bytes.size() / 2));
-    EXPECT_THROW(codec->decode(cut, out, geom), ContractError) << name;
+    EXPECT_THROW(codec->decode(cut, out, geom), wire::DecodeError)
+        << name;
     // Trailing garbage.
     auto bloated = bytes;
     bloated.insert(bloated.end(), 64, std::byte{0x5a});
-    EXPECT_THROW(codec->decode(bloated, out, geom), ContractError)
+    EXPECT_THROW(codec->decode(bloated, out, geom), wire::DecodeError)
         << name;
     // Wrong output size.
     std::vector<img::GrayA8> small(out.size() / 2);
-    EXPECT_THROW(codec->decode(bytes, small, geom), ContractError)
+    EXPECT_THROW(codec->decode(bytes, small, geom), wire::DecodeError)
         << name;
+  }
+}
+
+TEST(Codec, TrleHugeCodeCountRejectedNotWrapped) {
+  // Regression: the legacy `4 + n_codes <= size` header check wrapped
+  // for counts near UINT32_MAX, letting the code-block subspan run off
+  // the buffer. The reader-based parse must reject it as truncation.
+  const BlockGeometry geom{16, 0};
+  std::vector<img::GrayA8> out(64);
+  for (const std::uint32_t n :
+       {0xffffffffu, 0xfffffffcu, 0xfffffffdu}) {
+    std::vector<std::byte> bytes;
+    wire::WireWriter w(bytes);
+    w.u32(n);
+    w.u8(0x0f);  // one plausible code byte
+    try {
+      make_codec("trle")->decode(bytes, out, geom);
+      FAIL() << "count " << n << " accepted";
+    } catch (const wire::DecodeError& e) {
+      EXPECT_EQ(e.kind(), wire::DecodeError::Kind::kTruncated);
+    }
+  }
+}
+
+TEST(Codec, AllBlankAndAllOpaqueRoundTripEveryCodec) {
+  for (const char* name : {"raw", "rle", "trle", "bbox", "bbox2d"}) {
+    const auto codec = make_codec(name);
+    for (const double blank : {0.0, 1.0}) {
+      const img::Image im = test::random_image(17, 9, 77, blank);
+      const BlockGeometry geom{17, 0};
+      const auto bytes = codec->encode(im.pixels(), geom);
+      std::vector<img::GrayA8> out(
+          static_cast<std::size_t>(im.pixel_count()));
+      codec->decode(bytes, out, geom);
+      for (std::int64_t i = 0; i < im.pixel_count(); ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                  im.pixels()[static_cast<std::size_t>(i)])
+            << name << " blank=" << blank;
+    }
   }
 }
 
