@@ -2,20 +2,32 @@
 //
 // Every bench accepts:  [--dataset engine|brain|head] [--ranks P]
 //                       [--volume N] [--image S] [--paper-net]
+// plus observability outputs (see docs/observability.md):
+//                       [--json golden.json]      virtual-time numbers,
+//                         17 significant digits — the CI golden gate
+//                         bit-compares this file (check_bench_golden.sh)
+//                       [--trace-out trace.json]  Perfetto span trace
+//                       [--metrics-out m.txt]     per-step metrics table
 // Defaults reproduce the paper's operating point: 32 processors,
 // 512x512 gray images, SP2-calibrated network constants.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rtc/comm/network_model.hpp"
 #include "rtc/harness/experiment.hpp"
+#include "rtc/harness/metrics.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
+#include "rtc/harness/trace.hpp"
 
 namespace rtc::bench {
 
@@ -26,6 +38,9 @@ struct BenchOptions {
   int image_size = 512;
   comm::NetworkModel net = comm::sp2_hps_model();
   bool paper_net = false;
+  std::string json_out;     ///< golden virtual-time JSON (--json)
+  std::string trace_out;    ///< Perfetto span trace (--trace-out)
+  std::string metrics_out;  ///< per-step metrics table (--metrics-out)
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -50,6 +65,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
     } else if (a == "--paper-net") {
       o.net = comm::paper_example_model();
       o.paper_net = true;
+    } else if (a == "--json") {
+      o.json_out = next();
+    } else if (a == "--trace-out") {
+      o.trace_out = next();
+    } else if (a == "--metrics-out") {
+      o.metrics_out = next();
     } else {
       std::cerr << "unknown option " << a << "\n";
       std::exit(2);
@@ -77,6 +98,57 @@ inline double run_time(const BenchOptions& o, const std::string& method,
   cfg.net = o.net;
   cfg.gather = false;
   return harness::run_composition(cfg, partials).time;
+}
+
+/// Writes virtual-time numbers as a stable-format JSON object for the
+/// CI golden gate: fixed key order, 17 significant digits (enough to
+/// round-trip any double), one key per line. Virtual times depend only
+/// on the message DAG, so two runs of the same build — or of any
+/// correct build — produce byte-identical files; the gate can cmp(1)
+/// them instead of parsing.
+inline void write_golden_json(
+    const std::string& path, const std::string& bench,
+    const BenchOptions& o,
+    const std::vector<std::pair<std::string, double>>& values) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\n  \"bench\": \"" << bench << "\",\n  \"dataset\": \""
+     << o.dataset << "\",\n  \"ranks\": " << o.ranks
+     << ",\n  \"image\": " << o.image_size << ",\n  \"volume\": "
+     << o.volume_n << ",\n  \"values\": {";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? "," : "") << "\n    \"" << values[i].first
+       << "\": " << values[i].second;
+  }
+  os << "\n  }\n}\n";
+  std::ofstream out(path);
+  out << os.str();
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Shared --trace-out/--metrics-out handling: rerun one traced
+/// configuration and export its spans. The traced run's virtual times
+/// are identical to the untraced measurements above it.
+inline void write_observability(const BenchOptions& o,
+                                const harness::CompositionConfig& cfg,
+                                const std::vector<img::Image>& partials) {
+  if (o.trace_out.empty() && o.metrics_out.empty()) return;
+  harness::CompositionConfig traced = cfg;
+  traced.record_spans = true;
+  const harness::CompositionRun run =
+      harness::run_composition(traced, partials);
+  if (!o.trace_out.empty()) {
+    harness::write_perfetto_trace(run.stats, o.trace_out);
+    std::cout << "wrote " << o.trace_out << "\n";
+  }
+  if (!o.metrics_out.empty()) {
+    harness::write_metrics_file(run.stats, o.metrics_out);
+    std::cout << "wrote " << o.metrics_out << "\n";
+  }
 }
 
 inline void print_header(const std::string& what, const BenchOptions& o) {

@@ -16,23 +16,43 @@ int main(int argc, char** argv) {
   mp.net = o.net;
   const double a_wire = 2.0 * static_cast<double>(mp.image_pixels);
 
+  const double t_bs = bench::run_time(o, "bswap", 1, "", partials);
+  const double t_pp = bench::run_time(o, "pp", o.ranks, "", partials);
+  const double t_2n = bench::run_time(o, "rt_2n", 4, "", partials);
+  const double t_n = bench::run_time(o, "rt_n", 3, "", partials);
+
   harness::Table t({"method", "blocks", "theory [s]", "measured [s]"});
   t.add_row({"binary-swap", "1",
              harness::Table::num(costmodel::predict_binary_swap(mp).total(), 4),
-             harness::Table::num(bench::run_time(o, "bswap", 1, "", partials), 4)});
+             harness::Table::num(t_bs, 4)});
   t.add_row(
       {"parallel-pipelined", std::to_string(o.ranks),
        harness::Table::num(costmodel::predict_parallel_pipelined(mp).total(), 4),
-       harness::Table::num(bench::run_time(o, "pp", o.ranks, "", partials), 4)});
+       harness::Table::num(t_pp, 4)});
   t.add_row({"2N_RT", "4",
              harness::Table::num(
                  costmodel::literal_two_n_rt_time(a_wire, o.net, o.ranks, 4), 4),
-             harness::Table::num(bench::run_time(o, "rt_2n", 4, "", partials), 4)});
+             harness::Table::num(t_2n, 4)});
   t.add_row({"N_RT", "3",
              harness::Table::num(
                  costmodel::literal_n_rt_time(a_wire, o.net, o.ranks, 3), 4),
-             harness::Table::num(bench::run_time(o, "rt_n", 3, "", partials), 4)});
+             harness::Table::num(t_n, 4)});
   t.print(std::cout);
   std::cout << "\npaper's ordering: N_RT <= 2N_RT < BS, PP\n";
+
+  if (!o.json_out.empty()) {
+    bench::write_golden_json(o.json_out, "fig6", o,
+                             {{"binary-swap", t_bs},
+                              {"parallel-pipelined", t_pp},
+                              {"2N_RT(4)", t_2n},
+                              {"N_RT(3)", t_n}});
+  }
+  {
+    harness::CompositionConfig cfg;
+    cfg.method = "rt_2n";
+    cfg.initial_blocks = 4;
+    cfg.net = o.net;
+    bench::write_observability(o, cfg, partials);
+  }
   return 0;
 }

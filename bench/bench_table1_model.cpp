@@ -28,9 +28,11 @@ int main(int argc, char** argv) {
   harness::Table t({"method", "S(M)", "model comm [s]", "model comp [s]",
                     "model total [s]", "measured time [s]",
                     "measured MB sent", "max msgs/rank"});
+  std::vector<std::pair<std::string, double>> golden;
   auto add = [&](const char* label, const std::string& method, int blocks,
                  int steps, const costmodel::MethodCost& mc) {
     const harness::CompositionRun run = measured(method, blocks);
+    golden.emplace_back(label, run.time);
     t.add_row({label, std::to_string(steps),
                harness::Table::num(mc.comm, 4),
                harness::Table::num(mc.comp, 4),
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
   double prev = 0.0;
   for (int k = 1; k <= s; ++k) {
     const double end = rt.stats.mark_end(k);
+    golden.emplace_back("2N_RT(4) step " + std::to_string(k), end);
     bt.add_row({std::to_string(k),
                 std::to_string(mp.image_pixels / (4LL << (k - 1))),
                 harness::Table::num(end, 4),
@@ -64,5 +67,15 @@ int main(int argc, char** argv) {
     prev = end;
   }
   bt.print(std::cout);
+
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "table1", o, golden);
+  {
+    harness::CompositionConfig cfg;
+    cfg.method = "rt_2n";
+    cfg.initial_blocks = 4;
+    cfg.net = o.net;
+    bench::write_observability(o, cfg, partials);
+  }
   return 0;
 }

@@ -7,10 +7,12 @@
 # out-of-bounds read/write while doing so.
 #
 # Usage: scripts/check_asan_corpus.sh
+# $BUILD_DIR overrides the build-directory prefix (default: build);
+# the corpus builds into "${BUILD_DIR}-address".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DIR="build-address"
+DIR="${BUILD_DIR:-build}-address"
 echo "== malformed-input corpus under RTC_SANITIZE=address =="
 cmake -B "$DIR" -S . -DRTC_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

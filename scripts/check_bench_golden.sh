@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Bit-exact virtual-time perf regression gate.
+#
+# Virtual time in this repo depends only on the message DAG and the
+# NetworkModel charges — never on wall-clock scheduling — so the bench
+# numbers are not statistics but exact model outputs. This gate runs
+# the gated benches with --json (17 significant digits) and byte-
+# compares the output against the checked-in goldens in bench/golden/.
+# ANY drift — a reordered send, a changed charge, a perturbed Ts — is a
+# hard failure, not noise.
+#
+# Usage: scripts/check_bench_golden.sh [build-dir]
+#        (default: $BUILD_DIR, then build)
+# To regenerate after an *intentional* cost-model change:
+#        scripts/check_bench_golden.sh --update [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD="${1:-${BUILD_DIR:-build}}"
+GOLDEN=bench/golden
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+
+check_bench() {  # check_bench <bench-binary> <golden-file>
+  local bench="$1" golden="$GOLDEN/$2"
+  echo "== $bench -> $2 =="
+  "$BUILD/bench/$bench" --json "$TMP/$2" >/dev/null
+  if [ "$UPDATE" -eq 1 ]; then
+    cp "$TMP/$2" "$golden"
+    echo "updated $golden"
+    return
+  fi
+  if cmp -s "$TMP/$2" "$golden"; then
+    echo "ok   $2 is bit-identical"
+  else
+    echo "FAIL $2 drifted from golden:"
+    diff "$golden" "$TMP/$2" || true
+    fail=1
+  fi
+}
+
+check_bench bench_table1_model table1_engine_p32.json
+check_bench bench_fig6_methods fig6_engine_p32.json
+
+if [ "$fail" -ne 0 ]; then
+  echo "virtual-time golden check FAILED — a cost charge or message"
+  echo "schedule changed. If intentional, regenerate with:"
+  echo "  scripts/check_bench_golden.sh --update $BUILD"
+  exit 1
+fi
+[ "$UPDATE" -eq 1 ] || echo "all virtual-time goldens are bit-identical"

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # CI-style check that the paper's headline results still reproduce.
-# Usage: scripts/check_repro.sh [build-dir]   (default: build)
+# Usage: scripts/check_repro.sh [build-dir]   (default: $BUILD_DIR,
+# then build)
 #
 # Everything here is deterministic (virtual time), so exact greps are
 # safe: if one fails, either the semantics or the calibration changed.
 set -euo pipefail
-BUILD="${1:-build}"
+BUILD="${1:-${BUILD_DIR:-build}}"
 fail=0
 
 check() {  # check <description> <command> <expected-grep>

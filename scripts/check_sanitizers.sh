@@ -6,6 +6,9 @@
 # including the fault-injection ones that crash ranks mid-run.
 #
 # Usage: scripts/check_sanitizers.sh [thread|address|all]   (default: all)
+# $BUILD_DIR overrides the build-directory prefix (default: build), so
+# CI can keep per-job caches apart: the mode builds into
+# "${BUILD_DIR}-thread" / "${BUILD_DIR}-address".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +17,7 @@ TESTS="world_test|frame_test|chaos_test|wire_test|methods_test|fuzz_corpus_test"
 
 run_mode() {
   local san="$1"
-  local dir="build-$san"
+  local dir="${BUILD_DIR:-build}-$san"
   echo "== RTC_SANITIZE=$san =="
   cmake -B "$dir" -S . -DRTC_SANITIZE="$san" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

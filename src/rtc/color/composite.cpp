@@ -4,6 +4,7 @@
 #include "rtc/color/render.hpp"
 #include "rtc/common/check.hpp"
 #include "rtc/image/tiling.hpp"
+#include "rtc/obs/span.hpp"
 
 namespace rtc::color {
 
@@ -12,12 +13,21 @@ namespace {
 void send_color_block(comm::Comm& comm, int dst, int tag,
                       std::span<const RgbA8> px, int width,
                       std::int64_t begin, bool use_trle) {
+  const std::int64_t w0 =
+      comm.trace().enabled() ? obs::wall_now_ns() : -1;
   std::vector<std::byte> bytes =
       use_trle ? trle_encode_color(px, width, begin)
                : serialize_pixels(px);
-  if (use_trle)
-    comm.compute(comm.model().tcodec_pixel *
-                 static_cast<double>(px.size()));
+  const auto raw = static_cast<std::int64_t>(px.size() * kBytesPerPixel);
+  if (use_trle) {
+    comm.charge_span(obs::SpanKind::kEncode, tag,
+                     comm.model().tcodec_pixel *
+                         static_cast<double>(px.size()),
+                     static_cast<std::int64_t>(bytes.size()), raw, w0);
+  } else {
+    comm.note_span(obs::SpanKind::kEncode, tag,
+                   static_cast<std::int64_t>(bytes.size()), raw);
+  }
   comm.send(dst, tag, std::move(bytes));
 }
 
@@ -26,11 +36,19 @@ void recv_color_block(comm::Comm& comm, int src, int tag,
                       std::int64_t begin, bool use_trle) {
   const std::vector<std::byte> bytes = comm.recv(src, tag);
   if (use_trle) {
+    const std::int64_t w0 =
+        comm.trace().enabled() ? obs::wall_now_ns() : -1;
     trle_decode_color(bytes, out, width, begin);
-    comm.compute(comm.model().tcodec_pixel *
-                 static_cast<double>(out.size()));
+    comm.charge_span(obs::SpanKind::kDecode, tag,
+                     comm.model().tcodec_pixel *
+                         static_cast<double>(out.size()),
+                     static_cast<std::int64_t>(bytes.size()),
+                     static_cast<std::int64_t>(out.size()), w0);
   } else {
     deserialize_pixels(bytes, out);
+    comm.note_span(obs::SpanKind::kDecode, tag,
+                   static_cast<std::int64_t>(bytes.size()),
+                   static_cast<std::int64_t>(out.size()));
   }
 }
 

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "rtc/obs/span.hpp"
+
 namespace rtc::comm {
 
 /// One virtual-time interval on a rank, for timeline export.
@@ -44,6 +46,12 @@ struct RankStats {
   /// Virtual-time intervals, only populated when the World has
   /// set_record_events(true).
   std::vector<Event> events;
+  /// Observability spans (obs layer), only populated when the World has
+  /// set_trace({.enabled = true}). Drained from the rank's ring after
+  /// the rank threads join.
+  std::vector<obs::Span> spans;
+  /// Spans lost to ring overflow (capacity too small for the run).
+  std::uint64_t spans_dropped = 0;
 };
 
 struct RunStats {
@@ -134,6 +142,21 @@ struct RunStats {
     for (const RankStats& r : ranks)
       if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
     return false;
+  }
+
+  // --- observability aggregates -----------------------------------
+
+  /// True when at least one rank carries drained obs spans.
+  [[nodiscard]] bool has_spans() const {
+    for (const RankStats& r : ranks)
+      if (!r.spans.empty()) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t total_spans_dropped() const {
+    std::uint64_t n = 0;
+    for (const RankStats& r : ranks) n += r.spans_dropped;
+    return n;
   }
 
   /// Latest virtual time any rank recorded for checkpoint `id`

@@ -193,6 +193,11 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) comms.push_back(Comm(this, r));
+  if (trace_cfg_.enabled) {
+    // Preallocate every rank's span ring before the threads start so
+    // recording is allocation-free on the rank threads.
+    for (Comm& c : comms) c.trace_.arm(trace_cfg_.capacity);
+  }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   std::vector<std::thread> threads;
@@ -221,6 +226,11 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   for (Comm& c : comms) {
     c.stats_.clock = c.clock_;
     c.stats_.crashed = is_dead(c.rank_);
+    if (c.trace_.enabled()) {
+      // dropped() must be read before drain() — draining resets it.
+      c.stats_.spans_dropped = c.trace_.dropped();
+      c.stats_.spans = c.trace_.drain();
+    }
     result.stats.ranks.push_back(c.stats_);
   }
   return result;
@@ -252,6 +262,7 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   RTC_CHECK_MSG(dst != rank_, "self-sends are not modeled");
   ++send_calls_;
   maybe_crash(/*counting_send=*/true);
+  const std::int64_t w0 = trace_.enabled() ? obs::wall_now_ns() : 0;
   const auto bytes = static_cast<std::int64_t>(payload.size());
   const NetworkModel& m = world_->model();
   // The sender's CPU is busy for the startup time Ts; the transmission
@@ -302,6 +313,13 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
     stats_.events.push_back(
         Event{Event::Kind::kSend, issue, clock_, dst, bytes});
   }
+  if (trace_.enabled()) {
+    // The span covers the sender-CPU charge [issue, issue+Ts]; the wire
+    // flight is pipelined and shows up as the receiver's recv-wait.
+    trace_.record(obs::Span{obs::SpanKind::kSend, tag, dst, bytes,
+                            /*aux=*/0, issue, clock_, w0,
+                            obs::wall_now_ns()});
+  }
   world_->deliver(dst, rank_, tag, std::move(e));
   if (dup) world_->deliver(dst, rank_, tag, std::move(*dup));
 }
@@ -311,6 +329,7 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
   RTC_CHECK_MSG(src != rank_, "self-receives are not modeled");
   maybe_crash(/*counting_send=*/false);
   const double wait_from = clock_;
+  const std::int64_t w0 = trace_.enabled() ? obs::wall_now_ns() : 0;
   for (;;) {
     std::optional<World::Envelope> e =
         world_->take(rank_, src, tag, clock_);
@@ -323,6 +342,11 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
       if (world_->record_events_ && clock_ > wait_from)
         stats_.events.push_back(
             Event{Event::Kind::kRecvWait, wait_from, clock_, src, 0});
+      if (trace_.enabled()) {
+        trace_.record(obs::Span{obs::SpanKind::kRecvWait, tag, src,
+                                /*bytes=*/0, /*aux=*/0, wait_from, clock_,
+                                w0, obs::wall_now_ns()});
+      }
       return RecvOutcome{RecvStatus::kPeerDead, {}};
     }
     // Wire-fault accounting is observed by the receiving protocol side
@@ -345,6 +369,20 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
       stats_.events.push_back(Event{
           Event::Kind::kRecvWait, wait_from, clock_, src,
           static_cast<std::int64_t>(e->frame.size())});
+    if (trace_.enabled()) {
+      const std::int64_t recovered = e->retransmits + e->drops;
+      if (recovered > 0) {
+        // Instant marker just before the wait span it explains: this
+        // arrival only succeeded after `recovered` resend/drop rounds.
+        trace_.record(obs::Span{obs::SpanKind::kRetransmit, tag, src,
+                                /*bytes=*/0, recovered, clock_, clock_, w0,
+                                w0});
+      }
+      trace_.record(obs::Span{
+          obs::SpanKind::kRecvWait, tag, src,
+          static_cast<std::int64_t>(e->frame.size()), /*aux=*/0, wait_from,
+          clock_, w0, obs::wall_now_ns()});
+    }
     if (e->lost || !d.ok()) {
       // Retry budget exhausted (the frame either never got through or
       // is still damaged — the CRC, not an oracle, catches the latter).
@@ -395,6 +433,42 @@ void Comm::compute(double seconds) {
     stats_.events.push_back(
         Event{Event::Kind::kCompute, from, clock_, -1, 0});
   }
+  if (trace_.enabled() && seconds > 0.0) {
+    const std::int64_t w = obs::wall_now_ns();
+    trace_.record(obs::Span{obs::SpanKind::kCompute, /*step=*/-1,
+                            /*peer=*/-1, /*bytes=*/0, /*aux=*/0, from,
+                            clock_, w, w});
+  }
+}
+
+void Comm::charge_span(obs::SpanKind kind, int step, double seconds,
+                       std::int64_t bytes, std::int64_t aux,
+                       std::int64_t wall_begin_ns) {
+  RTC_CHECK(seconds >= 0.0);
+  // Mirrors compute() exactly on the virtual clock, the fault schedule
+  // and the legacy Event timeline, so converting a compute() call site
+  // to charge_span() never perturbs a run's deterministic times.
+  maybe_crash(/*counting_send=*/false);
+  const double from = clock_;
+  clock_ += seconds;
+  if (world_->record_events_ && seconds > 0.0) {
+    stats_.events.push_back(
+        Event{Event::Kind::kCompute, from, clock_, -1, 0});
+  }
+  if (trace_.enabled()) {
+    const std::int64_t w1 = obs::wall_now_ns();
+    trace_.record(obs::Span{kind, step, /*peer=*/-1, bytes, aux, from,
+                            clock_, wall_begin_ns >= 0 ? wall_begin_ns : w1,
+                            w1});
+  }
+}
+
+void Comm::note_span(obs::SpanKind kind, int step, std::int64_t bytes,
+                     std::int64_t aux) {
+  if (!trace_.enabled()) return;
+  const std::int64_t w = obs::wall_now_ns();
+  trace_.record(
+      obs::Span{kind, step, /*peer=*/-1, bytes, aux, clock_, clock_, w, w});
 }
 
 void Comm::charge_over(std::int64_t pixels) {
@@ -405,6 +479,12 @@ void Comm::charge_over(std::int64_t pixels) {
   if (world_->record_events_ && pixels > 0) {
     stats_.events.push_back(
         Event{Event::Kind::kOver, from, clock_, -1, pixels});
+  }
+  if (trace_.enabled() && pixels > 0) {
+    const std::int64_t w = obs::wall_now_ns();
+    trace_.record(obs::Span{obs::SpanKind::kBlend, /*step=*/-1,
+                            /*peer=*/-1, /*bytes=*/0, pixels, from, clock_,
+                            w, w});
   }
 }
 

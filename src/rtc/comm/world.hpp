@@ -38,6 +38,8 @@
 #include "rtc/comm/fault.hpp"
 #include "rtc/comm/network_model.hpp"
 #include "rtc/comm/stats.hpp"
+#include "rtc/obs/recorder.hpp"
+#include "rtc/obs/span.hpp"
 
 namespace rtc::comm {
 
@@ -82,6 +84,25 @@ class Comm {
   /// Records a (id, now) checkpoint in this rank's stats; free.
   void mark(int id);
 
+  /// This rank's span recorder (armed by World::set_trace; a no-op
+  /// otherwise, and compiled out entirely under -DRTC_OBS=OFF).
+  [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
+
+  /// Advances the clock exactly like compute(seconds) but records the
+  /// interval as a span of `kind` attributed to compositor step
+  /// `step` (e.g. codec encode/decode charges). `wall_begin_ns` lets
+  /// the caller include the real work that preceded the charge; -1
+  /// stamps a zero-length wall interval. Virtual time and the legacy
+  /// Event timeline are identical to compute(seconds).
+  void charge_span(obs::SpanKind kind, int step, double seconds,
+                   std::int64_t bytes = 0, std::int64_t aux = 0,
+                   std::int64_t wall_begin_ns = -1);
+
+  /// Records a zero-duration marker span at now(); never advances the
+  /// clock. Free when tracing is disarmed.
+  void note_span(obs::SpanKind kind, int step, std::int64_t bytes = 0,
+                 std::int64_t aux = 0);
+
   /// This rank's wire-buffer freelist (rank-thread private, lock-free).
   /// send/recv recycle frame and payload buffers through it; callers
   /// that are done with a received payload should release it back so
@@ -122,6 +143,7 @@ class Comm {
   int send_calls_ = 0;          ///< sends attempted (crash thresholds)
   std::unordered_set<std::uint64_t> seen_seqs_;  ///< (src, seq) dedup
   BufferPool pool_;  ///< per-rank wire-buffer freelist
+  obs::TraceRecorder trace_;  ///< per-rank span ring (obs layer)
   RankStats stats_;
 };
 
@@ -165,6 +187,13 @@ class World {
   /// (for timeline export, e.g. harness::write_chrome_trace).
   void set_record_events(bool on) { record_events_ = on; }
 
+  /// Arm per-rank span tracing (obs layer) for the next run(): each
+  /// rank gets a preallocated ring of cfg.capacity spans, drained into
+  /// RankStats::spans after the rank threads join. With cfg.enabled
+  /// false (the default) recording is a no-op and the run's RunStats
+  /// are byte-identical to an untraced run.
+  void set_trace(const obs::TraceConfig& cfg) { trace_cfg_ = cfg; }
+
  private:
   friend class Comm;
 
@@ -196,6 +225,7 @@ class World {
   NetworkModel model_;
   double recv_timeout_ = 60.0;
   bool record_events_ = false;
+  obs::TraceConfig trace_cfg_;
   ResiliencePolicy policy_;
   std::unique_ptr<FaultInjector> injector_;  ///< null: no faults
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

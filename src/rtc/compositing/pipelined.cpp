@@ -26,6 +26,7 @@
 #include "rtc/image/ops.hpp"
 #include "rtc/image/serialize.hpp"
 #include "rtc/image/tiling.hpp"
+#include "rtc/obs/span.hpp"
 
 namespace rtc::compositing {
 
@@ -143,8 +144,8 @@ class Pipelined final : public Compositor {
     std::vector<std::byte> payload = comm.pool().acquire();
     payload.push_back(static_cast<std::byte>(state.front.empty() ? 0 : 1));
     if (!state.front.empty())
-      append_segment(comm, payload, state.front, geom, codec);
-    append_segment(comm, payload, state.back, geom, codec);
+      append_segment(comm, tag, payload, state.front, geom, codec);
+    append_segment(comm, tag, payload, state.back, geom, codec);
     comm.send(dst, tag, std::move(payload));
   }
 
@@ -175,8 +176,8 @@ class Pipelined final : public Compositor {
       const bool has_front = r.u8("segment-state flag") != 0;
       State state;
       if (has_front)
-        state.front = take_segment(comm, r, s.size(), geom, codec);
-      state.back = take_segment(comm, r, s.size(), geom, codec);
+        state.front = take_segment(comm, tag, r, s.size(), geom, codec);
+      state.back = take_segment(comm, tag, r, s.size(), geom, codec);
       r.finish("ring segment payload");
       comm.pool().release(std::move(payload));
       return state;
@@ -194,7 +195,8 @@ class Pipelined final : public Compositor {
     }
   }
 
-  static void append_segment(comm::Comm& comm, std::vector<std::byte>& out,
+  static void append_segment(comm::Comm& comm, int tag,
+                             std::vector<std::byte>& out,
                              std::span<const img::GrayA8> px,
                              const compress::BlockGeometry& geom,
                              const compress::Codec* codec) {
@@ -202,28 +204,49 @@ class Pipelined final : public Compositor {
     wire::WireWriter w(out);
     const std::size_t at = w.reserve_u64();
     const std::size_t body_begin = out.size();
+    const auto raw =
+        static_cast<std::int64_t>(px.size() * img::kBytesPerPixel);
     if (codec == nullptr) {
       img::serialize_pixels_into(px, out);
+      comm.note_span(obs::SpanKind::kEncode, tag,
+                     static_cast<std::int64_t>(out.size() - body_begin),
+                     raw);
     } else {
+      const std::int64_t w0 =
+          comm.trace().enabled() ? obs::wall_now_ns() : -1;
+      std::int64_t blank = 0;
+      if (comm.trace().enabled())
+        for (const img::GrayA8 p : px) blank += img::is_blank(p) ? 1 : 0;
       codec->encode_into(px, geom, out);
-      comm.compute(comm.model().tcodec_pixel *
-                   static_cast<double>(px.size()));
+      comm.charge_span(obs::SpanKind::kEncode, tag,
+                       comm.model().tcodec_pixel *
+                           static_cast<double>(px.size()),
+                       static_cast<std::int64_t>(out.size() - body_begin),
+                       raw, w0);
+      if (blank > 0)
+        comm.note_span(obs::SpanKind::kBlankSkip, tag, 0, blank);
     }
     w.patch_u64(at, static_cast<std::uint64_t>(out.size() - body_begin));
   }
 
   static std::vector<img::GrayA8> take_segment(
-      comm::Comm& comm, wire::WireReader& r, std::int64_t pixels,
+      comm::Comm& comm, int tag, wire::WireReader& r, std::int64_t pixels,
       const compress::BlockGeometry& geom, const compress::Codec* codec) {
     const std::span<const std::byte> body =
         r.length_prefixed("ring segment");
     std::vector<img::GrayA8> px(static_cast<std::size_t>(pixels));
     if (codec == nullptr) {
       img::deserialize_pixels(body, px);
+      comm.note_span(obs::SpanKind::kDecode, tag,
+                     static_cast<std::int64_t>(body.size()), pixels);
     } else {
+      const std::int64_t w0 =
+          comm.trace().enabled() ? obs::wall_now_ns() : -1;
       codec->decode(body, px, geom);
-      comm.compute(comm.model().tcodec_pixel *
-                   static_cast<double>(px.size()));
+      comm.charge_span(obs::SpanKind::kDecode, tag,
+                       comm.model().tcodec_pixel *
+                           static_cast<double>(px.size()),
+                       static_cast<std::int64_t>(body.size()), pixels, w0);
     }
     return px;
   }

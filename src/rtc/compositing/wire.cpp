@@ -5,6 +5,7 @@
 #include "rtc/common/check.hpp"
 #include "rtc/common/wire.hpp"
 #include "rtc/image/serialize.hpp"
+#include "rtc/obs/span.hpp"
 
 namespace rtc::compositing {
 
@@ -14,47 +15,88 @@ double codec_time(const comm::Comm& comm, std::size_t pixels) {
   return comm.model().tcodec_pixel * static_cast<double>(pixels);
 }
 
+/// Blank pixels in `px` — only counted while tracing is armed (the
+/// O(n) pass is observability, not part of the cost model).
+std::int64_t blank_pixels(comm::Comm& comm,
+                          std::span<const img::GrayA8> px) {
+  if (!comm.trace().enabled()) return 0;
+  std::int64_t n = 0;
+  for (const img::GrayA8 p : px) n += img::is_blank(p) ? 1 : 0;
+  return n;
+}
+
 /// Encodes `px` into `out` (appending) through the codec, or raw.
-void encode_block_into(comm::Comm& comm, std::span<const img::GrayA8> px,
+/// `tag` attributes the encode span to its compositor step.
+void encode_block_into(comm::Comm& comm, int tag,
+                       std::span<const img::GrayA8> px,
                        const compress::BlockGeometry& geom,
                        const compress::Codec* codec,
                        std::vector<std::byte>& out) {
+  const auto raw = static_cast<std::int64_t>(px.size() *
+                                             img::kBytesPerPixel);
+  const std::size_t before = out.size();
   if (codec == nullptr) {
     img::serialize_pixels_into(px, out);
+    comm.note_span(obs::SpanKind::kEncode, tag,
+                   static_cast<std::int64_t>(out.size() - before), raw);
   } else {
+    const std::int64_t w0 =
+        comm.trace().enabled() ? obs::wall_now_ns() : -1;
+    const std::int64_t blank = blank_pixels(comm, px);
     codec->encode_into(px, geom, out);
-    comm.compute(codec_time(comm, px.size()));
+    comm.charge_span(obs::SpanKind::kEncode, tag,
+                     codec_time(comm, px.size()),
+                     static_cast<std::int64_t>(out.size() - before), raw,
+                     w0);
+    if (blank > 0)
+      comm.note_span(obs::SpanKind::kBlankSkip, tag, 0, blank);
   }
 }
 
 /// Decodes one block payload into `out` and charges codec time.
-void decode_block(comm::Comm& comm, std::span<const std::byte> bytes,
+void decode_block(comm::Comm& comm, int tag,
+                  std::span<const std::byte> bytes,
                   std::span<img::GrayA8> out,
                   const compress::BlockGeometry& geom,
                   const compress::Codec* codec) {
+  const auto pixels = static_cast<std::int64_t>(out.size());
   if (codec == nullptr) {
     img::deserialize_pixels(bytes, out);
+    comm.note_span(obs::SpanKind::kDecode, tag,
+                   static_cast<std::int64_t>(bytes.size()), pixels);
   } else {
+    const std::int64_t w0 =
+        comm.trace().enabled() ? obs::wall_now_ns() : -1;
     codec->decode(bytes, out, geom);
-    comm.compute(codec_time(comm, out.size()));
+    comm.charge_span(obs::SpanKind::kDecode, tag,
+                     codec_time(comm, out.size()),
+                     static_cast<std::int64_t>(bytes.size()), pixels, w0);
   }
 }
 
 /// Fused decode-and-blend of one block payload into `dst`; charges the
 /// same codec time plus the blend's To that the decode-then-blend path
 /// would, so virtual-time results are unchanged.
-void decode_blend_block(comm::Comm& comm, std::span<const std::byte> bytes,
+void decode_blend_block(comm::Comm& comm, int tag,
+                        std::span<const std::byte> bytes,
                         std::span<img::GrayA8> dst,
                         const compress::BlockGeometry& geom,
                         const compress::Codec* codec, img::BlendMode mode,
                         bool src_front, std::vector<img::GrayA8>& scratch) {
+  const auto pixels = static_cast<std::int64_t>(dst.size());
   if (codec == nullptr) {
     scratch.resize(dst.size());
     img::deserialize_pixels(bytes, scratch);
     img::blend_in_place(dst, scratch, mode, src_front);
+    comm.note_span(obs::SpanKind::kDecodeBlend, tag,
+                   static_cast<std::int64_t>(bytes.size()), pixels);
   } else {
+    const std::int64_t w0 =
+        comm.trace().enabled() ? obs::wall_now_ns() : -1;
     codec->decode_blend(bytes, dst, geom, mode, src_front, scratch);
-    comm.compute(codec_time(comm, dst.size()));
+    comm.charge_span(obs::SpanKind::kDecodeBlend, tag,
+                     codec_time(comm, dst.size()),
+                     static_cast<std::int64_t>(bytes.size()), pixels, w0);
   }
   comm.charge_over(static_cast<std::int64_t>(dst.size()));
 }
@@ -66,7 +108,7 @@ void send_block(comm::Comm& comm, int dst, int tag,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec) {
   std::vector<std::byte> bytes = comm.pool().acquire();
-  encode_block_into(comm, px, geom, codec, bytes);
+  encode_block_into(comm, tag, px, geom, codec, bytes);
   comm.send(dst, tag, std::move(bytes));
 }
 
@@ -75,7 +117,7 @@ void recv_block(comm::Comm& comm, int src, int tag,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec) {
   std::vector<std::byte> bytes = comm.recv(src, tag);
-  decode_block(comm, bytes, out, geom, codec);
+  decode_block(comm, tag, bytes, out, geom, codec);
   comm.pool().release(std::move(bytes));
 }
 
@@ -92,7 +134,7 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
   std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
   if (bytes) {
     try {
-      decode_block(comm, *bytes, out, geom, codec);
+      decode_block(comm, tag, *bytes, out, geom, codec);
       comm.pool().release(std::move(*bytes));
       return true;
     } catch (const wire::DecodeError&) {
@@ -115,7 +157,7 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
                       std::vector<img::GrayA8>& scratch) {
   if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
     std::vector<std::byte> bytes = comm.recv(src, tag);
-    decode_blend_block(comm, bytes, dst, geom, codec, mode, src_front,
+    decode_blend_block(comm, tag, bytes, dst, geom, codec, mode, src_front,
                        scratch);
     comm.pool().release(std::move(bytes));
     return true;
@@ -123,8 +165,8 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
   std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
   if (bytes) {
     try {
-      decode_blend_block(comm, *bytes, dst, geom, codec, mode, src_front,
-                         scratch);
+      decode_blend_block(comm, tag, *bytes, dst, geom, codec, mode,
+                         src_front, scratch);
       comm.pool().release(std::move(*bytes));
       return true;
     } catch (const wire::DecodeError&) {
@@ -135,7 +177,8 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
   return false;
 }
 
-void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
+void append_block(comm::Comm& comm, int tag,
+                  std::vector<std::byte>& payload,
                   std::span<const img::GrayA8> px,
                   const compress::BlockGeometry& geom,
                   const compress::Codec* codec) {
@@ -144,22 +187,24 @@ void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
   wire::WireWriter w(payload);
   const std::size_t at = w.reserve_u64();
   const std::size_t body_begin = payload.size();
-  encode_block_into(comm, px, geom, codec, payload);
+  encode_block_into(comm, tag, px, geom, codec, payload);
   w.patch_u64(at, static_cast<std::uint64_t>(payload.size() - body_begin));
 }
 
-void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
+void take_block(comm::Comm& comm, int tag,
+                std::span<const std::byte>& rest,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec) {
   wire::WireReader r(rest);
   const std::span<const std::byte> body =
       r.length_prefixed("aggregated block");
-  decode_block(comm, body, out, geom, codec);
+  decode_block(comm, tag, body, out, geom, codec);
   rest = r.rest();
 }
 
-void take_block_blend(comm::Comm& comm, std::span<const std::byte>& rest,
+void take_block_blend(comm::Comm& comm, int tag,
+                      std::span<const std::byte>& rest,
                       std::span<img::GrayA8> dst,
                       const compress::BlockGeometry& geom,
                       const compress::Codec* codec, img::BlendMode mode,
@@ -167,7 +212,8 @@ void take_block_blend(comm::Comm& comm, std::span<const std::byte>& rest,
   wire::WireReader r(rest);
   const std::span<const std::byte> body =
       r.length_prefixed("aggregated block");
-  decode_blend_block(comm, body, dst, geom, codec, mode, src_front, scratch);
+  decode_blend_block(comm, tag, body, dst, geom, codec, mode, src_front,
+                     scratch);
   rest = r.rest();
 }
 

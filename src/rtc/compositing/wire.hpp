@@ -71,7 +71,9 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
 /// Appends one length-prefixed encoded block to `payload` — used to
 /// aggregate several blocks for the same receiver into one message.
 /// Encodes directly into `payload` (no intermediate body buffer).
-void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
+/// `tag` attributes the encode span to its compositor step (obs).
+void append_block(comm::Comm& comm, int tag,
+                  std::vector<std::byte>& payload,
                   std::span<const img::GrayA8> px,
                   const compress::BlockGeometry& geom,
                   const compress::Codec* codec);
@@ -79,7 +81,8 @@ void append_block(comm::Comm& comm, std::vector<std::byte>& payload,
 /// Consumes one length-prefixed block from `rest` (advancing it) and
 /// decodes exactly `out.size()` pixels. Malformed framing or payload
 /// throws wire::DecodeError.
-void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
+void take_block(comm::Comm& comm, int tag,
+                std::span<const std::byte>& rest,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec);
@@ -88,7 +91,8 @@ void take_block(comm::Comm& comm, std::span<const std::byte>& rest,
 /// from `rest` and composites it straight into `dst`. Charges codec
 /// time plus the blend's To like take_block + blend_in_place +
 /// charge_over would.
-void take_block_blend(comm::Comm& comm, std::span<const std::byte>& rest,
+void take_block_blend(comm::Comm& comm, int tag,
+                      std::span<const std::byte>& rest,
                       std::span<img::GrayA8> dst,
                       const compress::BlockGeometry& geom,
                       const compress::Codec* codec, img::BlendMode mode,

@@ -56,8 +56,8 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
         for (const Merge* m : merges) {
           const img::PixelSpan span = tiling.block(step.depth, m->block);
           const compress::BlockGeometry geom{partial.width(), span.begin};
-          compositing::append_block(comm, payload, buf.view(span), geom,
-                                    opt.codec);
+          compositing::append_block(comm, tag, payload, buf.view(span),
+                                    geom, opt.codec);
         }
         comm.send(receiver, tag, std::move(payload));
       }
@@ -90,7 +90,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
             const img::PixelSpan span = tiling.block(step.depth, m->block);
             const compress::BlockGeometry geom{partial.width(),
                                                span.begin};
-            compositing::take_block_blend(comm, rest, buf.view(span),
+            compositing::take_block_blend(comm, tag, rest, buf.view(span),
                                           geom, opt.codec, opt.blend,
                                           m->sender_front, scratch);
             ++done;

@@ -29,6 +29,7 @@ CompositionRun run_composition(const CompositionConfig& config,
 
   comm::World world(p, config.net);
   world.set_record_events(config.record_events);
+  world.set_trace({config.record_spans, config.trace_capacity});
   world.set_fault_plan(config.fault);
   world.set_resilience(config.resilience);
   std::vector<img::Image> results(static_cast<std::size_t>(p));

@@ -3,6 +3,7 @@
 // composition time — the quantity plotted in the paper's figures.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,11 @@ struct CompositionConfig {
   bool aggregate_messages = false;  ///< RT: one message per receiver/step
   img::BlendMode blend = img::BlendMode::kOver;
   bool record_events = false;  ///< capture Event timeline into stats
+  /// Arm the obs tracing layer: per-rank span rings drained into
+  /// RunStats::spans (see docs/observability.md). Off by default; a
+  /// traced run's virtual times are identical to an untraced one.
+  bool record_spans = false;
+  std::size_t trace_capacity = std::size_t{1} << 16;  ///< spans per rank
   /// Chaos knobs: deterministic fault schedule (default: none — the
   /// zero-fault path is bit-identical to the pre-resilience build) and
   /// the retry/peer-loss policy applied to both the wire protocol and

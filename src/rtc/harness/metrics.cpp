@@ -1,0 +1,68 @@
+#include "rtc/harness/metrics.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+#include "rtc/compositing/wire.hpp"
+#include "rtc/harness/table.hpp"
+#include "rtc/obs/metrics.hpp"
+
+namespace rtc::harness {
+
+namespace {
+
+std::string step_label(int step) {
+  if (step < 0) return "-";
+  if (step >= compositing::kGatherTag) return "gather";
+  return std::to_string(step);
+}
+
+std::vector<std::string> metric_cells(const std::string& label,
+                                      const obs::StepMetrics& m) {
+  return {label,
+          std::to_string(m.messages),
+          std::to_string(m.wire_bytes),
+          Table::num(m.ratio(), 3),
+          std::to_string(m.blank_pixels_skipped),
+          std::to_string(m.blend_pixels),
+          std::to_string(m.faults_recovered),
+          Table::num(m.send_s * 1e3, 4),
+          Table::num(m.recv_wait_s * 1e3, 4),
+          Table::num(m.codec_s * 1e3, 4),
+          Table::num(m.blend_s * 1e3, 4)};
+}
+
+}  // namespace
+
+void write_metrics(const comm::RunStats& stats, std::ostream& os) {
+  if (!stats.has_spans()) {
+    os << "no spans recorded (enable record_spans / World::set_trace)\n";
+    return;
+  }
+  std::vector<std::vector<obs::Span>> per_rank;
+  per_rank.reserve(stats.ranks.size());
+  for (const comm::RankStats& r : stats.ranks) per_rank.push_back(r.spans);
+
+  const std::vector<obs::StepMetrics> rows =
+      obs::aggregate_steps(per_rank);
+  Table t({"step", "msgs", "wire_B", "ratio", "blank_px", "blend_px",
+           "recovered", "send_ms", "wait_ms", "codec_ms", "blend_ms"});
+  for (const obs::StepMetrics& m : rows)
+    t.add_row(metric_cells(step_label(m.step), m));
+  t.add_row(metric_cells("total", obs::totals(rows)));
+  t.print(os);
+  if (stats.total_spans_dropped() > 0)
+    os << "warning: " << stats.total_spans_dropped()
+       << " spans dropped (raise trace_capacity)\n";
+}
+
+void write_metrics_file(const comm::RunStats& stats,
+                        const std::string& path) {
+  std::ofstream out(path);
+  RTC_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_metrics(stats, out);
+  RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+}  // namespace rtc::harness

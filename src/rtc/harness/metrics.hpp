@@ -1,0 +1,29 @@
+// Per-step metrics table from a span-traced composition run.
+//
+// Enable span recording (CompositionConfig::record_spans or
+// World::set_trace), run, then write the stats here: one row per
+// compositor step with messages, wire bytes, compression ratio, blank
+// pixels skipped, fault recoveries, and the summed virtual send /
+// recv-wait / codec / blend time — the same breakdown the paper's
+// Table 1 argues with, rebuilt from an actual traced run. All sums are
+// virtual-time deterministic, so this output is golden-checkable.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "rtc/comm/stats.hpp"
+
+namespace rtc::harness {
+
+/// Writes the per-step metrics table (plus a totals row) to `os`.
+/// Steps >= compositing::kGatherTag are labeled "gather". A stats
+/// object with no spans writes a note instead of an empty table.
+void write_metrics(const comm::RunStats& stats, std::ostream& os);
+
+/// Same, to a file. Throws ContractError when the file cannot be
+/// written.
+void write_metrics_file(const comm::RunStats& stats,
+                        const std::string& path);
+
+}  // namespace rtc::harness

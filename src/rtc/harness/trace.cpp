@@ -1,8 +1,10 @@
 #include "rtc/harness/trace.hpp"
 
 #include <fstream>
+#include <vector>
 
 #include "rtc/common/check.hpp"
+#include "rtc/obs/trace_json.hpp"
 
 namespace rtc::harness {
 
@@ -52,6 +54,19 @@ void write_chrome_trace(const comm::RunStats& stats,
   }
   out << "\n]\n";
   RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+void write_perfetto_trace(const comm::RunStats& stats,
+                          const std::string& path) {
+  std::vector<std::vector<obs::Span>> per_rank;
+  std::vector<std::vector<std::pair<int, double>>> marks;
+  per_rank.reserve(stats.ranks.size());
+  marks.reserve(stats.ranks.size());
+  for (const comm::RankStats& r : stats.ranks) {
+    per_rank.push_back(r.spans);
+    marks.push_back(r.marks);
+  }
+  obs::write_trace_json_file(per_rank, marks, path);
 }
 
 }  // namespace rtc::harness

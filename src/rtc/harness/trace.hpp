@@ -16,4 +16,13 @@ namespace rtc::harness {
 void write_chrome_trace(const comm::RunStats& stats,
                         const std::string& path);
 
+/// Span-based export (obs layer): writes RunStats::spans — recorded via
+/// CompositionConfig::record_spans / World::set_trace — plus per-rank
+/// step marks as trace-event JSON that chrome://tracing and
+/// ui.perfetto.dev load directly. Richer than write_chrome_trace: spans
+/// carry step attribution, codec byte counts, fault recoveries, and
+/// wall-clock durations in args.
+void write_perfetto_trace(const comm::RunStats& stats,
+                          const std::string& path);
+
 }  // namespace rtc::harness

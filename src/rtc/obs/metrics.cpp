@@ -1,0 +1,72 @@
+#include "rtc/obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rtc::obs {
+
+std::vector<StepMetrics> aggregate_steps(
+    const std::vector<std::vector<Span>>& per_rank) {
+  std::map<int, StepMetrics> by_step;
+  for (const std::vector<Span>& spans : per_rank) {
+    for (const Span& s : spans) {
+      StepMetrics& m = by_step[s.step];
+      m.step = s.step;
+      switch (s.kind) {
+        case SpanKind::kSend:
+          m.messages += 1;
+          m.wire_bytes += s.bytes;
+          m.send_s += s.v_duration();
+          break;
+        case SpanKind::kRecvWait:
+          m.recv_wait_s += s.v_duration();
+          break;
+        case SpanKind::kRetransmit:
+          m.faults_recovered += s.aux;
+          break;
+        case SpanKind::kCompute:
+          break;
+        case SpanKind::kBlend:
+          m.blend_pixels += s.aux;
+          m.blend_s += s.v_duration();
+          break;
+        case SpanKind::kEncode:
+          m.encoded_bytes += s.bytes;
+          m.raw_bytes += s.aux;
+          m.codec_s += s.v_duration();
+          break;
+        case SpanKind::kDecode:
+        case SpanKind::kDecodeBlend:
+          m.codec_s += s.v_duration();
+          break;
+        case SpanKind::kBlankSkip:
+          m.blank_pixels_skipped += s.aux;
+          break;
+      }
+    }
+  }
+  std::vector<StepMetrics> out;
+  out.reserve(by_step.size());
+  for (const auto& [step, m] : by_step) out.push_back(m);
+  return out;
+}
+
+StepMetrics totals(const std::vector<StepMetrics>& rows) {
+  StepMetrics t;
+  for (const StepMetrics& m : rows) {
+    t.messages += m.messages;
+    t.wire_bytes += m.wire_bytes;
+    t.encoded_bytes += m.encoded_bytes;
+    t.raw_bytes += m.raw_bytes;
+    t.blank_pixels_skipped += m.blank_pixels_skipped;
+    t.blend_pixels += m.blend_pixels;
+    t.faults_recovered += m.faults_recovered;
+    t.send_s += m.send_s;
+    t.recv_wait_s += m.recv_wait_s;
+    t.codec_s += m.codec_s;
+    t.blend_s += m.blend_s;
+  }
+  return t;
+}
+
+}  // namespace rtc::obs

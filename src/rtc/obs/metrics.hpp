@@ -1,0 +1,48 @@
+// Per-step metrics aggregated from recorded spans.
+//
+// The paper's whole argument is a per-step cost breakdown (Table 1:
+// what each composition step sends, waits for, and computes). This
+// module rebuilds that table from a real traced run: group every
+// rank's spans by compositor step and sum the traffic, codec, and
+// fault-recovery activity. Virtual-time sums are deterministic, so
+// these rows are golden-checkable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtc/obs/span.hpp"
+
+namespace rtc::obs {
+
+struct StepMetrics {
+  int step = -1;  ///< compositor step / message tag; -1 unattributed
+  std::int64_t messages = 0;           ///< sends issued
+  std::int64_t wire_bytes = 0;         ///< payload bytes sent
+  std::int64_t encoded_bytes = 0;      ///< codec output bytes
+  std::int64_t raw_bytes = 0;          ///< pre-codec bytes of the same blocks
+  std::int64_t blank_pixels_skipped = 0;  ///< blank px fused codecs skip
+  std::int64_t blend_pixels = 0;       ///< pixels over-composited
+  std::int64_t faults_recovered = 0;   ///< retransmits+drops absorbed
+  double send_s = 0.0;       ///< summed virtual send-startup time
+  double recv_wait_s = 0.0;  ///< summed virtual receive-wait time
+  double codec_s = 0.0;      ///< summed virtual encode/decode time
+  double blend_s = 0.0;      ///< summed virtual blend time
+
+  /// Compression ratio raw/encoded (1 when nothing was encoded).
+  [[nodiscard]] double ratio() const {
+    return (raw_bytes > 0 && encoded_bytes > 0)
+               ? static_cast<double>(raw_bytes) /
+                     static_cast<double>(encoded_bytes)
+               : 1.0;
+  }
+};
+
+/// Aggregates every rank's spans into per-step rows, sorted by step.
+[[nodiscard]] std::vector<StepMetrics> aggregate_steps(
+    const std::vector<std::vector<Span>>& per_rank);
+
+/// Sums a set of step rows into one total row (step = -1).
+[[nodiscard]] StepMetrics totals(const std::vector<StepMetrics>& rows);
+
+}  // namespace rtc::obs

@@ -1,0 +1,107 @@
+// Per-rank span recorder: a fixed-capacity ring buffer.
+//
+// Two cost guarantees, both load-bearing for the virtual-time repro
+// checks:
+//
+//  * Compile-time zero cost when disabled. Configuring with
+//    -DRTC_OBS=OFF defines RTC_OBS_DISABLED and swaps in a no-op
+//    recorder whose enabled() is a constexpr false, so every recording
+//    branch folds away. The bit-identical reproduction checks
+//    (scripts/check_repro.sh) pass unchanged in that build — tracing
+//    never perturbs virtual time.
+//
+//  * Allocation-free when enabled. arm() preallocates the ring once
+//    (outside the timed region, before World::run starts the rank
+//    threads); record() writes in place and overwrites the oldest span
+//    on overflow, counting what it dropped. Draining happens after the
+//    rank threads joined.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rtc/obs/span.hpp"
+
+namespace rtc::obs {
+
+/// World-level tracing switch (see World::set_trace).
+struct TraceConfig {
+  bool enabled = false;
+  std::size_t capacity = std::size_t{1} << 16;  ///< spans per rank
+};
+
+#if defined(RTC_OBS_DISABLED)
+
+/// Compile-time no-op recorder: every call is an empty inline body and
+/// enabled() is constexpr false, so callers' recording branches fold
+/// away entirely.
+class TraceRecorder {
+ public:
+  void arm(std::size_t /*capacity*/) {}
+  [[nodiscard]] static constexpr bool enabled() { return false; }
+  void record(const Span& /*s*/) {}
+  [[nodiscard]] static constexpr std::uint64_t dropped() { return 0; }
+  [[nodiscard]] static constexpr std::size_t size() { return 0; }
+  [[nodiscard]] std::vector<Span> drain() { return {}; }
+};
+
+#else
+
+class TraceRecorder {
+ public:
+  /// Preallocates a ring of `capacity` spans and enables recording.
+  /// The only allocation the recorder ever performs.
+  void arm(std::size_t capacity) {
+    ring_.assign(capacity > 0 ? capacity : 1, Span{});
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    enabled_ = true;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// O(1), allocation-free. Overwrites the oldest span when full.
+  void record(const Span& s) {
+    if (!enabled_) return;
+    if (size_ < ring_.size()) {
+      ring_[(head_ + size_) % ring_.size()] = s;
+      ++size_;
+    } else {
+      ring_[head_] = s;
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+    }
+  }
+
+  /// Spans overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Moves the recorded spans out in recording order and disables the
+  /// recorder. Cold path (after the rank threads joined).
+  [[nodiscard]] std::vector<Span> drain() {
+    std::vector<Span> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    ring_.clear();
+    head_ = 0;
+    size_ = 0;
+    enabled_ = false;
+    return out;
+  }
+
+ private:
+  std::vector<Span> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = false;
+};
+
+#endif  // RTC_OBS_DISABLED
+
+}  // namespace rtc::obs

@@ -1,0 +1,85 @@
+// Span vocabulary for the per-rank tracing layer.
+//
+// A Span is one interval (or instant) of a rank's life, recorded on
+// BOTH clocks: the deterministic virtual clock (the paper's cost
+// model — bit-exact across runs) and the monotonic wall clock (what
+// this machine actually spent, for finding real-world hotspots). The
+// taxonomy mirrors the cost breakdown the paper argues with: message
+// startup (send), blocking receive (recv-wait), fault recovery
+// (retransmit), generic computation, the "over" blend, and the codec
+// stages (encode / decode / fused decode-blend) plus the blank-run
+// pixels a fused blank-skipping codec never touches.
+//
+// This header has no dependencies beyond <chrono>/<cstdint> so the
+// comm substrate can sit on top of it without a cycle.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rtc::obs {
+
+enum class SpanKind : std::uint8_t {
+  kSend,         ///< message startup (Ts) on the sender
+  kRecvWait,     ///< blocking receive until availability
+  kRetransmit,   ///< instant: this arrival absorbed retransmits/drops
+  kCompute,      ///< generic local computation charge
+  kBlend,        ///< "over"/"max" compositing (To per pixel)
+  kEncode,       ///< codec encode of an outgoing block
+  kDecode,       ///< codec decode into a materialized block
+  kDecodeBlend,  ///< fused decode-and-blend of an incoming block
+  kBlankSkip,    ///< instant: blank pixels a fused codec will skip
+};
+
+[[nodiscard]] constexpr const char* span_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kSend:
+      return "send";
+    case SpanKind::kRecvWait:
+      return "recv-wait";
+    case SpanKind::kRetransmit:
+      return "retransmit";
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kBlend:
+      return "blend";
+    case SpanKind::kEncode:
+      return "encode";
+    case SpanKind::kDecode:
+      return "decode";
+    case SpanKind::kDecodeBlend:
+      return "decode_blend";
+    case SpanKind::kBlankSkip:
+      return "blank-skip";
+  }
+  return "?";
+}
+
+struct Span {
+  SpanKind kind = SpanKind::kCompute;
+  /// Compositor step this belongs to: the message tag for wire spans,
+  /// explicitly threaded for codec spans, -1 when unattributed.
+  int step = -1;
+  int peer = -1;           ///< other rank for send/recv spans, else -1
+  std::int64_t bytes = 0;  ///< wire bytes involved (kind-specific)
+  /// Kind-specific count: raw pre-codec bytes (encode), decoded pixels
+  /// (decode/decode_blend), blended pixels (blend), retransmits+drops
+  /// absorbed (retransmit), blank pixels skipped (blank-skip).
+  std::int64_t aux = 0;
+  double v_begin = 0.0;  ///< virtual seconds (deterministic)
+  double v_end = 0.0;
+  std::int64_t wall_begin_ns = 0;  ///< monotonic wall clock
+  std::int64_t wall_end_ns = 0;
+
+  [[nodiscard]] double v_duration() const { return v_end - v_begin; }
+  [[nodiscard]] bool instant() const { return v_end == v_begin; }
+};
+
+/// Monotonic wall-clock timestamp in nanoseconds.
+[[nodiscard]] inline std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rtc::obs

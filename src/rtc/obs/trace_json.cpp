@@ -1,0 +1,72 @@
+#include "rtc/obs/trace_json.hpp"
+
+#include <fstream>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::obs {
+
+namespace {
+
+void write_event_common(std::ostream& os, const Span& s, std::size_t rank) {
+  os << "\"cat\":\"" << span_name(s.kind) << "\",\"pid\":0,\"tid\":" << rank
+     << ",\"ts\":" << s.v_begin * 1e6;
+}
+
+void write_args(std::ostream& os, const Span& s) {
+  os << "\"args\":{\"step\":" << s.step << ",\"bytes\":" << s.bytes
+     << ",\"aux\":" << s.aux << ",\"wall_us\":"
+     << static_cast<double>(s.wall_end_ns - s.wall_begin_ns) / 1e3 << "}";
+}
+
+}  // namespace
+
+void write_trace_json(
+    const std::vector<std::vector<Span>>& per_rank,
+    const std::vector<std::vector<std::pair<int, double>>>& marks,
+    std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+     << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+        "\"args\":{\"name\":\"rtcomp virtual timeline\"}}";
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+  }
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    for (const Span& s : per_rank[r]) {
+      os << ",\n{\"name\":\"" << span_name(s.kind);
+      if (s.peer >= 0)
+        os << (s.kind == SpanKind::kSend ? "->" : "<-") << s.peer;
+      os << "\",";
+      write_event_common(os, s, r);
+      if (s.instant()) {
+        os << ",\"ph\":\"i\",\"s\":\"t\",";
+      } else {
+        os << ",\"ph\":\"X\",\"dur\":" << s.v_duration() * 1e6 << ",";
+      }
+      write_args(os, s);
+      os << "}";
+    }
+    if (r < marks.size()) {
+      for (const auto& [id, t] : marks[r]) {
+        os << ",\n{\"name\":\"step " << id
+           << "\",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+              "\"tid\":"
+           << r << ",\"ts\":" << t * 1e6 << "}";
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_trace_json_file(
+    const std::vector<std::vector<Span>>& per_rank,
+    const std::vector<std::vector<std::pair<int, double>>>& marks,
+    const std::string& path) {
+  std::ofstream out(path);
+  RTC_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  write_trace_json(per_rank, marks, out);
+  RTC_CHECK_MSG(out.good(), "short write: " + path);
+}
+
+}  // namespace rtc::obs

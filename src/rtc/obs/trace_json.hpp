@@ -1,0 +1,36 @@
+// Chrome/Perfetto trace-event JSON export of recorded spans.
+//
+// Produces the JSON object form ({"traceEvents": [...]}) that both
+// chrome://tracing and ui.perfetto.dev load directly: one named thread
+// per rank, duration ("X") events for interval spans, instant ("i")
+// events for zero-duration markers, and optional per-rank step marks.
+// Timestamps are the deterministic *virtual* clock in microseconds;
+// each event also carries its wall-clock duration in args.wall_us so
+// real hotspots stay visible next to the modeled ones.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtc/obs/span.hpp"
+
+namespace rtc::obs {
+
+/// Writes per-rank spans (plus optional (id, virtual-time) step marks
+/// per rank) as trace-event JSON to `os`.
+void write_trace_json(
+    const std::vector<std::vector<Span>>& per_rank,
+    const std::vector<std::vector<std::pair<int, double>>>& marks,
+    std::ostream& os);
+
+/// Same, to a file. Throws ContractError when the file cannot be
+/// written.
+void write_trace_json_file(
+    const std::vector<std::vector<Span>>& per_rank,
+    const std::vector<std::vector<std::pair<int, double>>>& marks,
+    const std::string& path);
+
+}  // namespace rtc::obs

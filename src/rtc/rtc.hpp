@@ -16,6 +16,7 @@
 #include "rtc/core/schedule.hpp"
 #include "rtc/costmodel/table1.hpp"
 #include "rtc/harness/experiment.hpp"
+#include "rtc/harness/metrics.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
 #include "rtc/harness/trace.hpp"

@@ -38,8 +38,8 @@ TEST(Wire, AppendTakeBlocksThroughCodec) {
   world.run([&](comm::Comm& c) {
     if (c.rank() == 0) {
       std::vector<std::byte> payload;
-      append_block(c, payload, im.pixels(), geom, codec.get());
-      append_block(c, payload, im.pixels(), geom, nullptr);
+      append_block(c, /*tag=*/0, payload, im.pixels(), geom, codec.get());
+      append_block(c, /*tag=*/0, payload, im.pixels(), geom, nullptr);
       c.send(1, 0, std::move(payload));
     } else {
       const std::vector<std::byte> payload = c.recv(0, 0);
@@ -47,8 +47,8 @@ TEST(Wire, AppendTakeBlocksThroughCodec) {
       std::vector<img::GrayA8> a(
           static_cast<std::size_t>(im.pixel_count()));
       std::vector<img::GrayA8> b(a.size());
-      take_block(c, rest, a, geom, codec.get());
-      take_block(c, rest, b, geom, nullptr);
+      take_block(c, /*tag=*/0, rest, a, geom, codec.get());
+      take_block(c, /*tag=*/0, rest, b, geom, nullptr);
       EXPECT_TRUE(rest.empty());
       for (std::int64_t i = 0; i < im.pixel_count(); ++i) {
         EXPECT_EQ(a[static_cast<std::size_t>(i)],

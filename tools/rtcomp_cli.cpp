@@ -6,6 +6,7 @@
 //                   [--renderer shearwarp|raycast|splat] [--mip]
 //                   [--partition slab|grid|balanced] [--out out.pgm]
 //                   [--trace timeline.json]
+//                   [--trace-out trace.json] [--metrics-out metrics.txt]
 //                   [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
 //                   [--fault-dup P] [--fault-delay P]
 //                   [--fault-delay-mean S] [--fault-crash-rank R]
@@ -137,6 +138,7 @@ int cmd_render(const Args& a) {
   cfg.blend = mip ? img::BlendMode::kMax : img::BlendMode::kOver;
   cfg.gather = true;
   cfg.record_events = a.has("trace");
+  cfg.record_spans = a.has("trace-out") || a.has("metrics-out");
   if (a.get("net", "sp2-hps") == "paper-example")
     cfg.net = comm::paper_example_model();
 
@@ -197,6 +199,14 @@ int cmd_render(const Args& a) {
   if (a.has("trace")) {
     harness::write_chrome_trace(run.stats, a.get("trace", ""));
     std::cout << "wrote " << a.get("trace", "") << "\n";
+  }
+  if (a.has("trace-out")) {
+    harness::write_perfetto_trace(run.stats, a.get("trace-out", ""));
+    std::cout << "wrote " << a.get("trace-out", "") << "\n";
+  }
+  if (a.has("metrics-out")) {
+    harness::write_metrics_file(run.stats, a.get("metrics-out", ""));
+    std::cout << "wrote " << a.get("metrics-out", "") << "\n";
   }
   return 0;
 }
