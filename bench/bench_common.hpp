@@ -43,8 +43,11 @@ struct BenchOptions {
   std::string metrics_out;  ///< per-step metrics table (--metrics-out)
 };
 
-inline BenchOptions parse_options(int argc, char** argv) {
-  BenchOptions o;
+/// `defaults` lets a bench pin its own operating point (e.g. the frame
+/// pipeline's P=16 golden) while keeping every flag overridable.
+inline BenchOptions parse_options(int argc, char** argv,
+                                  BenchOptions defaults = BenchOptions{}) {
+  BenchOptions o = std::move(defaults);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {

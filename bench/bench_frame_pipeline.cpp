@@ -1,0 +1,86 @@
+// Frame-pipeline bench: what bounded-depth pipelining and temporal
+// coherence buy on an animation sweep, in exact virtual time.
+//
+// Runs the same K-frame camera sweep twice through frames::run_sequence:
+// once strictly sequential with coherence off (max_in_flight = 1 —
+// exactly K single-shot frames back to back) and once pipelined with
+// the coherence cache on (max_in_flight = 2). The bench *asserts* the
+// two headline claims before writing anything: the pipelined makespan
+// is strictly below the sequential total, and the coherence cache
+// scores a nonzero hit rate on the slow sweep (the slab partials'
+// blank margins persist frame to frame). Exit 1 if either fails.
+//
+// Golden: bench/golden/frame_pipeline_engine_p16.json (P=16, 64^3
+// engine, 256x256, 6 frames over a 30-degree sweep, rt_n/3/trle, no
+// gather, no tracing — byte-identical with RTC_OBS=OFF).
+#include "bench_common.hpp"
+
+#include "rtc/frames/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtc;
+  bench::BenchOptions defaults;
+  defaults.ranks = 16;
+  defaults.volume_n = 64;
+  defaults.image_size = 256;
+  const bench::BenchOptions o = bench::parse_options(argc, argv, defaults);
+  bench::print_header("frame pipeline: sweep makespan + coherence", o);
+
+  frames::PipelineConfig pc;
+  pc.dataset = o.dataset;
+  pc.ranks = o.ranks;
+  pc.volume_n = o.volume_n;
+  pc.image_size = o.image_size;
+  pc.frames = 6;
+  pc.yaw0_deg = 20.0;
+  pc.sweep_deg = 30.0;  // slow sweep: high temporal coherence
+  pc.comp.method = "rt_n";
+  pc.comp.initial_blocks = 3;
+  pc.comp.codec = "trle";
+  pc.comp.net = o.net;
+  pc.comp.gather = false;
+
+  frames::PipelineConfig sequential = pc;
+  sequential.max_in_flight = 1;
+  sequential.coherence = false;
+  const frames::SequenceResult base = frames::run_sequence(sequential);
+
+  pc.max_in_flight = 2;
+  pc.coherence = true;
+  const frames::SequenceResult pipe = frames::run_sequence(pc);
+
+  frames::print_sequence(std::cout, pc, pipe);
+  std::cout << "\nsequential (depth 1, no coherence): "
+            << harness::Table::num(base.makespan, 4) << " s -> speedup "
+            << harness::Table::num(base.makespan / pipe.makespan, 3)
+            << "x\n";
+
+  // The two acceptance invariants, enforced here so CI fails loudly if
+  // a cost-model change ever erases the pipeline's advantage.
+  if (!(pipe.makespan < base.makespan)) {
+    std::cerr << "FAIL: pipelined makespan " << pipe.makespan
+              << " is not below the sequential total " << base.makespan
+              << "\n";
+    return 1;
+  }
+  if (!(pipe.coherence_hits > 0)) {
+    std::cerr << "FAIL: coherence cache scored no hits on a slow sweep\n";
+    return 1;
+  }
+
+  if (!o.json_out.empty()) {
+    bench::write_golden_json(
+        o.json_out, "frame_pipeline", o,
+        {{"singleshot_total_s", base.makespan},
+         {"pipelined_makespan_s", pipe.makespan},
+         {"speedup", base.makespan / pipe.makespan},
+         {"frames_per_s", pipe.frames_per_second()},
+         {"queue_wait_s", pipe.total_queue_wait},
+         {"hit_rate", pipe.hit_rate()},
+         {"coherence_hits", static_cast<double>(pipe.coherence_hits)},
+         {"coherence_misses", static_cast<double>(pipe.coherence_misses)},
+         {"coherence_bytes_saved",
+          static_cast<double>(pipe.coherence_bytes_saved)}});
+  }
+  return 0;
+}

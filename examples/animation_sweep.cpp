@@ -1,85 +1,38 @@
 // The interactive-rendering scenario from the paper's introduction: a
-// camera orbit. Renders F frames around a dataset, recomputing the
-// visibility-sorted partition whenever the principal axis flips,
-// composites each frame, and reports the modeled per-frame and
-// aggregate rates (render stage + composition stage in virtual time).
+// camera orbit driven through the frame pipeline (rtc/frames). Frames
+// are admitted with up to two in flight — frame f+1 renders while
+// frame f composites on the virtual clock — the temporal-coherence
+// cache persists across the orbit (unchanged blocks skip re-encoding,
+// unchanged blank blocks travel as one byte), and the per-frame
+// timeline, modeled frame rate, and coherence hit rate are reported.
 //
 //   ./animation_sweep [dataset] [ranks] [frames] [renderer]
 //     renderer: shearwarp | raycast | splat    (default shearwarp)
-#include <cmath>
 #include <iostream>
 #include <string>
 
-#include "rtc/harness/experiment.hpp"
-#include "rtc/harness/scene.hpp"
-#include "rtc/harness/table.hpp"
-#include "rtc/image/ops.hpp"
-#include "rtc/partition/partition.hpp"
-#include "rtc/render/renderer.hpp"
+#include "rtc/frames/pipeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtc;
-  const std::string dataset = argc > 1 ? argv[1] : "engine";
-  const int ranks = argc > 2 ? std::stoi(argv[2]) : 8;
-  const int frames = argc > 3 ? std::stoi(argv[3]) : 12;
-  const std::string renderer = argc > 4 ? argv[4] : "shearwarp";
+  frames::PipelineConfig cfg;
+  cfg.dataset = argc > 1 ? argv[1] : "engine";
+  cfg.ranks = argc > 2 ? std::stoi(argv[2]) : 8;
+  cfg.frames = argc > 3 ? std::stoi(argv[3]) : 12;
+  cfg.renderer = argc > 4 ? argv[4] : "shearwarp";
+  cfg.volume_n = 64;
+  cfg.image_size = 256;
+  cfg.comp.method = "rt_n";
+  cfg.comp.initial_blocks = 3;
+  cfg.comp.codec = "trle";
+  cfg.max_in_flight = 2;
 
-  harness::Table t({"frame", "yaw", "axis", "render [s]",
-                    "composition [s]", "frame [s]"});
-  double total = 0.0;
-  for (int fidx = 0; fidx < frames; ++fidx) {
-    const double yaw = 360.0 * fidx / frames;
-    const harness::Scene scene =
-        harness::make_scene(dataset, /*volume_n=*/64, /*image_size=*/256,
-                            yaw, /*pitch=*/15.0);
+  const frames::SequenceResult seq = frames::run_sequence(cfg);
 
-    // Re-partition for this view (principal axis can change).
-    const render::Vec3 d = scene.camera.direction();
-    const int axis = render::principal_axis(d);
-    const auto bricks =
-        part::balanced_slab_1d(scene.volume, scene.tf, ranks, axis);
-    const double dir[3] = {d.x, d.y, d.z};
-    const auto order = part::visibility_order(bricks, dir);
-
-    harness::RenderedScene rs;
-    for (int r = 0; r < ranks; ++r) {
-      const vol::Brick& brick = bricks[static_cast<std::size_t>(
-          order[static_cast<std::size_t>(r)])];
-      rs.bricks.push_back(brick);
-      rs.solid_voxels.push_back(
-          part::solid_voxels(scene.volume, scene.tf, brick));
-      rs.total_voxels.push_back(brick.voxels());
-      if (renderer == "raycast") {
-        rs.partials.push_back(render::render_raycast(
-            scene.volume, scene.tf, brick, scene.camera));
-      } else if (renderer == "splat") {
-        rs.partials.push_back(render::render_splat(
-            scene.volume, scene.tf, brick, scene.camera));
-      } else {
-        rs.partials.push_back(render::render_shearwarp(
-            scene.volume, scene.tf, brick, scene.camera));
-      }
-    }
-
-    harness::CompositionConfig cfg;
-    cfg.method = "rt_n";
-    cfg.initial_blocks = 3;
-    cfg.codec = "trle";
-    const double comp = harness::run_composition(cfg, rs.partials).time;
-    const double render = harness::render_stage_time(rs);
-    total += render + comp;
-    t.add_row({std::to_string(fidx),
-               harness::Table::num(yaw, 0),
-               std::string(1, "xyz"[axis]),
-               harness::Table::num(render, 4),
-               harness::Table::num(comp, 4),
-               harness::Table::num(render + comp, 4)});
-  }
-  std::cout << "orbit of '" << dataset << "', " << ranks << " ranks, "
-            << renderer << " renderer\n\n";
-  t.print(std::cout);
-  std::cout << "\nmodeled rate: "
-            << harness::Table::num(frames / total, 2)
-            << " frames/s on the SP2 network model\n";
+  std::cout << "orbit of '" << cfg.dataset << "', " << cfg.ranks
+            << " ranks, " << cfg.renderer
+            << " renderer, pipeline depth " << cfg.max_in_flight
+            << "\n\n";
+  frames::print_sequence(std::cout, cfg, seq);
   return 0;
 }

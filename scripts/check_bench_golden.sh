@@ -47,6 +47,7 @@ check_bench() {  # check_bench <bench-binary> <golden-file>
 
 check_bench bench_table1_model table1_engine_p32.json
 check_bench bench_fig6_methods fig6_engine_p32.json
+check_bench bench_frame_pipeline frame_pipeline_engine_p16.json
 
 if [ "$fail" -ne 0 ]; then
   echo "virtual-time golden check FAILED — a cost charge or message"

@@ -46,6 +46,17 @@ class BufferPool {
   // Reuse accounting (bench/diagnostics; not part of any invariant).
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t free_buffers() const { return free_.size(); }
+
+  /// Frees every pooled buffer and zeroes the reuse counters — the
+  /// frame-boundary reset for long-lived pools, so no frame can see
+  /// capacity or accounting left over from its predecessor.
+  void reset() {
+    free_.clear();
+    free_.shrink_to_fit();
+    hits_ = 0;
+    misses_ = 0;
+  }
 
  private:
   static constexpr std::size_t kMaxFree = 16;

@@ -37,6 +37,17 @@ struct RankStats {
   std::int64_t lost_pixels = 0;           ///< pixels substituted blank
   /// Block ids the compositor had to substitute blank (degradation).
   std::vector<std::int64_t> lost_blocks;
+  // Temporal-coherence cache counters (frame pipeline; zero when no
+  // cache is installed). Accounted at the sender, which owns the cache.
+  std::int64_t coherence_hits = 0;    ///< blocks unchanged since last frame
+  std::int64_t coherence_misses = 0;  ///< blocks re-encoded fresh
+  std::int64_t coherence_bytes_saved = 0;  ///< wire bytes not resent
+  /// Wire-frame sequence numbers this rank consumed: [seq_first,
+  /// seq_last] (seq_last < seq_first when no message was sent). The
+  /// range is disjoint across frames when World::set_seq_epoch is
+  /// bumped per frame — the cross-frame leakage test pins this.
+  std::uint32_t seq_first = 0;
+  std::uint32_t seq_last = 0;
   bool crashed = false;  ///< this rank died under a fault plan
   double clock = 0.0;  ///< final virtual time of this rank (seconds)
   /// (id, virtual time) checkpoints recorded via Comm::mark — the
@@ -52,6 +63,12 @@ struct RankStats {
   std::vector<obs::Span> spans;
   /// Spans lost to ring overflow (capacity too small for the run).
   std::uint64_t spans_dropped = 0;
+
+  /// Zeroes every fault/traffic/coherence counter and clears the
+  /// per-run vectors, for callers that accumulate a RankStats across
+  /// frames and must prove no cross-frame leakage. Equivalent to
+  /// assigning a fresh RankStats.
+  void reset_counters() { *this = RankStats{}; }
 };
 
 struct RunStats {
@@ -142,6 +159,40 @@ struct RunStats {
     for (const RankStats& r : ranks)
       if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
     return false;
+  }
+
+  // --- temporal-coherence aggregates (frame pipeline) -------------
+
+  [[nodiscard]] std::int64_t total_coherence_hits() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.coherence_hits;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_coherence_misses() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.coherence_misses;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_coherence_bytes_saved() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.coherence_bytes_saved;
+    return n;
+  }
+
+  /// Fraction of coherence-cache lookups that hit (0 with no lookups).
+  [[nodiscard]] double coherence_hit_rate() const {
+    const std::int64_t h = total_coherence_hits();
+    const std::int64_t m = total_coherence_misses();
+    return h + m > 0 ? static_cast<double>(h) / static_cast<double>(h + m)
+                     : 0.0;
+  }
+
+  /// Resets every rank's counters in place (frame-boundary hygiene for
+  /// accumulating callers); the rank count is preserved.
+  void reset_counters() {
+    for (RankStats& r : ranks) r.reset_counters();
   }
 
   // --- observability aggregates -----------------------------------

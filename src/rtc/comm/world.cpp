@@ -63,6 +63,14 @@ World::World(int size, NetworkModel model) : size_(size), model_(model) {
 
 World::~World() = default;
 
+void World::set_seq_epoch(std::uint32_t epoch) {
+  // 32 - kSeqEpochBits bits of epoch, kSeqEpochBits bits of in-frame
+  // counter: 4095 frames of a million messages each before wraparound.
+  RTC_CHECK_MSG(epoch < (std::uint32_t{1} << (32 - kSeqEpochBits)),
+                "sequence epoch out of range");
+  seq_epoch_ = epoch;
+}
+
 void World::set_fault_plan(const FaultPlan& plan) {
   injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan)
                              : nullptr;
@@ -193,10 +201,19 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) comms.push_back(Comm(this, r));
+  for (Comm& c : comms) {
+    // Epoch-based sequence numbering: epoch 0 starts at 1, exactly the
+    // historical counter, so single-shot runs are bit-identical.
+    c.seq_base_ = seq_epoch_ << kSeqEpochBits;
+    c.next_seq_ = c.seq_base_ + 1;
+  }
   if (trace_cfg_.enabled) {
     // Preallocate every rank's span ring before the threads start so
     // recording is allocation-free on the rank threads.
-    for (Comm& c : comms) c.trace_.arm(trace_cfg_.capacity);
+    for (Comm& c : comms) {
+      c.trace_.arm(trace_cfg_.capacity);
+      c.trace_.set_frame(trace_cfg_.frame);
+    }
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
@@ -226,6 +243,8 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   for (Comm& c : comms) {
     c.stats_.clock = c.clock_;
     c.stats_.crashed = is_dead(c.rank_);
+    c.stats_.seq_first = c.seq_base_ + 1;
+    c.stats_.seq_last = c.next_seq_ - 1;  // < seq_first: nothing sent
     if (c.trace_.enabled()) {
       // dropped() must be read before drain() — draining resets it.
       c.stats_.spans_dropped = c.trace_.dropped();
@@ -492,6 +511,16 @@ void Comm::note_loss(std::int64_t block_id, std::int64_t pixels) {
   RTC_CHECK(pixels >= 0);
   stats_.lost_blocks.push_back(block_id);
   stats_.lost_pixels += pixels;
+}
+
+void Comm::note_coherence(bool hit, std::int64_t bytes_saved) {
+  RTC_CHECK(bytes_saved >= 0);
+  if (hit) {
+    stats_.coherence_hits += 1;
+  } else {
+    stats_.coherence_misses += 1;
+  }
+  stats_.coherence_bytes_saved += bytes_saved;
 }
 
 void Comm::mark(int id) { stats_.marks.emplace_back(id, clock_); }

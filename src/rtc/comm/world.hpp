@@ -81,6 +81,11 @@ class Comm {
   /// Records a block lost to faults: `pixels` were substituted blank.
   void note_loss(std::int64_t block_id, std::int64_t pixels);
 
+  /// Records a temporal-coherence cache lookup (frame pipeline):
+  /// hit/miss counters plus wire bytes the hit avoided resending.
+  /// Pure accounting — never touches the virtual clock.
+  void note_coherence(bool hit, std::int64_t bytes_saved);
+
   /// Records a (id, now) checkpoint in this rank's stats; free.
   void mark(int id);
 
@@ -139,6 +144,7 @@ class Comm {
   int rank_;
   double clock_ = 0.0;
   double egress_free_ = 0.0;  ///< when this rank's out-channel frees up
+  std::uint32_t seq_base_ = 0;  ///< epoch base (World::run sets per epoch)
   std::uint32_t next_seq_ = 1;  ///< wire-frame sequence counter
   int send_calls_ = 0;          ///< sends attempted (crash thresholds)
   std::unordered_set<std::uint64_t> seen_seqs_;  ///< (src, seq) dedup
@@ -194,6 +200,16 @@ class World {
   /// are byte-identical to an untraced run.
   void set_trace(const obs::TraceConfig& cfg) { trace_cfg_ = cfg; }
 
+  /// Per-frame sequence-number epoch for the next run(). Each rank's
+  /// wire-frame sequence counter starts at (epoch << kSeqEpochBits)+1,
+  /// so retransmit dedup can never confuse a frame-f message with a
+  /// stale frame-(f-1) duplicate even if state leaks across runs.
+  /// Epoch 0 (the default) reproduces the historical numbering, so
+  /// single-shot runs stay bit-identical.
+  static constexpr std::uint32_t kSeqEpochBits = 20;
+  void set_seq_epoch(std::uint32_t epoch);
+  [[nodiscard]] std::uint32_t seq_epoch() const { return seq_epoch_; }
+
  private:
   friend class Comm;
 
@@ -224,6 +240,7 @@ class World {
   int size_;
   NetworkModel model_;
   double recv_timeout_ = 60.0;
+  std::uint32_t seq_epoch_ = 0;
   bool record_events_ = false;
   obs::TraceConfig trace_cfg_;
   ResiliencePolicy policy_;

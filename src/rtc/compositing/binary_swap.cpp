@@ -12,6 +12,7 @@
 #include "rtc/common/check.hpp"
 #include "rtc/compositing/compositor.hpp"
 #include "rtc/compositing/wire.hpp"
+#include "rtc/frames/coherence.hpp"
 #include "rtc/image/ops.hpp"
 #include "rtc/image/tiling.hpp"
 
@@ -31,6 +32,9 @@ class BinarySwap final : public Compositor {
     const int r = comm.rank();
     const int steps = std::countr_zero(static_cast<unsigned>(p));
     const img::Tiling tiling(partial.pixel_count(), 1);
+    frames::RankCoherence* cache =
+        opt.coherence != nullptr ? &opt.coherence->rank(r) : nullptr;
+    const bool coherent = opt.coherence != nullptr;
 
     img::Image buf = partial;
     std::int64_t index = 0;  // live block is (depth=k, index) after step k
@@ -52,14 +56,14 @@ class BinarySwap final : public Compositor {
       const compress::BlockGeometry keep_geom{partial.width(),
                                               keep_span.begin};
       send_block(comm, partner, k, buf.view(give_span), give_geom,
-                 opt.codec);
+                 opt.codec, cache);
       // Partner covers the adjacent rank interval; in front iff
       // smaller. The fused receive composites decoded runs straight
       // into the kept half — no intermediate image; a lost partner
       // contribution is skipped (blank is the identity).
       recv_block_blend(comm, partner, k, buf.view(keep_span), keep_geom,
                        opt.codec, opt.blend, /*src_front=*/partner < r,
-                       opt.resilience, keep, scratch);
+                       opt.resilience, keep, scratch, coherent);
       comm.mark(k);
       index = keep;
     }
@@ -67,7 +71,8 @@ class BinarySwap final : public Compositor {
     if (!opt.gather) return img::Image{};
     const std::pair<int, std::int64_t> owned[] = {{steps, index}};
     return gather_fragments(comm, buf, tiling, owned, opt.root,
-                            partial.width(), partial.height());
+                            partial.width(), partial.height(), opt.sink,
+                            opt.frame_id);
   }
 };
 

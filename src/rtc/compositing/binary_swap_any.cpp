@@ -12,6 +12,7 @@
 #include "rtc/compositing/builtin.hpp"
 #include "rtc/compositing/compositor.hpp"
 #include "rtc/compositing/wire.hpp"
+#include "rtc/frames/coherence.hpp"
 #include "rtc/image/ops.hpp"
 #include "rtc/image/tiling.hpp"
 
@@ -41,16 +42,20 @@ class BinarySwapAny final : public Compositor {
     const compress::BlockGeometry geom{partial.width(), 0};
     bool active = true;
     int unit = r;
+    frames::RankCoherence* cache =
+        opt.coherence != nullptr ? &opt.coherence->rank(r) : nullptr;
+    const bool coherent = opt.coherence != nullptr;
     std::vector<img::GrayA8> scratch;  // decode_blend fallback, reused
     if (r < 2 * folded) {
       if (r % 2 == 1) {
         send_block(comm, r - 1, /*tag=*/0, partial.view(whole), geom,
-                   opt.codec);
+                   opt.codec, cache);
         active = false;
       } else {
         recv_block_blend(comm, r + 1, /*tag=*/0, buf.pixels(), geom,
                          opt.codec, opt.blend, /*src_front=*/false,
-                         opt.resilience, /*block_id=*/r + 1, scratch);
+                         opt.resilience, /*block_id=*/r + 1, scratch,
+                         coherent);
         unit = r / 2;
       }
     } else {
@@ -78,11 +83,12 @@ class BinarySwapAny final : public Compositor {
         const img::PixelSpan give_span = tiling.block(k, give);
         const compress::BlockGeometry gg{partial.width(), give_span.begin};
         const compress::BlockGeometry kg{partial.width(), keep_span.begin};
-        send_block(comm, partner, k, buf.view(give_span), gg, opt.codec);
+        send_block(comm, partner, k, buf.view(give_span), gg, opt.codec,
+                   cache);
         recv_block_blend(comm, partner, k, buf.view(keep_span), kg,
                          opt.codec, opt.blend,
                          /*src_front=*/partner_unit < unit,
-                         opt.resilience, keep, scratch);
+                         opt.resilience, keep, scratch, coherent);
         comm.mark(k);
         index = keep;
       }
@@ -92,7 +98,8 @@ class BinarySwapAny final : public Compositor {
     std::vector<std::pair<int, std::int64_t>> owned;
     if (active) owned.emplace_back(steps, index);
     return gather_fragments(comm, buf, tiling, owned, opt.root,
-                            partial.width(), partial.height());
+                            partial.width(), partial.height(), opt.sink,
+                            opt.frame_id);
   }
 };
 

@@ -16,6 +16,11 @@
 #include "rtc/image/image.hpp"
 #include "rtc/image/ops.hpp"
 
+namespace rtc::frames {
+class CoherenceCache;
+class TileSink;
+}  // namespace rtc::frames
+
 namespace rtc::compositing {
 
 struct Options {
@@ -54,6 +59,28 @@ struct Options {
   /// comm::CommError. `retries`/`timeout` take effect when the policy
   /// is also installed on the World (harness::run_composition does).
   comm::ResiliencePolicy resilience;
+
+  // --- frame-pipeline hooks (frames subsystem) --------------------
+  // All default to "off": a single-shot run with these at their
+  // defaults is bit-identical to the pre-frames build.
+
+  /// Temporal-coherence cache shared across the frames of a sequence
+  /// (sized to the world's rank count). When set, block transfers use
+  /// the coherent wire format: unchanged blocks skip re-encoding and
+  /// unchanged all-blank blocks travel as a one-byte marker. The
+  /// parallel-pipelined ring's traveling segments are not cached (a
+  /// segment's content depends on every upstream rank, so its slot is
+  /// effectively always dirty); pp still participates in sink
+  /// delivery. Null: classic wire format.
+  frames::CoherenceCache* coherence = nullptr;
+
+  /// Incremental tile delivery at the root during gather (requires
+  /// `gather`). Null: only the returned img::Image materializes.
+  frames::TileSink* sink = nullptr;
+
+  /// Frame index forwarded to sink deliveries; pair it with
+  /// CompositionConfig::frame_id so spans and tiles agree.
+  int frame_id = 0;
 };
 
 class Compositor {

@@ -5,6 +5,8 @@
 #include "rtc/common/check.hpp"
 #include "rtc/compositing/compositor.hpp"
 #include "rtc/compositing/wire.hpp"
+#include "rtc/frames/coherence.hpp"
+#include "rtc/frames/tile_sink.hpp"
 #include "rtc/image/ops.hpp"
 #include "rtc/image/tiling.hpp"
 
@@ -20,12 +22,15 @@ class DirectSend final : public Compositor {
                                const Options& opt) const override {
     const int p = comm.size();
     const int r = comm.rank();
+    frames::RankCoherence* cache =
+        opt.coherence != nullptr ? &opt.coherence->rank(r) : nullptr;
+    const bool coherent = opt.coherence != nullptr;
     const img::PixelSpan whole{0, partial.pixel_count()};
     const compress::BlockGeometry geom{partial.width(), 0};
 
     if (r != opt.root) {
       send_block(comm, opt.root, /*tag=*/1, partial.view(whole), geom,
-                 opt.codec);
+                 opt.codec, cache);
       return img::Image{};
     }
 
@@ -39,10 +44,14 @@ class DirectSend final : public Compositor {
       // Fused receive-and-blend; a lost sender contributes nothing.
       recv_block_blend(comm, src, /*tag=*/1, out.pixels(), geom,
                        opt.codec, opt.blend, front, opt.resilience,
-                       /*block_id=*/src, scratch);
+                       /*block_id=*/src, scratch, coherent);
     };
     for (int src = opt.root + 1; src < p; ++src) fold(src, /*front=*/false);
     for (int src = opt.root - 1; src >= 0; --src) fold(src, /*front=*/true);
+    // Direct-send has no gather stage — the whole image already sits at
+    // the root — so it delivers the frame as one full-surface tile.
+    if (opt.sink != nullptr)
+      opt.sink->deliver_tile(opt.frame_id, whole, out.pixels());
     return out;
   }
 };

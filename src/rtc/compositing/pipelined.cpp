@@ -52,7 +52,8 @@ class Pipelined final : public Compositor {
       if (!opt.gather) return img::Image{};
       const std::pair<int, std::int64_t> owned[] = {{0, 0}};
       return gather_fragments(comm, partial, tiling, owned, opt.root,
-                              partial.width(), partial.height());
+                              partial.width(), partial.height(), opt.sink,
+                              opt.frame_id);
     }
 
     // Initiate block (r-1): my own contribution, as the "back" segment.
@@ -124,7 +125,8 @@ class Pipelined final : public Compositor {
     const std::pair<int, std::int64_t> owned[] = {
         {0, static_cast<std::int64_t>(r)}};
     return gather_fragments(comm, scratch, tiling, owned, opt.root,
-                            partial.width(), partial.height());
+                            partial.width(), partial.height(), opt.sink,
+                            opt.frame_id);
   }
 
  private:

@@ -17,6 +17,7 @@
 #include "rtc/compositing/builtin.hpp"
 #include "rtc/compositing/compositor.hpp"
 #include "rtc/compositing/wire.hpp"
+#include "rtc/frames/coherence.hpp"
 #include "rtc/image/ops.hpp"
 
 namespace rtc::compositing {
@@ -65,6 +66,9 @@ class RadixK final : public Compositor {
     const int p = comm.size();
     const int r = comm.rank();
     const int k = std::max(2, opt.initial_blocks);
+    frames::RankCoherence* cache =
+        opt.coherence != nullptr ? &opt.coherence->rank(r) : nullptr;
+    const bool coherent = opt.coherence != nullptr;
 
     img::Image buf = partial;
     img::PixelSpan span{0, partial.pixel_count()};
@@ -85,7 +89,7 @@ class RadixK final : public Compositor {
         const img::PixelSpan pc = piece_of(span, g, j);
         const compress::BlockGeometry geom{partial.width(), pc.begin};
         send_block(comm, base + j * stride, tag, buf.view(pc), geom,
-                   opt.codec);
+                   opt.codec, cache);
       }
 
       // Receive my piece from every other member, then fold in
@@ -98,36 +102,38 @@ class RadixK final : public Compositor {
       std::vector<std::vector<img::GrayA8>> arrived(
           static_cast<std::size_t>(g));
       std::vector<std::uint8_t> ok(static_cast<std::size_t>(g), 0);
+      // A coherent clean-blank arrival is *not* a loss, but it is the
+      // blend identity — skip its fold (and blend charge) like a loss.
+      std::vector<std::uint8_t> blank(static_cast<std::size_t>(g), 0);
       for (int j = 0; j < g; ++j) {
         if (j == digit) continue;
         arrived[static_cast<std::size_t>(j)].resize(
             static_cast<std::size_t>(mine.size()));
+        bool clean_blank = false;
         ok[static_cast<std::size_t>(j)] = recv_block_or_blank(
             comm, base + j * stride, tag,
             arrived[static_cast<std::size_t>(j)], geom, opt.codec,
-            opt.resilience, /*block_id=*/base + j * stride);
+            opt.resilience, /*block_id=*/base + j * stride, coherent,
+            &clean_blank);
+        blank[static_cast<std::size_t>(j)] = clean_blank ? 1 : 0;
       }
-      for (int j = digit - 1; j >= 0; --j) {
-        if (!ok[static_cast<std::size_t>(j)]) continue;  // lost: blank
+      auto fold = [&](int j, bool front) {
+        if (!ok[static_cast<std::size_t>(j)]) return;     // lost: blank
+        if (blank[static_cast<std::size_t>(j)]) return;   // identity
         img::blend_in_place(buf.view(mine),
                             arrived[static_cast<std::size_t>(j)],
-                            opt.blend, /*src_front=*/true);
+                            opt.blend, front);
         comm.charge_over(mine.size());
-      }
-      for (int j = digit + 1; j < g; ++j) {
-        if (!ok[static_cast<std::size_t>(j)]) continue;  // lost: blank
-        img::blend_in_place(buf.view(mine),
-                            arrived[static_cast<std::size_t>(j)],
-                            opt.blend, /*src_front=*/false);
-        comm.charge_over(mine.size());
-      }
+      };
+      for (int j = digit - 1; j >= 0; --j) fold(j, /*front=*/true);
+      for (int j = digit + 1; j < g; ++j) fold(j, /*front=*/false);
       span = mine;
       stride *= g;
     }
 
     if (!opt.gather) return img::Image{};
     return gather_spans(comm, buf, span, opt.root, partial.width(),
-                        partial.height());
+                        partial.height(), opt.sink, opt.frame_id);
   }
 };
 

@@ -4,12 +4,18 @@
 
 #include "rtc/common/check.hpp"
 #include "rtc/common/wire.hpp"
+#include "rtc/frames/coherence.hpp"
+#include "rtc/frames/tile_sink.hpp"
 #include "rtc/image/serialize.hpp"
 #include "rtc/obs/span.hpp"
 
 namespace rtc::compositing {
 
 namespace {
+
+/// Coherent-format markers (first body byte when the cache is active).
+constexpr std::byte kMarkerBody{0};        ///< encoded payload follows
+constexpr std::byte kMarkerCleanBlank{1};  ///< unchanged all-blank block
 
 double codec_time(const comm::Comm& comm, std::size_t pixels) {
   return comm.model().tcodec_pixel * static_cast<double>(pixels);
@@ -25,9 +31,9 @@ std::int64_t blank_pixels(comm::Comm& comm,
   return n;
 }
 
-/// Encodes `px` into `out` (appending) through the codec, or raw.
-/// `tag` attributes the encode span to its compositor step.
-void encode_block_into(comm::Comm& comm, int tag,
+/// Classic encode of `px` into `out` (appending) through the codec, or
+/// raw. `tag` attributes the encode span to its compositor step.
+void encode_block_body(comm::Comm& comm, int tag,
                        std::span<const img::GrayA8> px,
                        const compress::BlockGeometry& geom,
                        const compress::Codec* codec,
@@ -53,13 +59,88 @@ void encode_block_into(comm::Comm& comm, int tag,
   }
 }
 
-/// Decodes one block payload into `out` and charges codec time.
+/// encode_block_body behind the temporal-coherence cache. Without a
+/// cache this is exactly the classic path (no marker byte). With one,
+/// the block's content hash is compared against the slot's previous
+/// frame: a hit skips the encode charge (cached payload resent, or a
+/// one-byte marker for a clean blank); a miss encodes fresh and
+/// refreshes the slot. The hash and lookup are free on the virtual
+/// clock — they model a renderer-maintained dirty bit, not a scan the
+/// network would have to pay for.
+void encode_block_into(comm::Comm& comm, int tag,
+                       std::span<const img::GrayA8> px,
+                       const compress::BlockGeometry& geom,
+                       const compress::Codec* codec,
+                       std::vector<std::byte>& out,
+                       frames::RankCoherence* cache, int peer) {
+  if (cache == nullptr) {
+    encode_block_body(comm, tag, px, geom, codec, out);
+    return;
+  }
+  const frames::BlockKey key{peer, tag, geom.span_begin,
+                             static_cast<std::int64_t>(px.size())};
+  const std::uint64_t hash = frames::hash_pixels(px);
+  if (const frames::RankCoherence::Entry* e = cache->find(key);
+      e != nullptr && e->hash == hash) {
+    if (e->blank) {
+      out.push_back(kMarkerCleanBlank);
+      comm.note_coherence(
+          true, static_cast<std::int64_t>(e->payload.size()));
+    } else {
+      out.push_back(kMarkerBody);
+      out.insert(out.end(), e->payload.begin(), e->payload.end());
+      comm.note_coherence(true, 0);
+    }
+    return;
+  }
+  out.push_back(kMarkerBody);
+  const std::size_t body_begin = out.size();
+  encode_block_body(comm, tag, px, geom, codec, out);
+  cache->store(key, hash, frames::all_blank(px),
+               std::span<const std::byte>(out).subspan(body_begin));
+  comm.note_coherence(false, 0);
+}
+
+/// Strips the coherent marker byte when `coherent`; sets `*blank` when
+/// it announced a clean-blank (empty) body. Classic format passes
+/// through untouched. Malformed markers throw wire::DecodeError.
+std::span<const std::byte> strip_marker(std::span<const std::byte> bytes,
+                                        bool coherent, bool* blank) {
+  *blank = false;
+  if (!coherent) return bytes;
+  wire::require(!bytes.empty(), wire::DecodeError::Kind::kTruncated,
+                "missing coherence marker");
+  const std::byte marker = bytes.front();
+  wire::require(marker == kMarkerBody || marker == kMarkerCleanBlank,
+                wire::DecodeError::Kind::kRange,
+                "unknown coherence marker");
+  if (marker == kMarkerCleanBlank) {
+    wire::require(bytes.size() == 1, wire::DecodeError::Kind::kTrailing,
+                  "clean-blank block carries a body");
+    *blank = true;
+  }
+  return bytes.subspan(1);
+}
+
+/// Decodes one block payload into `out` and charges codec time. A
+/// coherent clean-blank marker fills `out` blank for free (no codec
+/// charge — nothing traveled, nothing decodes); `*clean_blank` reports
+/// it so callers can also skip the blend charge.
 void decode_block(comm::Comm& comm, int tag,
                   std::span<const std::byte> bytes,
                   std::span<img::GrayA8> out,
                   const compress::BlockGeometry& geom,
-                  const compress::Codec* codec) {
+                  const compress::Codec* codec, bool coherent = false,
+                  bool* clean_blank = nullptr) {
+  bool blank = false;
+  bytes = strip_marker(bytes, coherent, &blank);
+  if (clean_blank != nullptr) *clean_blank = blank;
   const auto pixels = static_cast<std::int64_t>(out.size());
+  if (blank) {
+    std::fill(out.begin(), out.end(), img::kBlank);
+    comm.note_span(obs::SpanKind::kBlankSkip, tag, 0, pixels);
+    return;
+  }
   if (codec == nullptr) {
     img::deserialize_pixels(bytes, out);
     comm.note_span(obs::SpanKind::kDecode, tag,
@@ -76,14 +157,23 @@ void decode_block(comm::Comm& comm, int tag,
 
 /// Fused decode-and-blend of one block payload into `dst`; charges the
 /// same codec time plus the blend's To that the decode-then-blend path
-/// would, so virtual-time results are unchanged.
+/// would, so virtual-time results are unchanged. A coherent
+/// clean-blank block is the blend identity: `dst` is untouched and
+/// neither codec nor blend time is charged.
 void decode_blend_block(comm::Comm& comm, int tag,
                         std::span<const std::byte> bytes,
                         std::span<img::GrayA8> dst,
                         const compress::BlockGeometry& geom,
                         const compress::Codec* codec, img::BlendMode mode,
-                        bool src_front, std::vector<img::GrayA8>& scratch) {
+                        bool src_front, std::vector<img::GrayA8>& scratch,
+                        bool coherent = false) {
+  bool blank = false;
+  bytes = strip_marker(bytes, coherent, &blank);
   const auto pixels = static_cast<std::int64_t>(dst.size());
+  if (blank) {
+    comm.note_span(obs::SpanKind::kBlankSkip, tag, 0, pixels);
+    return;
+  }
   if (codec == nullptr) {
     scratch.resize(dst.size());
     img::deserialize_pixels(bytes, scratch);
@@ -106,18 +196,19 @@ void decode_blend_block(comm::Comm& comm, int tag,
 void send_block(comm::Comm& comm, int dst, int tag,
                 std::span<const img::GrayA8> px,
                 const compress::BlockGeometry& geom,
-                const compress::Codec* codec) {
+                const compress::Codec* codec,
+                frames::RankCoherence* cache) {
   std::vector<std::byte> bytes = comm.pool().acquire();
-  encode_block_into(comm, tag, px, geom, codec, bytes);
+  encode_block_into(comm, tag, px, geom, codec, bytes, cache, dst);
   comm.send(dst, tag, std::move(bytes));
 }
 
 void recv_block(comm::Comm& comm, int src, int tag,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
-                const compress::Codec* codec) {
+                const compress::Codec* codec, bool coherent) {
   std::vector<std::byte> bytes = comm.recv(src, tag);
-  decode_block(comm, tag, bytes, out, geom, codec);
+  decode_block(comm, tag, bytes, out, geom, codec, coherent);
   comm.pool().release(std::move(bytes));
 }
 
@@ -126,15 +217,21 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
                          const compress::BlockGeometry& geom,
                          const compress::Codec* codec,
                          const comm::ResiliencePolicy& policy,
-                         std::int64_t block_id) {
+                         std::int64_t block_id, bool coherent,
+                         bool* clean_blank) {
+  if (clean_blank != nullptr) *clean_blank = false;
   if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
-    recv_block(comm, src, tag, out, geom, codec);
+    std::vector<std::byte> bytes = comm.recv(src, tag);
+    decode_block(comm, tag, bytes, out, geom, codec, coherent,
+                 clean_blank);
+    comm.pool().release(std::move(bytes));
     return true;
   }
   std::optional<std::vector<std::byte>> bytes = comm.try_recv(src, tag);
   if (bytes) {
     try {
-      decode_block(comm, tag, *bytes, out, geom, codec);
+      decode_block(comm, tag, *bytes, out, geom, codec, coherent,
+                   clean_blank);
       comm.pool().release(std::move(*bytes));
       return true;
     } catch (const wire::DecodeError&) {
@@ -154,11 +251,11 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
                       const compress::Codec* codec, img::BlendMode mode,
                       bool src_front, const comm::ResiliencePolicy& policy,
                       std::int64_t block_id,
-                      std::vector<img::GrayA8>& scratch) {
+                      std::vector<img::GrayA8>& scratch, bool coherent) {
   if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
     std::vector<std::byte> bytes = comm.recv(src, tag);
     decode_blend_block(comm, tag, bytes, dst, geom, codec, mode, src_front,
-                       scratch);
+                       scratch, coherent);
     comm.pool().release(std::move(bytes));
     return true;
   }
@@ -166,7 +263,7 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
   if (bytes) {
     try {
       decode_blend_block(comm, tag, *bytes, dst, geom, codec, mode,
-                         src_front, scratch);
+                         src_front, scratch, coherent);
       comm.pool().release(std::move(*bytes));
       return true;
     } catch (const wire::DecodeError&) {
@@ -181,13 +278,14 @@ void append_block(comm::Comm& comm, int tag,
                   std::vector<std::byte>& payload,
                   std::span<const img::GrayA8> px,
                   const compress::BlockGeometry& geom,
-                  const compress::Codec* codec) {
+                  const compress::Codec* codec,
+                  frames::RankCoherence* cache, int peer) {
   // Length-prefix in place: reserve the u64, encode straight into
   // `payload`, then patch the length — no intermediate body buffer.
   wire::WireWriter w(payload);
   const std::size_t at = w.reserve_u64();
   const std::size_t body_begin = payload.size();
-  encode_block_into(comm, tag, px, geom, codec, payload);
+  encode_block_into(comm, tag, px, geom, codec, payload, cache, peer);
   w.patch_u64(at, static_cast<std::uint64_t>(payload.size() - body_begin));
 }
 
@@ -195,11 +293,11 @@ void take_block(comm::Comm& comm, int tag,
                 std::span<const std::byte>& rest,
                 std::span<img::GrayA8> out,
                 const compress::BlockGeometry& geom,
-                const compress::Codec* codec) {
+                const compress::Codec* codec, bool coherent) {
   wire::WireReader r(rest);
   const std::span<const std::byte> body =
       r.length_prefixed("aggregated block");
-  decode_block(comm, tag, body, out, geom, codec);
+  decode_block(comm, tag, body, out, geom, codec, coherent);
   rest = r.rest();
 }
 
@@ -208,12 +306,13 @@ void take_block_blend(comm::Comm& comm, int tag,
                       std::span<img::GrayA8> dst,
                       const compress::BlockGeometry& geom,
                       const compress::Codec* codec, img::BlendMode mode,
-                      bool src_front, std::vector<img::GrayA8>& scratch) {
+                      bool src_front, std::vector<img::GrayA8>& scratch,
+                      bool coherent) {
   wire::WireReader r(rest);
   const std::span<const std::byte> body =
       r.length_prefixed("aggregated block");
   decode_blend_block(comm, tag, body, dst, geom, codec, mode, src_front,
-                     scratch);
+                     scratch, coherent);
   rest = r.rest();
 }
 
@@ -243,7 +342,8 @@ Fragment unpack_fragment(std::span<const std::byte> bytes) {
 }
 
 void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
-                            std::span<const std::byte> payload) {
+                            std::span<const std::byte> payload,
+                            frames::TileSink* sink, int frame) {
   wire::WireReader r(payload);
   const std::uint32_t n = r.u32("fragment count");
   for (std::uint32_t k = 0; k < n; ++k) {
@@ -263,12 +363,13 @@ void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
                   "fragment pixel count disagrees with its block");
     std::span<img::GrayA8> dst = out.view(span);
     std::copy(f.pixels.begin(), f.pixels.end(), dst.begin());
+    if (sink != nullptr) sink->deliver_tile(frame, span, dst);
   }
   r.finish("gather payload");
 }
 
-void scatter_span_into(img::Image& out,
-                       std::span<const std::byte> payload) {
+void scatter_span_into(img::Image& out, std::span<const std::byte> payload,
+                       frames::TileSink* sink, int frame) {
   wire::WireReader r(payload);
   img::PixelSpan sp;
   sp.begin = r.i64("span begin");
@@ -280,12 +381,13 @@ void scatter_span_into(img::Image& out,
                 wire::DecodeError::Kind::kRange,
                 "gathered span outside image");
   img::deserialize_pixels(r.rest(), out.view(sp));
+  if (sink != nullptr) sink->deliver_tile(frame, sp, out.view(sp));
 }
 
 img::Image gather_fragments(
     comm::Comm& comm, const img::Image& local, const img::Tiling& tiling,
     std::span<const std::pair<int, std::int64_t>> owned, int root,
-    int width, int height) {
+    int width, int height, frames::TileSink* sink, int frame) {
   // Pack all locally-owned fragments into one gather payload:
   // [u32 count] then count packed fragments, each length-prefixed (u64).
   std::vector<std::byte> payload = comm.pool().acquire();
@@ -314,7 +416,7 @@ img::Image gather_fragments(
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its blocks stay blank
     try {
-      scatter_fragments_into(out, tiling, all.payloads[src]);
+      scatter_fragments_into(out, tiling, all.payloads[src], sink, frame);
     } catch (const wire::DecodeError&) {
       if (!degrade) throw;
       // Malformed gather payload: the sender's remaining blocks stay
@@ -327,7 +429,7 @@ img::Image gather_fragments(
 
 img::Image gather_spans(comm::Comm& comm, const img::Image& local,
                         img::PixelSpan span, int root, int width,
-                        int height) {
+                        int height, frames::TileSink* sink, int frame) {
   // Payload: [i64 begin][i64 end][raw pixels].
   std::vector<std::byte> payload = comm.pool().acquire();
   {
@@ -347,7 +449,7 @@ img::Image gather_spans(comm::Comm& comm, const img::Image& local,
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its span stays blank
     try {
-      scatter_span_into(out, all.payloads[src]);
+      scatter_span_into(out, all.payloads[src], sink, frame);
     } catch (const wire::DecodeError&) {
       if (!degrade) throw;
       comm.note_loss(static_cast<std::int64_t>(src), 0);

@@ -6,6 +6,7 @@
 #include "rtc/common/check.hpp"
 #include "rtc/common/wire.hpp"
 #include "rtc/compositing/wire.hpp"
+#include "rtc/frames/coherence.hpp"
 #include "rtc/image/ops.hpp"
 #include "rtc/image/tiling.hpp"
 
@@ -32,6 +33,9 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
   const img::Tiling tiling(partial.pixel_count(), opt.initial_blocks);
 
   img::Image buf = partial;
+  frames::RankCoherence* cache =
+      opt.coherence != nullptr ? &opt.coherence->rank(r) : nullptr;
+  const bool coherent = opt.coherence != nullptr;
   std::vector<img::GrayA8> scratch;  // decode_blend fallback, reused
 
   for (std::size_t s = 0; s < sched.steps.size(); ++s) {
@@ -57,7 +61,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
           const img::PixelSpan span = tiling.block(step.depth, m->block);
           const compress::BlockGeometry geom{partial.width(), span.begin};
           compositing::append_block(comm, tag, payload, buf.view(span),
-                                    geom, opt.codec);
+                                    geom, opt.codec, cache, receiver);
         }
         comm.send(receiver, tag, std::move(payload));
       }
@@ -92,7 +96,8 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
                                                span.begin};
             compositing::take_block_blend(comm, tag, rest, buf.view(span),
                                           geom, opt.codec, opt.blend,
-                                          m->sender_front, scratch);
+                                          m->sender_front, scratch,
+                                          coherent);
             ++done;
           }
           wire::require(rest.empty(), wire::DecodeError::Kind::kTrailing,
@@ -119,7 +124,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
       const img::PixelSpan span = tiling.block(step.depth, m.block);
       const compress::BlockGeometry geom{partial.width(), span.begin};
       compositing::send_block(comm, m.receiver, tag, buf.view(span), geom,
-                              opt.codec);
+                              opt.codec, cache);
     }
     for (const Merge& m : step.merges) {
       if (m.receiver != r) continue;
@@ -128,7 +133,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
       compositing::recv_block_blend(comm, m.sender, tag, buf.view(span),
                                     geom, opt.codec, opt.blend,
                                     m.sender_front, opt.resilience,
-                                    m.block, scratch);
+                                    m.block, scratch, coherent);
     }
     comm.mark(tag);
   }
@@ -137,7 +142,8 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
   const std::vector<std::pair<int, std::int64_t>> owned =
       sched.owned_blocks(r);
   return compositing::gather_fragments(comm, buf, tiling, owned, opt.root,
-                                       partial.width(), partial.height());
+                                       partial.width(), partial.height(),
+                                       opt.sink, opt.frame_id);
 }
 
 std::unique_ptr<compositing::Compositor> make_rt_compositor(

@@ -1,0 +1,22 @@
+#include "rtc/frames/coherence.hpp"
+
+namespace rtc::frames {
+
+std::uint64_t hash_pixels(std::span<const img::GrayA8> px) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const img::GrayA8 p : px) {
+    h ^= p.v;
+    h *= 1099511628211ull;
+    h ^= p.a;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool all_blank(std::span<const img::GrayA8> px) {
+  for (const img::GrayA8 p : px)
+    if (!img::is_blank(p)) return false;
+  return true;
+}
+
+}  // namespace rtc::frames

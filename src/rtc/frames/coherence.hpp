@@ -1,0 +1,124 @@
+// Temporal-coherence cache for multi-frame composition sequences.
+//
+// In a camera sweep most of a rank's partial image changes slowly, and
+// its blank margins (a slab brick projects to a band of the raster) do
+// not change at all. The cache exploits this on the *sender* side of
+// every block transfer: it remembers, per wire slot (receiver, step
+// tag, block geometry), a 64-bit content hash of the pixels last sent
+// plus the encoded payload they produced. When the next frame's pixels
+// hash the same, the encode charge is skipped — the cached payload is
+// resent as-is — and when the unchanged block is additionally all
+// blank, its body is not resent at all: a one-byte "clean blank"
+// marker replaces it and the receiver treats the block as the blend
+// identity.
+//
+// The wire slot key is stable across frames because the composition
+// schedule is a pure function of (method, P, N): the same slot carries
+// the same block geometry every frame. Hash collisions (2^-64 per
+// changed block) would resend a stale payload — accepted, like every
+// content-hash cache.
+//
+// Threading: a CoherenceCache holds one RankCoherence per rank; each
+// rank's thread only ever touches its own entry, so there is no
+// locking (same discipline as comm::BufferPool).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/image/pixel.hpp"
+
+namespace rtc::frames {
+
+/// FNV-1a over the raw bytes of a pixel run.
+[[nodiscard]] std::uint64_t hash_pixels(std::span<const img::GrayA8> px);
+
+/// True when every pixel is the blank (zero-alpha) identity.
+[[nodiscard]] bool all_blank(std::span<const img::GrayA8> px);
+
+/// Identifies one wire slot of the (frame-invariant) schedule: which
+/// peer the block goes to, at which step, covering which pixels.
+struct BlockKey {
+  int peer = -1;                 ///< receiving rank
+  int tag = 0;                   ///< compositor step tag
+  std::int64_t span_begin = 0;   ///< block's first flattened pixel
+  std::int64_t pixels = 0;       ///< block size
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+};
+
+struct BlockKeyHash {
+  [[nodiscard]] std::size_t operator()(const BlockKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.peer)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)));
+    mix(static_cast<std::uint64_t>(k.span_begin));
+    mix(static_cast<std::uint64_t>(k.pixels));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One rank's sender-side cache: previous frame's content hash, blank
+/// flag, and encoded payload per wire slot.
+class RankCoherence {
+ public:
+  struct Entry {
+    std::uint64_t hash = 0;
+    bool blank = false;
+    std::vector<std::byte> payload;  ///< encoded body (no marker byte)
+  };
+
+  /// Entry for `key`, or nullptr when the slot has never been sent.
+  [[nodiscard]] const Entry* find(const BlockKey& key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Installs/overwrites the slot with this frame's content.
+  void store(const BlockKey& key, std::uint64_t hash, bool blank,
+             std::span<const std::byte> payload) {
+    Entry& e = map_[key];
+    e.hash = hash;
+    e.blank = blank;
+    e.payload.assign(payload.begin(), payload.end());
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> map_;
+};
+
+/// Whole-sequence cache: one RankCoherence per rank, touched only by
+/// that rank's thread during a run. Persists across frames; clear() at
+/// a scene cut.
+class CoherenceCache {
+ public:
+  explicit CoherenceCache(int ranks) : ranks_(static_cast<std::size_t>(ranks)) {
+    RTC_CHECK(ranks >= 1);
+  }
+
+  [[nodiscard]] int ranks() const { return static_cast<int>(ranks_.size()); }
+
+  [[nodiscard]] RankCoherence& rank(int r) {
+    RTC_CHECK(r >= 0 && r < ranks());
+    return ranks_[static_cast<std::size_t>(r)];
+  }
+
+  void clear() {
+    for (RankCoherence& r : ranks_) r.clear();
+  }
+
+ private:
+  std::vector<RankCoherence> ranks_;
+};
+
+}  // namespace rtc::frames

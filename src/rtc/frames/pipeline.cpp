@@ -1,0 +1,156 @@
+#include "rtc/frames/pipeline.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "rtc/common/check.hpp"
+#include "rtc/frames/coherence.hpp"
+#include "rtc/harness/scene.hpp"
+#include "rtc/harness/table.hpp"
+#include "rtc/partition/partition.hpp"
+#include "rtc/render/renderer.hpp"
+
+namespace rtc::frames {
+
+namespace {
+
+/// Renders one sweep frame: re-partition for the view (the principal
+/// axis can change mid-sweep), then render each rank's brick in
+/// visibility order — the same per-frame path the animation example
+/// always modeled, factored here so the pipeline owns it.
+harness::RenderedScene render_frame(const PipelineConfig& cfg,
+                                    double yaw_deg, int& axis_out) {
+  const harness::Scene scene =
+      harness::make_scene(cfg.dataset, cfg.volume_n, cfg.image_size,
+                          yaw_deg, cfg.pitch_deg);
+  const render::Vec3 d = scene.camera.direction();
+  axis_out = render::principal_axis(d);
+  const auto bricks = part::balanced_slab_1d(scene.volume, scene.tf,
+                                             cfg.ranks, axis_out);
+  const double dir[3] = {d.x, d.y, d.z};
+  const auto order = part::visibility_order(bricks, dir);
+
+  harness::RenderedScene rs;
+  for (int r = 0; r < cfg.ranks; ++r) {
+    const vol::Brick& brick =
+        bricks[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])];
+    rs.bricks.push_back(brick);
+    rs.solid_voxels.push_back(
+        part::solid_voxels(scene.volume, scene.tf, brick));
+    rs.total_voxels.push_back(brick.voxels());
+    if (cfg.renderer == "raycast") {
+      rs.partials.push_back(render::render_raycast(scene.volume, scene.tf,
+                                                   brick, scene.camera));
+    } else if (cfg.renderer == "splat") {
+      rs.partials.push_back(render::render_splat(scene.volume, scene.tf,
+                                                 brick, scene.camera));
+    } else {
+      rs.partials.push_back(render::render_shearwarp(
+          scene.volume, scene.tf, brick, scene.camera));
+    }
+  }
+  return rs;
+}
+
+/// One pipeline-level span (frame-stamped, virtual clock only).
+obs::Span pipeline_span(obs::SpanKind kind, int frame, double begin,
+                        double end) {
+  obs::Span s;
+  s.kind = kind;
+  s.v_begin = begin;
+  s.v_end = end;
+  s.frame = frame;
+  return s;
+}
+
+}  // namespace
+
+SequenceResult run_sequence(const PipelineConfig& cfg) {
+  RTC_CHECK_MSG(cfg.frames >= 1, "need at least one frame");
+  RTC_CHECK_MSG(cfg.ranks >= 1, "need at least one rank");
+
+  CoherenceCache cache(cfg.ranks);
+  FrameScheduler sched(cfg.max_in_flight);
+  SequenceResult out;
+  out.frames.reserve(static_cast<std::size_t>(cfg.frames));
+
+  for (int f = 0; f < cfg.frames; ++f) {
+    const double yaw =
+        cfg.yaw0_deg + cfg.sweep_deg * f / cfg.frames;
+    FrameResult fr;
+    fr.yaw_deg = yaw;
+    const harness::RenderedScene rs = render_frame(cfg, yaw, fr.axis);
+    fr.render_time = harness::render_stage_time(rs);
+
+    harness::CompositionConfig c = cfg.comp;
+    c.coherence = cfg.coherence ? &cache : nullptr;
+    c.sink = cfg.sink;
+    c.frame_id = f;
+    // Per-frame seq epoch: frame f's wire sequence numbers live in
+    // their own window, so a stale duplicate of frame f-1 can never
+    // alias into frame f (epoch_reset_test pins the disjointness).
+    c.seq_epoch = static_cast<std::uint32_t>(f);
+    if (cfg.sink != nullptr) c.gather = true;
+    // Fault isolation: the injected schedule applies to exactly one
+    // frame's World; every other frame runs fault-free.
+    if (f != cfg.fault_frame) c.fault = comm::FaultPlan{};
+
+    if (cfg.sink != nullptr)
+      cfg.sink->begin_frame(f, cfg.image_size, cfg.image_size);
+    fr.run = harness::run_composition(c, rs.partials);
+    if (cfg.sink != nullptr) cfg.sink->end_frame(f);
+
+    fr.composite_time = fr.run.time;
+    fr.timing = sched.admit(fr.render_time, fr.composite_time);
+
+    out.coherence_hits += fr.run.stats.total_coherence_hits();
+    out.coherence_misses += fr.run.stats.total_coherence_misses();
+    out.coherence_bytes_saved += fr.run.stats.total_coherence_bytes_saved();
+
+    const FrameTiming& t = fr.timing;
+    out.pipeline_spans.push_back(pipeline_span(
+        obs::SpanKind::kRender, f, t.render_start, t.render_end));
+    if (t.queue_wait() > 0.0)
+      out.pipeline_spans.push_back(pipeline_span(
+          obs::SpanKind::kQueueWait, f, t.render_end, t.composite_start));
+    out.pipeline_spans.push_back(pipeline_span(
+        obs::SpanKind::kCompute, f, t.composite_start, t.composite_end));
+
+    out.frames.push_back(std::move(fr));
+  }
+
+  out.makespan = sched.makespan();
+  out.total_queue_wait = sched.total_queue_wait();
+  return out;
+}
+
+void print_sequence(std::ostream& os, const PipelineConfig& cfg,
+                    const SequenceResult& seq) {
+  harness::Table t({"frame", "yaw", "axis", "render [s]", "comp [s]",
+                    "queue [s]", "done @", "coh hits", "status"});
+  for (const FrameResult& f : seq.frames) {
+    t.add_row({std::to_string(f.timing.frame),
+               harness::Table::num(f.yaw_deg, 0),
+               std::string(1, "xyz"[f.axis]),
+               harness::Table::num(f.render_time, 4),
+               harness::Table::num(f.composite_time, 4),
+               harness::Table::num(f.timing.queue_wait(), 4),
+               harness::Table::num(f.timing.composite_end, 4),
+               std::to_string(f.run.stats.total_coherence_hits()),
+               f.run.degraded ? "degraded" : "ok"});
+  }
+  t.print(os);
+  os << "\npipeline: depth " << cfg.max_in_flight << ", makespan "
+     << harness::Table::num(seq.makespan, 4) << " s vs "
+     << harness::Table::num(seq.sequential_time(), 4)
+     << " s sequential (queue wait "
+     << harness::Table::num(seq.total_queue_wait, 4) << " s)\n"
+     << "modeled rate: " << harness::Table::num(seq.frames_per_second(), 2)
+     << " frames/s\n"
+     << "coherence: " << seq.coherence_hits << " hits / "
+     << seq.coherence_misses << " misses ("
+     << harness::Table::num(100.0 * seq.hit_rate(), 1) << "% hit rate), "
+     << seq.coherence_bytes_saved << " encoded bytes not resent\n";
+}
+
+}  // namespace rtc::frames

@@ -1,0 +1,111 @@
+// Frame-sequence driver: the interactive-rendering scenario (a camera
+// sweep) run through the frame pipeline — render → encode → composite
+// → deliver, with up to max_in_flight frames overlapped on the virtual
+// clock (FrameScheduler), a temporal-coherence cache persisting across
+// frames, and optional incremental tile delivery (TileSink).
+//
+// Each frame still runs its composition as one collective on a fresh
+// World — determinism and fault isolation come for free: the composed
+// images of a pipelined K-frame run are bit-identical to K sequential
+// single-shot runs, and a fault injected at frame k can only degrade
+// frame k. What the pipeline changes is the *timeline*: frame f+1's
+// render overlaps frame f's composition, so the sequence makespan
+// drops below the sum of per-frame times (bench_frame_pipeline pins
+// the gap).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rtc/frames/scheduler.hpp"
+#include "rtc/frames/tile_sink.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "rtc/obs/span.hpp"
+
+namespace rtc::frames {
+
+struct PipelineConfig {
+  // Scene: a camera sweep over one of the paper's datasets.
+  std::string dataset = "engine";
+  int ranks = 8;
+  int volume_n = 64;
+  int image_size = 256;
+  int frames = 8;
+  double yaw0_deg = 0.0;     ///< first frame's yaw
+  double sweep_deg = 360.0;  ///< total sweep; frame f is yaw0 + sweep*f/F
+  double pitch_deg = 15.0;
+  std::string renderer = "shearwarp";  ///< shearwarp | raycast | splat
+
+  /// Per-frame composition settings (method, N, codec, network, trace,
+  /// resilience). `fault` applies only at `fault_frame`; `frame_id`,
+  /// `seq_epoch`, `coherence` and `sink` are overwritten per frame.
+  harness::CompositionConfig comp;
+
+  /// Pipeline depth M (FrameScheduler); 1 = strictly sequential.
+  int max_in_flight = 2;
+
+  /// Temporal-coherence caching across the sequence's frames.
+  bool coherence = true;
+
+  /// Incremental tile delivery; forces comp.gather. Not owned.
+  TileSink* sink = nullptr;
+
+  /// Frame whose composition runs under comp.fault (-1: no frame
+  /// does). Fault isolation: only this frame can degrade.
+  int fault_frame = -1;
+};
+
+struct FrameResult {
+  FrameTiming timing;          ///< placement on the pipeline timeline
+  double render_time = 0.0;    ///< R_f (virtual seconds)
+  double composite_time = 0.0; ///< C_f (virtual seconds)
+  double yaw_deg = 0.0;
+  int axis = 0;                ///< principal view axis this frame
+  harness::CompositionRun run; ///< stats + assembled image (gather)
+};
+
+struct SequenceResult {
+  std::vector<FrameResult> frames;
+  double makespan = 0.0;          ///< last frame's composite_end
+  double total_queue_wait = 0.0;  ///< sum of backpressure stalls
+  /// Pipeline-level spans (kRender / kQueueWait / kCompute for the
+  /// composite interval), frame-stamped — mergeable with the per-rank
+  /// spans in each frame's RunStats for a sequence-wide trace.
+  std::vector<obs::Span> pipeline_spans;
+  // Coherence totals across all frames (sender-side accounting).
+  std::int64_t coherence_hits = 0;
+  std::int64_t coherence_misses = 0;
+  std::int64_t coherence_bytes_saved = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t n = coherence_hits + coherence_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(coherence_hits) /
+                        static_cast<double>(n);
+  }
+  [[nodiscard]] double frames_per_second() const {
+    return makespan > 0.0
+               ? static_cast<double>(frames.size()) / makespan
+               : 0.0;
+  }
+  [[nodiscard]] double sequential_time() const {
+    double s = 0.0;
+    for (const FrameResult& f : frames)
+      s += f.render_time + f.composite_time;
+    return s;
+  }
+};
+
+/// Runs the configured sweep through the frame pipeline. Deterministic
+/// in virtual time; the per-frame images are independent of
+/// max_in_flight and of the coherence setting.
+[[nodiscard]] SequenceResult run_sequence(const PipelineConfig& cfg);
+
+/// Per-frame timeline table plus sequence summary (makespan, modeled
+/// rate, coherence hit rate) for CLI/example output.
+void print_sequence(std::ostream& os, const PipelineConfig& cfg,
+                    const SequenceResult& seq);
+
+}  // namespace rtc::frames

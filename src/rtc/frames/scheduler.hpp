@@ -1,0 +1,102 @@
+// FrameScheduler: bounded-depth frame pipelining on the virtual clock.
+//
+// A frame passes through two serial resources: the render stage (one
+// frame renders at a time — it is the same pool of ranks) and the
+// composite stage (the collective composition, also one frame at a
+// time). With max_in_flight = M frames admitted concurrently, frame
+// f's render may overlap frame f-1's composition; backpressure holds
+// admission of frame f until frame f-M has fully left the pipeline.
+//
+// Recurrence (all on the virtual clock):
+//   render_start(f) = max(render_end(f-1), composite_end(f-M))
+//   render_end(f)   = render_start(f) + R_f
+//   composite_start(f) = max(render_end(f), composite_end(f-1))
+//   composite_end(f)   = composite_start(f) + C_f
+//   queue_wait(f)   = composite_start(f) - render_end(f)
+//
+// M = 1 degenerates to strictly sequential frames (composite_end(f-1)
+// gates the next render), reproducing today's one-shot accounting; the
+// makespan with M >= 2 is what bench_frame_pipeline pins against K
+// single shots. Queue-wait is charged as obs::SpanKind::kQueueWait so
+// backpressure is visible in traces and metrics, not silently folded
+// into either stage.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::frames {
+
+/// One frame's pipeline timeline (virtual seconds).
+struct FrameTiming {
+  int frame = 0;
+  double render_start = 0.0;
+  double render_end = 0.0;
+  double composite_start = 0.0;
+  double composite_end = 0.0;
+
+  /// Backpressure: rendered output waiting for the composite slot.
+  [[nodiscard]] double queue_wait() const {
+    return composite_start - render_end;
+  }
+};
+
+class FrameScheduler {
+ public:
+  explicit FrameScheduler(int max_in_flight)
+      : max_in_flight_(max_in_flight) {
+    RTC_CHECK_MSG(max_in_flight >= 1, "need at least one frame in flight");
+  }
+
+  /// Admits the next frame given its render time R and composite time
+  /// C; returns the frame's placement on the pipeline timeline.
+  FrameTiming admit(double render_time, double composite_time) {
+    RTC_CHECK(render_time >= 0.0 && composite_time >= 0.0);
+    const std::size_t f = history_.size();
+    FrameTiming t;
+    t.frame = static_cast<int>(f);
+    t.render_start = f > 0 ? history_[f - 1].render_end : 0.0;
+    if (f >= static_cast<std::size_t>(max_in_flight_)) {
+      const FrameTiming& gate =
+          history_[f - static_cast<std::size_t>(max_in_flight_)];
+      t.render_start = std::max(t.render_start, gate.composite_end);
+    }
+    t.render_end = t.render_start + render_time;
+    t.composite_start = t.render_end;
+    if (f > 0)
+      t.composite_start =
+          std::max(t.composite_start, history_[f - 1].composite_end);
+    t.composite_end = t.composite_start + composite_time;
+    history_.push_back(t);
+    return t;
+  }
+
+  [[nodiscard]] int frames_admitted() const {
+    return static_cast<int>(history_.size());
+  }
+  [[nodiscard]] int max_in_flight() const { return max_in_flight_; }
+
+  /// Pipeline makespan: when the last admitted frame left (0 if none).
+  [[nodiscard]] double makespan() const {
+    return history_.empty() ? 0.0 : history_.back().composite_end;
+  }
+
+  [[nodiscard]] double total_queue_wait() const {
+    double q = 0.0;
+    for (const FrameTiming& t : history_) q += t.queue_wait();
+    return q;
+  }
+
+  [[nodiscard]] const std::vector<FrameTiming>& history() const {
+    return history_;
+  }
+
+ private:
+  int max_in_flight_;
+  std::vector<FrameTiming> history_;
+};
+
+}  // namespace rtc::frames

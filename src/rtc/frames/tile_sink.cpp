@@ -1,0 +1,65 @@
+#include "rtc/frames/tile_sink.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::frames {
+
+void AssemblingSink::begin_frame(int frame, int width, int height) {
+  RTC_CHECK_MSG(!open_, "begin_frame while a frame is open");
+  current_ = img::Image(width, height);
+  current_frame_ = frame;
+  open_ = true;
+}
+
+void AssemblingSink::deliver_tile(int frame, img::PixelSpan span,
+                                  std::span<const img::GrayA8> px) {
+  RTC_CHECK_MSG(open_ && frame == current_frame_,
+                "tile delivered outside its frame bracket");
+  std::span<img::GrayA8> dst = current_.view(span);
+  RTC_CHECK(dst.size() == px.size());
+  std::copy(px.begin(), px.end(), dst.begin());
+  tiles_ += 1;
+  pixels_ += span.size();
+}
+
+void AssemblingSink::end_frame(int frame) {
+  RTC_CHECK_MSG(open_ && frame == current_frame_,
+                "end_frame without matching begin_frame");
+  frames_.push_back(std::move(current_));
+  current_ = img::Image{};
+  open_ = false;
+}
+
+void PgmStreamSink::begin_frame(int frame, int width, int height) {
+  RTC_CHECK_MSG(!open_, "begin_frame while a frame is open");
+  (void)frame;
+  current_ = img::Image(width, height);
+  open_ = true;
+}
+
+void PgmStreamSink::deliver_tile(int frame, img::PixelSpan span,
+                                 std::span<const img::GrayA8> px) {
+  RTC_CHECK_MSG(open_, "tile delivered outside its frame bracket");
+  (void)frame;
+  std::span<img::GrayA8> dst = current_.view(span);
+  RTC_CHECK(dst.size() == px.size());
+  std::copy(px.begin(), px.end(), dst.begin());
+}
+
+void PgmStreamSink::end_frame(int frame) {
+  RTC_CHECK_MSG(open_, "end_frame without matching begin_frame");
+  (void)frame;
+  os_ << "P5\n"
+      << current_.width() << " " << current_.height() << "\n255\n";
+  for (const img::GrayA8 p : current_.pixels())
+    os_.put(static_cast<char>(p.v));
+  RTC_CHECK_MSG(os_.good(), "short write on PGM stream");
+  current_ = img::Image{};
+  open_ = false;
+  written_ += 1;
+}
+
+}  // namespace rtc::frames

@@ -1,0 +1,101 @@
+// TileSink: incremental delivery of finished tiles (the repo's
+// "distributed framebuffer").
+//
+// The gather stage of every compositor assembles the final image at
+// the root from per-rank fragments. With a TileSink installed
+// (compositing::Options::sink), the root additionally delivers each
+// fragment to the sink the moment it is scattered — a display surface
+// or stream writer starts consuming the frame while later ranks'
+// fragments are still in flight, instead of waiting for a fully
+// materialized img::Image.
+//
+// Contract:
+//  * The *driver* brackets frames: begin_frame(frame, w, h) before the
+//    composition run, end_frame(frame) after it. Undelivered regions
+//    (lost ranks under degradation) are blank.
+//  * Only the root rank's thread calls deliver_tile during a run, so a
+//    sink needs no locking.
+//  * Tiles may arrive in any order and never overlap within a frame.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "rtc/image/image.hpp"
+
+namespace rtc::frames {
+
+class TileSink {
+ public:
+  virtual ~TileSink() = default;
+
+  virtual void begin_frame(int frame, int width, int height) = 0;
+
+  /// One finished tile: `px` are the final pixels of flattened span
+  /// `span` of frame `frame`.
+  virtual void deliver_tile(int frame, img::PixelSpan span,
+                            std::span<const img::GrayA8> px) = 0;
+
+  virtual void end_frame(int frame) = 0;
+};
+
+/// In-memory sink: assembles each frame into an img::Image and keeps
+/// the completed frames (in end_frame order). The reference sink —
+/// tests compare its output against the gathered image.
+class AssemblingSink final : public TileSink {
+ public:
+  void begin_frame(int frame, int width, int height) override;
+  void deliver_tile(int frame, img::PixelSpan span,
+                    std::span<const img::GrayA8> px) override;
+  void end_frame(int frame) override;
+
+  [[nodiscard]] std::size_t frame_count() const { return frames_.size(); }
+  /// i-th completed frame (in completion order).
+  [[nodiscard]] const img::Image& frame(std::size_t i) const {
+    RTC_CHECK(i < frames_.size());
+    return frames_[i];
+  }
+  [[nodiscard]] const img::Image& latest() const {
+    RTC_CHECK(!frames_.empty());
+    return frames_.back();
+  }
+
+  // Delivery accounting.
+  [[nodiscard]] std::int64_t tiles_delivered() const { return tiles_; }
+  [[nodiscard]] std::int64_t pixels_delivered() const { return pixels_; }
+
+ private:
+  img::Image current_;
+  int current_frame_ = -1;
+  bool open_ = false;
+  std::vector<img::Image> frames_;
+  std::int64_t tiles_ = 0;
+  std::int64_t pixels_ = 0;
+};
+
+/// Stream-writer sink: appends each completed frame to an ostream as a
+/// binary PGM (P5) image — back-to-back frames form a raw animation
+/// stream (`ffmpeg -f image2pipe` consumes it directly). Tiles are
+/// staged in an internal raster (they arrive in wire order, not raster
+/// order); the frame is flushed on end_frame.
+class PgmStreamSink final : public TileSink {
+ public:
+  explicit PgmStreamSink(std::ostream& os) : os_(os) {}
+
+  void begin_frame(int frame, int width, int height) override;
+  void deliver_tile(int frame, img::PixelSpan span,
+                    std::span<const img::GrayA8> px) override;
+  void end_frame(int frame) override;
+
+  [[nodiscard]] int frames_written() const { return written_; }
+
+ private:
+  std::ostream& os_;
+  img::Image current_;
+  bool open_ = false;
+  int written_ = 0;
+};
+
+}  // namespace rtc::frames

@@ -26,10 +26,15 @@ CompositionRun run_composition(const CompositionConfig& config,
   opt.aggregate_messages = config.aggregate_messages;
   opt.blend = config.blend;
   opt.resilience = config.resilience;
+  opt.coherence = config.coherence;
+  opt.sink = config.sink;
+  opt.frame_id = config.frame_id < 0 ? 0 : config.frame_id;
 
   comm::World world(p, config.net);
   world.set_record_events(config.record_events);
-  world.set_trace({config.record_spans, config.trace_capacity});
+  world.set_trace(
+      {config.record_spans, config.trace_capacity, config.frame_id});
+  world.set_seq_epoch(config.seq_epoch);
   world.set_fault_plan(config.fault);
   world.set_resilience(config.resilience);
   std::vector<img::Image> results(static_cast<std::size_t>(p));

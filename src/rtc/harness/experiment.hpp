@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,11 @@
 #include "rtc/comm/stats.hpp"
 #include "rtc/image/image.hpp"
 #include "rtc/image/ops.hpp"
+
+namespace rtc::frames {
+class CoherenceCache;
+class TileSink;
+}  // namespace rtc::frames
 
 namespace rtc::harness {
 
@@ -35,6 +41,21 @@ struct CompositionConfig {
   /// the compositors.
   comm::FaultPlan fault;
   comm::ResiliencePolicy resilience;
+  // --- frame-pipeline hooks (rtc/frames; frames::run_sequence sets
+  // these). Defaults leave single-shot runs bit-identical. ---
+  /// Sender-side temporal-coherence cache shared across a sequence's
+  /// frames (sized to the rank count). Null: classic wire format.
+  frames::CoherenceCache* coherence = nullptr;
+  /// Incremental tile delivery at the root (requires `gather`).
+  frames::TileSink* sink = nullptr;
+  /// Frame index stamped onto spans and sink deliveries; -1 means
+  /// single-shot (spans unstamped, sinks see frame 0).
+  int frame_id = -1;
+  /// Wire sequence-number epoch (World::set_seq_epoch): frame f of a
+  /// sequence uses epoch f so stale retransmits of frame f-1 can never
+  /// alias into frame f's dedup window. Epoch 0 reproduces the
+  /// historical numbering exactly.
+  std::uint32_t seq_epoch = 0;
 };
 
 struct CompositionRun {

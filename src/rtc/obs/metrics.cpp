@@ -42,6 +42,11 @@ std::vector<StepMetrics> aggregate_steps(
         case SpanKind::kBlankSkip:
           m.blank_pixels_skipped += s.aux;
           break;
+        case SpanKind::kRender:
+          break;  // pipeline-level interval, not a compositor step
+        case SpanKind::kQueueWait:
+          m.queue_wait_s += s.v_duration();
+          break;
       }
     }
   }
@@ -65,6 +70,7 @@ StepMetrics totals(const std::vector<StepMetrics>& rows) {
     t.recv_wait_s += m.recv_wait_s;
     t.codec_s += m.codec_s;
     t.blend_s += m.blend_s;
+    t.queue_wait_s += m.queue_wait_s;
   }
   return t;
 }

@@ -28,6 +28,7 @@ struct StepMetrics {
   double recv_wait_s = 0.0;  ///< summed virtual receive-wait time
   double codec_s = 0.0;      ///< summed virtual encode/decode time
   double blend_s = 0.0;      ///< summed virtual blend time
+  double queue_wait_s = 0.0;  ///< frame-pipeline backpressure time
 
   /// Compression ratio raw/encoded (1 when nothing was encoded).
   [[nodiscard]] double ratio() const {

@@ -29,6 +29,9 @@ namespace rtc::obs {
 struct TraceConfig {
   bool enabled = false;
   std::size_t capacity = std::size_t{1} << 16;  ///< spans per rank
+  /// Frame id stamped onto every recorded span (frame pipeline runs);
+  /// -1 leaves spans unstamped — single-shot output is byte-identical.
+  int frame = -1;
 };
 
 #if defined(RTC_OBS_DISABLED)
@@ -39,6 +42,7 @@ struct TraceConfig {
 class TraceRecorder {
  public:
   void arm(std::size_t /*capacity*/) {}
+  void set_frame(int /*frame*/) {}
   [[nodiscard]] static constexpr bool enabled() { return false; }
   void record(const Span& /*s*/) {}
   [[nodiscard]] static constexpr std::uint64_t dropped() { return 0; }
@@ -62,17 +66,23 @@ class TraceRecorder {
 
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Frame id stamped onto subsequently recorded spans (-1: none).
+  void set_frame(int frame) { frame_ = frame; }
+
   /// O(1), allocation-free. Overwrites the oldest span when full.
   void record(const Span& s) {
     if (!enabled_) return;
+    Span* slot;
     if (size_ < ring_.size()) {
-      ring_[(head_ + size_) % ring_.size()] = s;
+      slot = &ring_[(head_ + size_) % ring_.size()];
       ++size_;
     } else {
-      ring_[head_] = s;
+      slot = &ring_[head_];
       head_ = (head_ + 1) % ring_.size();
       ++dropped_;
     }
+    *slot = s;
+    if (frame_ >= 0) slot->frame = frame_;
   }
 
   /// Spans overwritten because the ring was full.
@@ -99,6 +109,7 @@ class TraceRecorder {
   std::size_t head_ = 0;
   std::size_t size_ = 0;
   std::uint64_t dropped_ = 0;
+  int frame_ = -1;
   bool enabled_ = false;
 };
 

@@ -29,6 +29,9 @@ enum class SpanKind : std::uint8_t {
   kDecode,       ///< codec decode into a materialized block
   kDecodeBlend,  ///< fused decode-and-blend of an incoming block
   kBlankSkip,    ///< instant: blank pixels a fused codec will skip
+  kRender,       ///< frame pipeline: a frame's render stage interval
+  kQueueWait,    ///< frame pipeline: backpressure between render and
+                 ///< composite (rendered frame waiting for a slot)
 };
 
 [[nodiscard]] constexpr const char* span_name(SpanKind k) {
@@ -51,6 +54,10 @@ enum class SpanKind : std::uint8_t {
       return "decode_blend";
     case SpanKind::kBlankSkip:
       return "blank-skip";
+    case SpanKind::kRender:
+      return "render";
+    case SpanKind::kQueueWait:
+      return "queue-wait";
   }
   return "?";
 }
@@ -70,6 +77,9 @@ struct Span {
   double v_end = 0.0;
   std::int64_t wall_begin_ns = 0;  ///< monotonic wall clock
   std::int64_t wall_end_ns = 0;
+  /// Frame this span belongs to in a multi-frame pipeline run, stamped
+  /// by the recorder (TraceConfig::frame); -1 for single-shot runs.
+  int frame = -1;
 
   [[nodiscard]] double v_duration() const { return v_end - v_begin; }
   [[nodiscard]] bool instant() const { return v_end == v_begin; }

@@ -16,7 +16,11 @@ void write_event_common(std::ostream& os, const Span& s, std::size_t rank) {
 void write_args(std::ostream& os, const Span& s) {
   os << "\"args\":{\"step\":" << s.step << ",\"bytes\":" << s.bytes
      << ",\"aux\":" << s.aux << ",\"wall_us\":"
-     << static_cast<double>(s.wall_end_ns - s.wall_begin_ns) / 1e3 << "}";
+     << static_cast<double>(s.wall_end_ns - s.wall_begin_ns) / 1e3;
+  // Frame id only appears for frame-pipeline runs, so single-shot
+  // trace output stays byte-identical.
+  if (s.frame >= 0) os << ",\"frame\":" << s.frame;
+  os << "}";
 }
 
 }  // namespace

@@ -1,0 +1,145 @@
+// Frame-boundary hygiene in the comm substrate: per-frame sequence
+// epochs keep wire numbering disjoint across frames, and the
+// resettable state (BufferPool, RankStats/RunStats counters) provably
+// carries nothing from one frame into the next.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtc/comm/buffer_pool.hpp"
+#include "rtc/comm/stats.hpp"
+#include "rtc/comm/world.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "testutil.hpp"
+
+namespace rtc::comm {
+namespace {
+
+std::vector<img::Image> make_partials(int ranks) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        24, 10, 6000u + static_cast<std::uint32_t>(r), 0.3,
+        /*binary_alpha=*/true));
+  return out;
+}
+
+harness::CompositionRun run_epoch(std::uint32_t epoch,
+                                  const std::vector<img::Image>& partials) {
+  harness::CompositionConfig cfg;
+  cfg.method = "bswap";
+  cfg.gather = true;
+  cfg.seq_epoch = epoch;
+  return harness::run_composition(cfg, partials);
+}
+
+TEST(SeqEpoch, EpochZeroReproducesHistoricalNumbering) {
+  const auto partials = make_partials(4);
+  const harness::CompositionRun run = run_epoch(0, partials);
+  for (const RankStats& r : run.stats.ranks) {
+    if (r.messages_sent == 0) continue;
+    EXPECT_EQ(r.seq_first, 1u);  // counters start at 1, as always
+    EXPECT_EQ(r.seq_last,
+              static_cast<std::uint32_t>(r.messages_sent));
+  }
+}
+
+TEST(SeqEpoch, FramesOccupyDisjointSequenceRanges) {
+  const auto partials = make_partials(4);
+  const harness::CompositionRun f0 = run_epoch(0, partials);
+  const harness::CompositionRun f1 = run_epoch(1, partials);
+  const std::uint32_t base1 = std::uint32_t{1} << World::kSeqEpochBits;
+  for (std::size_t r = 0; r < f0.stats.ranks.size(); ++r) {
+    const RankStats& a = f0.stats.ranks[r];
+    const RankStats& b = f1.stats.ranks[r];
+    if (a.messages_sent == 0) continue;
+    // Epoch 0 stays below the epoch-1 base; epoch 1 starts right at it.
+    EXPECT_LT(a.seq_last, base1);
+    EXPECT_EQ(b.seq_first, base1 + 1);
+    EXPECT_GT(b.seq_first, a.seq_last);  // disjoint, strictly above
+    // Same schedule, same traffic: only the epoch base moved.
+    EXPECT_EQ(b.seq_last - b.seq_first, a.seq_last - a.seq_first);
+  }
+  // The epoch is invisible to the virtual clock and the pixels.
+  EXPECT_EQ(f0.time, f1.time);
+  EXPECT_EQ(img::max_channel_diff(f0.image, f1.image), 0);
+}
+
+TEST(SeqEpoch, RejectsEpochsBeyondTheFieldWidth) {
+  World w(2, sp2_hps_model());
+  w.set_seq_epoch((std::uint32_t{1} << (32 - World::kSeqEpochBits)) - 1);
+  EXPECT_THROW(
+      w.set_seq_epoch(std::uint32_t{1} << (32 - World::kSeqEpochBits)),
+      ContractError);
+}
+
+TEST(BufferPool, ReuseAccountingAndReset) {
+  BufferPool pool;
+  std::vector<std::byte> b = pool.acquire();
+  EXPECT_EQ(pool.misses(), 1u);  // empty pool: a fresh buffer
+  b.resize(64);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+
+  std::vector<std::byte> c = pool.acquire();
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_TRUE(c.empty());           // cleared...
+  EXPECT_GE(c.capacity(), 64u);     // ...but the capacity survived
+  pool.release(std::move(c));
+
+  // Frame boundary: nothing — capacity or counters — survives reset.
+  pool.reset();
+  EXPECT_EQ(pool.free_buffers(), 0u);
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 0u);
+  std::vector<std::byte> d = pool.acquire();
+  EXPECT_EQ(pool.misses(), 1u);  // cold again
+  pool.release(std::move(d));
+}
+
+TEST(BufferPool, CapacitylessBuffersAreNotPooled) {
+  BufferPool pool;
+  pool.release({});
+  EXPECT_EQ(pool.free_buffers(), 0u);
+}
+
+TEST(Stats, RankCountersResetToFreshState) {
+  RankStats r;
+  r.messages_sent = 7;
+  r.bytes_sent = 123;
+  r.coherence_hits = 3;
+  r.coherence_bytes_saved = 99;
+  r.seq_first = 5;
+  r.seq_last = 11;
+  r.lost_blocks.push_back(2);
+  r.crashed = true;
+  r.clock = 1.5;
+  r.reset_counters();
+  EXPECT_EQ(r.messages_sent, 0);
+  EXPECT_EQ(r.bytes_sent, 0);
+  EXPECT_EQ(r.coherence_hits, 0);
+  EXPECT_EQ(r.coherence_bytes_saved, 0);
+  EXPECT_EQ(r.seq_first, 0u);
+  EXPECT_EQ(r.seq_last, 0u);
+  EXPECT_TRUE(r.lost_blocks.empty());
+  EXPECT_FALSE(r.crashed);
+  EXPECT_EQ(r.clock, 0.0);
+}
+
+TEST(Stats, RunResetPreservesRankCountOnly) {
+  RunStats s;
+  s.ranks.resize(3);
+  s.ranks[0].coherence_hits = 4;
+  s.ranks[2].lost_pixels = 10;
+  EXPECT_GT(s.total_coherence_hits(), 0);
+  EXPECT_TRUE(s.degraded());
+  s.reset_counters();
+  ASSERT_EQ(s.ranks.size(), 3u);
+  EXPECT_EQ(s.total_coherence_hits(), 0);
+  EXPECT_EQ(s.total_lost_pixels(), 0);
+  EXPECT_FALSE(s.degraded());
+  EXPECT_EQ(s.coherence_hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtc::comm

@@ -1,0 +1,194 @@
+// Temporal-coherence cache: hashing primitives, the RankCoherence
+// store, and the end-to-end property that matters — a cached re-run of
+// the same partials produces a bit-identical image while skipping
+// encodes and shrinking the wire bill.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rtc/frames/coherence.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::frames {
+namespace {
+
+TEST(HashPixels, EqualContentHashesEqual) {
+  const img::Image a = test::random_image(17, 9, 7u, 0.3);
+  img::Image b = a;
+  EXPECT_EQ(hash_pixels(a.pixels()), hash_pixels(b.pixels()));
+  // One-pixel perturbation changes the digest.
+  b.at(3, 4).v = static_cast<std::uint8_t>(b.at(3, 4).v ^ 1u);
+  EXPECT_NE(hash_pixels(a.pixels()), hash_pixels(b.pixels()));
+}
+
+TEST(HashPixels, EmptySpanIsDefined) {
+  const std::uint64_t h = hash_pixels({});
+  EXPECT_EQ(h, hash_pixels({}));  // stable
+}
+
+TEST(AllBlank, DetectsBlankAndNonBlankRuns) {
+  img::Image im(8, 4);
+  im.fill(img::kBlank);
+  EXPECT_TRUE(all_blank(im.pixels()));
+  im.at(7, 3) = img::GrayA8{1, 1};
+  EXPECT_FALSE(all_blank(im.pixels()));
+  EXPECT_TRUE(all_blank({}));
+}
+
+TEST(RankCoherence, StoreFindOverwriteClear) {
+  RankCoherence rc;
+  const BlockKey k{.peer = 2, .tag = 5, .span_begin = 128, .pixels = 64};
+  EXPECT_EQ(rc.find(k), nullptr);
+
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2}};
+  rc.store(k, 0xabcd, false, payload);
+  const RankCoherence::Entry* e = rc.find(k);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->hash, 0xabcdu);
+  EXPECT_FALSE(e->blank);
+  EXPECT_EQ(e->payload, payload);
+  EXPECT_EQ(rc.size(), 1u);
+
+  // Same slot, new frame's content: overwritten in place.
+  rc.store(k, 0xffff, true, {});
+  e = rc.find(k);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->hash, 0xffffu);
+  EXPECT_TRUE(e->blank);
+  EXPECT_TRUE(e->payload.empty());
+  EXPECT_EQ(rc.size(), 1u);
+
+  // A different slot is a different entry.
+  rc.store(BlockKey{.peer = 2, .tag = 5, .span_begin = 0, .pixels = 64},
+           1, false, payload);
+  EXPECT_EQ(rc.size(), 2u);
+
+  rc.clear();
+  EXPECT_EQ(rc.size(), 0u);
+  EXPECT_EQ(rc.find(k), nullptr);
+}
+
+TEST(CoherenceCache, PerRankEntriesAndBoundsChecks) {
+  CoherenceCache cache(3);
+  EXPECT_EQ(cache.ranks(), 3);
+  cache.rank(0).store(BlockKey{}, 1, false, {});
+  EXPECT_EQ(cache.rank(0).size(), 1u);
+  EXPECT_EQ(cache.rank(1).size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.rank(0).size(), 0u);
+  EXPECT_THROW(static_cast<void>(cache.rank(-1)), ContractError);
+  EXPECT_THROW(static_cast<void>(cache.rank(3)), ContractError);
+  EXPECT_THROW(CoherenceCache(0), ContractError);
+}
+
+// ---- end-to-end: the cache against a real composition ----------------
+
+// Partials with a fully blank top half — the shape a slab renderer
+// actually produces (a brick projects to a band of the raster). Blocks
+// falling inside the shared blank band are *all* blank, so a repeat
+// frame can exercise the 1-byte clean-blank marker, not just payload
+// reuse.
+std::vector<img::Image> make_partials(int ranks, int w, int h) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r) {
+    img::Image im = test::random_image(
+        w, h, 9000u + static_cast<std::uint32_t>(r), 0.2,
+        /*binary_alpha=*/true);
+    for (int y = 0; y < h / 2; ++y)
+      for (int x = 0; x < w; ++x) im.at(x, y) = img::kBlank;
+    out.push_back(std::move(im));
+  }
+  return out;
+}
+
+harness::CompositionConfig base_config(const std::string& method) {
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.initial_blocks = method == "rt_2n" ? 4 : 3;  // 2N_RT: even N
+  cfg.codec = "trle";
+  cfg.gather = true;
+  return cfg;
+}
+
+class CoherentComposition : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CoherentComposition, RepeatFrameHitsCacheAndStaysBitIdentical) {
+  const std::string method = GetParam();
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 31, 17);
+
+  harness::CompositionConfig plain = base_config(method);
+  const harness::CompositionRun ref =
+      harness::run_composition(plain, partials);
+
+  CoherenceCache cache(ranks);
+  harness::CompositionConfig cached = base_config(method);
+  cached.coherence = &cache;
+
+  // Frame 0: cold cache — every lookup misses, image unchanged.
+  const harness::CompositionRun f0 =
+      harness::run_composition(cached, partials);
+  EXPECT_EQ(img::max_channel_diff(f0.image, ref.image), 0) << method;
+  EXPECT_EQ(f0.stats.total_coherence_hits(), 0) << method;
+  EXPECT_GT(f0.stats.total_coherence_misses(), 0) << method;
+
+  // Frame 1, identical content: hits, still bit-identical, and the
+  // unchanged-blank bodies stop traveling.
+  const harness::CompositionRun f1 =
+      harness::run_composition(cached, partials);
+  EXPECT_EQ(img::max_channel_diff(f1.image, ref.image), 0) << method;
+  EXPECT_GT(f1.stats.total_coherence_hits(), 0) << method;
+  EXPECT_EQ(f1.stats.total_coherence_misses(), 0) << method;
+  if (method != "direct") {
+    // Block-splitting methods have blocks inside the shared blank band;
+    // direct ships whole images, which are never all-blank, so its
+    // hits reuse payloads without shrinking the wire bill.
+    EXPECT_GT(f1.stats.total_coherence_bytes_saved(), 0) << method;
+    EXPECT_LT(f1.stats.total_bytes_sent(), f0.stats.total_bytes_sent())
+        << method;
+  }
+  // Encode charges were skipped, so the warm frame is faster.
+  EXPECT_LT(f1.time, f0.time) << method;
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, CoherentComposition,
+                         ::testing::Values("bswap", "bswap_any", "rt_n",
+                                           "rt_2n", "direct"));
+
+TEST(CoherentComposition, ChangedContentMissesAgain) {
+  const int ranks = 4;
+  auto partials = make_partials(ranks, 31, 17);
+  CoherenceCache cache(ranks);
+  harness::CompositionConfig cfg = base_config("rt_n");
+  cfg.coherence = &cache;
+
+  (void)harness::run_composition(cfg, partials);  // warm the cache
+  // Change one rank's content: its blocks must re-encode.
+  partials[2] = test::random_image(31, 17, 777u, 0.4, true);
+  const harness::CompositionRun run =
+      harness::run_composition(cfg, partials);
+  EXPECT_GT(run.stats.total_coherence_misses(), 0);
+  // Image is still exactly the reference for the new content.
+  const img::Image ref = img::composite_reference(partials);
+  EXPECT_EQ(img::max_channel_diff(run.image, ref), 0);
+}
+
+TEST(CoherentComposition, NullCacheIsTheClassicWireFormat) {
+  // Without a cache, repeated runs neither hit nor save anything —
+  // and the virtual time is identical run to run.
+  const auto partials = make_partials(4, 31, 17);
+  harness::CompositionConfig cfg = base_config("rt_n");
+  const harness::CompositionRun a = harness::run_composition(cfg, partials);
+  const harness::CompositionRun b = harness::run_composition(cfg, partials);
+  EXPECT_EQ(a.stats.total_coherence_hits() +
+                a.stats.total_coherence_misses(),
+            0);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.stats.total_bytes_sent(), b.stats.total_bytes_sent());
+}
+
+}  // namespace
+}  // namespace rtc::frames

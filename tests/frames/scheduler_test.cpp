@@ -1,0 +1,81 @@
+// FrameScheduler recurrence properties: sequential degeneration at
+// depth 1, overlap at depth 2, backpressure gating, and the exact
+// hand-computed timeline the header documents.
+#include <gtest/gtest.h>
+
+#include "rtc/common/check.hpp"
+#include "rtc/frames/scheduler.hpp"
+
+namespace rtc::frames {
+namespace {
+
+TEST(FrameScheduler, DepthOneIsStrictlySequential) {
+  FrameScheduler s(1);
+  const double r[] = {1.0, 2.0, 0.5};
+  const double c[] = {3.0, 1.0, 2.0};
+  double expected_end = 0.0;
+  for (int f = 0; f < 3; ++f) {
+    const FrameTiming t = s.admit(r[f], c[f]);
+    EXPECT_DOUBLE_EQ(t.render_start, expected_end);
+    EXPECT_DOUBLE_EQ(t.queue_wait(), 0.0);
+    expected_end += r[f] + c[f];
+    EXPECT_DOUBLE_EQ(t.composite_end, expected_end);
+  }
+  EXPECT_DOUBLE_EQ(s.makespan(), 9.5);
+  EXPECT_DOUBLE_EQ(s.total_queue_wait(), 0.0);
+}
+
+TEST(FrameScheduler, DepthTwoMatchesHandComputedTimeline) {
+  // R=1, C=2 per frame, M=2 (the header's worked recurrence):
+  //   f0: render 0..1, composite 1..3
+  //   f1: render 1..2, waits, composite 3..5   (queue 1)
+  //   f2: render gated by f0 leaving: 3..4, composite 5..7
+  FrameScheduler s(2);
+  const FrameTiming t0 = s.admit(1.0, 2.0);
+  const FrameTiming t1 = s.admit(1.0, 2.0);
+  const FrameTiming t2 = s.admit(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(t0.composite_end, 3.0);
+  EXPECT_DOUBLE_EQ(t1.render_start, 1.0);
+  EXPECT_DOUBLE_EQ(t1.queue_wait(), 1.0);
+  EXPECT_DOUBLE_EQ(t1.composite_end, 5.0);
+  EXPECT_DOUBLE_EQ(t2.render_start, 3.0);  // backpressure: f0 just left
+  EXPECT_DOUBLE_EQ(t2.composite_end, 7.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);
+  // Strictly below the 9.0 sequential total.
+  EXPECT_LT(s.makespan(), 9.0);
+}
+
+TEST(FrameScheduler, QueueWaitIsNeverNegative) {
+  FrameScheduler s(3);
+  for (int f = 0; f < 20; ++f) {
+    const FrameTiming t =
+        s.admit(0.1 * (f % 4), 0.05 * ((f + 2) % 5));
+    EXPECT_GE(t.queue_wait(), 0.0);
+    EXPECT_GE(t.render_end, t.render_start);
+    EXPECT_GE(t.composite_end, t.composite_start);
+  }
+  EXPECT_EQ(s.frames_admitted(), 20);
+  EXPECT_EQ(static_cast<int>(s.history().size()), 20);
+}
+
+TEST(FrameScheduler, DeeperPipelinesNeverFinishLater) {
+  const double r[] = {1.0, 0.5, 2.0, 0.25, 1.5};
+  const double c[] = {0.5, 2.0, 0.5, 1.0, 0.75};
+  double prev = 1e300;
+  for (int m = 1; m <= 4; ++m) {
+    FrameScheduler s(m);
+    for (int f = 0; f < 5; ++f) s.admit(r[f], c[f]);
+    EXPECT_LE(s.makespan(), prev) << "depth " << m;
+    prev = s.makespan();
+  }
+}
+
+TEST(FrameScheduler, RejectsInvalidArguments) {
+  EXPECT_THROW(FrameScheduler(0), ContractError);
+  FrameScheduler s(2);
+  EXPECT_THROW(s.admit(-1.0, 0.0), ContractError);
+  EXPECT_THROW(s.admit(0.0, -1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace rtc::frames

@@ -1,0 +1,116 @@
+// TileSink delivery: the incrementally delivered tiles of every
+// gathered composition must reassemble into exactly the gathered
+// image, and the PGM stream sink must emit well-formed back-to-back
+// frames.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rtc/frames/tile_sink.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::frames {
+namespace {
+
+std::vector<img::Image> make_partials(int ranks, int w, int h) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        w, h, 4000u + static_cast<std::uint32_t>(r), 0.3,
+        /*binary_alpha=*/true));
+  return out;
+}
+
+class SinkDelivery : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SinkDelivery, TilesReassembleTheGatheredImage) {
+  const std::string method = GetParam();
+  const int ranks = 8, w = 30, h = 14;  // power of two: bswap-friendly
+  const auto partials = make_partials(ranks, w, h);
+
+  AssemblingSink sink;
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.initial_blocks = method == "rt_2n" ? 4 : 3;
+  cfg.codec = "trle";
+  cfg.gather = true;
+  cfg.sink = &sink;
+
+  sink.begin_frame(0, w, h);
+  const harness::CompositionRun run =
+      harness::run_composition(cfg, partials);
+  sink.end_frame(0);
+
+  ASSERT_EQ(sink.frame_count(), 1u);
+  EXPECT_EQ(img::max_channel_diff(sink.latest(), run.image), 0) << method;
+  EXPECT_GT(sink.tiles_delivered(), 0) << method;
+  EXPECT_EQ(sink.pixels_delivered(), std::int64_t{w} * h) << method;
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SinkDelivery,
+                         ::testing::Values("bswap", "bswap_any", "rt_n",
+                                           "rt_2n", "direct", "pp_exact"));
+
+TEST(AssemblingSink, KeepsFramesInCompletionOrder) {
+  AssemblingSink sink;
+  const int w = 4, h = 2;
+  for (int f = 0; f < 3; ++f) {
+    sink.begin_frame(f, w, h);
+    std::vector<img::GrayA8> px(
+        static_cast<std::size_t>(w) * h,
+        img::GrayA8{static_cast<std::uint8_t>(10 * (f + 1)), 255});
+    sink.deliver_tile(f, img::PixelSpan{0, w * h}, px);
+    sink.end_frame(f);
+  }
+  ASSERT_EQ(sink.frame_count(), 3u);
+  for (int f = 0; f < 3; ++f)
+    EXPECT_EQ(sink.frame(static_cast<std::size_t>(f)).at(0, 0).v,
+              10 * (f + 1));
+  EXPECT_EQ(sink.tiles_delivered(), 3);
+}
+
+TEST(AssemblingSink, UndeliveredRegionsStayBlank) {
+  AssemblingSink sink;
+  sink.begin_frame(0, 4, 2);
+  const std::vector<img::GrayA8> px(2, img::GrayA8{200, 255});
+  sink.deliver_tile(0, img::PixelSpan{2, 4}, px);
+  sink.end_frame(0);
+  const img::Image& im = sink.latest();
+  EXPECT_TRUE(img::is_blank(im.at(0, 0)));
+  EXPECT_EQ(im.at(2, 0).v, 200);
+  EXPECT_EQ(im.at(3, 0).v, 200);
+  EXPECT_TRUE(img::is_blank(im.at(0, 1)));
+}
+
+TEST(PgmStreamSink, WritesWellFormedBackToBackFrames) {
+  std::ostringstream os;
+  PgmStreamSink sink(os);
+  const int w = 5, h = 3;
+  for (int f = 0; f < 2; ++f) {
+    sink.begin_frame(f, w, h);
+    std::vector<img::GrayA8> px(
+        static_cast<std::size_t>(w) * h,
+        img::GrayA8{static_cast<std::uint8_t>(100 + f), 255});
+    sink.deliver_tile(f, img::PixelSpan{0, w * h}, px);
+    sink.end_frame(f);
+  }
+  EXPECT_EQ(sink.frames_written(), 2);
+
+  const std::string bytes = os.str();
+  const std::string header = "P5\n5 3\n255\n";
+  const std::size_t frame_len = header.size() + static_cast<std::size_t>(w) * h;
+  ASSERT_EQ(bytes.size(), 2 * frame_len);
+  EXPECT_EQ(bytes.compare(0, header.size(), header), 0);
+  EXPECT_EQ(bytes.compare(frame_len, header.size(), header), 0);
+  // First raster byte of each frame carries the frame's gray value.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[header.size()]), 100u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[frame_len + header.size()]),
+            101u);
+}
+
+}  // namespace
+}  // namespace rtc::frames

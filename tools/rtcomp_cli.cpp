@@ -12,14 +12,20 @@
 //                   [--fault-delay-mean S] [--fault-crash-rank R]
 //                   [--fault-crash-after SENDS] [--fault-crash-at T]
 //                   [--retries N] [--rto S] [--on-peer-loss blank|throw]
+//     multi-frame (camera sweep through the frame pipeline):
+//                   --frames K [--sweep DEG] [--max-in-flight M]
+//                   [--no-coherence] [--stream frames.pgms]
+//                   [--fault-frame F]
 //   rtcomp schedule --ranks 3 --blocks 4 [--variant n|2n|any]
 //   rtcomp predict  --ranks 32 --blocks 4 [--pixels 262144]
 //                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
 //
 // Exit codes: 0 ok, 2 usage error.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "rtc/rtc.hpp"
@@ -38,7 +44,7 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
-      if (key == "mip") {
+      if (key == "mip" || key == "no-coherence") {
         kv_[key] = "1";
         continue;
       }
@@ -86,7 +92,99 @@ int cmd_info() {
   return 0;
 }
 
+/// Fault-injection + resilience flags shared by the single-shot and
+/// multi-frame render paths (docs/fault_model.md). The defaults leave
+/// the plan disabled, so a plain render stays on the bit-identical
+/// zero-fault fast path. Returns 0, or 2 on a usage error.
+int parse_fault_flags(const Args& a, harness::CompositionConfig& cfg) {
+  cfg.fault.seed = static_cast<std::uint64_t>(a.get_int("fault-seed", 1));
+  cfg.fault.drop = a.get_double("fault-drop", 0.0);
+  cfg.fault.corrupt = a.get_double("fault-corrupt", 0.0);
+  cfg.fault.duplicate = a.get_double("fault-dup", 0.0);
+  cfg.fault.delay = a.get_double("fault-delay", 0.0);
+  cfg.fault.delay_mean = a.get_double("fault-delay-mean", 0.001);
+  if (a.has("fault-crash-rank")) {
+    comm::FaultPlan::Crash crash;
+    crash.rank = a.get_int("fault-crash-rank", -1);
+    crash.after_sends = a.get_int("fault-crash-after", -1);
+    if (a.has("fault-crash-at"))
+      crash.at_time = a.get_double("fault-crash-at", 0.0);
+    if (crash.after_sends < 0 && !a.has("fault-crash-at"))
+      crash.after_sends = 0;  // bare --fault-crash-rank: die at 1st send
+    cfg.fault.crashes.push_back(crash);
+  }
+  cfg.resilience.retries = a.get_int("retries", cfg.resilience.retries);
+  cfg.resilience.timeout = a.get_double("rto", cfg.resilience.timeout);
+  const std::string on_loss = a.get("on-peer-loss", "blank");
+  if (on_loss != "blank" && on_loss != "throw") {
+    std::cerr << "unknown --on-peer-loss: " << on_loss << "\n";
+    return 2;
+  }
+  cfg.resilience.on_peer_loss =
+      on_loss == "throw" ? comm::ResiliencePolicy::PeerLoss::kThrow
+                         : comm::ResiliencePolicy::PeerLoss::kBlank;
+  return 0;
+}
+
+/// --frames K: drive a camera sweep through the frame pipeline
+/// (frames::run_sequence) instead of one single-shot composition.
+int cmd_render_frames(const Args& a) {
+  frames::PipelineConfig pc;
+  pc.dataset = a.get("dataset", "engine");
+  pc.ranks = a.get_int("ranks", 8);
+  pc.volume_n = a.get_int("volume", 96);
+  pc.image_size = a.get_int("image", 512);
+  pc.frames = a.get_int("frames", 8);
+  pc.yaw0_deg = a.get_double("yaw", 0.0);
+  pc.sweep_deg = a.get_double("sweep", 360.0);
+  pc.pitch_deg = a.get_double("pitch", 20.0);
+  pc.renderer = a.get("renderer", "shearwarp");
+  pc.max_in_flight = a.get_int("max-in-flight", 2);
+  pc.coherence = !a.has("no-coherence");
+  pc.fault_frame = a.get_int("fault-frame", -1);
+  pc.comp.method = a.get("method", "rt_n");
+  pc.comp.initial_blocks = a.get_int("blocks", 3);
+  pc.comp.codec = a.get("codec", "");
+  pc.comp.gather = true;
+  if (a.get("net", "sp2-hps") == "paper-example")
+    pc.comp.net = comm::paper_example_model();
+  if (const int rc = parse_fault_flags(a, pc.comp); rc != 0) return rc;
+
+  std::ofstream stream;
+  std::unique_ptr<frames::PgmStreamSink> sink;
+  if (a.has("stream")) {
+    stream.open(a.get("stream", ""), std::ios::binary);
+    if (!stream) {
+      std::cerr << "cannot open --stream file: " << a.get("stream", "")
+                << "\n";
+      return 2;
+    }
+    sink = std::make_unique<frames::PgmStreamSink>(stream);
+    pc.sink = sink.get();
+  }
+
+  const frames::SequenceResult seq = frames::run_sequence(pc);
+  std::cout << "sweep of '" << pc.dataset << "', " << pc.ranks
+            << " ranks, " << pc.renderer << " renderer, "
+            << pc.comp.method << "/"
+            << (pc.comp.codec.empty() ? "raw" : pc.comp.codec)
+            << (pc.coherence ? "" : ", coherence off") << "\n\n";
+  frames::print_sequence(std::cout, pc, seq);
+  if (pc.fault_frame >= 0 &&
+      pc.fault_frame < static_cast<int>(seq.frames.size()))
+    std::cout << "frame " << pc.fault_frame << " faults:  "
+              << harness::fault_summary(
+                     seq.frames[static_cast<std::size_t>(pc.fault_frame)]
+                         .run.stats)
+              << "\n";
+  if (sink != nullptr)
+    std::cout << "wrote " << a.get("stream", "") << " ("
+              << sink->frames_written() << " PGM frames)\n";
+  return 0;
+}
+
 int cmd_render(const Args& a) {
+  if (a.get_int("frames", 1) > 1) return cmd_render_frames(a);
   const std::string dataset = a.get("dataset", "engine");
   const int ranks = a.get_int("ranks", 8);
   const std::string method = a.get("method", "rt_n");
@@ -142,35 +240,7 @@ int cmd_render(const Args& a) {
   if (a.get("net", "sp2-hps") == "paper-example")
     cfg.net = comm::paper_example_model();
 
-  // Fault injection + resilience (docs/fault_model.md). The defaults
-  // leave the plan disabled, so a plain render stays on the
-  // bit-identical zero-fault fast path.
-  cfg.fault.seed = static_cast<std::uint64_t>(a.get_int("fault-seed", 1));
-  cfg.fault.drop = a.get_double("fault-drop", 0.0);
-  cfg.fault.corrupt = a.get_double("fault-corrupt", 0.0);
-  cfg.fault.duplicate = a.get_double("fault-dup", 0.0);
-  cfg.fault.delay = a.get_double("fault-delay", 0.0);
-  cfg.fault.delay_mean = a.get_double("fault-delay-mean", 0.001);
-  if (a.has("fault-crash-rank")) {
-    comm::FaultPlan::Crash crash;
-    crash.rank = a.get_int("fault-crash-rank", -1);
-    crash.after_sends = a.get_int("fault-crash-after", -1);
-    if (a.has("fault-crash-at"))
-      crash.at_time = a.get_double("fault-crash-at", 0.0);
-    if (crash.after_sends < 0 && !a.has("fault-crash-at"))
-      crash.after_sends = 0;  // bare --fault-crash-rank: die at 1st send
-    cfg.fault.crashes.push_back(crash);
-  }
-  cfg.resilience.retries = a.get_int("retries", cfg.resilience.retries);
-  cfg.resilience.timeout = a.get_double("rto", cfg.resilience.timeout);
-  const std::string on_loss = a.get("on-peer-loss", "blank");
-  if (on_loss != "blank" && on_loss != "throw") {
-    std::cerr << "unknown --on-peer-loss: " << on_loss << "\n";
-    return 2;
-  }
-  cfg.resilience.on_peer_loss =
-      on_loss == "throw" ? comm::ResiliencePolicy::PeerLoss::kThrow
-                         : comm::ResiliencePolicy::PeerLoss::kBlank;
+  if (const int rc = parse_fault_flags(a, cfg); rc != 0) return rc;
 
   const harness::CompositionRun run =
       harness::run_composition(cfg, partials);
