@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Chaos seed-sweep over the fault-injection matrix: methods x policies
+# x seeds, each run twice to prove determinism byte-for-byte.
+# Usage: scripts/check_chaos.sh [build-dir]   (default: $BUILD_DIR,
+# then build)
+#
+# Invariants checked on every cell:
+#   * the CLI exits 0 — faults degrade results, never crash the run;
+#   * replaying the identical plan reproduces the image byte-for-byte
+#     and the fault summary line verbatim;
+#   * crash-only plans under --on-peer-loss=recompose finish with
+#     lost_px=0 (the survivors recomposed; nothing stayed blanked);
+#   * a dead link with the circuit breaker + relay enabled produces
+#     the exact no-fault image (lost_px=0, no degradation).
+set -euo pipefail
+BUILD="${1:-${BUILD_DIR:-build}}"
+RTCOMP="$BUILD/tools/rtcomp"
+[[ -x $RTCOMP ]] || { echo "error: $RTCOMP not built" >&2; exit 1; }
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+
+BASE=(render --dataset engine --ranks 4 --image 64 --volume 32
+      --codec trle --retries 6)
+
+blocks_for() {  # rt variants want multiple blocks per rank
+  case "$1" in rt_n|rt) echo 3 ;; *) echo 1 ;; esac
+}
+
+run_cell() {  # run_cell <label> <expect-grep> <arg...>
+  local label="$1" expect="$2"; shift 2
+  local out1="$TMP/a.pgm" out2="$TMP/b.pgm"
+  local sum1 sum2
+  if ! sum1=$("$RTCOMP" "${BASE[@]}" "$@" --out "$out1" 2>&1); then
+    echo "FAIL $label  (nonzero exit)"; echo "$sum1" | sed 's/^/     /'
+    fail=1; return
+  fi
+  sum2=$("$RTCOMP" "${BASE[@]}" "$@" --out "$out2" 2>&1)
+  if ! cmp -s "$out1" "$out2"; then
+    echo "FAIL $label  (image not deterministic across replays)"
+    fail=1; return
+  fi
+  # Quote the RHS: an unquoted substitution in [[ != ]] is a glob
+  # pattern, and the summary contains glob-active brackets (dead=[3]).
+  if [[ $(grep '^faults:' <<<"$sum1") != "$(grep '^faults:' <<<"$sum2")" ]]
+  then
+    echo "FAIL $label  (fault summary not deterministic)"
+    fail=1; return
+  fi
+  if [[ -n $expect ]] && ! grep -qE "$expect" <<<"$sum1"; then
+    echo "FAIL $label  (wanted /$expect/)"
+    echo "$sum1" | sed 's/^/     /'
+    fail=1; return
+  fi
+  echo "ok   $label"
+}
+
+# --- Wire-fault storm sweep: drops+corruption+dups, both policies ----
+for seed in 7 101 909; do
+  for method in rt_n bswap_any direct pp_exact; do
+    for policy in blank recompose; do
+      run_cell "storm seed=$seed $method/$policy" 'faults:' \
+        --method "$method" --blocks "$(blocks_for "$method")" \
+        --fault-seed "$seed" --fault-drop 0.3 --fault-corrupt 0.1 \
+        --fault-dup 0.1 --on-peer-loss "$policy"
+    done
+  done
+done
+
+# --- Crash-only plans: recompose must converge to lost_px=0 ----------
+for seed in 7 101 909; do
+  for method in rt_n bswap_any direct pp_exact; do
+    run_cell "crash seed=$seed $method/recompose" \
+      'lost_px=0 dead=\[3\] epoch=1 recomposed=' \
+      --method "$method" --blocks "$(blocks_for "$method")" \
+      --fault-seed "$seed" --fault-crash-rank 3 --fault-crash-after 0 \
+      --on-peer-loss recompose
+  done
+done
+
+# Crash mid-storm: recovery still terminates and stays deterministic.
+run_cell "crash+storm rt_n/recompose" 'dead=\[3\] epoch=1' \
+  --method rt_n --blocks 3 --fault-seed 13 --fault-drop 0.2 \
+  --fault-crash-rank 3 --fault-crash-after 1 --on-peer-loss recompose
+
+# --- Circuit breaker: dead link relays to the exact no-fault image ---
+"$RTCOMP" "${BASE[@]}" --method direct --blocks 1 \
+  --out "$TMP/ref.pgm" >/dev/null
+run_cell "dead link direct/relay" \
+  'lost_px=0 dead=\[\] relayed=[1-9].* trips=[1-9].* ok' \
+  --method direct --blocks 1 --fault-link 1:0:1.0 \
+  --circuit-breaker-threshold 2 --relay
+if ! cmp -s "$TMP/ref.pgm" "$TMP/a.pgm"; then
+  echo "FAIL dead link direct/relay  (relayed image != no-fault image)"
+  fail=1
+else
+  echo "ok   dead link relayed image matches no-fault image"
+fi
+
+if [[ $fail -ne 0 ]]; then echo "chaos sweep FAILED"; exit 1; fi
+echo "chaos sweep passed"

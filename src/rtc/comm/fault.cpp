@@ -47,6 +47,47 @@ double FaultInjector::uniform(int src, int dst, int tag, std::uint32_t seq,
   return to_unit(h);
 }
 
+const FaultPlan::LinkFault* FaultInjector::link(int src, int dst) const {
+  for (const FaultPlan::LinkFault& l : plan_.links)
+    if (l.src == src && l.dst == dst) return &l;
+  return nullptr;
+}
+
+bool FaultInjector::attempt_dropped(int src, int dst, int tag,
+                                    std::uint32_t seq, int attempt) const {
+  const FaultPlan::LinkFault* l = link(src, dst);
+  const double rate = plan_.drop + (l != nullptr ? l->drop : 0.0);
+  return rate > 0.0 &&
+         uniform(src, dst, tag, seq, attempt, kSaltDrop) < rate;
+}
+
+bool FaultInjector::attempt_corrupted(int src, int dst, int tag,
+                                      std::uint32_t seq, int attempt) const {
+  const FaultPlan::LinkFault* l = link(src, dst);
+  const double rate = plan_.corrupt + (l != nullptr ? l->corrupt : 0.0);
+  return rate > 0.0 &&
+         uniform(src, dst, tag, seq, attempt, kSaltCorrupt) < rate;
+}
+
+double FaultInjector::delay_spike(int src, int dst, int tag,
+                                  std::uint32_t seq, bool* delayed) const {
+  const FaultPlan::LinkFault* l = link(src, dst);
+  const double rate = plan_.delay + (l != nullptr ? l->delay : 0.0);
+  *delayed = rate > 0.0 && uniform(src, dst, tag, seq, 0, kSaltDelay) < rate;
+  if (!*delayed) return 0.0;
+  const double mean =
+      l != nullptr && l->delay_mean > 0.0 ? l->delay_mean : plan_.delay_mean;
+  return mean * (0.5 + uniform(src, dst, tag, seq, 0, kSaltDelayMag));
+}
+
+bool FaultInjector::duplicated(int src, int dst, int tag,
+                               std::uint32_t seq) const {
+  const FaultPlan::LinkFault* l = link(src, dst);
+  const double rate = plan_.duplicate + (l != nullptr ? l->duplicate : 0.0);
+  return rate > 0.0 &&
+         uniform(src, dst, tag, seq, 0, kSaltDuplicate) < rate;
+}
+
 WireShaping FaultInjector::shape(int src, int dst, int tag,
                                  std::uint32_t seq,
                                  std::int64_t payload_bytes,
@@ -56,27 +97,17 @@ WireShaping FaultInjector::shape(int src, int dst, int tag,
   if (plan_.any_wire_faults()) {
     // Delay spike: the message makes it but arrives late (congestion,
     // adaptive routing detour). Independent of the retry loop.
-    if (plan_.delay > 0.0 &&
-        uniform(src, dst, tag, seq, 0, kSaltDelay) < plan_.delay) {
-      s.delayed = true;
-      s.extra_delay += plan_.delay_mean *
-                       (0.5 + uniform(src, dst, tag, seq, 0, kSaltDelayMag));
-    }
-    if (plan_.duplicate > 0.0 &&
-        uniform(src, dst, tag, seq, 0, kSaltDuplicate) < plan_.duplicate)
-      s.duplicate = true;
+    s.extra_delay += delay_spike(src, dst, tag, seq, &s.delayed);
+    s.duplicate = duplicated(src, dst, tag, seq);
 
     // Delivery attempts: attempt 0 is the original transmission; each
     // failure waits out the (backed-off) retransmit timeout and resends,
     // paying Ts and the payload's wire time again.
     bool delivered = false;
     for (int attempt = 0; attempt <= policy.retries; ++attempt) {
-      const bool dropped =
-          plan_.drop > 0.0 &&
-          uniform(src, dst, tag, seq, attempt, kSaltDrop) < plan_.drop;
+      const bool dropped = attempt_dropped(src, dst, tag, seq, attempt);
       const bool corrupted =
-          !dropped && plan_.corrupt > 0.0 &&
-          uniform(src, dst, tag, seq, attempt, kSaltCorrupt) < plan_.corrupt;
+          !dropped && attempt_corrupted(src, dst, tag, seq, attempt);
       if (!dropped && !corrupted) {
         delivered = true;
         break;

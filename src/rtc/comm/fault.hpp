@@ -41,8 +41,31 @@ struct ResiliencePolicy {
   enum class PeerLoss {
     kThrow,  ///< recv throws CommError (fail-stop diagnostics)
     kBlank,  ///< compositors substitute an all-blank block and continue
+    /// Like kBlank within a pass, but after the pass the survivors run
+    /// the failure detector (membership.hpp), agree on a new membership
+    /// epoch, and re-composite from scratch over the survivor schedule.
+    kRecompose,
   };
   PeerLoss on_peer_loss = PeerLoss::kThrow;
+  /// True for every mode in which a lost contribution degrades the
+  /// result instead of aborting the run. Compositors branch on this —
+  /// not on `== kBlank` — so recomposition inherits the blank-and-
+  /// continue wire behavior inside each pass.
+  [[nodiscard]] bool degrade_on_loss() const {
+    return on_peer_loss != PeerLoss::kThrow;
+  }
+
+  /// Per-link circuit breaker (0 disables). After this many consecutive
+  /// failed direct delivery attempts to one peer the link *opens*:
+  /// while open — and when `relay` is set — traffic detours
+  /// store-and-forward through a healthy third rank instead of burning
+  /// the retry budget on a bad cable.
+  int breaker_threshold = 0;
+  /// Virtual seconds an open link waits before a half-open probe (one
+  /// direct attempt; success closes the link, failure re-opens it).
+  double breaker_cooldown = 0.05;
+  /// Allow routing around open links through a relay rank.
+  bool relay = false;
 };
 
 /// A seeded schedule of faults. All rates are per-delivery-attempt
@@ -66,8 +89,29 @@ struct FaultPlan {
   };
   std::vector<Crash> crashes;
 
+  /// Extra fault rates on one directed link (src -> dst), added on top
+  /// of the global rates. Models a chronically bad cable without
+  /// degrading the whole fabric — the circuit breaker's natural prey.
+  struct LinkFault {
+    int src = -1;
+    int dst = -1;
+    double drop = 0.0;
+    double corrupt = 0.0;
+    double duplicate = 0.0;
+    double delay = 0.0;
+    double delay_mean = 0.0;
+    [[nodiscard]] bool any() const {
+      return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0;
+    }
+  };
+  std::vector<LinkFault> links;
+
   [[nodiscard]] bool any_wire_faults() const {
-    return drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0;
+    if (drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0)
+      return true;
+    for (const LinkFault& l : links)
+      if (l.any()) return true;
+    return false;
   }
   [[nodiscard]] bool enabled() const {
     return any_wire_faults() || !crashes.empty();
@@ -107,6 +151,21 @@ class FaultInjector {
                                   const NetworkModel& model,
                                   const ResiliencePolicy& policy) const;
 
+  /// Per-attempt / per-message decisions for callers that manage their
+  /// own delivery loop (the circuit breaker re-routes mid-message).
+  /// These compute the exact hashes shape() uses, so a breaker-disabled
+  /// run replays bit-identically through either API.
+  [[nodiscard]] bool attempt_dropped(int src, int dst, int tag,
+                                     std::uint32_t seq, int attempt) const;
+  [[nodiscard]] bool attempt_corrupted(int src, int dst, int tag,
+                                       std::uint32_t seq, int attempt) const;
+  /// Extra virtual seconds from a delay spike (0 when none fired);
+  /// `delayed` reports whether the coin came up.
+  [[nodiscard]] double delay_spike(int src, int dst, int tag,
+                                   std::uint32_t seq, bool* delayed) const;
+  [[nodiscard]] bool duplicated(int src, int dst, int tag,
+                                std::uint32_t seq) const;
+
   /// True when `rank` must die now: `sends_attempted` counts the
   /// in-progress send (1-based), `clock` is the rank's virtual time.
   [[nodiscard]] bool should_crash(int rank, int sends_attempted,
@@ -119,6 +178,7 @@ class FaultInjector {
  private:
   [[nodiscard]] double uniform(int src, int dst, int tag, std::uint32_t seq,
                                int attempt, std::uint64_t salt) const;
+  [[nodiscard]] const FaultPlan::LinkFault* link(int src, int dst) const;
 
   FaultPlan plan_;
 };

@@ -1,0 +1,174 @@
+#include "rtc/comm/membership.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
+
+namespace rtc::comm {
+
+namespace {
+
+/// Tag namespace per flood call: tag = kControlTagBase +
+/// call * kMembershipMaxRounds + round. Bounds the rounds per call so
+/// calls can never collide.
+constexpr int kMembershipMaxRounds = 32;
+
+}  // namespace
+
+MembershipView MembershipView::full(int world_size) {
+  RTC_CHECK(world_size >= 1);
+  MembershipView v;
+  v.members.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) v.members.push_back(r);
+  return v;
+}
+
+bool MembershipView::contains(int rank) const {
+  return std::binary_search(members.begin(), members.end(), rank);
+}
+
+int MembershipView::index_of(int rank) const {
+  const auto it = std::lower_bound(members.begin(), members.end(), rank);
+  if (it == members.end() || *it != rank) return -1;
+  return static_cast<int>(it - members.begin());
+}
+
+std::vector<std::byte> encode_membership(
+    std::uint32_t epoch, std::span<const std::uint8_t> dead) {
+  std::vector<std::byte> out;
+  wire::WireWriter w(out);
+  w.u32(epoch);
+  w.u32(static_cast<std::uint32_t>(dead.size()));
+  std::uint8_t acc = 0;
+  for (std::size_t r = 0; r < dead.size(); ++r) {
+    if (dead[r] != 0) acc |= static_cast<std::uint8_t>(1u << (r % 8));
+    if (r % 8 == 7) {
+      w.u8(acc);
+      acc = 0;
+    }
+  }
+  if (dead.size() % 8 != 0) w.u8(acc);
+  return out;
+}
+
+MembershipMsg decode_membership(std::span<const std::byte> bytes) {
+  wire::WireReader r(bytes);
+  MembershipMsg msg;
+  msg.epoch = r.u32("membership epoch");
+  const std::uint32_t n = r.u32("membership world size");
+  // A flood message describes one World; anything claiming more ranks
+  // than the wire format could ever carry here is hostile bytes.
+  wire::require(n >= 1 && n <= 1u << 20, wire::DecodeError::Kind::kRange,
+                "membership world size");
+  const std::size_t mask_bytes = (static_cast<std::size_t>(n) + 7) / 8;
+  const std::span<const std::byte> mask =
+      r.bytes(mask_bytes, "membership mask");
+  r.finish("membership");
+  // Padding bits past rank n-1 must be zero — a mask with garbage
+  // padding was not produced by encode_membership.
+  if (n % 8 != 0) {
+    const auto last = static_cast<std::uint8_t>(mask[mask_bytes - 1]);
+    wire::require((last >> (n % 8)) == 0, wire::DecodeError::Kind::kRange,
+                  "membership mask padding");
+  }
+  msg.dead.assign(static_cast<std::size_t>(n), 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto b = static_cast<std::uint8_t>(mask[i / 8]);
+    msg.dead[i] = (b >> (i % 8)) & 1u;
+  }
+  return msg;
+}
+
+bool advance_epoch(Comm& comm, MembershipView& view) {
+  RTC_CHECK_MSG(comm.group() == nullptr,
+                "advance_epoch speaks physical ranks; clear the group view");
+  // No crash budget means membership cannot change: send nothing, so a
+  // zero-fault run stays bit-identical to a world without this layer.
+  if (comm.crash_budget() == 0 || view.size() <= 1) return false;
+  const int world_n = comm.size();
+  const int self = comm.rank();
+  const int rounds = comm.crash_budget() + 1;
+  RTC_CHECK(rounds <= kMembershipMaxRounds);
+  const int call = comm.take_membership_ticket();
+
+  // Frozen evidence: only deaths this rank observed *before* this call
+  // enter the flood. Deaths observed while flooding are already in
+  // Comm::observed_dead and will seed the next call — merging them now
+  // would let survivors diverge on the final mask.
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(world_n), 0);
+  for (const int m : view.members)
+    if (m != self && comm.observed_dead(m))
+      mask[static_cast<std::size_t>(m)] = 1;
+
+  for (int round = 0; round < rounds; ++round) {
+    const int tag = kControlTagBase + call * kMembershipMaxRounds + round;
+    const std::vector<std::byte> payload =
+        encode_membership(view.epoch, mask);
+    // Send-all then receive-all, both in ascending member order: every
+    // member runs the identical schedule, so the flood cannot deadlock.
+    for (const int m : view.members) {
+      if (m == self || mask[static_cast<std::size_t>(m)]) continue;
+      comm.send(m, tag, payload);
+    }
+    for (const int m : view.members) {
+      if (m == self || mask[static_cast<std::size_t>(m)]) continue;
+      std::optional<std::vector<std::byte>> p = comm.try_recv(m, tag);
+      if (!p) continue;  // m died; its evidence reaches us through others
+      try {
+        const MembershipMsg msg = decode_membership(*p);
+        if (msg.epoch == view.epoch &&
+            static_cast<int>(msg.dead.size()) == world_n) {
+          for (int r = 0; r < world_n; ++r)
+            if (msg.dead[static_cast<std::size_t>(r)])
+              mask[static_cast<std::size_t>(r)] = 1;
+        }
+      } catch (const wire::DecodeError&) {
+        // The control channel bypasses fault shaping, but stay hardened:
+        // unparseable evidence is no evidence.
+      }
+      comm.pool().release(std::move(*p));
+    }
+  }
+
+  bool any = false;
+  for (const int m : view.members)
+    any = any || mask[static_cast<std::size_t>(m)] != 0;
+  comm.note_span(obs::SpanKind::kMembership, call, 0,
+                 static_cast<std::int64_t>(rounds));
+  if (!any) return false;
+
+  std::vector<int> next;
+  next.reserve(view.members.size());
+  for (const int m : view.members)
+    if (!mask[static_cast<std::size_t>(m)]) next.push_back(m);
+  RTC_CHECK_MSG(!next.empty(), "membership lost every rank");
+  view.members = std::move(next);
+  view.epoch += 1;
+  return true;
+}
+
+void probe_liveness(Comm& comm, const MembershipView& view) {
+  if (comm.crash_budget() == 0 || view.size() <= 1) return;
+  const int self = comm.rank();
+  const int call = comm.take_membership_ticket();
+  const int tag = kControlTagBase + call * kMembershipMaxRounds;
+  const std::vector<std::byte> ping(1, std::byte{0xA5});
+  // Send-all then receive-all: identical schedule at every member, and
+  // the control flow never depends on the outcomes — only the
+  // observed_dead record does. A quiet death (a rank that crashed
+  // without any survivor receiving from it, e.g. a gather root that
+  // only listens) turns into local evidence here, which the next
+  // advance_epoch call freezes and floods.
+  for (const int m : view.members)
+    if (m != self) comm.send(m, tag, ping);
+  for (const int m : view.members) {
+    if (m == self) continue;
+    std::optional<std::vector<std::byte>> p = comm.try_recv(m, tag);
+    if (p) comm.pool().release(std::move(*p));
+  }
+}
+
+}  // namespace rtc::comm

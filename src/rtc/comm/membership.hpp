@@ -1,0 +1,87 @@
+// Deterministic failure detection and membership epochs.
+//
+// The compositors assume all P ranks survive the schedule; this module
+// lets the survivors find out — identically and deterministically —
+// when that assumption broke. Evidence of death is strictly *local*:
+// a rank learns a peer is dead only when one of its own receives
+// returns kPeerDead (Comm::observed_dead), a fact carried by the
+// message DAG and therefore independent of wall-clock scheduling.
+//
+// advance_epoch() floods that evidence: `crash_budget + 1` rounds of
+// all-to-all mask exchange over the control plane (tags >=
+// kControlTagBase, which bypass wire-fault shaping — a reliable
+// control channel — but still charge virtual wire time and still honor
+// crash triggers). The classic flooding argument applies: with at most
+// `budget` deaths there is at least one round in which no rank dies,
+// and in that round every live rank sends its mask to every other live
+// rank, after which all live masks are equal and stay equal. Evidence
+// is *frozen* at call entry — deaths observed mid-flood are recorded
+// for the *next* call, never merged into the current one — so every
+// survivor computes the same final mask and the same new epoch.
+//
+// Quiet deaths — a rank that crashed without any survivor receiving
+// from it (a gather root only listens, so its death leaves no trace in
+// the pass traffic) — are caught by probe_liveness(): one symmetric
+// ping round whose outcomes feed observed_dead but never branch the
+// control flow, run by the recovery driver before each agreement call.
+//
+// The recovery driver (compositing/compositor.cpp) drains
+// advance_epoch to a fixpoint after each composition pass and re-runs
+// the pass over the survivor view when the epoch moved.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtc/comm/world.hpp"
+
+namespace rtc::comm {
+
+/// An agreed set of live ranks. `members` holds *physical* rank ids in
+/// ascending order — which is also the compositors' depth order, so a
+/// survivor schedule derived from the view stays a valid composition
+/// order. Epoch 0 with all ranks present is the initial view.
+struct MembershipView {
+  std::uint32_t epoch = 0;
+  std::vector<int> members;
+
+  [[nodiscard]] static MembershipView full(int world_size);
+  [[nodiscard]] int size() const { return static_cast<int>(members.size()); }
+  [[nodiscard]] bool contains(int rank) const;
+  /// Index of `rank` in members (its virtual rank), -1 when absent.
+  [[nodiscard]] int index_of(int rank) const;
+};
+
+/// Wire format of one flood message: [u32 epoch][u32 world_size]
+/// [(world_size+7)/8 bytes of dead-rank bitmask, LSB-first].
+[[nodiscard]] std::vector<std::byte> encode_membership(
+    std::uint32_t epoch, std::span<const std::uint8_t> dead);
+
+struct MembershipMsg {
+  std::uint32_t epoch = 0;
+  std::vector<std::uint8_t> dead;  ///< one flag per physical rank
+};
+/// Throws wire::DecodeError on malformed bytes (truncated header,
+/// oversized world, short or trailing mask bytes, padding-bit garbage).
+[[nodiscard]] MembershipMsg decode_membership(
+    std::span<const std::byte> bytes);
+
+/// One collective epoch-agreement call over `view.members`. Every
+/// member that is still alive must call it the same number of times
+/// (the recovery driver guarantees this). Returns true — with `view`
+/// advanced to epoch+1 over the survivors — when any member
+/// contributed death evidence; false (and no messages at all, keeping
+/// zero-fault runs bit-identical) when the world has no crash budget
+/// or the view cannot shrink further.
+bool advance_epoch(Comm& comm, MembershipView& view);
+
+/// One collective ping round over `view.members`: every member sends a
+/// control-plane ping to every other member and polls for the peers'
+/// pings; a missing ping records the peer in Comm::observed_dead. The
+/// control flow is outcome-independent (no branching on liveness), so
+/// every live member stays in lockstep regardless of what it observes.
+/// No-op (and no messages) when the world has no crash budget.
+void probe_liveness(Comm& comm, const MembershipView& view);
+
+}  // namespace rtc::comm

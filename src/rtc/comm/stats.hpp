@@ -37,6 +37,16 @@ struct RankStats {
   std::int64_t lost_pixels = 0;           ///< pixels substituted blank
   /// Block ids the compositor had to substitute blank (degradation).
   std::vector<std::int64_t> lost_blocks;
+  // Self-healing counters (membership/recompose/relay layer; all zero
+  // on a clean run and under kThrow/kBlank policies).
+  std::int64_t recomposes = 0;        ///< survivor-recomposition passes
+  std::uint32_t membership_epoch = 0; ///< final agreed membership epoch
+  std::int64_t relayed_messages = 0;  ///< own sends detoured via a relay
+  std::int64_t relayed_bytes = 0;
+  std::int64_t relay_through_messages = 0;  ///< messages forwarded for others
+  std::int64_t relay_through_bytes = 0;
+  std::int64_t breaker_trips = 0;   ///< per-link circuit breakers opened
+  std::int64_t breaker_probes = 0;  ///< half-open probe attempts
   // Temporal-coherence cache counters (frame pipeline; zero when no
   // cache is installed). Accounted at the sender, which owns the cache.
   std::int64_t coherence_hits = 0;    ///< blocks unchanged since last frame
@@ -158,6 +168,58 @@ struct RunStats {
   [[nodiscard]] bool degraded() const {
     for (const RankStats& r : ranks)
       if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
+    return false;
+  }
+
+  // --- self-healing aggregates ------------------------------------
+
+  [[nodiscard]] std::int64_t total_recomposes() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.recomposes;
+    return n;
+  }
+
+  /// Highest membership epoch any survivor agreed on (0: no change).
+  [[nodiscard]] std::uint32_t max_membership_epoch() const {
+    std::uint32_t e = 0;
+    for (const RankStats& r : ranks)
+      e = r.membership_epoch > e ? r.membership_epoch : e;
+    return e;
+  }
+
+  [[nodiscard]] std::int64_t total_relayed_messages() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.relayed_messages;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_relayed_bytes() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.relayed_bytes;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_breaker_trips() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.breaker_trips;
+    return n;
+  }
+
+  /// True when the run saw *any* fault activity at all — including
+  /// faults that were fully recovered (retransmits, relays, dedup) and
+  /// so do not degrade the image. A superset of degraded(); the frame
+  /// pipeline uses it for epoch hygiene checks across frame
+  /// boundaries.
+  [[nodiscard]] bool has_faults() const {
+    for (const RankStats& r : ranks) {
+      if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
+      if (r.retransmits > 0 || r.crc_failures > 0 || r.drops_detected > 0)
+        return true;
+      if (r.duplicates_discarded > 0 || r.delays_injected > 0) return true;
+      if (r.recomposes > 0 || r.membership_epoch > 0) return true;
+      if (r.relayed_messages > 0 || r.relay_through_messages > 0) return true;
+      if (r.breaker_trips > 0 || r.breaker_probes > 0) return true;
+    }
     return false;
   }
 

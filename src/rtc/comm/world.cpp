@@ -12,6 +12,7 @@
 
 #include "rtc/common/check.hpp"
 #include "rtc/comm/frame.hpp"
+#include "rtc/comm/membership.hpp"
 
 namespace rtc::comm {
 
@@ -52,6 +53,14 @@ struct World::BarrierState {
   double max_clock = 0.0;
 };
 
+struct World::RelayState {
+  explicit RelayState(int size)
+      : messages(static_cast<std::size_t>(size)),
+        bytes(static_cast<std::size_t>(size)) {}
+  std::vector<std::atomic<std::int64_t>> messages;
+  std::vector<std::atomic<std::int64_t>> bytes;
+};
+
 World::World(int size, NetworkModel model) : size_(size), model_(model) {
   RTC_CHECK_MSG(size >= 1, "world size must be positive");
   mailboxes_.reserve(static_cast<std::size_t>(size));
@@ -59,6 +68,7 @@ World::World(int size, NetworkModel model) : size_(size), model_(model) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   barrier_ = std::make_unique<BarrierState>();
   deaths_ = std::make_unique<DeathState>(size);
+  relays_ = std::make_unique<RelayState>(size);
 }
 
 World::~World() = default;
@@ -74,6 +84,13 @@ void World::set_seq_epoch(std::uint32_t epoch) {
 void World::set_fault_plan(const FaultPlan& plan) {
   injector_ = plan.enabled() ? std::make_unique<FaultInjector>(plan)
                              : nullptr;
+}
+
+void World::note_relay_through(int relay, std::int64_t bytes) {
+  relays_->messages[static_cast<std::size_t>(relay)].fetch_add(
+      1, std::memory_order_relaxed);
+  relays_->bytes[static_cast<std::size_t>(relay)].fetch_add(
+      bytes, std::memory_order_relaxed);
 }
 
 void World::deliver(int dst, int src, int tag, Envelope e) {
@@ -196,6 +213,10 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
     deaths_->dead[static_cast<std::size_t>(r)].store(
         false, std::memory_order_release);
     deaths_->time[static_cast<std::size_t>(r)] = 0.0;
+    relays_->messages[static_cast<std::size_t>(r)].store(
+        0, std::memory_order_relaxed);
+    relays_->bytes[static_cast<std::size_t>(r)].store(
+        0, std::memory_order_relaxed);
   }
 
   std::vector<Comm> comms;
@@ -243,6 +264,21 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   for (Comm& c : comms) {
     c.stats_.clock = c.clock_;
     c.stats_.crashed = is_dead(c.rank_);
+    if (c.stats_.crashed) {
+      // A crashed rank's blank-substitution notes describe blocks that
+      // died with it and never reach the output; the survivors already
+      // account the same degradation (lost message at recv, invalid
+      // mask at gather). Keeping both sides would double-count each
+      // lost pixel.
+      c.stats_.lost_blocks.clear();
+      c.stats_.lost_pixels = 0;
+    }
+    c.stats_.relay_through_messages +=
+        relays_->messages[static_cast<std::size_t>(c.rank_)].load(
+            std::memory_order_relaxed);
+    c.stats_.relay_through_bytes +=
+        relays_->bytes[static_cast<std::size_t>(c.rank_)].load(
+            std::memory_order_relaxed);
     c.stats_.seq_first = c.seq_base_ + 1;
     c.stats_.seq_last = c.next_seq_ - 1;  // < seq_first: nothing sent
     if (c.trace_.enabled()) {
@@ -255,7 +291,10 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   return result;
 }
 
-int Comm::size() const { return world_->size(); }
+int Comm::size() const {
+  return group_ != nullptr ? static_cast<int>(group_->members.size())
+                           : world_->size();
+}
 
 const NetworkModel& Comm::model() const { return world_->model(); }
 
@@ -263,7 +302,52 @@ const ResiliencePolicy& Comm::resilience() const {
   return world_->resilience();
 }
 
-bool Comm::peer_dead(int rank) const { return world_->is_dead(rank); }
+bool Comm::peer_dead(int rank) const {
+  return world_->is_dead(to_phys(rank));
+}
+
+int Comm::to_phys(int r) const {
+  RTC_CHECK(r >= 0 && r < size());
+  return group_ != nullptr ? group_->members[static_cast<std::size_t>(r)]
+                           : r;
+}
+
+void Comm::set_group(const MembershipView* group) {
+  group_ = group;
+  group_index_ = 0;
+  if (group == nullptr) return;
+  const int idx = group->index_of(rank_);
+  RTC_CHECK_MSG(idx >= 0, "rank installed a group view it is not part of");
+  group_index_ = idx;
+}
+
+int Comm::crash_budget() const {
+  return world_->injector_ != nullptr
+             ? static_cast<int>(world_->injector_->plan().crashes.size())
+             : 0;
+}
+
+void Comm::note_recompose(std::uint32_t epoch) {
+  stats_.recomposes += 1;
+  stats_.membership_epoch = epoch;
+  // The superseded pass's blank substitutions never reach the final
+  // image — the recomposition pass rebuilds it from the original
+  // partials — so their degradation accounting is dropped with them.
+  // lost_messages stays: it is wire history, not image accounting.
+  stats_.lost_blocks.clear();
+  stats_.lost_pixels = 0;
+}
+
+int Comm::pick_relay(int pdst) const {
+  // Deterministic: based only on this rank's own observations (carried
+  // by the message DAG), never on the racy global death flags.
+  for (int r = 0; r < world_->size(); ++r) {
+    if (r == rank_ || r == pdst) continue;
+    if (observed_dead_.count(r) > 0) continue;
+    return r;
+  }
+  return -1;
+}
 
 void Comm::die() {
   world_->mark_dead(rank_, clock_);
@@ -276,9 +360,100 @@ void Comm::maybe_crash(bool counting_send) {
   if (world_->injector_->should_crash(rank_, sends, clock_)) die();
 }
 
+Comm::ShapedRoute Comm::shape_breaker(int pdst, int tag, std::uint32_t seq,
+                                      std::int64_t bytes) {
+  const NetworkModel& m = world_->model();
+  const ResiliencePolicy& rp = world_->resilience();
+  const FaultInjector& inj = *world_->injector_;
+  ShapedRoute out;
+  WireShaping& s = out.s;
+  // Delay spike / duplicate are message-level events independent of the
+  // delivery route; same coins as the breaker-free path.
+  s.extra_delay += inj.delay_spike(rank_, pdst, tag, seq, &s.delayed);
+  s.duplicate = inj.duplicated(rank_, pdst, tag, seq);
+
+  Breaker& br = breakers_[pdst];
+  bool probing = false;
+  if (br.open && clock_ - br.opened_at >= rp.breaker_cooldown) {
+    // Half-open: one direct attempt. Success closes the link, failure
+    // re-opens it and restarts the cooldown.
+    probing = true;
+    stats_.breaker_probes += 1;
+  }
+  bool direct_next = !br.open || probing;
+  const int relay = rp.relay ? pick_relay(pdst) : -1;
+  bool delivered = false;
+  for (int attempt = 0; attempt <= rp.retries; ++attempt) {
+    const bool via_relay = !direct_next && relay >= 0;
+    bool dropped;
+    bool corrupted;
+    if (via_relay) {
+      // Two hops, each with its own fault coins; the chronically bad
+      // direct link's LinkFault does not apply on the detour.
+      dropped = inj.attempt_dropped(rank_, relay, tag, seq, attempt) ||
+                inj.attempt_dropped(relay, pdst, tag, seq, attempt);
+      corrupted =
+          !dropped &&
+          (inj.attempt_corrupted(rank_, relay, tag, seq, attempt) ||
+           inj.attempt_corrupted(relay, pdst, tag, seq, attempt));
+    } else {
+      dropped = inj.attempt_dropped(rank_, pdst, tag, seq, attempt);
+      corrupted =
+          !dropped && inj.attempt_corrupted(rank_, pdst, tag, seq, attempt);
+    }
+    if (!dropped && !corrupted) {
+      delivered = true;
+      if (via_relay) {
+        out.relayed = true;
+        out.relay = relay;
+      } else {
+        br.failures = 0;
+        br.open = false;  // a direct success (re)closes the link
+      }
+      break;
+    }
+    if (dropped)
+      s.drops += 1;
+    else
+      s.crc_failures += 1;
+    s.extra_delay += rp.timeout * static_cast<double>(1 << attempt);
+    if (!via_relay) {
+      br.failures += 1;
+      if (probing) {
+        br.open = true;
+        br.opened_at = clock_;
+        probing = false;
+        direct_next = false;
+      } else if (!br.open && br.failures >= rp.breaker_threshold) {
+        br.open = true;
+        br.opened_at = clock_;
+        direct_next = false;
+        stats_.breaker_trips += 1;
+      }
+    }
+    if (attempt < rp.retries) {
+      s.retransmits += 1;
+      s.extra_delay += m.ts + m.wire_time(bytes);
+    } else if (corrupted) {
+      s.corrupt_delivery = true;
+      s.corrupt_salt =
+          static_cast<std::uint64_t>(seq) +
+          std::uint64_t{0x5EED} * static_cast<std::uint64_t>(attempt + 1);
+    }
+  }
+  s.lost = !delivered;
+  if (out.relayed) {
+    // Store-and-forward detour: the extra hop pays its own startup and
+    // wire time on top of the direct-path availability.
+    s.extra_delay += m.ts + m.wire_time(bytes);
+  }
+  return out;
+}
+
 void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   RTC_CHECK(dst >= 0 && dst < size());
-  RTC_CHECK_MSG(dst != rank_, "self-sends are not modeled");
+  const int pdst = to_phys(dst);
+  RTC_CHECK_MSG(pdst != rank_, "self-sends are not modeled");
   ++send_calls_;
   maybe_crash(/*counting_send=*/true);
   const std::int64_t w0 = trace_.enabled() ? obs::wall_now_ns() : 0;
@@ -307,9 +482,23 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   e.available_at = egress_free_;
 
   std::optional<World::Envelope> dup;
-  if (world_->injector_ != nullptr) {
-    const WireShaping s = world_->injector_->shape(
-        rank_, dst, tag, seq, bytes, m, world_->resilience());
+  // Control-plane traffic (membership floods) rides a reliable channel:
+  // virtual wire time is charged, fault shaping is not.
+  if (world_->injector_ != nullptr && tag < kControlTagBase) {
+    WireShaping s;
+    if (world_->resilience().breaker_threshold > 0) {
+      const ShapedRoute route = shape_breaker(pdst, tag, seq, bytes);
+      s = route.s;
+      if (route.relayed) {
+        stats_.relayed_messages += 1;
+        stats_.relayed_bytes += bytes;
+        world_->note_relay_through(route.relay, bytes);
+        note_span(obs::SpanKind::kRelay, tag, bytes, route.relay);
+      }
+    } else {
+      s = world_->injector_->shape(rank_, pdst, tag, seq, bytes, m,
+                                   world_->resilience());
+    }
     e.available_at += s.extra_delay;
     e.retransmits = s.retransmits;
     e.drops = s.drops;
@@ -330,39 +519,43 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   stats_.bytes_sent += bytes;
   if (world_->record_events_) {
     stats_.events.push_back(
-        Event{Event::Kind::kSend, issue, clock_, dst, bytes});
+        Event{Event::Kind::kSend, issue, clock_, pdst, bytes});
   }
   if (trace_.enabled()) {
     // The span covers the sender-CPU charge [issue, issue+Ts]; the wire
     // flight is pipelined and shows up as the receiver's recv-wait.
-    trace_.record(obs::Span{obs::SpanKind::kSend, tag, dst, bytes,
+    trace_.record(obs::Span{obs::SpanKind::kSend, tag, pdst, bytes,
                             /*aux=*/0, issue, clock_, w0,
                             obs::wall_now_ns()});
   }
-  world_->deliver(dst, rank_, tag, std::move(e));
-  if (dup) world_->deliver(dst, rank_, tag, std::move(*dup));
+  world_->deliver(pdst, rank_, tag, std::move(e));
+  if (dup) world_->deliver(pdst, rank_, tag, std::move(*dup));
 }
 
 Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
   RTC_CHECK(src >= 0 && src < size());
-  RTC_CHECK_MSG(src != rank_, "self-receives are not modeled");
+  const int psrc = to_phys(src);
+  RTC_CHECK_MSG(psrc != rank_, "self-receives are not modeled");
   maybe_crash(/*counting_send=*/false);
   const double wait_from = clock_;
   const std::int64_t w0 = trace_.enabled() ? obs::wall_now_ns() : 0;
   for (;;) {
     std::optional<World::Envelope> e =
-        world_->take(rank_, src, tag, clock_);
+        world_->take(rank_, psrc, tag, clock_);
     if (!e) {
       // Peer crashed with nothing pending: the loss is detected one
       // retransmit timeout after the peer's (deterministic) death time.
-      clock_ = std::max(clock_, world_->death_time(src) +
+      clock_ = std::max(clock_, world_->death_time(psrc) +
                                     world_->resilience().timeout);
       stats_.lost_messages += 1;
+      // Deterministic local evidence for the failure detector: this
+      // rank now *knows* psrc is dead, independent of wall scheduling.
+      observed_dead_.insert(psrc);
       if (world_->record_events_ && clock_ > wait_from)
         stats_.events.push_back(
-            Event{Event::Kind::kRecvWait, wait_from, clock_, src, 0});
+            Event{Event::Kind::kRecvWait, wait_from, clock_, psrc, 0});
       if (trace_.enabled()) {
-        trace_.record(obs::Span{obs::SpanKind::kRecvWait, tag, src,
+        trace_.record(obs::Span{obs::SpanKind::kRecvWait, tag, psrc,
                                 /*bytes=*/0, /*aux=*/0, wait_from, clock_,
                                 w0, obs::wall_now_ns()});
       }
@@ -376,7 +569,7 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
     if (e->delayed) stats_.delays_injected += 1;
 
     const DecodedFrame d = decode_frame(e->frame);
-    if (d.ok() && !seen_seqs_.insert(seq_key(src, d.seq)).second) {
+    if (d.ok() && !seen_seqs_.insert(seq_key(psrc, d.seq)).second) {
       // Sequence number already consumed: injected duplicate. Discard
       // without advancing the clock — protocol-level dedup is free.
       stats_.duplicates_discarded += 1;
@@ -386,19 +579,19 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
     clock_ = std::max(clock_, e->available_at);
     if (world_->record_events_ && clock_ > wait_from)
       stats_.events.push_back(Event{
-          Event::Kind::kRecvWait, wait_from, clock_, src,
+          Event::Kind::kRecvWait, wait_from, clock_, psrc,
           static_cast<std::int64_t>(e->frame.size())});
     if (trace_.enabled()) {
       const std::int64_t recovered = e->retransmits + e->drops;
       if (recovered > 0) {
         // Instant marker just before the wait span it explains: this
         // arrival only succeeded after `recovered` resend/drop rounds.
-        trace_.record(obs::Span{obs::SpanKind::kRetransmit, tag, src,
+        trace_.record(obs::Span{obs::SpanKind::kRetransmit, tag, psrc,
                                 /*bytes=*/0, recovered, clock_, clock_, w0,
                                 w0});
       }
       trace_.record(obs::Span{
-          obs::SpanKind::kRecvWait, tag, src,
+          obs::SpanKind::kRecvWait, tag, psrc,
           static_cast<std::int64_t>(e->frame.size()), /*aux=*/0, wait_from,
           clock_, w0, obs::wall_now_ns()});
     }
@@ -538,8 +731,7 @@ GatherResult gather_partial(Comm& comm, int root, int tag,
     out.payloads.resize(n);
     out.valid.assign(n, 1);
     out.payloads[static_cast<std::size_t>(root)] = std::move(payload);
-    const bool blank_on_loss =
-        comm.resilience().on_peer_loss == ResiliencePolicy::PeerLoss::kBlank;
+    const bool blank_on_loss = comm.resilience().degrade_on_loss();
     for (int src = 0; src < comm.size(); ++src) {
       if (src == root) continue;
       if (blank_on_loss) {

@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -44,11 +45,24 @@
 namespace rtc::comm {
 
 class World;
+struct MembershipView;
+
+/// Tags at or above this base belong to the runtime's control plane
+/// (membership/failure-detector traffic, membership.hpp). Control
+/// messages ride a reliable channel: they still charge virtual wire
+/// time, but the injector's drop/corrupt/delay shaping does not apply
+/// (crash triggers do — ranks can die mid-agreement). Compositor data
+/// tags must stay below this.
+inline constexpr int kControlTagBase = 2'000'000;
 
 /// Per-rank communicator handle passed to the rank function.
 class Comm {
  public:
-  [[nodiscard]] int rank() const { return rank_; }
+  /// This rank's id — virtual under an installed group view (see
+  /// set_group), physical otherwise.
+  [[nodiscard]] int rank() const {
+    return group_ != nullptr ? group_index_ : rank_;
+  }
   [[nodiscard]] int size() const;
 
   /// Buffered, non-blocking send. Charges Ts startup to this rank's
@@ -127,6 +141,40 @@ class Comm {
   /// maximum. Crashed ranks are not waited for.
   void barrier();
 
+  // --- self-healing layer (membership.hpp + recovery driver) -------
+
+  /// Installs (or clears, with nullptr) a survivor group view. While a
+  /// view is installed, rank()/size()/send/recv/try_recv/peer_dead
+  /// speak *virtual* ranks 0..|members|-1, translated to the view's
+  /// physical members; stats and spans keep physical ids. The caller
+  /// owns the view and must keep it alive until cleared. A null view is
+  /// the identity mapping — bit-identical to the pre-view behavior.
+  void set_group(const MembershipView* group);
+  [[nodiscard]] const MembershipView* group() const { return group_; }
+
+  /// True when this rank has deterministically observed `rank`
+  /// (physical) dead — i.e. a recv on it returned kPeerDead. Unlike the
+  /// World's death flags this is local knowledge carried by the message
+  /// DAG, so it is safe to branch on without breaking determinism.
+  [[nodiscard]] bool observed_dead(int rank) const {
+    return observed_dead_.count(rank) > 0;
+  }
+
+  /// Upper bound on rank deaths this run (the fault plan's crash count);
+  /// 0 means membership can never change and the failure detector is
+  /// skipped entirely.
+  [[nodiscard]] int crash_budget() const;
+
+  /// Reserves the next membership-flood call number (tag namespacing
+  /// for membership.hpp; every member calls in lockstep).
+  int take_membership_ticket() { return membership_calls_++; }
+
+  /// Records a survivor-recomposition pass at `epoch`. The superseded
+  /// pass's blank-substitution accounting is dropped with it: the
+  /// recomposition rebuilds the image from the original partials, so
+  /// those pixels are no longer missing from the result.
+  void note_recompose(std::uint32_t epoch);
+
  private:
   friend class World;
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
@@ -140,6 +188,28 @@ class Comm {
   void maybe_crash(bool counting_send);
   [[noreturn]] void die();
 
+  /// Virtual -> physical rank under the installed group view (identity
+  /// with no view); bounds-checked against the current size().
+  [[nodiscard]] int to_phys(int r) const;
+
+  /// Per-destination circuit-breaker state (physical dst).
+  struct Breaker {
+    int failures = 0;  ///< consecutive failed direct attempts
+    bool open = false;
+    double opened_at = 0.0;  ///< virtual time the link opened
+  };
+  /// Outcome of the breaker-managed delivery loop for one message.
+  struct ShapedRoute {
+    WireShaping s;
+    bool relayed = false;  ///< final delivery detoured via `relay`
+    int relay = -1;
+  };
+  [[nodiscard]] ShapedRoute shape_breaker(int pdst, int tag,
+                                          std::uint32_t seq,
+                                          std::int64_t bytes);
+  /// Lowest live physical rank that can relay to `pdst` (-1: none).
+  [[nodiscard]] int pick_relay(int pdst) const;
+
   World* world_;
   int rank_;
   double clock_ = 0.0;
@@ -148,6 +218,11 @@ class Comm {
   std::uint32_t next_seq_ = 1;  ///< wire-frame sequence counter
   int send_calls_ = 0;          ///< sends attempted (crash thresholds)
   std::unordered_set<std::uint64_t> seen_seqs_;  ///< (src, seq) dedup
+  const MembershipView* group_ = nullptr;  ///< survivor view (not owned)
+  int group_index_ = 0;  ///< this rank's virtual rank under group_
+  std::set<int> observed_dead_;  ///< peers seen dead (physical, ordered)
+  int membership_calls_ = 0;     ///< flood calls issued (tag namespace)
+  std::map<int, Breaker> breakers_;  ///< per-physical-dst link state
   BufferPool pool_;  ///< per-rank wire-buffer freelist
   obs::TraceRecorder trace_;  ///< per-rank span ring (obs layer)
   RankStats stats_;
@@ -227,6 +302,9 @@ class World {
   struct Mailbox;
 
   void deliver(int dst, int src, int tag, Envelope e);
+  /// Credits `relay` with one forwarded message of `bytes` (atomic;
+  /// folded into RankStats::relay_through_* after the threads join).
+  void note_relay_through(int relay, std::int64_t bytes);
   /// Waits for a matching envelope. nullopt: `src` died and no message
   /// is pending. Throws CommError(kTimeout) on wall-clock deadlock.
   std::optional<Envelope> take(int rank, int src, int tag,
@@ -251,6 +329,8 @@ class World {
   std::unique_ptr<DeathState> deaths_;
   struct BarrierState;
   std::unique_ptr<BarrierState> barrier_;
+  struct RelayState;
+  std::unique_ptr<RelayState> relays_;
 };
 
 /// Convenience: gather each rank's `payload` to `root` (tagged `tag`);
@@ -260,9 +340,10 @@ std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
                                            std::vector<std::byte> payload);
 
 /// Failure-aware gather: `valid[i]` marks whether rank i's payload
-/// arrived. Under ResiliencePolicy::PeerLoss::kBlank lost contributions
-/// leave valid[i] == 0 with an empty payload instead of throwing; under
-/// kThrow a loss propagates as CommError (legacy fail-stop behavior).
+/// arrived. Under a degrading peer-loss policy (kBlank/kRecompose) lost
+/// contributions leave valid[i] == 0 with an empty payload instead of
+/// throwing; under kThrow a loss propagates as CommError (legacy
+/// fail-stop behavior).
 struct GatherResult {
   std::vector<std::vector<std::byte>> payloads;
   std::vector<std::uint8_t> valid;

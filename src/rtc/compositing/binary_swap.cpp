@@ -18,15 +18,24 @@
 
 namespace rtc::compositing {
 
+std::unique_ptr<Compositor> make_binary_swap_any();
+
 namespace {
 
 class BinarySwap final : public Compositor {
  public:
   [[nodiscard]] std::string name() const override { return "bswap"; }
 
-  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+  [[nodiscard]] img::Image run_core(comm::Comm& comm, const img::Image& partial,
                                const Options& opt) const override {
     const int p = comm.size();
+    if (comm.group() != nullptr &&
+        !std::has_single_bit(static_cast<unsigned>(p))) {
+      // Recomposition over survivors: the count is rarely a power of
+      // two anymore, so run the fold-phase variant's schedule — same
+      // family, any P. Direct (ungrouped) use keeps the strict check.
+      return fallback_->run_core(comm, partial, opt);
+    }
     RTC_CHECK_MSG(std::has_single_bit(static_cast<unsigned>(p)),
                   "binary-swap needs a power-of-two processor count");
     const int r = comm.rank();
@@ -74,6 +83,9 @@ class BinarySwap final : public Compositor {
                             partial.width(), partial.height(), opt.sink,
                             opt.frame_id);
   }
+
+ private:
+  std::unique_ptr<Compositor> fallback_ = make_binary_swap_any();
 };
 
 }  // namespace

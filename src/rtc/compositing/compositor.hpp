@@ -90,9 +90,25 @@ class Compositor {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Composites the partial images of all ranks. Collective call.
-  [[nodiscard]] virtual img::Image run(comm::Comm& comm,
-                                       const img::Image& partial,
-                                       const Options& opt) const = 0;
+  ///
+  /// Under ResiliencePolicy::PeerLoss::kRecompose this is a recovery
+  /// driver: it runs run_core(), then drains the failure detector
+  /// (comm::advance_epoch) to a fixpoint; if the membership epoch
+  /// moved, it installs the survivor group view on `comm` and re-runs
+  /// run_core() from the original partial over the (renumbered)
+  /// survivors — bounded by the fault plan's crash budget. Under every
+  /// other policy it is exactly one run_core() call.
+  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+                               const Options& opt) const;
+
+  /// One composition pass over the current comm.size() ranks — the
+  /// actual schedule (bswap pairing, RT rotation, ring, ...). Public so
+  /// a method can delegate to another method's core (binary_swap falls
+  /// back to the any-P variant for non-power-of-two survivor counts);
+  /// callers outside the compositing layer should use run().
+  [[nodiscard]] virtual img::Image run_core(comm::Comm& comm,
+                                            const img::Image& partial,
+                                            const Options& opt) const = 0;
 };
 
 /// "bswap" (P must be a power of two), "pp" (paper-faithful ring),

@@ -18,7 +18,7 @@ class DirectSend final : public Compositor {
  public:
   [[nodiscard]] std::string name() const override { return "direct"; }
 
-  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+  [[nodiscard]] img::Image run_core(comm::Comm& comm, const img::Image& partial,
                                const Options& opt) const override {
     const int p = comm.size();
     const int r = comm.rank();

@@ -42,7 +42,7 @@ class Pipelined final : public Compositor {
     return exact_ ? "pp_exact" : "pp";
   }
 
-  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+  [[nodiscard]] img::Image run_core(comm::Comm& comm, const img::Image& partial,
                                const Options& opt) const override {
     const int p = comm.size();
     const int r = comm.rank();
@@ -158,7 +158,7 @@ class Pipelined final : public Compositor {
     const img::PixelSpan s = tiling.block(0, block_id);
     const compress::BlockGeometry geom{width, s.begin};
     std::vector<std::byte> payload;
-    if (policy.on_peer_loss == comm::ResiliencePolicy::PeerLoss::kBlank) {
+    if (policy.degrade_on_loss()) {
       std::optional<std::vector<std::byte>> p = comm.try_recv(src, tag);
       if (!p) {
         // The traveling accumulation for this block is gone: restart it
@@ -186,9 +186,7 @@ class Pipelined final : public Compositor {
     } catch (const wire::DecodeError&) {
       // Malformed traveling accumulation: degrade like a lost message
       // under kBlank (blank restart), propagate under kThrow.
-      if (policy.on_peer_loss !=
-          comm::ResiliencePolicy::PeerLoss::kBlank)
-        throw;
+      if (!policy.degrade_on_loss()) throw;
       comm.pool().release(std::move(payload));
       comm.note_loss(block_id, s.size());
       State blank;

@@ -220,7 +220,7 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
                          std::int64_t block_id, bool coherent,
                          bool* clean_blank) {
   if (clean_blank != nullptr) *clean_blank = false;
-  if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
+  if (!policy.degrade_on_loss()) {
     std::vector<std::byte> bytes = comm.recv(src, tag);
     decode_block(comm, tag, bytes, out, geom, codec, coherent,
                  clean_blank);
@@ -252,7 +252,7 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
                       bool src_front, const comm::ResiliencePolicy& policy,
                       std::int64_t block_id,
                       std::vector<img::GrayA8>& scratch, bool coherent) {
-  if (policy.on_peer_loss != comm::ResiliencePolicy::PeerLoss::kBlank) {
+  if (!policy.degrade_on_loss()) {
     std::vector<std::byte> bytes = comm.recv(src, tag);
     decode_blend_block(comm, tag, bytes, dst, geom, codec, mode, src_front,
                        scratch, coherent);
@@ -410,8 +410,7 @@ img::Image gather_fragments(
       comm::gather_partial(comm, root, kGatherTag, std::move(payload));
   if (comm.rank() != root) return img::Image{};
 
-  const bool degrade = comm.resilience().on_peer_loss ==
-                       comm::ResiliencePolicy::PeerLoss::kBlank;
+  const bool degrade = comm.resilience().degrade_on_loss();
   img::Image out(width, height);
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its blocks stay blank
@@ -443,8 +442,7 @@ img::Image gather_spans(comm::Comm& comm, const img::Image& local,
       comm::gather_partial(comm, root, kGatherTag, std::move(payload));
   if (comm.rank() != root) return img::Image{};
 
-  const bool degrade = comm.resilience().on_peer_loss ==
-                       comm::ResiliencePolicy::PeerLoss::kBlank;
+  const bool degrade = comm.resilience().degrade_on_loss();
   img::Image out(width, height);
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its span stays blank

@@ -57,7 +57,8 @@ void recv_block(comm::Comm& comm, int src, int tag,
                 const compress::BlockGeometry& geom,
                 const compress::Codec* codec, bool coherent = false);
 
-/// Fault-tolerant recv_block. Under PeerLoss::kBlank a lost message
+/// Fault-tolerant recv_block. Under a degrading policy (kBlank or
+/// kRecompose) a lost message
 /// (dead peer or exhausted retry budget) *or a malformed payload* fills
 /// `out` with blank pixels, records `block_id`/pixel count via
 /// Comm::note_loss, and returns false; the caller skips the blend
@@ -79,7 +80,7 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
 /// intermediate image materializes for codecs with a fused path (TRLE,
 /// RLE skip blank structure entirely). Charges the same codec and
 /// blend time as recv + blend, so virtual-time results are unchanged.
-/// Under PeerLoss::kBlank a loss or malformed payload notes the loss
+/// Under a degrading policy a loss or malformed payload notes the loss
 /// and returns false without contributing (a payload that decodes
 /// partway before failing validation may leave a partial contribution
 /// in `dst`; the loss is recorded either way). `scratch` backs codecs
@@ -167,7 +168,7 @@ void scatter_span_into(img::Image& out, std::span<const std::byte> payload,
 /// Gathers the (depth, index) blocks each rank finally owns into the
 /// assembled image at `opt.root`; other ranks return an empty image.
 /// `owned` lists this rank's final blocks against `tiling`. Under
-/// PeerLoss::kBlank a rank whose payload is lost or malformed leaves
+/// a degrading policy a rank whose payload is lost or malformed leaves
 /// its blocks blank (recorded via note_loss); under kThrow malformed
 /// bytes propagate as wire::DecodeError. With `sink`, the root
 /// delivers each gathered fragment incrementally as a tile of `frame`

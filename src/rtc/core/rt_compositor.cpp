@@ -24,12 +24,21 @@ std::string RtCompositor::name() const {
   return "rt";
 }
 
-img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
+img::Image RtCompositor::run_core(comm::Comm& comm, const img::Image& partial,
                              const compositing::Options& opt) const {
   const int p = comm.size();
   const int r = comm.rank();
+  RtVariant variant = variant_;
+  if (comm.group() != nullptr && variant == RtVariant::kNrt &&
+      p % 2 != 0 && p != 1) {
+    // Recomposition over survivors: an odd survivor count breaks the
+    // N_RT even-P applicability rule, so run the generalized schedule
+    // (same family, any P). Direct (ungrouped) use keeps the strict
+    // check, mirroring binary_swap's bswap_any fallback.
+    variant = RtVariant::kGeneralized;
+  }
   const RtSchedule sched =
-      build_rt_schedule(p, opt.initial_blocks, variant_);
+      build_rt_schedule(p, opt.initial_blocks, variant);
   const img::Tiling tiling(partial.pixel_count(), opt.initial_blocks);
 
   img::Image buf = partial;
@@ -65,9 +74,7 @@ img::Image RtCompositor::run(comm::Comm& comm, const img::Image& partial,
         }
         comm.send(receiver, tag, std::move(payload));
       }
-      const bool blank_on_loss =
-          opt.resilience.on_peer_loss ==
-          comm::ResiliencePolicy::PeerLoss::kBlank;
+      const bool blank_on_loss = opt.resilience.degrade_on_loss();
       for (const auto& [sender, merges] : incoming_by_sender) {
         std::vector<std::byte> payload;
         if (blank_on_loss) {

@@ -17,7 +17,7 @@ class RtCompositor final : public compositing::Compositor {
 
   [[nodiscard]] std::string name() const override;
 
-  [[nodiscard]] img::Image run(comm::Comm& comm, const img::Image& partial,
+  [[nodiscard]] img::Image run_core(comm::Comm& comm, const img::Image& partial,
                                const compositing::Options& opt) const override;
 
  private:

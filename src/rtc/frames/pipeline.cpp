@@ -1,6 +1,7 @@
 #include "rtc/frames/pipeline.hpp"
 
 #include <ostream>
+#include <string>
 #include <utility>
 
 #include "rtc/common/check.hpp"
@@ -18,7 +19,10 @@ namespace {
 /// axis can change mid-sweep), then render each rank's brick in
 /// visibility order — the same per-frame path the animation example
 /// always modeled, factored here so the pipeline owns it.
-harness::RenderedScene render_frame(const PipelineConfig& cfg,
+/// `ranks` is the *effective* rank count — cfg.ranks until a rank dies
+/// under kRecompose, then the survivor count: the dead rank's slab is
+/// re-absorbed by balanced_slab_1d so later frames stay full-quality.
+harness::RenderedScene render_frame(const PipelineConfig& cfg, int ranks,
                                     double yaw_deg, int& axis_out) {
   const harness::Scene scene =
       harness::make_scene(cfg.dataset, cfg.volume_n, cfg.image_size,
@@ -26,12 +30,12 @@ harness::RenderedScene render_frame(const PipelineConfig& cfg,
   const render::Vec3 d = scene.camera.direction();
   axis_out = render::principal_axis(d);
   const auto bricks = part::balanced_slab_1d(scene.volume, scene.tf,
-                                             cfg.ranks, axis_out);
+                                             ranks, axis_out);
   const double dir[3] = {d.x, d.y, d.z};
   const auto order = part::visibility_order(bricks, dir);
 
   harness::RenderedScene rs;
-  for (int r = 0; r < cfg.ranks; ++r) {
+  for (int r = 0; r < ranks; ++r) {
     const vol::Brick& brick =
         bricks[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])];
     rs.bricks.push_back(brick);
@@ -74,15 +78,28 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
   SequenceResult out;
   out.frames.reserve(static_cast<std::size_t>(cfg.frames));
 
+  // Self-healing across frames: under kRecompose a rank that crashes
+  // at frame k stays dead for the rest of the sequence — later frames
+  // re-partition the volume over the survivors, so only frame k itself
+  // misses the dead rank's sub-volume. Every other policy keeps the
+  // legacy per-frame isolation (each frame's World revives all ranks).
+  const bool self_heal =
+      cfg.comp.resilience.on_peer_loss ==
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+  int ranks_eff = cfg.ranks;
+  std::string method_eff = cfg.comp.method;
+
   for (int f = 0; f < cfg.frames; ++f) {
     const double yaw =
         cfg.yaw0_deg + cfg.sweep_deg * f / cfg.frames;
     FrameResult fr;
     fr.yaw_deg = yaw;
-    const harness::RenderedScene rs = render_frame(cfg, yaw, fr.axis);
+    const harness::RenderedScene rs =
+        render_frame(cfg, ranks_eff, yaw, fr.axis);
     fr.render_time = harness::render_stage_time(rs);
 
     harness::CompositionConfig c = cfg.comp;
+    c.method = method_eff;
     c.coherence = cfg.coherence ? &cache : nullptr;
     c.sink = cfg.sink;
     c.frame_id = f;
@@ -106,6 +123,37 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
     out.coherence_hits += fr.run.stats.total_coherence_hits();
     out.coherence_misses += fr.run.stats.total_coherence_misses();
     out.coherence_bytes_saved += fr.run.stats.total_coherence_bytes_saved();
+
+    out.recomposes += fr.run.stats.total_recomposes();
+    if (fr.run.stats.max_membership_epoch() > out.max_epoch)
+      out.max_epoch = fr.run.stats.max_membership_epoch();
+    if (self_heal) {
+      const std::vector<int> dead = fr.run.stats.dead_ranks();
+      if (!dead.empty()) {
+        ranks_eff -= static_cast<int>(dead.size());
+        RTC_CHECK_MSG(ranks_eff >= 1,
+                      "every rank died; nothing left to render");
+        out.ranks_lost += static_cast<int>(dead.size());
+        // The cache is sized to the rank count and keyed by (rank,
+        // block); the survivor renumbering invalidates both, so start
+        // cold at the new size — correctness never depends on cache
+        // state, only traffic does.
+        cache = CoherenceCache(ranks_eff);
+        // Later frames run ungrouped at the survivor count, so a
+        // method whose applicability rule breaks there falls back to
+        // its any-P sibling — the same pair the in-frame grouped
+        // recomposition falls back to (bswap needs a power of two,
+        // N_RT an even processor count).
+        if (method_eff == "bswap" &&
+            (ranks_eff & (ranks_eff - 1)) != 0) {
+          method_eff = "bswap_any";
+        }
+        if (method_eff == "rt_n" && ranks_eff % 2 != 0 &&
+            ranks_eff != 1) {
+          method_eff = "rt";
+        }
+      }
+    }
 
     const FrameTiming& t = fr.timing;
     out.pipeline_spans.push_back(pipeline_span(
@@ -151,6 +199,10 @@ void print_sequence(std::ostream& os, const PipelineConfig& cfg,
      << seq.coherence_misses << " misses ("
      << harness::Table::num(100.0 * seq.hit_rate(), 1) << "% hit rate), "
      << seq.coherence_bytes_saved << " encoded bytes not resent\n";
+  if (seq.ranks_lost > 0 || seq.recomposes > 0)
+    os << "recovery: " << seq.ranks_lost << " rank(s) lost, "
+       << seq.recomposes << " recomposition pass(es), membership epoch "
+       << seq.max_epoch << "\n";
 }
 
 }  // namespace rtc::frames

@@ -8,7 +8,11 @@
 // World — determinism and fault isolation come for free: the composed
 // images of a pipelined K-frame run are bit-identical to K sequential
 // single-shot runs, and a fault injected at frame k can only degrade
-// frame k. What the pipeline changes is the *timeline*: frame f+1's
+// frame k. Under PeerLoss::kRecompose the sequence is additionally
+// *self-healing*: a rank that crashes at frame k is removed from the
+// membership for good, and frames k+1... re-partition its sub-volume
+// among the survivors — they composite at full quality, bit-identical
+// to a from-scratch run over the survivor count. What the pipeline changes is the *timeline*: frame f+1's
 // render overlaps frame f's composition, so the sequence makespan
 // drops below the sum of per-frame times (bench_frame_pipeline pins
 // the gap).
@@ -78,6 +82,13 @@ struct SequenceResult {
   std::int64_t coherence_hits = 0;
   std::int64_t coherence_misses = 0;
   std::int64_t coherence_bytes_saved = 0;
+  // Self-healing accounting (PeerLoss::kRecompose); all stay 0 on a
+  // fault-free sequence, and print_sequence only reports them when
+  // they moved — zero-fault output is byte-identical to the legacy
+  // format.
+  std::int64_t recomposes = 0;  ///< in-frame recomposition passes
+  int ranks_lost = 0;           ///< ranks permanently removed mid-sweep
+  std::uint32_t max_epoch = 0;  ///< highest membership epoch reached
 
   [[nodiscard]] double hit_rate() const {
     const std::int64_t n = coherence_hits + coherence_misses;

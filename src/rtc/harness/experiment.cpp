@@ -47,7 +47,17 @@ CompositionRun run_composition(const CompositionConfig& config,
   CompositionRun out;
   out.stats = rr.stats;
   out.time = rr.makespan();
-  out.image = std::move(results[0]);
+  // Under kRecompose the survivors renumber themselves, so the gather
+  // root (virtual rank 0) is the lowest *surviving* physical rank — if
+  // rank 0 crashed, that's where the image landed.
+  std::size_t root = 0;
+  if (config.resilience.on_peer_loss ==
+      comm::ResiliencePolicy::PeerLoss::kRecompose) {
+    while (root + 1 < results.size() &&
+           rr.stats.ranks[root].crashed)
+      ++root;
+  }
+  out.image = std::move(results[root]);
   out.degraded = out.stats.degraded();
   out.lost_pixels = out.stats.total_lost_pixels();
   return out;
@@ -68,7 +78,16 @@ std::string fault_summary(const comm::RunStats& stats) {
     if (i) s += ",";
     s += std::to_string(dead[i]);
   }
-  s += stats.degraded() ? "] degraded" : "] ok";
+  s += "]";
+  // Recovery-layer counters only appear when the layer actually fired,
+  // so zero-fault summaries stay byte-identical to the legacy format.
+  if (stats.max_membership_epoch() > 0 || stats.total_recomposes() > 0)
+    s += " epoch=" + std::to_string(stats.max_membership_epoch()) +
+         " recomposed=" + std::to_string(stats.total_recomposes());
+  if (stats.total_relayed_messages() > 0 || stats.total_breaker_trips() > 0)
+    s += " relayed=" + std::to_string(stats.total_relayed_messages()) +
+         " trips=" + std::to_string(stats.total_breaker_trips());
+  s += stats.degraded() ? " degraded" : " ok";
   return s;
 }
 

@@ -74,6 +74,9 @@ struct CompositionRun {
 
 /// One-line fault-counter summary for CLI/bench tables, e.g.
 /// "retx=3 crc=1 drops=2 dups=0 lost_msgs=0 lost_px=0 dead=[] ok".
+/// When the self-healing layer fired, ` epoch=N recomposed=N` and/or
+/// ` relayed=N trips=N` appear between the dead list and the verdict;
+/// zero-fault summaries keep the legacy format byte-for-byte.
 [[nodiscard]] std::string fault_summary(const comm::RunStats& stats);
 
 }  // namespace rtc::harness

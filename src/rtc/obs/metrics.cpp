@@ -47,6 +47,15 @@ std::vector<StepMetrics> aggregate_steps(
         case SpanKind::kQueueWait:
           m.queue_wait_s += s.v_duration();
           break;
+        case SpanKind::kMembership:
+          m.recovery_s += s.v_duration();
+          break;
+        case SpanKind::kRelay:
+          m.relayed_messages += 1;
+          break;
+        case SpanKind::kRecompose:
+          m.recomposes += 1;
+          break;
       }
     }
   }
@@ -66,11 +75,14 @@ StepMetrics totals(const std::vector<StepMetrics>& rows) {
     t.blank_pixels_skipped += m.blank_pixels_skipped;
     t.blend_pixels += m.blend_pixels;
     t.faults_recovered += m.faults_recovered;
+    t.relayed_messages += m.relayed_messages;
+    t.recomposes += m.recomposes;
     t.send_s += m.send_s;
     t.recv_wait_s += m.recv_wait_s;
     t.codec_s += m.codec_s;
     t.blend_s += m.blend_s;
     t.queue_wait_s += m.queue_wait_s;
+    t.recovery_s += m.recovery_s;
   }
   return t;
 }

@@ -24,11 +24,14 @@ struct StepMetrics {
   std::int64_t blank_pixels_skipped = 0;  ///< blank px fused codecs skip
   std::int64_t blend_pixels = 0;       ///< pixels over-composited
   std::int64_t faults_recovered = 0;   ///< retransmits+drops absorbed
+  std::int64_t relayed_messages = 0;   ///< sends detoured via a relay
+  std::int64_t recomposes = 0;         ///< survivor-schedule rebuilds
   double send_s = 0.0;       ///< summed virtual send-startup time
   double recv_wait_s = 0.0;  ///< summed virtual receive-wait time
   double codec_s = 0.0;      ///< summed virtual encode/decode time
   double blend_s = 0.0;      ///< summed virtual blend time
   double queue_wait_s = 0.0;  ///< frame-pipeline backpressure time
+  double recovery_s = 0.0;    ///< membership/epoch-agreement time
 
   /// Compression ratio raw/encoded (1 when nothing was encoded).
   [[nodiscard]] double ratio() const {

@@ -32,6 +32,9 @@ enum class SpanKind : std::uint8_t {
   kRender,       ///< frame pipeline: a frame's render stage interval
   kQueueWait,    ///< frame pipeline: backpressure between render and
                  ///< composite (rendered frame waiting for a slot)
+  kMembership,   ///< failure-detector flood: one epoch-agreement call
+  kRelay,        ///< instant: a send detoured around an open link
+  kRecompose,    ///< instant: schedule rebuilt over the survivor set
 };
 
 [[nodiscard]] constexpr const char* span_name(SpanKind k) {
@@ -58,6 +61,12 @@ enum class SpanKind : std::uint8_t {
       return "render";
     case SpanKind::kQueueWait:
       return "queue-wait";
+    case SpanKind::kMembership:
+      return "membership";
+    case SpanKind::kRelay:
+      return "relay";
+    case SpanKind::kRecompose:
+      return "recompose";
   }
   return "?";
 }

@@ -1,0 +1,143 @@
+// Per-link circuit breaker and relay routing: a chronically lossy link
+// trips its breaker after `breaker_threshold` consecutive failures and
+// detours the remaining attempts through a healthy relay rank — the
+// composited image is exactly the no-fault image, with the detour
+// visible only in RunStats (relayed/relay-through/trip counters).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::comm {
+namespace {
+
+std::vector<img::Image> make_partials(int ranks) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        24, 10, 8000u + static_cast<std::uint32_t>(r), 0.3,
+        /*binary_alpha=*/true));
+  return out;
+}
+
+FaultPlan dead_link_plan(int src, int dst) {
+  FaultPlan plan;
+  plan.seed = 11;
+  FaultPlan::LinkFault lf;
+  lf.src = src;
+  lf.dst = dst;
+  lf.drop = 1.0;  // the cable is cut: every direct attempt fails
+  plan.links.push_back(lf);
+  return plan;
+}
+
+harness::CompositionRun run_direct(const FaultPlan& plan, int threshold,
+                                   bool relay,
+                                   const std::vector<img::Image>& partials,
+                                   const char* method = "direct",
+                                   double cooldown = 0.05) {
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.gather = true;
+  cfg.fault = plan;
+  cfg.resilience.retries = 6;
+  cfg.resilience.breaker_threshold = threshold;
+  cfg.resilience.breaker_cooldown = cooldown;
+  cfg.resilience.relay = relay;
+  cfg.resilience.on_peer_loss = ResiliencePolicy::PeerLoss::kBlank;
+  return harness::run_composition(cfg, partials);
+}
+
+TEST(CircuitBreaker, RoutesAroundDeadLinkExactly) {
+  const auto partials = make_partials(4);
+  const harness::CompositionRun ref =
+      run_direct({}, 0, false, partials);  // no faults at all
+  const harness::CompositionRun run =
+      run_direct(dead_link_plan(1, 0), 2, true, partials);
+
+  // Bit-exact recovery: the detour carries the same bytes.
+  EXPECT_EQ(img::max_channel_diff(run.image, ref.image), 0);
+  EXPECT_FALSE(run.degraded);
+  EXPECT_EQ(run.stats.total_lost_pixels(), 0);
+  EXPECT_EQ(run.stats.total_lost_messages(), 0);
+
+  // ...and the detour is fully accounted: rank 1 tripped its breaker
+  // and relayed; the relay rank carried the forwarded traffic.
+  const RankStats& r1 = run.stats.ranks[1];
+  EXPECT_EQ(r1.breaker_trips, 1);
+  EXPECT_GE(r1.relayed_messages, 1);
+  EXPECT_GT(r1.relayed_bytes, 0);
+  EXPECT_EQ(run.stats.total_relayed_messages(), r1.relayed_messages);
+  const RankStats& r2 = run.stats.ranks[2];  // lowest rank not in {1,0}
+  EXPECT_EQ(r2.relay_through_messages, r1.relayed_messages);
+  EXPECT_EQ(r2.relay_through_bytes, r1.relayed_bytes);
+  EXPECT_TRUE(run.stats.has_faults());
+  EXPECT_GT(run.stats.total_breaker_trips(), 0);
+}
+
+TEST(CircuitBreaker, HalfOpenProbesAndReopens) {
+  // bswap puts two messages on the 1->0 link (the step-1 exchange and
+  // the gather). Zero cooldown makes the second message probe the
+  // still-dead link half-open; the probe fails, the breaker re-opens,
+  // and the message still arrives via the relay.
+  const auto partials = make_partials(4);
+  const harness::CompositionRun ref =
+      run_direct({}, 0, false, partials, "bswap");
+  const harness::CompositionRun run = run_direct(
+      dead_link_plan(1, 0), 1, true, partials, "bswap", /*cooldown=*/0.0);
+  EXPECT_EQ(img::max_channel_diff(run.image, ref.image), 0);
+  EXPECT_FALSE(run.degraded);
+  EXPECT_GE(run.stats.ranks[1].breaker_probes, 1);
+  EXPECT_GE(run.stats.ranks[1].relayed_messages, 2);
+}
+
+TEST(CircuitBreaker, WithoutRelayTheLinkLossDegrades) {
+  const auto partials = make_partials(4);
+  const harness::CompositionRun run =
+      run_direct(dead_link_plan(1, 0), 2, false, partials);
+  EXPECT_TRUE(run.degraded);
+  EXPECT_GT(run.stats.total_lost_pixels(), 0);
+  EXPECT_EQ(run.stats.ranks[1].breaker_trips, 1);
+  EXPECT_EQ(run.stats.total_relayed_messages(), 0);
+}
+
+TEST(CircuitBreaker, LinkFaultShapesOnlyItsLink) {
+  // Without a breaker the per-link fault still applies — but only on
+  // the configured directed link; every other rank's contribution
+  // arrives untouched.
+  const auto partials = make_partials(4);
+  const harness::CompositionRun run =
+      run_direct(dead_link_plan(1, 0), 0, false, partials);
+  EXPECT_TRUE(run.degraded);
+  const RankStats& root = run.stats.ranks[0];
+  EXPECT_GT(root.lost_pixels, 0);
+  for (int r = 2; r < 4; ++r)
+    EXPECT_EQ(run.stats.ranks[static_cast<std::size_t>(r)].lost_messages, 0);
+}
+
+TEST(CircuitBreaker, BreakerWithoutRelayIsShapingIdentical) {
+  // The breaker only changes *routing*. With relay off, its attempt
+  // loop must charge exactly the legacy penalties: same image, same
+  // virtual time, same loss accounting — only the trip counters move.
+  const auto partials = make_partials(4);
+  FaultPlan storm;
+  storm.seed = 505;
+  storm.drop = 0.9;
+  harness::CompositionRun legacy =
+      run_direct(storm, 0, false, partials, "bswap");
+  harness::CompositionRun gated =
+      run_direct(storm, 3, false, partials, "bswap");
+  EXPECT_EQ(img::max_channel_diff(legacy.image, gated.image), 0);
+  EXPECT_EQ(legacy.time, gated.time);
+  EXPECT_EQ(legacy.stats.total_lost_pixels(),
+            gated.stats.total_lost_pixels());
+  EXPECT_EQ(legacy.stats.total_retransmits(),
+            gated.stats.total_retransmits());
+  EXPECT_EQ(legacy.stats.total_breaker_trips(), 0);
+}
+
+}  // namespace
+}  // namespace rtc::comm

@@ -126,6 +126,98 @@ TEST(Stats, RankCountersResetToFreshState) {
   EXPECT_EQ(r.clock, 0.0);
 }
 
+TEST(Stats, ResetAlsoClearsRecoveryCounters) {
+  RankStats r;
+  r.recomposes = 2;
+  r.membership_epoch = 3;
+  r.relayed_messages = 4;
+  r.relayed_bytes = 100;
+  r.relay_through_messages = 1;
+  r.relay_through_bytes = 50;
+  r.breaker_trips = 1;
+  r.breaker_probes = 2;
+  r.reset_counters();
+  EXPECT_EQ(r.recomposes, 0);
+  EXPECT_EQ(r.membership_epoch, 0u);
+  EXPECT_EQ(r.relayed_messages, 0);
+  EXPECT_EQ(r.relayed_bytes, 0);
+  EXPECT_EQ(r.relay_through_messages, 0);
+  EXPECT_EQ(r.relay_through_bytes, 0);
+  EXPECT_EQ(r.breaker_trips, 0);
+  EXPECT_EQ(r.breaker_probes, 0);
+}
+
+TEST(Stats, HasFaultsSeesRecoveredActivityThatDegradedMisses) {
+  // has_faults() is the superset: fully-recovered activity (a relay, a
+  // recomposition, a dedup) never degrades the image but must still
+  // read as fault activity — and every trigger must die with
+  // reset_counters().
+  RunStats s;
+  s.ranks.resize(2);
+  EXPECT_FALSE(s.has_faults());
+  const auto trip = [&s](auto&& set) {
+    set(s.ranks[1]);
+    EXPECT_TRUE(s.has_faults());
+    EXPECT_FALSE(s.degraded());  // recovered activity: image is exact
+    s.reset_counters();
+    EXPECT_FALSE(s.has_faults());
+  };
+  trip([](RankStats& r) { r.retransmits = 1; });
+  trip([](RankStats& r) { r.duplicates_discarded = 1; });
+  trip([](RankStats& r) { r.recomposes = 1; });
+  trip([](RankStats& r) { r.membership_epoch = 1; });
+  trip([](RankStats& r) { r.relayed_messages = 1; });
+  trip([](RankStats& r) { r.relay_through_messages = 1; });
+  trip([](RankStats& r) { r.breaker_trips = 1; });
+  trip([](RankStats& r) { r.breaker_probes = 1; });
+  // Degrading faults are of course also fault activity.
+  s.ranks[0].crashed = true;
+  EXPECT_TRUE(s.has_faults());
+  EXPECT_TRUE(s.degraded());
+}
+
+TEST(Stats, CrashSpanningAFrameBoundaryDoesNotLeakThroughReset) {
+  // The frame pipeline accumulates into one RunStats per frame and
+  // resets at the boundary. A crash-and-recompose frame must leave a
+  // resettable record: after reset_counters() the accumulator is
+  // indistinguishable from a clean frame's, and the *next* frame's
+  // own stats (fresh World, survivors only) stay fault-free.
+  const auto partials = make_partials(4);
+  harness::CompositionConfig cfg;
+  cfg.method = "bswap";
+  cfg.gather = true;
+  cfg.seq_epoch = 0;  // "frame 0"
+  cfg.fault.seed = 606;
+  cfg.fault.crashes.push_back({.rank = 3, .after_sends = 0});
+  cfg.resilience.retries = 6;
+  cfg.resilience.on_peer_loss = ResiliencePolicy::PeerLoss::kRecompose;
+  harness::CompositionRun frame0 = harness::run_composition(cfg, partials);
+  EXPECT_TRUE(frame0.stats.has_faults());
+  EXPECT_TRUE(frame0.stats.degraded());
+  EXPECT_EQ(frame0.stats.max_membership_epoch(), 1u);
+
+  RunStats acc = frame0.stats;  // pipeline-style accumulator
+  acc.reset_counters();
+  EXPECT_FALSE(acc.has_faults());
+  EXPECT_FALSE(acc.degraded());
+  EXPECT_EQ(acc.max_membership_epoch(), 0u);
+  EXPECT_EQ(acc.total_recomposes(), 0);
+  ASSERT_EQ(acc.ranks.size(), 4u);  // rank slots survive the reset
+
+  // "Frame 1": the survivors on a fresh World, crash plan spent.
+  harness::CompositionConfig next;
+  next.method = "bswap_any";
+  next.gather = true;
+  next.seq_epoch = 1;
+  next.resilience.on_peer_loss = ResiliencePolicy::PeerLoss::kRecompose;
+  const std::vector<img::Image> surv(partials.begin(), partials.end() - 1);
+  const harness::CompositionRun frame1 =
+      harness::run_composition(next, surv);
+  EXPECT_FALSE(frame1.stats.has_faults());
+  EXPECT_FALSE(frame1.stats.degraded());
+  EXPECT_EQ(frame1.stats.max_membership_epoch(), 0u);
+}
+
 TEST(Stats, RunResetPreservesRankCountOnly) {
   RunStats s;
   s.ranks.resize(3);

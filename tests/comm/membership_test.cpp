@@ -1,0 +1,190 @@
+// Failure detection and membership epochs: view arithmetic, the flood
+// wire format (including malformed bytes), and the agreement property
+// itself — every survivor converges on the identical epoch and member
+// list, deterministically, with zero traffic on fault-free worlds.
+#include "rtc/comm/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rtc/common/check.hpp"
+#include "rtc/common/wire.hpp"
+#include "rtc/comm/world.hpp"
+
+namespace rtc::comm {
+namespace {
+
+std::vector<std::byte> bytes_of(int v) {
+  std::vector<std::byte> b(sizeof(v));
+  std::memcpy(b.data(), &v, sizeof(v));
+  return b;
+}
+
+TEST(MembershipView, FullViewAndLookups) {
+  const MembershipView v = MembershipView::full(4);
+  EXPECT_EQ(v.epoch, 0u);
+  EXPECT_EQ(v.size(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(v.contains(r));
+    EXPECT_EQ(v.index_of(r), r);
+  }
+  EXPECT_FALSE(v.contains(4));
+  EXPECT_EQ(v.index_of(4), -1);
+
+  MembershipView s;
+  s.epoch = 2;
+  s.members = {0, 2, 5};
+  EXPECT_EQ(s.index_of(2), 1);
+  EXPECT_EQ(s.index_of(5), 2);
+  EXPECT_EQ(s.index_of(1), -1);
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(MembershipWire, RoundTrip) {
+  const std::vector<std::uint8_t> dead = {0, 0, 1, 0, 1, 0, 0, 0, 1};
+  const std::vector<std::byte> wire =
+      encode_membership(7, std::span<const std::uint8_t>(dead));
+  const MembershipMsg msg = decode_membership(wire);
+  EXPECT_EQ(msg.epoch, 7u);
+  ASSERT_EQ(msg.dead.size(), dead.size());
+  EXPECT_EQ(msg.dead, dead);
+}
+
+TEST(MembershipWire, RejectsMalformedBytes) {
+  const std::vector<std::uint8_t> dead = {1, 0, 0};
+  const std::vector<std::byte> wire =
+      encode_membership(3, std::span<const std::uint8_t>(dead));
+
+  // Every truncation of a valid frame must throw, never crash.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    const std::span<const std::byte> cut(wire.data(), n);
+    EXPECT_THROW((void)decode_membership(cut), wire::DecodeError)
+        << "truncated to " << n;
+  }
+
+  // Trailing garbage after the mask.
+  std::vector<std::byte> longer = wire;
+  longer.push_back(std::byte{0});
+  EXPECT_THROW((void)decode_membership(longer), wire::DecodeError);
+
+  // Padding bits beyond world_size must be zero.
+  std::vector<std::byte> padded = wire;
+  padded.back() = std::byte{0xF1};  // bits >= 3 set
+  EXPECT_THROW((void)decode_membership(padded), wire::DecodeError);
+
+  // Absurd world sizes are rejected before any allocation.
+  std::vector<std::byte> huge(8);
+  huge[0] = std::byte{1};                      // epoch 1
+  huge[4] = huge[5] = huge[6] = std::byte{0xFF};  // world_size huge
+  huge[7] = std::byte{0x7F};
+  EXPECT_THROW((void)decode_membership(huge), wire::DecodeError);
+}
+
+TEST(Membership, NoCrashBudgetMeansNoTrafficAndNoChange) {
+  World world(3, NetworkModel{});  // no fault plan: budget 0
+  const RunStats stats = world
+                             .run([](Comm& c) {
+                               MembershipView view =
+                                   MembershipView::full(c.size());
+                               EXPECT_FALSE(advance_epoch(c, view));
+                               EXPECT_EQ(view.epoch, 0u);
+                               EXPECT_EQ(view.size(), 3);
+                             })
+                             .stats;
+  // The zero-fault fast path must not even send: bit-identical runs.
+  for (const RankStats& r : stats.ranks) EXPECT_EQ(r.messages_sent, 0);
+}
+
+/// Crash rank 3 at its first send; rank 0 observes the death directly,
+/// ranks 1 and 2 learn it only through the flood.
+RunStats converge_once(std::vector<MembershipView>* views) {
+  World world(4, NetworkModel{});
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 3, .after_sends = 0});
+  world.set_fault_plan(plan);
+  ResiliencePolicy pol;
+  pol.on_peer_loss = ResiliencePolicy::PeerLoss::kBlank;
+  world.set_resilience(pol);
+  views->assign(4, MembershipView{});
+  return world
+      .run([&](Comm& c) {
+        if (c.rank() == 3) {
+          c.send(0, 1, bytes_of(3));  // dies here (after_sends = 0)
+          return;
+        }
+        if (c.rank() == 0) {
+          // Only rank 0 talks to the dead rank: local evidence.
+          EXPECT_FALSE(c.try_recv(3, 1).has_value());
+          EXPECT_TRUE(c.observed_dead(3));
+        }
+        MembershipView view = MembershipView::full(c.size());
+        bool changed = false;
+        while (advance_epoch(c, view)) changed = true;
+        EXPECT_TRUE(changed);
+        (*views)[static_cast<std::size_t>(c.rank())] = view;
+      })
+      .stats;
+}
+
+TEST(Membership, SurvivorsConvergeOnIdenticalView) {
+  std::vector<MembershipView> views;
+  const RunStats stats = converge_once(&views);
+  const std::vector<int> want = {0, 1, 2};
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(views[static_cast<std::size_t>(r)].epoch, 1u) << "rank " << r;
+    EXPECT_EQ(views[static_cast<std::size_t>(r)].members, want)
+        << "rank " << r;
+  }
+  EXPECT_EQ(stats.dead_ranks(), std::vector<int>{3});
+}
+
+TEST(Membership, ConvergenceIsDeterministic) {
+  std::vector<MembershipView> a;
+  std::vector<MembershipView> b;
+  const RunStats sa = converge_once(&a);
+  const RunStats sb = converge_once(&b);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(a[r].epoch, b[r].epoch);
+    EXPECT_EQ(a[r].members, b[r].members);
+    EXPECT_EQ(sa.ranks[r].messages_sent, sb.ranks[r].messages_sent);
+    EXPECT_EQ(sa.ranks[r].clock, sb.ranks[r].clock);
+  }
+}
+
+TEST(Membership, ControlPlaneIsImmuneToWireFaults) {
+  // A brutally lossy plan: the data plane degrades, but membership
+  // flooding rides the reliable control channel (tags above
+  // kControlTagBase bypass fault shaping), so agreement still holds.
+  World world(4, NetworkModel{});
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop = 0.9;
+  plan.crashes.push_back({.rank = 3, .after_sends = 0});
+  world.set_fault_plan(plan);
+  ResiliencePolicy pol;
+  pol.on_peer_loss = ResiliencePolicy::PeerLoss::kBlank;
+  pol.retries = 1;
+  world.set_resilience(pol);
+  std::vector<MembershipView> views(4);
+  world.run([&](Comm& c) {
+    if (c.rank() == 3) {
+      c.send(0, 1, bytes_of(3));
+      return;
+    }
+    if (c.rank() == 0) (void)c.try_recv(3, 1);
+    MembershipView view = MembershipView::full(c.size());
+    while (advance_epoch(c, view)) {
+    }
+    views[static_cast<std::size_t>(c.rank())] = view;
+  });
+  const std::vector<int> want = {0, 1, 2};
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(views[static_cast<std::size_t>(r)].epoch, 1u);
+    EXPECT_EQ(views[static_cast<std::size_t>(r)].members, want);
+  }
+}
+
+}  // namespace
+}  // namespace rtc::comm

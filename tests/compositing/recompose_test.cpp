@@ -1,0 +1,175 @@
+// Self-healing composition: under PeerLoss::kRecompose a crash-only
+// fault plan must converge to the *exact* survivors-only composite —
+// zero lost pixels, the crash visible only in the membership epoch and
+// the crashed flag — identically on every replay. Methods whose
+// applicability rule breaks at the survivor count (bswap needs a power
+// of two, rt_n an even P) must fall back to their any-P sibling, so
+// the reference for them is that sibling run directly on the
+// survivors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::compositing {
+namespace {
+
+std::vector<img::Image> make_partials(int ranks, int w, int h) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        w, h, 7000u + static_cast<std::uint32_t>(r), 0.3,
+        /*binary_alpha=*/true));
+  return out;
+}
+
+int blocks_for(const std::string& method) {
+  return method == "rt_2n" ? 4 : (method == "rt_n" || method == "rt") ? 3 : 1;
+}
+
+harness::CompositionRun run_with(const std::string& method,
+                                 const comm::FaultPlan& plan,
+                                 const std::vector<img::Image>& partials,
+                                 comm::ResiliencePolicy::PeerLoss policy) {
+  harness::CompositionConfig cfg;
+  cfg.method = method;
+  cfg.initial_blocks = blocks_for(method);
+  cfg.gather = true;
+  cfg.fault = plan;
+  cfg.resilience.retries = 6;
+  cfg.resilience.on_peer_loss = policy;
+  return harness::run_composition(cfg, partials);
+}
+
+/// The method whose schedule the grouped recomposition actually runs
+/// when the survivor count breaks the method's applicability rule.
+std::string survivors_method(const std::string& method, int survivors) {
+  const bool pow2 = (survivors & (survivors - 1)) == 0;
+  if (method == "bswap" && !pow2) return "bswap_any";
+  if (method == "rt_n" && survivors % 2 != 0 && survivors != 1) return "rt";
+  return method;
+}
+
+class Recompose : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Recompose, CrashConvergesToExactSurvivorImage) {
+  const std::string method = GetParam();
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+
+  comm::FaultPlan plan;
+  plan.seed = 606;
+  plan.crashes.push_back({.rank = ranks - 1, .after_sends = 0});
+  const harness::CompositionRun run = run_with(
+      method, plan, partials, comm::ResiliencePolicy::PeerLoss::kRecompose);
+
+  // Reference: the survivors composing alone, no faults, no recovery
+  // layer in the loop.
+  const std::vector<img::Image> surv(partials.begin(), partials.end() - 1);
+  const harness::CompositionRun ref =
+      run_with(survivors_method(method, ranks - 1), {}, surv,
+               comm::ResiliencePolicy::PeerLoss::kBlank);
+
+  ASSERT_EQ(run.image.width(), ref.image.width());
+  ASSERT_EQ(run.image.height(), ref.image.height());
+  EXPECT_EQ(img::max_channel_diff(run.image, ref.image), 0);
+  // The recomposition pass supersedes every blank the aborted pass
+  // absorbed: nothing in the final image is a substituted loss.
+  EXPECT_EQ(run.lost_pixels, 0);
+  EXPECT_EQ(run.stats.total_lost_pixels(), 0);
+  // ...but the run is still marked: a rank did die.
+  EXPECT_TRUE(run.degraded);
+  EXPECT_EQ(run.stats.dead_ranks(), std::vector<int>{ranks - 1});
+  EXPECT_GT(run.stats.total_recomposes(), 0);
+  EXPECT_EQ(run.stats.max_membership_epoch(), 1u);
+  EXPECT_TRUE(run.stats.has_faults());
+}
+
+TEST_P(Recompose, RecoveryIsDeterministic) {
+  const std::string method = GetParam();
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  comm::FaultPlan plan;
+  plan.seed = 606;
+  plan.crashes.push_back({.rank = ranks - 1, .after_sends = 0});
+  const harness::CompositionRun a = run_with(
+      method, plan, partials, comm::ResiliencePolicy::PeerLoss::kRecompose);
+  const harness::CompositionRun b = run_with(
+      method, plan, partials, comm::ResiliencePolicy::PeerLoss::kRecompose);
+  EXPECT_EQ(img::max_channel_diff(a.image, b.image), 0);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(harness::fault_summary(a.stats), harness::fault_summary(b.stats));
+  for (std::size_t r = 0; r < a.stats.ranks.size(); ++r) {
+    EXPECT_EQ(a.stats.ranks[r].messages_sent, b.stats.ranks[r].messages_sent);
+    EXPECT_EQ(a.stats.ranks[r].clock, b.stats.ranks[r].clock);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, Recompose,
+                         ::testing::Values("bswap", "bswap_any", "pp_exact",
+                                           "direct", "radix", "rt_n",
+                                           "rt_2n", "rt"));
+
+TEST(Recompose, QuietRootDeathIsDetectedByProbe) {
+  // direct-send: the root only listens, so nobody ever receives from
+  // it — a root crash leaves zero evidence in the pass traffic. The
+  // driver's liveness probe must surface it, and the image must come
+  // out on the lowest surviving rank.
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  comm::FaultPlan plan;
+  plan.seed = 42;
+  plan.crashes.push_back({.rank = 0, .at_time = 0.0});
+  const harness::CompositionRun run = run_with(
+      "direct", plan, partials, comm::ResiliencePolicy::PeerLoss::kRecompose);
+
+  const std::vector<img::Image> surv(partials.begin() + 1, partials.end());
+  const harness::CompositionRun ref = run_with(
+      "direct", {}, surv, comm::ResiliencePolicy::PeerLoss::kBlank);
+  EXPECT_EQ(img::max_channel_diff(run.image, ref.image), 0);
+  EXPECT_EQ(run.stats.total_lost_pixels(), 0);
+  EXPECT_EQ(run.stats.dead_ranks(), std::vector<int>{0});
+  EXPECT_EQ(run.stats.max_membership_epoch(), 1u);
+}
+
+TEST(Recompose, NoCrashBehavesExactlyLikeBlank) {
+  // Wire faults without a crash budget: the recovery driver must stay
+  // entirely out of the way — kRecompose and kBlank runs are
+  // bit-identical in image, virtual time, and accounting.
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  comm::FaultPlan plan;
+  plan.seed = 101;
+  plan.drop = 0.1;
+  const harness::CompositionRun a = run_with(
+      "rt_n", plan, partials, comm::ResiliencePolicy::PeerLoss::kRecompose);
+  const harness::CompositionRun b = run_with(
+      "rt_n", plan, partials, comm::ResiliencePolicy::PeerLoss::kBlank);
+  EXPECT_EQ(img::max_channel_diff(a.image, b.image), 0);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(harness::fault_summary(a.stats), harness::fault_summary(b.stats));
+  EXPECT_EQ(a.stats.total_recomposes(), 0);
+  EXPECT_EQ(a.stats.max_membership_epoch(), 0u);
+}
+
+TEST(Recompose, SummaryNamesTheRecovery) {
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  comm::FaultPlan plan;
+  plan.seed = 606;
+  plan.crashes.push_back({.rank = 3, .after_sends = 0});
+  const harness::CompositionRun run = run_with(
+      "rt_n", plan, partials, comm::ResiliencePolicy::PeerLoss::kRecompose);
+  const std::string s = harness::fault_summary(run.stats);
+  EXPECT_NE(s.find("dead=[3]"), std::string::npos) << s;
+  EXPECT_NE(s.find("epoch=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("recomposed="), std::string::npos) << s;
+  EXPECT_NE(s.find("lost_px=0"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace rtc::compositing

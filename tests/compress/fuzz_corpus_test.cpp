@@ -17,6 +17,8 @@
 #include "rtc/color/render.hpp"
 #include "rtc/comm/fault.hpp"
 #include "rtc/comm/frame.hpp"
+#include "rtc/comm/membership.hpp"
+#include "rtc/comm/world.hpp"
 #include "rtc/common/wire.hpp"
 #include "rtc/compositing/wire.hpp"
 #include "rtc/compress/codec.hpp"
@@ -242,6 +244,67 @@ TEST(FuzzCorpus, FrameDecoderNeverThrows) {
   }
   for (std::size_t n : {0u, 1u, 19u, 20u, 21u, 64u})
     EXPECT_NO_THROW((void)comm::decode_frame(garbage(n, n)));
+}
+
+TEST(FuzzCorpus, MembershipFloodDecoderRejectsMutants) {
+  // The failure-detector flood rides the reliable control plane, but
+  // its payload is still attacker-shaped bytes to the decoder:
+  // truncated headers, oversized world sizes, short or trailing mask
+  // bytes, and set padding bits must all reject with DecodeError.
+  std::vector<std::uint8_t> dead(11, 0);
+  dead[3] = 1;
+  dead[10] = 1;
+  const std::vector<std::byte> valid = comm::encode_membership(5, dead);
+  expect_rejects_cleanly(valid, 0x5eed0700, [&](const auto& m) {
+    (void)comm::decode_membership(m);
+  });
+}
+
+TEST(FuzzCorpus, CoherentBlockMarkersRejectMutants) {
+  // Coherent-format blocks carry a one-byte marker ahead of the body
+  // (0 = payload follows, 1 = clean blank, nothing else). Mutants that
+  // stomp the marker, orphan it, or graft garbage after a clean-blank
+  // must throw DecodeError through take_block's full framing path —
+  // which needs a live Comm for the decode charge, so drive it inside
+  // a one-rank world.
+  const img::Image im = test::banded_image(16, 16, 3);
+  const compress::BlockGeometry geom{16, 0};
+  const std::unique_ptr<compress::Codec> codec =
+      compress::make_codec("trle");
+
+  // Two valid coherent entries: a real body and a clean-blank marker.
+  std::vector<std::vector<std::byte>> entries;
+  {
+    std::vector<std::byte> body_entry;
+    wire::WireWriter w(body_entry);
+    const std::size_t at = w.reserve_u64();
+    const std::size_t body = body_entry.size();
+    body_entry.push_back(std::byte{0});  // kMarkerBody
+    codec->encode_into(im.pixels(), geom, body_entry);
+    w.patch_u64(at, static_cast<std::uint64_t>(body_entry.size() - body));
+    entries.push_back(std::move(body_entry));
+
+    std::vector<std::byte> blank_entry;
+    wire::WireWriter bw(blank_entry);
+    const std::size_t bat = bw.reserve_u64();
+    blank_entry.push_back(std::byte{1});  // kMarkerCleanBlank
+    bw.patch_u64(bat, 1);
+    entries.push_back(std::move(blank_entry));
+  }
+
+  comm::World world(1, comm::NetworkModel{});
+  world.run([&](comm::Comm& c) {
+    std::vector<img::GrayA8> out(
+        static_cast<std::size_t>(im.pixel_count()));
+    std::uint64_t seed = 0x5eed0710;
+    for (const std::vector<std::byte>& valid : entries) {
+      expect_rejects_cleanly(valid, seed++, [&](const auto& m) {
+        std::span<const std::byte> rest = m;
+        compositing::take_block(c, /*tag=*/0, rest, out, geom,
+                                codec.get(), /*coherent=*/true);
+      });
+    }
+  });
 }
 
 TEST(FuzzCorpus, AggregatedBlockFramingRejectsMutants) {

@@ -174,5 +174,122 @@ TEST(FramePipeline, PerFrameSpansCarryTheFrameId) {
 }
 #endif  // RTC_OBS_DISABLED
 
+TEST(FramePipeline, SelfHealingSequenceRepartitionsAroundTheDeadRank) {
+  // Under kRecompose a crash at frame 1 costs exactly one degraded
+  // frame: frame 0 is untouched, frame 1 recomposes to the survivors'
+  // exact partial composite, and frames 2+ re-partition the volume
+  // over the survivors — bit-identical to a from-scratch sequence that
+  // never had the dead rank at all.
+  PipelineConfig healing = small_config();
+  healing.coherence = false;  // a dead rank invalidates cache sizing
+  healing.comp.method = "rt";  // generalized: any rank count
+  healing.comp.resilience.on_peer_loss =
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+  healing.fault_frame = 1;
+  healing.comp.fault.seed = 606;
+  healing.comp.fault.crashes.push_back(
+      {.rank = healing.ranks - 1, .after_sends = 0});
+
+  // Same policy, no fault plan: with a zero crash budget the recovery
+  // driver provably sends nothing, so these are plain clean runs.
+  PipelineConfig clean4 = small_config();
+  clean4.coherence = false;
+  clean4.comp.method = "rt";
+  clean4.comp.resilience.on_peer_loss =
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+
+  PipelineConfig clean3 = clean4;
+  clean3.ranks = 3;  // the survivors, from scratch
+
+  const SequenceResult h = run_sequence(healing);
+  const SequenceResult c4 = run_sequence(clean4);
+  const SequenceResult c3 = run_sequence(clean3);
+  ASSERT_EQ(h.frames.size(), 3u);
+
+  // Frame 0: before the fault, the full world composes normally.
+  EXPECT_FALSE(h.frames[0].run.degraded);
+  EXPECT_EQ(img::max_channel_diff(h.frames[0].run.image,
+                                  c4.frames[0].run.image),
+            0);
+
+  // Frame 1: the crash lands, the survivors recompose in-frame —
+  // degraded (a sub-volume is gone) but with nothing blanked mid-wire.
+  EXPECT_TRUE(h.frames[1].run.degraded);
+  EXPECT_EQ(h.frames[1].run.stats.dead_ranks(),
+            std::vector<int>{healing.ranks - 1});
+  EXPECT_EQ(h.frames[1].run.stats.total_lost_pixels(), 0);
+  EXPECT_GT(h.frames[1].run.stats.total_recomposes(), 0);
+  EXPECT_EQ(h.frames[1].run.stats.max_membership_epoch(), 1u);
+
+  // Frames 2+: full quality over the re-partitioned survivor volume.
+  EXPECT_FALSE(h.frames[2].run.degraded);
+  EXPECT_EQ(img::max_channel_diff(h.frames[2].run.image,
+                                  c3.frames[2].run.image),
+            0);
+  EXPECT_EQ(h.frames[2].composite_time, c3.frames[2].composite_time);
+
+  // Sequence-level recovery accounting; zero on the clean runs.
+  EXPECT_EQ(h.ranks_lost, 1);
+  EXPECT_GT(h.recomposes, 0);
+  EXPECT_EQ(h.max_epoch, 1u);
+  EXPECT_EQ(c4.ranks_lost, 0);
+  EXPECT_EQ(c4.recomposes, 0);
+  EXPECT_EQ(c4.max_epoch, 0u);
+}
+
+TEST(FramePipeline, SelfHealingFallsBackToAnyPMethod) {
+  // rt_n requires an even processor count, so when the crash leaves 3
+  // survivors the later frames must fall back to the generalized
+  // schedule instead of tripping the even-P contract — and match a
+  // from-scratch generalized 3-rank sequence exactly.
+  PipelineConfig healing = small_config();
+  healing.coherence = false;
+  healing.comp.method = "rt_n";
+  healing.comp.resilience.on_peer_loss =
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+  healing.fault_frame = 1;
+  healing.comp.fault.seed = 606;
+  healing.comp.fault.crashes.push_back(
+      {.rank = healing.ranks - 1, .after_sends = 0});
+
+  PipelineConfig clean3 = small_config();
+  clean3.coherence = false;
+  clean3.ranks = 3;
+  clean3.comp.method = "rt";
+  clean3.comp.resilience.on_peer_loss =
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+
+  const SequenceResult h = run_sequence(healing);
+  const SequenceResult c3 = run_sequence(clean3);
+  EXPECT_TRUE(h.frames[1].run.degraded);
+  EXPECT_EQ(h.frames[1].run.stats.total_lost_pixels(), 0);
+  EXPECT_FALSE(h.frames[2].run.degraded);
+  EXPECT_EQ(img::max_channel_diff(h.frames[2].run.image,
+                                  c3.frames[2].run.image),
+            0);
+  EXPECT_EQ(h.frames[2].composite_time, c3.frames[2].composite_time);
+}
+
+TEST(FramePipeline, SelfHealingIsDeterministic) {
+  PipelineConfig cfg = small_config();
+  cfg.coherence = false;
+  cfg.comp.method = "rt";
+  cfg.comp.resilience.on_peer_loss =
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+  cfg.fault_frame = 1;
+  cfg.comp.fault.seed = 606;
+  cfg.comp.fault.crashes.push_back(
+      {.rank = cfg.ranks - 1, .after_sends = 0});
+  const SequenceResult a = run_sequence(cfg);
+  const SequenceResult b = run_sequence(cfg);
+  EXPECT_EQ(a.makespan, b.makespan);
+  for (std::size_t f = 0; f < a.frames.size(); ++f)
+    EXPECT_EQ(img::max_channel_diff(a.frames[f].run.image,
+                                    b.frames[f].run.image),
+              0);
+  EXPECT_EQ(a.recomposes, b.recomposes);
+  EXPECT_EQ(a.max_epoch, b.max_epoch);
+}
+
 }  // namespace
 }  // namespace rtc::frames

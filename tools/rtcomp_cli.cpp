@@ -11,7 +11,11 @@
 //                   [--fault-dup P] [--fault-delay P]
 //                   [--fault-delay-mean S] [--fault-crash-rank R]
 //                   [--fault-crash-after SENDS] [--fault-crash-at T]
-//                   [--retries N] [--rto S] [--on-peer-loss blank|throw]
+//                   [--fault-link S:D:DROP[:CORRUPT]]
+//                   [--retries N] [--rto S]
+//                   [--on-peer-loss blank|throw|recompose]
+//                   [--circuit-breaker-threshold N] [--breaker-cooldown S]
+//                   [--relay]
 //     multi-frame (camera sweep through the frame pipeline):
 //                   --frames K [--sweep DEG] [--max-in-flight M]
 //                   [--no-coherence] [--stream frames.pgms]
@@ -21,6 +25,7 @@
 //                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
 //
 // Exit codes: 0 ok, 2 usage error.
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -44,7 +49,7 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
-      if (key == "mip" || key == "no-coherence") {
+      if (key == "mip" || key == "no-coherence" || key == "relay") {
         kv_[key] = "1";
         continue;
       }
@@ -113,16 +118,48 @@ int parse_fault_flags(const Args& a, harness::CompositionConfig& cfg) {
       crash.after_sends = 0;  // bare --fault-crash-rank: die at 1st send
     cfg.fault.crashes.push_back(crash);
   }
+  if (a.has("fault-link")) {
+    // S:D:DROP[:CORRUPT] — a per-link fault adder on the directed link
+    // S→D (the chronically-bad-cable scenario the circuit breaker
+    // targets).
+    const std::string spec = a.get("fault-link", "");
+    comm::FaultPlan::LinkFault lf;
+    char tail = '\0';
+    bool ok = std::sscanf(spec.c_str(), "%d:%d:%lf:%lf%c", &lf.src, &lf.dst,
+                          &lf.drop, &lf.corrupt, &tail) == 4 &&
+              tail == '\0';
+    if (!ok) {
+      lf.corrupt = 0.0;
+      tail = '\0';
+      ok = std::sscanf(spec.c_str(), "%d:%d:%lf%c", &lf.src, &lf.dst,
+                       &lf.drop, &tail) == 3 &&
+           tail == '\0';
+    }
+    if (!ok) {
+      std::cerr << "bad --fault-link (want S:D:DROP[:CORRUPT]): " << spec
+                << "\n";
+      return 2;
+    }
+    cfg.fault.links.push_back(lf);
+  }
   cfg.resilience.retries = a.get_int("retries", cfg.resilience.retries);
   cfg.resilience.timeout = a.get_double("rto", cfg.resilience.timeout);
+  cfg.resilience.breaker_threshold =
+      a.get_int("circuit-breaker-threshold", 0);
+  cfg.resilience.breaker_cooldown =
+      a.get_double("breaker-cooldown", cfg.resilience.breaker_cooldown);
+  cfg.resilience.relay = a.has("relay");
   const std::string on_loss = a.get("on-peer-loss", "blank");
-  if (on_loss != "blank" && on_loss != "throw") {
+  if (on_loss != "blank" && on_loss != "throw" && on_loss != "recompose") {
     std::cerr << "unknown --on-peer-loss: " << on_loss << "\n";
     return 2;
   }
   cfg.resilience.on_peer_loss =
-      on_loss == "throw" ? comm::ResiliencePolicy::PeerLoss::kThrow
-                         : comm::ResiliencePolicy::PeerLoss::kBlank;
+      on_loss == "throw"
+          ? comm::ResiliencePolicy::PeerLoss::kThrow
+          : (on_loss == "recompose"
+                 ? comm::ResiliencePolicy::PeerLoss::kRecompose
+                 : comm::ResiliencePolicy::PeerLoss::kBlank);
   return 0;
 }
 
