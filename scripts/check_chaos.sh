@@ -84,6 +84,69 @@ run_cell "crash+storm rt_n/recompose" 'dead=\[3\] epoch=1' \
   --method rt_n --blocks 3 --fault-seed 13 --fault-drop 0.2 \
   --fault-crash-rank 3 --fault-crash-after 1 --on-peer-loss recompose
 
+# --- Fail-slow sweep: stragglers hedge, deadlines bound frames -------
+# Chronic jitter on a ring link: the straggler detector flags it from
+# the sender's own delivery observations and hedges later sends through
+# a relay. Jitter delays but never corrupts, and the hedge carries
+# identical bytes — the image must equal the no-fault one exactly.
+"$RTCOMP" "${BASE[@]}" --method rt_n --blocks 3 --out "$TMP/ref.pgm" \
+  >/dev/null
+run_cell "straggler rt_n/hedge" \
+  'stragglers=[1-9].*hedged=[1-9].*wins=[1-9].* ok' \
+  --method rt_n --blocks 3 --fault-jitter 1:0:0.05 \
+  --straggler-multiple 3 --straggler-window 1 --hedge
+if ! cmp -s "$TMP/ref.pgm" "$TMP/a.pgm"; then
+  echo "FAIL straggler rt_n/hedge  (hedged image != no-fault image)"
+  fail=1
+else
+  echo "ok   straggler hedged image matches no-fault image"
+fi
+
+# An 8x-slow rank under a deliberately hopeless single-shot deadline:
+# there is no prior frame to substitute from, so late blocks degrade to
+# bounded losses — deterministically, with exit 0.
+run_cell "slow+deadline bswap_any/blank" \
+  'lost_px=[1-9].*deadline_miss=[1-9].*degraded' \
+  --method bswap_any --blocks 1 --fault-slow 1:8 --deadline 0.0001 \
+  --on-peer-loss blank
+
+run_frames_cell() {  # run_frames_cell <label> <expect-grep> <arg...>
+  local label="$1" expect="$2"; shift 2
+  local s1="$TMP/a.pgms" s2="$TMP/b.pgms"
+  local out1 out2
+  if ! out1=$("$RTCOMP" "${BASE[@]}" "$@" --stream "$s1" 2>&1); then
+    echo "FAIL $label  (nonzero exit)"; echo "$out1" | sed 's/^/     /'
+    fail=1; return
+  fi
+  out2=$("$RTCOMP" "${BASE[@]}" "$@" --stream "$s2" 2>&1)
+  if ! cmp -s "$s1" "$s2"; then
+    echo "FAIL $label  (frame stream not deterministic across replays)"
+    fail=1; return
+  fi
+  if [[ $(grep '^deadline:' <<<"$out1") != \
+        "$(grep '^deadline:' <<<"$out2")" ]]; then
+    echo "FAIL $label  (deadline accounting not deterministic)"
+    fail=1; return
+  fi
+  if [[ -n $expect ]] && ! grep -qE "$expect" <<<"$out1"; then
+    echo "FAIL $label  (wanted /$expect/)"
+    echo "$out1" | sed 's/^/     /'
+    fail=1; return
+  fi
+  echo "ok   $label"
+}
+
+# Chronic slowdown across a camera sweep: every frame misses the
+# deadline, frames 1+ substitute last frame's tiles instead of losing
+# pixels, and the whole delivered stream replays byte-identically.
+for method in bswap rt_n; do
+  run_frames_cell "sweep slow+deadline $method" \
+    'deadline: [1-9][0-9]* miss\(es\), [1-9][0-9]* stale tile' \
+    --method "$method" --blocks "$(blocks_for "$method")" --frames 4 \
+    --max-in-flight 2 --fault-slow 1:8 --deadline 0.012 \
+    --on-peer-loss blank
+done
+
 # --- Circuit breaker: dead link relays to the exact no-fault image ---
 "$RTCOMP" "${BASE[@]}" --method direct --blocks 1 \
   --out "$TMP/ref.pgm" >/dev/null

@@ -31,6 +31,7 @@ constexpr std::uint64_t kSaltDelay = 0x1A;
 constexpr std::uint64_t kSaltDelayMag = 0x1B;
 constexpr std::uint64_t kSaltDuplicate = 0xDD;
 constexpr std::uint64_t kSaltBit = 0xB1;
+constexpr std::uint64_t kSaltJitter = 0x71;
 
 }  // namespace
 
@@ -86,6 +87,23 @@ bool FaultInjector::duplicated(int src, int dst, int tag,
   const double rate = plan_.duplicate + (l != nullptr ? l->duplicate : 0.0);
   return rate > 0.0 &&
          uniform(src, dst, tag, seq, 0, kSaltDuplicate) < rate;
+}
+
+double FaultInjector::compute_slowdown(int rank) const {
+  for (const FaultPlan::Slow& s : plan_.slows)
+    if (s.rank == rank && s.factor > 1.0) return s.factor;
+  return 1.0;
+}
+
+double FaultInjector::link_jitter(int src, int dst, int tag,
+                                  std::uint32_t seq) const {
+  for (const FaultPlan::Jitter& j : plan_.jitters) {
+    if (j.src != src || j.dst != dst || j.mean <= 0.0) continue;
+    // Same magnitude law as delay spikes (mean * [0.5, 1.5)), but the
+    // coin is rigged: a jittery link delays *every* message.
+    return j.mean * (0.5 + uniform(src, dst, tag, seq, 0, kSaltJitter));
+  }
+  return 0.0;
 }
 
 WireShaping FaultInjector::shape(int src, int dst, int tag,

@@ -66,6 +66,25 @@ struct ResiliencePolicy {
   double breaker_cooldown = 0.05;
   /// Allow routing around open links through a relay rank.
   bool relay = false;
+
+  // --- fail-slow tolerance (straggler detection + hedging) ---------
+
+  /// Straggler detector threshold (0 disables). A peer's message is
+  /// observed "slow" when its delivery ran more than this multiple of
+  /// the cost model's healthy transfer time (costmodel::
+  /// healthy_transfer_time); e.g. 3.0 flags arrivals 3x the model.
+  /// Detection is sender-side: the sender compares the shaped delivery
+  /// delay of its own sends against the expectation, so the decision
+  /// rides the deterministic message DAG.
+  double straggler_multiple = 0.0;
+  /// Consecutive slow observations on one link before the peer is
+  /// flagged a straggler. One healthy delivery unflags it.
+  int straggler_window = 2;
+  /// Hedge sends to flagged stragglers through the relay path (first
+  /// arrival wins; the loser is deduped by sequence number like any
+  /// injected duplicate). Independent of the circuit breaker: hedging
+  /// never opens a link or consumes breaker state.
+  bool hedge = false;
 };
 
 /// A seeded schedule of faults. All rates are per-delivery-attempt
@@ -106,6 +125,28 @@ struct FaultPlan {
   };
   std::vector<LinkFault> links;
 
+  /// Fail-slow: a rank whose *compute* runs `factor` times slower than
+  /// the cost model (thermal throttling, a noisy neighbor). Charged on
+  /// the virtual clock — every compute/codec/blend charge on that rank
+  /// is multiplied — so schedules are perturbed realistically. Unlike
+  /// wire faults this is chronic, not per-message.
+  struct Slow {
+    int rank = -1;
+    double factor = 1.0;
+  };
+  std::vector<Slow> slows;
+
+  /// Fail-slow: a directed link with chronic jitter. Every message on
+  /// src -> dst arrives late by a deterministic `mean * (0.5 + u)`
+  /// extra virtual seconds (u seeded per message) — a congested or
+  /// flapping path, as opposed to the probabilistic delay spikes.
+  struct Jitter {
+    int src = -1;
+    int dst = -1;
+    double mean = 0.0;
+  };
+  std::vector<Jitter> jitters;
+
   [[nodiscard]] bool any_wire_faults() const {
     if (drop > 0.0 || corrupt > 0.0 || duplicate > 0.0 || delay > 0.0)
       return true;
@@ -113,8 +154,17 @@ struct FaultPlan {
       if (l.any()) return true;
     return false;
   }
+  /// True when any fail-slow injection (compute slowdown or link
+  /// jitter) is configured with a nonzero magnitude.
+  [[nodiscard]] bool any_fail_slow() const {
+    for (const Slow& s : slows)
+      if (s.factor > 1.0) return true;
+    for (const Jitter& j : jitters)
+      if (j.mean > 0.0) return true;
+    return false;
+  }
   [[nodiscard]] bool enabled() const {
-    return any_wire_faults() || !crashes.empty();
+    return any_wire_faults() || !crashes.empty() || any_fail_slow();
   }
 };
 
@@ -165,6 +215,16 @@ class FaultInjector {
                                    std::uint32_t seq, bool* delayed) const;
   [[nodiscard]] bool duplicated(int src, int dst, int tag,
                                 std::uint32_t seq) const;
+
+  /// Fail-slow: this rank's chronic compute slowdown factor (1.0 when
+  /// the plan lists none). Constant per rank, cached by the runtime.
+  [[nodiscard]] double compute_slowdown(int rank) const;
+
+  /// Fail-slow: extra virtual seconds of chronic jitter on one message
+  /// over the directed link src -> dst (0 when the link has none).
+  /// Always fires on a configured link; only the magnitude is seeded.
+  [[nodiscard]] double link_jitter(int src, int dst, int tag,
+                                   std::uint32_t seq) const;
 
   /// True when `rank` must die now: `sends_attempted` counts the
   /// in-progress send (1-based), `clock` is the rank's virtual time.

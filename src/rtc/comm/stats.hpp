@@ -47,6 +47,17 @@ struct RankStats {
   std::int64_t relay_through_bytes = 0;
   std::int64_t breaker_trips = 0;   ///< per-link circuit breakers opened
   std::int64_t breaker_probes = 0;  ///< half-open probe attempts
+  // Fail-slow counters (straggler detection / hedging / deadline
+  // layer; all zero with no fail-slow plan, no detector and no frame
+  // deadline — clean runs are byte-identical to the legacy format).
+  std::int64_t jitter_delays = 0;      ///< chronic link-jitter arrivals
+  std::int64_t stragglers_flagged = 0; ///< peer flagged slow (transitions)
+  std::int64_t hedged_sends = 0;       ///< sends duplicated via a relay
+  std::int64_t hedged_bytes = 0;
+  std::int64_t hedge_wins = 0;  ///< hedges that beat (or saved) the direct copy
+  std::int64_t deadline_misses = 0;  ///< arrivals past the frame deadline
+  std::int64_t stale_tiles = 0;   ///< late blocks substituted from last frame
+  std::int64_t stale_pixels = 0;  ///< pixels in those substituted blocks
   // Temporal-coherence cache counters (frame pipeline; zero when no
   // cache is installed). Accounted at the sender, which owns the cache.
   std::int64_t coherence_hits = 0;    ///< blocks unchanged since last frame
@@ -83,6 +94,13 @@ struct RankStats {
 
 struct RunStats {
   std::vector<RankStats> ranks;
+
+  /// Measured degradation bound for deadline-bounded frames: the max
+  /// per-channel pixel deviation of the delivered image from the exact
+  /// composite of the surviving contributions (0-255). Computed by the
+  /// harness only when stale substitution or a deadline miss occurred;
+  /// 0 otherwise.
+  int max_pixel_error = 0;
 
   /// Virtual-time makespan: the paper's "composition time".
   [[nodiscard]] double makespan() const {
@@ -136,6 +154,12 @@ struct RunStats {
     return n;
   }
 
+  [[nodiscard]] std::int64_t total_delays_injected() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.delays_injected;
+    return n;
+  }
+
   [[nodiscard]] std::int64_t total_lost_messages() const {
     std::int64_t n = 0;
     for (const RankStats& r : ranks) n += r.lost_messages;
@@ -164,10 +188,13 @@ struct RunStats {
   }
 
   /// True when the result is not guaranteed bit-exact: some work was
-  /// lost (dead rank or exhausted retries) and substituted blank.
+  /// lost (dead rank or exhausted retries) and substituted blank, or a
+  /// frame deadline expired and stale/blank content stood in.
   [[nodiscard]] bool degraded() const {
-    for (const RankStats& r : ranks)
+    for (const RankStats& r : ranks) {
       if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
+      if (r.deadline_misses > 0 || r.stale_pixels > 0) return true;
+    }
     return false;
   }
 
@@ -219,8 +246,62 @@ struct RunStats {
       if (r.recomposes > 0 || r.membership_epoch > 0) return true;
       if (r.relayed_messages > 0 || r.relay_through_messages > 0) return true;
       if (r.breaker_trips > 0 || r.breaker_probes > 0) return true;
+      if (r.jitter_delays > 0 || r.stragglers_flagged > 0) return true;
+      if (r.hedged_sends > 0 || r.hedge_wins > 0) return true;
+      if (r.deadline_misses > 0 || r.stale_tiles > 0 || r.stale_pixels > 0)
+        return true;
     }
     return false;
+  }
+
+  // --- fail-slow aggregates (straggler/hedge/deadline layer) -------
+
+  [[nodiscard]] std::int64_t total_jitter_delays() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.jitter_delays;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_stragglers_flagged() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.stragglers_flagged;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_hedged_sends() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.hedged_sends;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_hedged_bytes() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.hedged_bytes;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_hedge_wins() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.hedge_wins;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_deadline_misses() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.deadline_misses;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_stale_tiles() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.stale_tiles;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_stale_pixels() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.stale_pixels;
+    return n;
   }
 
   // --- temporal-coherence aggregates (frame pipeline) -------------
@@ -255,6 +336,7 @@ struct RunStats {
   /// accumulating callers); the rank count is preserved.
   void reset_counters() {
     for (RankStats& r : ranks) r.reset_counters();
+    max_pixel_error = 0;
   }
 
   // --- observability aggregates -----------------------------------

@@ -13,6 +13,8 @@
 #include "rtc/common/check.hpp"
 #include "rtc/comm/frame.hpp"
 #include "rtc/comm/membership.hpp"
+#include "rtc/comm/stale.hpp"
+#include "rtc/costmodel/table1.hpp"
 
 namespace rtc::comm {
 
@@ -227,6 +229,12 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
     // historical counter, so single-shot runs are bit-identical.
     c.seq_base_ = seq_epoch_ << kSeqEpochBits;
     c.next_seq_ = c.seq_base_ + 1;
+    // Fail-slow wiring: a chronic compute slowdown scales this rank's
+    // local charges; the staleness slice (if installed) persists across
+    // frames in the sequence driver.
+    c.slow_factor_ =
+        injector_ != nullptr ? injector_->compute_slowdown(c.rank_) : 1.0;
+    c.stale_ = stale_ != nullptr ? &stale_->rank(c.rank_) : nullptr;
   }
   if (trace_cfg_.enabled) {
     // Preallocate every rank's span ring before the threads start so
@@ -450,6 +458,45 @@ Comm::ShapedRoute Comm::shape_breaker(int pdst, int tag, std::uint32_t seq,
   return out;
 }
 
+WireShaping Comm::shape_via_relay(int relay, int pdst, int tag,
+                                  std::uint32_t seq,
+                                  std::int64_t bytes) const {
+  const NetworkModel& m = world_->model();
+  const ResiliencePolicy& rp = world_->resilience();
+  const FaultInjector& inj = *world_->injector_;
+  // Same two-hop coin scheme as shape_breaker's detour arm, so a hedge
+  // through a relay sees exactly the fault odds a breaker detour would.
+  WireShaping s;
+  bool delivered = false;
+  for (int attempt = 0; attempt <= rp.retries; ++attempt) {
+    const bool dropped = inj.attempt_dropped(rank_, relay, tag, seq,
+                                             attempt) ||
+                         inj.attempt_dropped(relay, pdst, tag, seq, attempt);
+    const bool corrupted =
+        !dropped && (inj.attempt_corrupted(rank_, relay, tag, seq, attempt) ||
+                     inj.attempt_corrupted(relay, pdst, tag, seq, attempt));
+    if (!dropped && !corrupted) {
+      delivered = true;
+      break;
+    }
+    if (dropped)
+      s.drops += 1;
+    else
+      s.crc_failures += 1;
+    s.extra_delay += rp.timeout * static_cast<double>(1 << attempt);
+    if (attempt < rp.retries) {
+      s.retransmits += 1;
+      s.extra_delay += m.ts + m.wire_time(bytes);
+    }
+  }
+  // A hedge copy that exhausts its budget is simply never delivered —
+  // the direct copy carries the loss story, so no corrupt_delivery here.
+  s.lost = !delivered;
+  // Store-and-forward: the extra hop pays its own startup + wire time.
+  s.extra_delay += m.ts + m.wire_time(bytes);
+  return s;
+}
+
 void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   RTC_CHECK(dst >= 0 && dst < size());
   const int pdst = to_phys(dst);
@@ -482,13 +529,17 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   e.available_at = egress_free_;
 
   std::optional<World::Envelope> dup;
+  std::optional<World::Envelope> hedge;
   // Control-plane traffic (membership floods) rides a reliable channel:
   // virtual wire time is charged, fault shaping is not.
   if (world_->injector_ != nullptr && tag < kControlTagBase) {
+    const ResiliencePolicy& rp = world_->resilience();
     WireShaping s;
-    if (world_->resilience().breaker_threshold > 0) {
+    bool breaker_relayed = false;
+    if (rp.breaker_threshold > 0) {
       const ShapedRoute route = shape_breaker(pdst, tag, seq, bytes);
       s = route.s;
+      breaker_relayed = route.relayed;
       if (route.relayed) {
         stats_.relayed_messages += 1;
         stats_.relayed_bytes += bytes;
@@ -496,14 +547,15 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
         note_span(obs::SpanKind::kRelay, tag, bytes, route.relay);
       }
     } else {
-      s = world_->injector_->shape(rank_, pdst, tag, seq, bytes, m,
-                                   world_->resilience());
+      s = world_->injector_->shape(rank_, pdst, tag, seq, bytes, m, rp);
     }
-    e.available_at += s.extra_delay;
+    const double jit = world_->injector_->link_jitter(rank_, pdst, tag, seq);
+    e.available_at += s.extra_delay + jit;
     e.retransmits = s.retransmits;
     e.drops = s.drops;
     e.crc_failures = s.crc_failures;
     e.delayed = s.delayed;
+    e.jittered = jit > 0.0;
     e.lost = s.lost;
     if (s.corrupt_delivery)
       FaultInjector::flip_bit(e.frame, s.corrupt_salt);
@@ -512,6 +564,79 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
       dup->frame = e.frame;
       dup->available_at = e.available_at + m.wire_time(bytes);
       dup->duplicate = true;
+    }
+
+    if (rp.straggler_multiple > 0.0) {
+      // Straggler detector: compare this delivery's slowness against the
+      // cost-model expectation for a healthy link. A rank only uses its
+      // own observations (the shaping it just computed), so the verdict
+      // rides the message DAG and is deterministic.
+      const double expect = costmodel::healthy_transfer_time(bytes, m);
+      const bool slow_now =
+          s.lost ||
+          s.extra_delay + jit > (rp.straggler_multiple - 1.0) * expect;
+      SlowScore& sc = slow_peers_[pdst];
+      if (sc.flagged && rp.hedge && !breaker_relayed) {
+        const int relay = pick_relay(pdst);
+        if (relay >= 0) {
+          // Hedge a second copy through the relay; the first arrival
+          // wins and the loser is demoted to a protocol-level duplicate
+          // the receiver's seq dedup discards for free.
+          const WireShaping hs = shape_via_relay(relay, pdst, tag, seq,
+                                                 bytes);
+          const double hjit =
+              world_->injector_->link_jitter(rank_, relay, tag, seq) +
+              world_->injector_->link_jitter(relay, pdst, tag, seq);
+          // The copy queues on this rank's egress channel behind the
+          // direct transmission (shape_via_relay already charged the
+          // relay hop's own Ts + wire time).
+          egress_free_ += m.wire_time(bytes);
+          World::Envelope h;
+          h.frame = e.frame;
+          h.available_at = egress_free_ + hs.extra_delay + hjit;
+          h.retransmits = hs.retransmits;
+          h.drops = hs.drops;
+          h.crc_failures = hs.crc_failures;
+          h.delayed = hs.delayed;
+          h.jittered = hjit > 0.0;
+          h.lost = hs.lost;
+          stats_.hedged_sends += 1;
+          stats_.hedged_bytes += bytes;
+          const bool hedge_wins =
+              !h.lost && (e.lost || h.available_at < e.available_at);
+          if (hedge_wins) {
+            stats_.hedge_wins += 1;
+            world_->note_relay_through(relay, bytes);
+            note_span(obs::SpanKind::kHedge, tag, bytes, relay);
+            World::Envelope loser = std::move(e);
+            e = std::move(h);
+            if (!loser.lost) {
+              hedge = World::Envelope{};
+              hedge->frame = std::move(loser.frame);
+              hedge->available_at = loser.available_at;
+              hedge->duplicate = true;
+            }
+          } else if (!h.lost) {
+            hedge = World::Envelope{};
+            hedge->frame = std::move(h.frame);
+            hedge->available_at = h.available_at;
+            hedge->duplicate = true;
+          }
+        }
+      }
+      // Update after the hedge decision: hedging starts one message
+      // after the flag trips, and a healthy delivery clears it.
+      if (slow_now) {
+        sc.consecutive += 1;
+        if (!sc.flagged &&
+            sc.consecutive >= std::max(1, rp.straggler_window)) {
+          sc.flagged = true;
+          stats_.stragglers_flagged += 1;
+        }
+      } else {
+        sc.consecutive = 0;
+        sc.flagged = false;
+      }
     }
   }
 
@@ -529,6 +654,7 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
                             obs::wall_now_ns()});
   }
   world_->deliver(pdst, rank_, tag, std::move(e));
+  if (hedge) world_->deliver(pdst, rank_, tag, std::move(*hedge));
   if (dup) world_->deliver(pdst, rank_, tag, std::move(*dup));
 }
 
@@ -537,6 +663,14 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
   const int psrc = to_phys(src);
   RTC_CHECK_MSG(psrc != rank_, "self-receives are not modeled");
   maybe_crash(/*counting_send=*/false);
+  last_recv_stale_ = false;
+  // The deadline binds the data plane of ungrouped (primary) passes
+  // only: recovery passes run on a group view and control-plane tags
+  // are reliable, so a deadline can bound a frame without ever starving
+  // the self-healing machinery.
+  const double dl = world_->deadline_;
+  const bool dl_on = dl > 0.0 && group_ == nullptr && tag < kControlTagBase;
+  const bool stale_on = dl_on && stale_ != nullptr;
   const double wait_from = clock_;
   const std::int64_t w0 = trace_.enabled() ? obs::wall_now_ns() : 0;
   for (;;) {
@@ -545,8 +679,13 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
     if (!e) {
       // Peer crashed with nothing pending: the loss is detected one
       // retransmit timeout after the peer's (deterministic) death time.
-      clock_ = std::max(clock_, world_->death_time(psrc) +
-                                    world_->resilience().timeout);
+      // Under a deadline the wait is clamped there, but the outcome
+      // stays kPeerDead — a deadline must never mask a crash from the
+      // recovery driver.
+      double detect_at = world_->death_time(psrc) +
+                         world_->resilience().timeout;
+      if (dl_on) detect_at = std::min(detect_at, dl);
+      clock_ = std::max(clock_, detect_at);
       stats_.lost_messages += 1;
       // Deterministic local evidence for the failure detector: this
       // rank now *knows* psrc is dead, independent of wall scheduling.
@@ -567,16 +706,22 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
     stats_.drops_detected += e->drops;
     stats_.crc_failures += e->crc_failures;
     if (e->delayed) stats_.delays_injected += 1;
+    if (e->jittered) stats_.jitter_delays += 1;
 
     const DecodedFrame d = decode_frame(e->frame);
     if (d.ok() && !seen_seqs_.insert(seq_key(psrc, d.seq)).second) {
-      // Sequence number already consumed: injected duplicate. Discard
-      // without advancing the clock — protocol-level dedup is free.
+      // Sequence number already consumed: injected duplicate or a hedge
+      // copy that lost the race. Discard without advancing the clock —
+      // protocol-level dedup is free.
       stats_.duplicates_discarded += 1;
       pool_.release(std::move(e->frame));
       continue;
     }
-    clock_ = std::max(clock_, e->available_at);
+    // A message past the frame deadline is not waited for: the clock is
+    // clamped at the deadline and the payload is (at best) replaced by
+    // last frame's content for the same schedule slot.
+    const bool late = dl_on && e->available_at > dl;
+    clock_ = std::max(clock_, late ? dl : e->available_at);
     if (world_->record_events_ && clock_ > wait_from)
       stats_.events.push_back(Event{
           Event::Kind::kRecvWait, wait_from, clock_, psrc,
@@ -595,6 +740,11 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
           static_cast<std::int64_t>(e->frame.size()), /*aux=*/0, wait_from,
           clock_, w0, obs::wall_now_ns()});
     }
+    // Every path from here consumes one schedule slot from (src, tag):
+    // the occurrence counter keeps the staleness store aligned with the
+    // frame-invariant composition schedule even across losses.
+    const std::uint64_t skey =
+        stale_on ? stale_key(psrc, tag, recv_counts_[{psrc, tag}]++) : 0;
     if (e->lost || !d.ok()) {
       // Retry budget exhausted (the frame either never got through or
       // is still damaged — the CRC, not an oracle, catches the latter).
@@ -603,12 +753,45 @@ Comm::RecvOutcome Comm::recv_outcome(int src, int tag) {
       pool_.release(std::move(e->frame));
       return RecvOutcome{RecvStatus::kLost, {}};
     }
+    if (late) {
+      stats_.deadline_misses += 1;
+      note_span(obs::SpanKind::kDeadline, tag,
+                static_cast<std::int64_t>(d.payload.size()), psrc);
+      std::vector<std::byte> payload = pool_.acquire();
+      bool substituted = false;
+      if (stale_on) {
+        if (const std::vector<std::byte>* prev = stale_->find(skey)) {
+          payload.assign(prev->begin(), prev->end());
+          substituted = true;
+        }
+        // The late arrival is still the slot's freshest real content:
+        // remember it so the next frame substitutes one-frame-old data,
+        // not progressively older.
+        stale_->put(skey,
+                    std::vector<std::byte>(d.payload.begin(), d.payload.end()));
+      }
+      pool_.release(std::move(e->frame));
+      if (!substituted) {
+        // Cold slot (first frame, or no store): degrade like a loss.
+        stats_.lost_messages += 1;
+        pool_.release(std::move(payload));
+        return RecvOutcome{RecvStatus::kLost, {}};
+      }
+      last_recv_stale_ = true;
+      stats_.messages_received += 1;
+      stats_.bytes_received += static_cast<std::int64_t>(payload.size());
+      return RecvOutcome{RecvStatus::kOk, std::move(payload)};
+    }
     stats_.messages_received += 1;
     stats_.bytes_received += static_cast<std::int64_t>(d.payload.size());
     // Copy the payload out of the frame into a pooled buffer before the
     // frame itself is recycled (d.payload aliases e->frame).
     std::vector<std::byte> payload = pool_.acquire();
     payload.assign(d.payload.begin(), d.payload.end());
+    if (stale_on) {
+      stale_->put(skey,
+                  std::vector<std::byte>(payload.begin(), payload.end()));
+    }
     pool_.release(std::move(e->frame));
     return RecvOutcome{RecvStatus::kOk, std::move(payload)};
   }
@@ -640,7 +823,9 @@ void Comm::compute(double seconds) {
   RTC_CHECK(seconds >= 0.0);
   maybe_crash(/*counting_send=*/false);
   const double from = clock_;
-  clock_ += seconds;
+  // slow_factor_ is 1.0 outside fail-slow plans, and x * 1.0 == x for
+  // every finite double, so healthy runs stay bit-identical.
+  clock_ += seconds * slow_factor_;
   if (world_->record_events_ && seconds > 0.0) {
     stats_.events.push_back(
         Event{Event::Kind::kCompute, from, clock_, -1, 0});
@@ -662,7 +847,7 @@ void Comm::charge_span(obs::SpanKind kind, int step, double seconds,
   // to charge_span() never perturbs a run's deterministic times.
   maybe_crash(/*counting_send=*/false);
   const double from = clock_;
-  clock_ += seconds;
+  clock_ += seconds * slow_factor_;
   if (world_->record_events_ && seconds > 0.0) {
     stats_.events.push_back(
         Event{Event::Kind::kCompute, from, clock_, -1, 0});
@@ -687,7 +872,7 @@ void Comm::charge_over(std::int64_t pixels) {
   RTC_CHECK(pixels >= 0);
   stats_.pixels_composited += pixels;
   const double from = clock_;
-  clock_ += world_->model().over_time(pixels);
+  clock_ += world_->model().over_time(pixels) * slow_factor_;
   if (world_->record_events_ && pixels > 0) {
     stats_.events.push_back(
         Event{Event::Kind::kOver, from, clock_, -1, pixels});
@@ -704,6 +889,13 @@ void Comm::note_loss(std::int64_t block_id, std::int64_t pixels) {
   RTC_CHECK(pixels >= 0);
   stats_.lost_blocks.push_back(block_id);
   stats_.lost_pixels += pixels;
+}
+
+void Comm::note_stale(std::int64_t block_id, std::int64_t pixels) {
+  RTC_CHECK(pixels >= 0);
+  (void)block_id;  // kept for symmetry with note_loss; ids are in spans
+  stats_.stale_tiles += 1;
+  stats_.stale_pixels += pixels;
 }
 
 void Comm::note_coherence(bool hit, std::int64_t bytes_saved) {
@@ -730,6 +922,7 @@ GatherResult gather_partial(Comm& comm, int root, int tag,
     const auto n = static_cast<std::size_t>(comm.size());
     out.payloads.resize(n);
     out.valid.assign(n, 1);
+    out.stale.assign(n, 0);
     out.payloads[static_cast<std::size_t>(root)] = std::move(payload);
     const bool blank_on_loss = comm.resilience().degrade_on_loss();
     for (int src = 0; src < comm.size(); ++src) {
@@ -738,11 +931,15 @@ GatherResult gather_partial(Comm& comm, int root, int tag,
         std::optional<std::vector<std::byte>> p = comm.try_recv(src, tag);
         if (p) {
           out.payloads[static_cast<std::size_t>(src)] = std::move(*p);
+          out.stale[static_cast<std::size_t>(src)] =
+              comm.last_recv_stale() ? 1 : 0;
         } else {
           out.valid[static_cast<std::size_t>(src)] = 0;
         }
       } else {
         out.payloads[static_cast<std::size_t>(src)] = comm.recv(src, tag);
+        out.stale[static_cast<std::size_t>(src)] =
+            comm.last_recv_stale() ? 1 : 0;
       }
     }
   } else {

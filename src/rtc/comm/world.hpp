@@ -46,6 +46,8 @@ namespace rtc::comm {
 
 class World;
 struct MembershipView;
+class RankStaleStore;
+class StaleStore;
 
 /// Tags at or above this base belong to the runtime's control plane
 /// (membership/failure-detector traffic, membership.hpp). Control
@@ -94,6 +96,16 @@ class Comm {
 
   /// Records a block lost to faults: `pixels` were substituted blank.
   void note_loss(std::int64_t block_id, std::int64_t pixels);
+
+  /// True when the payload returned by the most recent successful
+  /// recv/try_recv was substituted from the staleness store (the real
+  /// arrival missed the frame deadline). Callers that know the block's
+  /// pixel count report it via note_stale.
+  [[nodiscard]] bool last_recv_stale() const { return last_recv_stale_; }
+
+  /// Records a stale substitution: `pixels` of block `block_id` show
+  /// last frame's content instead of this frame's. Pure accounting.
+  void note_stale(std::int64_t block_id, std::int64_t pixels);
 
   /// Records a temporal-coherence cache lookup (frame pipeline):
   /// hit/miss counters plus wire bytes the hit avoided resending.
@@ -210,6 +222,18 @@ class Comm {
   /// Lowest live physical rank that can relay to `pdst` (-1: none).
   [[nodiscard]] int pick_relay(int pdst) const;
 
+  /// Per-destination straggler-detector state (physical dst).
+  struct SlowScore {
+    int consecutive = 0;  ///< consecutive slow deliveries observed
+    bool flagged = false;
+  };
+  /// Shapes one delivery over the two-hop relay route (the hedge copy's
+  /// coins); mirrors shape_breaker's via_relay arm, including the
+  /// store-and-forward Ts + wire charge of the extra hop.
+  [[nodiscard]] WireShaping shape_via_relay(int relay, int pdst, int tag,
+                                            std::uint32_t seq,
+                                            std::int64_t bytes) const;
+
   World* world_;
   int rank_;
   double clock_ = 0.0;
@@ -223,6 +247,13 @@ class Comm {
   std::set<int> observed_dead_;  ///< peers seen dead (physical, ordered)
   int membership_calls_ = 0;     ///< flood calls issued (tag namespace)
   std::map<int, Breaker> breakers_;  ///< per-physical-dst link state
+  std::map<int, SlowScore> slow_peers_;  ///< straggler detector state
+  double slow_factor_ = 1.0;  ///< this rank's chronic compute slowdown
+  RankStaleStore* stale_ = nullptr;  ///< staleness slice (not owned)
+  bool last_recv_stale_ = false;  ///< last payload was a substitution
+  /// Messages consumed per (physical src, tag) this frame — the `nth`
+  /// of the staleness slot key (stale.hpp).
+  std::map<std::pair<int, int>, std::uint32_t> recv_counts_;
   BufferPool pool_;  ///< per-rank wire-buffer freelist
   obs::TraceRecorder trace_;  ///< per-rank span ring (obs layer)
   RankStats stats_;
@@ -257,6 +288,21 @@ class World {
 
   /// Installs a deterministic fault schedule (empty plan disables).
   void set_fault_plan(const FaultPlan& plan);
+
+  /// Virtual-time frame deadline (0 disables). A receiver never
+  /// advances its clock past the deadline waiting for data-plane
+  /// traffic: a later arrival is a *deadline miss* — the block is
+  /// substituted from the staleness store (set_stale) when warm, and
+  /// degrades to a loss when cold. Control-plane tags and grouped
+  /// recovery passes (Comm::set_group) are exempt, so the deadline can
+  /// never starve or deadlock the self-healing layer. Requires a
+  /// degrading peer-loss policy.
+  void set_deadline(double virtual_seconds) { deadline_ = virtual_seconds; }
+  [[nodiscard]] double deadline() const { return deadline_; }
+
+  /// Installs the cross-frame staleness store (null disables); the
+  /// caller owns it and keeps it alive across the sequence's runs.
+  void set_stale(StaleStore* store) { stale_ = store; }
 
   /// Retry budget / backoff / peer-loss reaction for this world.
   void set_resilience(const ResiliencePolicy& policy) { policy_ = policy; }
@@ -296,6 +342,7 @@ class World {
     int drops = 0;
     int crc_failures = 0;
     bool delayed = false;
+    bool jittered = false;   ///< chronic link jitter delayed the arrival
     bool duplicate = false;  ///< injected second copy of the same seq
     bool lost = false;       ///< retry budget exhausted
   };
@@ -318,6 +365,8 @@ class World {
   int size_;
   NetworkModel model_;
   double recv_timeout_ = 60.0;
+  double deadline_ = 0.0;  ///< per-frame virtual deadline (0: none)
+  StaleStore* stale_ = nullptr;  ///< cross-frame staleness store (not owned)
   std::uint32_t seq_epoch_ = 0;
   bool record_events_ = false;
   obs::TraceConfig trace_cfg_;
@@ -347,6 +396,10 @@ std::vector<std::vector<std::byte>> gather(Comm& comm, int root, int tag,
 struct GatherResult {
   std::vector<std::vector<std::byte>> payloads;
   std::vector<std::uint8_t> valid;
+  /// stale[i]: rank i's payload is a deadline substitution (last
+  /// frame's content); callers attribute the staleness per fragment
+  /// via Comm::note_stale once pixel counts are known.
+  std::vector<std::uint8_t> stale;
   [[nodiscard]] bool complete() const {
     for (const std::uint8_t v : valid)
       if (!v) return false;

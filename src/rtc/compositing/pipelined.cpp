@@ -173,6 +173,7 @@ class Pipelined final : public Compositor {
     } else {
       payload = comm.recv(src, tag);
     }
+    if (comm.last_recv_stale()) comm.note_stale(block_id, s.size());
     try {
       wire::WireReader r(payload);
       const bool has_front = r.u8("segment-state flag") != 0;

@@ -233,6 +233,8 @@ bool recv_block_or_blank(comm::Comm& comm, int src, int tag,
       decode_block(comm, tag, *bytes, out, geom, codec, coherent,
                    clean_blank);
       comm.pool().release(std::move(*bytes));
+      if (comm.last_recv_stale())
+        comm.note_stale(block_id, static_cast<std::int64_t>(out.size()));
       return true;
     } catch (const wire::DecodeError&) {
       // A payload that passed the CRC but fails validation (collision,
@@ -265,6 +267,8 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
       decode_blend_block(comm, tag, *bytes, dst, geom, codec, mode,
                          src_front, scratch, coherent);
       comm.pool().release(std::move(*bytes));
+      if (comm.last_recv_stale())
+        comm.note_stale(block_id, static_cast<std::int64_t>(dst.size()));
       return true;
     } catch (const wire::DecodeError&) {
       comm.pool().release(std::move(*bytes));
@@ -341,9 +345,11 @@ Fragment unpack_fragment(std::span<const std::byte> bytes) {
   return f;
 }
 
-void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
-                            std::span<const std::byte> payload,
-                            frames::TileSink* sink, int frame) {
+std::int64_t scatter_fragments_into(img::Image& out,
+                                    const img::Tiling& tiling,
+                                    std::span<const std::byte> payload,
+                                    frames::TileSink* sink, int frame) {
+  std::int64_t written = 0;
   wire::WireReader r(payload);
   const std::uint32_t n = r.u32("fragment count");
   for (std::uint32_t k = 0; k < n; ++k) {
@@ -363,13 +369,16 @@ void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
                   "fragment pixel count disagrees with its block");
     std::span<img::GrayA8> dst = out.view(span);
     std::copy(f.pixels.begin(), f.pixels.end(), dst.begin());
+    written += span.size();
     if (sink != nullptr) sink->deliver_tile(frame, span, dst);
   }
   r.finish("gather payload");
+  return written;
 }
 
-void scatter_span_into(img::Image& out, std::span<const std::byte> payload,
-                       frames::TileSink* sink, int frame) {
+std::int64_t scatter_span_into(img::Image& out,
+                               std::span<const std::byte> payload,
+                               frames::TileSink* sink, int frame) {
   wire::WireReader r(payload);
   img::PixelSpan sp;
   sp.begin = r.i64("span begin");
@@ -382,6 +391,7 @@ void scatter_span_into(img::Image& out, std::span<const std::byte> payload,
                 "gathered span outside image");
   img::deserialize_pixels(r.rest(), out.view(sp));
   if (sink != nullptr) sink->deliver_tile(frame, sp, out.view(sp));
+  return sp.size();
 }
 
 img::Image gather_fragments(
@@ -415,7 +425,11 @@ img::Image gather_fragments(
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its blocks stay blank
     try {
-      scatter_fragments_into(out, tiling, all.payloads[src], sink, frame);
+      const std::int64_t px =
+          scatter_fragments_into(out, tiling, all.payloads[src], sink,
+                                 frame);
+      if (all.stale[src])
+        comm.note_stale(static_cast<std::int64_t>(src), px);
     } catch (const wire::DecodeError&) {
       if (!degrade) throw;
       // Malformed gather payload: the sender's remaining blocks stay
@@ -447,7 +461,10 @@ img::Image gather_spans(comm::Comm& comm, const img::Image& local,
   for (std::size_t src = 0; src < all.payloads.size(); ++src) {
     if (!all.valid[src]) continue;  // lost rank: its span stays blank
     try {
-      scatter_span_into(out, all.payloads[src], sink, frame);
+      const std::int64_t px =
+          scatter_span_into(out, all.payloads[src], sink, frame);
+      if (all.stale[src])
+        comm.note_stale(static_cast<std::int64_t>(src), px);
     } catch (const wire::DecodeError&) {
       if (!degrade) throw;
       comm.note_loss(static_cast<std::int64_t>(src), 0);

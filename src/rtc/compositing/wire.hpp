@@ -153,17 +153,22 @@ struct Fragment {
 /// use; malformed bytes throw wire::DecodeError. Exposed as a free
 /// function so the untrusted-input path is testable without a World.
 /// With `sink`, each fragment is additionally delivered as a finished
-/// tile of `frame` the moment it lands.
-void scatter_fragments_into(img::Image& out, const img::Tiling& tiling,
-                            std::span<const std::byte> payload,
-                            frames::TileSink* sink = nullptr,
-                            int frame = 0);
+/// tile of `frame` the moment it lands. Returns the number of pixels
+/// written (for staleness accounting when the payload was substituted).
+std::int64_t scatter_fragments_into(img::Image& out,
+                                    const img::Tiling& tiling,
+                                    std::span<const std::byte> payload,
+                                    frames::TileSink* sink = nullptr,
+                                    int frame = 0);
 
 /// Decodes one rank's span-gather payload ([i64 begin][i64 end][raw
 /// pixels]) into `out`, validating the span against the image bounds
 /// and the payload size before writing. Throws wire::DecodeError.
-void scatter_span_into(img::Image& out, std::span<const std::byte> payload,
-                       frames::TileSink* sink = nullptr, int frame = 0);
+/// Returns the number of pixels written.
+std::int64_t scatter_span_into(img::Image& out,
+                               std::span<const std::byte> payload,
+                               frames::TileSink* sink = nullptr,
+                               int frame = 0);
 
 /// Gathers the (depth, index) blocks each rank finally owns into the
 /// assembled image at `opt.root`; other ranks return an empty image.

@@ -94,6 +94,14 @@ img::Image RtCompositor::run_core(comm::Comm& comm, const img::Image& partial,
         } else {
           payload = comm.recv(sender, tag);
         }
+        if (comm.last_recv_stale()) {
+          // The whole aggregated message was substituted from last
+          // frame: every block it carries is one frame old.
+          for (const Merge* m : merges) {
+            const img::PixelSpan span = tiling.block(step.depth, m->block);
+            comm.note_stale(m->block, span.size());
+          }
+        }
         std::span<const std::byte> rest(payload);
         std::size_t done = 0;
         try {

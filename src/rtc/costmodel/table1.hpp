@@ -33,6 +33,15 @@ struct Params {
 /// ceil(log2 P) — S(M) for the BS and RT methods.
 [[nodiscard]] int steps_log2(int ranks);
 
+/// What one healthy point-to-point transfer of `bytes` should cost
+/// under the model: Ts + bytes * Tp (Table 1's per-message term). The
+/// straggler detector (Comm::send) compares each shaped delivery
+/// against this expectation to decide whether a peer is fail-slow.
+[[nodiscard]] inline double healthy_transfer_time(
+    std::int64_t bytes, const comm::NetworkModel& net) {
+  return net.message_time(bytes);
+}
+
 struct MethodCost {
   double comm = 0.0;
   double comp = 0.0;

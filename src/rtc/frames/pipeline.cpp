@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "rtc/common/check.hpp"
+#include "rtc/comm/stale.hpp"
 #include "rtc/frames/coherence.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
@@ -74,6 +75,9 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
   RTC_CHECK_MSG(cfg.ranks >= 1, "need at least one rank");
 
   CoherenceCache cache(cfg.ranks);
+  // Receiver-side staleness store, the deadline's substitution source;
+  // like the coherence cache it persists across the per-frame Worlds.
+  comm::StaleStore stale(cfg.ranks);
   FrameScheduler sched(cfg.max_in_flight);
   SequenceResult out;
   out.frames.reserve(static_cast<std::size_t>(cfg.frames));
@@ -108,21 +112,42 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
     // alias into frame f (epoch_reset_test pins the disjointness).
     c.seq_epoch = static_cast<std::uint32_t>(f);
     if (cfg.sink != nullptr) c.gather = true;
-    // Fault isolation: the injected schedule applies to exactly one
-    // frame's World; every other frame runs fault-free.
-    if (f != cfg.fault_frame) c.fault = comm::FaultPlan{};
+    c.deadline = cfg.deadline;
+    c.stale = cfg.deadline > 0.0 ? &stale : nullptr;
+    // Fault isolation: the injected wire/crash schedule applies to
+    // exactly one frame's World; every other frame runs free of those.
+    // Fail-slow faults are chronic (a degraded node, not an event), so
+    // slowdowns and jitter — and the seed their coins hang off —
+    // survive the reset and apply on every frame.
+    if (f != cfg.fault_frame) {
+      comm::FaultPlan chronic;
+      chronic.seed = c.fault.seed;
+      chronic.slows = c.fault.slows;
+      chronic.jitters = c.fault.jitters;
+      c.fault = std::move(chronic);
+    }
 
     if (cfg.sink != nullptr)
       cfg.sink->begin_frame(f, cfg.image_size, cfg.image_size);
     fr.run = harness::run_composition(c, rs.partials);
     if (cfg.sink != nullptr) cfg.sink->end_frame(f);
 
-    fr.composite_time = fr.run.time;
+    // Under a deadline the frame is *delivered* when the gather root
+    // finishes — the straggler's own clock legitimately runs past the
+    // deadline, but the pipeline advances on delivery.
+    fr.composite_time =
+        cfg.deadline > 0.0 ? fr.run.delivery_time : fr.run.time;
     fr.timing = sched.admit(fr.render_time, fr.composite_time);
 
     out.coherence_hits += fr.run.stats.total_coherence_hits();
     out.coherence_misses += fr.run.stats.total_coherence_misses();
     out.coherence_bytes_saved += fr.run.stats.total_coherence_bytes_saved();
+
+    out.deadline_misses += fr.run.stats.total_deadline_misses();
+    out.stale_tiles += fr.run.stats.total_stale_tiles();
+    out.stale_pixels += fr.run.stats.total_stale_pixels();
+    if (fr.run.stats.max_pixel_error > out.max_pixel_error)
+      out.max_pixel_error = fr.run.stats.max_pixel_error;
 
     out.recomposes += fr.run.stats.total_recomposes();
     if (fr.run.stats.max_membership_epoch() > out.max_epoch)
@@ -139,6 +164,10 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
         // cold at the new size — correctness never depends on cache
         // state, only traffic does.
         cache = CoherenceCache(ranks_eff);
+        // Same argument receiver-side: the renumbering re-keys every
+        // (src, tag, occurrence) slot, so stale content from the old
+        // numbering must never substitute into the new one.
+        stale = comm::StaleStore(ranks_eff);
         // Later frames run ungrouped at the survivor count, so a
         // method whose applicability rule breaks there falls back to
         // its any-P sibling — the same pair the in-frame grouped
@@ -203,6 +232,11 @@ void print_sequence(std::ostream& os, const PipelineConfig& cfg,
     os << "recovery: " << seq.ranks_lost << " rank(s) lost, "
        << seq.recomposes << " recomposition pass(es), membership epoch "
        << seq.max_epoch << "\n";
+  if (seq.deadline_misses > 0 || seq.stale_tiles > 0)
+    os << "deadline: " << seq.deadline_misses << " miss(es), "
+       << seq.stale_tiles << " stale tile(s) / " << seq.stale_pixels
+       << " px substituted, max pixel error " << seq.max_pixel_error
+       << "\n";
 }
 
 }  // namespace rtc::frames

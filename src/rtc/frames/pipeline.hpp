@@ -57,8 +57,18 @@ struct PipelineConfig {
   TileSink* sink = nullptr;
 
   /// Frame whose composition runs under comp.fault (-1: no frame
-  /// does). Fault isolation: only this frame can degrade.
+  /// does). Fault isolation: only this frame can degrade. Fail-slow
+  /// faults (compute slowdowns, link jitter) are *chronic*: they model
+  /// a degraded node, not an event, so they apply on every frame
+  /// regardless of fault_frame.
   int fault_frame = -1;
+
+  /// Per-frame virtual-time deadline on the composition (seconds;
+  /// 0 = none). Requires a degrading policy. Late blocks are
+  /// substituted from the previous frame's content via a
+  /// receiver-side staleness store owned by the sequence, and
+  /// composite_time becomes the *delivery* time at the gather root.
+  double deadline = 0.0;
 };
 
 struct FrameResult {
@@ -89,6 +99,13 @@ struct SequenceResult {
   std::int64_t recomposes = 0;  ///< in-frame recomposition passes
   int ranks_lost = 0;           ///< ranks permanently removed mid-sweep
   std::uint32_t max_epoch = 0;  ///< highest membership epoch reached
+  // Fail-slow accounting (deadline / staleness); all stay 0 without a
+  // deadline and fail-slow faults, and print_sequence only reports
+  // them when they moved.
+  std::int64_t deadline_misses = 0;  ///< late arrivals clamped
+  std::int64_t stale_tiles = 0;      ///< blocks served from last frame
+  std::int64_t stale_pixels = 0;     ///< pixels in those blocks
+  int max_pixel_error = 0;  ///< worst per-channel error vs exact composite
 
   [[nodiscard]] double hit_rate() const {
     const std::int64_t n = coherence_hits + coherence_misses;

@@ -1,6 +1,7 @@
 #include "rtc/harness/experiment.hpp"
 
 #include "rtc/common/check.hpp"
+#include "rtc/comm/stale.hpp"
 #include "rtc/comm/world.hpp"
 #include "rtc/compositing/compositor.hpp"
 #include "rtc/compress/codec.hpp"
@@ -37,6 +38,13 @@ CompositionRun run_composition(const CompositionConfig& config,
   world.set_seq_epoch(config.seq_epoch);
   world.set_fault_plan(config.fault);
   world.set_resilience(config.resilience);
+  if (config.deadline > 0.0) {
+    RTC_CHECK_MSG(config.resilience.degrade_on_loss(),
+                  "a frame deadline requires a degrading peer-loss policy "
+                  "(kBlank or kRecompose)");
+    world.set_deadline(config.deadline);
+  }
+  world.set_stale(config.stale);
   std::vector<img::Image> results(static_cast<std::size_t>(p));
   const comm::RunResult rr = world.run([&](comm::Comm& comm) {
     results[static_cast<std::size_t>(comm.rank())] =
@@ -58,8 +66,25 @@ CompositionRun run_composition(const CompositionConfig& config,
       ++root;
   }
   out.image = std::move(results[root]);
+  out.delivery_time = rr.stats.ranks[root].clock;
   out.degraded = out.stats.degraded();
   out.lost_pixels = out.stats.total_lost_pixels();
+  if (config.gather && out.image.pixel_count() > 0 &&
+      (out.stats.total_stale_pixels() > 0 ||
+       out.stats.total_deadline_misses() > 0)) {
+    // Staleness error bound: compare the (possibly substituted) output
+    // against the exact composite of every surviving rank's partial.
+    // Front-to-back in rank order, matching the compositors' fold.
+    img::Image ref(out.image.width(), out.image.height());
+    const img::PixelSpan full{0, ref.pixel_count()};
+    for (int r = 0; r < p; ++r) {
+      if (out.stats.ranks[static_cast<std::size_t>(r)].crashed) continue;
+      img::blend_in_place(ref.view(full),
+                          partials[static_cast<std::size_t>(r)].view(full),
+                          config.blend, /*src_front=*/false);
+    }
+    out.stats.max_pixel_error = img::max_channel_diff(out.image, ref);
+  }
   return out;
 }
 
@@ -68,11 +93,16 @@ std::string fault_summary(const comm::RunStats& stats) {
                   " crc=" + std::to_string(stats.total_crc_failures()) +
                   " drops=" + std::to_string(stats.total_drops_detected()) +
                   " dups=" +
-                  std::to_string(stats.total_duplicates_discarded()) +
-                  " lost_msgs=" +
-                  std::to_string(stats.total_lost_messages()) +
-                  " lost_px=" + std::to_string(stats.total_lost_pixels()) +
-                  " dead=[";
+                  std::to_string(stats.total_duplicates_discarded());
+  // Fail-slow tokens ride the same only-when-nonzero rule as the
+  // recovery-layer ones below.
+  if (stats.total_delays_injected() > 0)
+    s += " delays=" + std::to_string(stats.total_delays_injected());
+  if (stats.total_jitter_delays() > 0)
+    s += " jitter=" + std::to_string(stats.total_jitter_delays());
+  s += " lost_msgs=" + std::to_string(stats.total_lost_messages()) +
+       " lost_px=" + std::to_string(stats.total_lost_pixels()) +
+       " dead=[";
   const std::vector<int> dead = stats.dead_ranks();
   for (std::size_t i = 0; i < dead.size(); ++i) {
     if (i) s += ",";
@@ -87,6 +117,16 @@ std::string fault_summary(const comm::RunStats& stats) {
   if (stats.total_relayed_messages() > 0 || stats.total_breaker_trips() > 0)
     s += " relayed=" + std::to_string(stats.total_relayed_messages()) +
          " trips=" + std::to_string(stats.total_breaker_trips());
+  if (stats.total_stragglers_flagged() > 0 ||
+      stats.total_hedged_sends() > 0)
+    s += " stragglers=" + std::to_string(stats.total_stragglers_flagged()) +
+         " hedged=" + std::to_string(stats.total_hedged_sends()) +
+         " wins=" + std::to_string(stats.total_hedge_wins());
+  if (stats.total_deadline_misses() > 0 || stats.total_stale_tiles() > 0)
+    s += " deadline_miss=" + std::to_string(stats.total_deadline_misses()) +
+         " stale=" + std::to_string(stats.total_stale_tiles()) +
+         " stale_px=" + std::to_string(stats.total_stale_pixels()) +
+         " max_px_err=" + std::to_string(stats.max_pixel_error);
   s += stats.degraded() ? " degraded" : " ok";
   return s;
 }

@@ -14,6 +14,10 @@
 #include "rtc/image/image.hpp"
 #include "rtc/image/ops.hpp"
 
+namespace rtc::comm {
+class StaleStore;
+}  // namespace rtc::comm
+
 namespace rtc::frames {
 class CoherenceCache;
 class TileSink;
@@ -56,6 +60,16 @@ struct CompositionConfig {
   /// alias into frame f's dedup window. Epoch 0 reproduces the
   /// historical numbering exactly.
   std::uint32_t seq_epoch = 0;
+  /// Per-frame virtual-time deadline (seconds; 0 = none). Requires a
+  /// degrading resilience policy: past the deadline a receiver stops
+  /// waiting and substitutes stale or blank content instead of pixels
+  /// that will never make the frame. Recovery passes and control-plane
+  /// traffic are exempt (a deadline never starves self-healing).
+  double deadline = 0.0;
+  /// Receiver-side staleness store shared across a sequence's frames
+  /// (frames::run_sequence owns one). Null: late blocks degrade to
+  /// blank losses instead of last frame's content.
+  comm::StaleStore* stale = nullptr;
 };
 
 struct CompositionRun {
@@ -64,6 +78,10 @@ struct CompositionRun {
   img::Image image;       ///< assembled image (when gather)
   bool degraded = false;  ///< some contribution was lost (stats say what)
   std::int64_t lost_pixels = 0;  ///< pixels substituted blank
+  /// The gather root's final clock: when the frame was *delivered*.
+  /// Under a deadline this is what the deadline bounds — the makespan
+  /// still includes the straggler's own (possibly slowed) clock.
+  double delivery_time = 0.0;
 };
 
 /// Runs the configured composition collectively over `partials`
@@ -76,7 +94,11 @@ struct CompositionRun {
 /// "retx=3 crc=1 drops=2 dups=0 lost_msgs=0 lost_px=0 dead=[] ok".
 /// When the self-healing layer fired, ` epoch=N recomposed=N` and/or
 /// ` relayed=N trips=N` appear between the dead list and the verdict;
-/// zero-fault summaries keep the legacy format byte-for-byte.
+/// the fail-slow layer adds ` delays=N` (after dups), ` jitter=N`,
+/// ` stragglers=N hedged=N wins=N` and
+/// ` deadline_miss=N stale=N stale_px=N max_px_err=N` the same way —
+/// every token only when nonzero, so zero-fault summaries keep the
+/// legacy format byte-for-byte.
 [[nodiscard]] std::string fault_summary(const comm::RunStats& stats);
 
 }  // namespace rtc::harness

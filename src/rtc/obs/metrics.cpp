@@ -56,6 +56,12 @@ std::vector<StepMetrics> aggregate_steps(
         case SpanKind::kRecompose:
           m.recomposes += 1;
           break;
+        case SpanKind::kHedge:
+          m.hedges += 1;
+          break;
+        case SpanKind::kDeadline:
+          m.deadline_misses += 1;
+          break;
       }
     }
   }
@@ -77,6 +83,8 @@ StepMetrics totals(const std::vector<StepMetrics>& rows) {
     t.faults_recovered += m.faults_recovered;
     t.relayed_messages += m.relayed_messages;
     t.recomposes += m.recomposes;
+    t.hedges += m.hedges;
+    t.deadline_misses += m.deadline_misses;
     t.send_s += m.send_s;
     t.recv_wait_s += m.recv_wait_s;
     t.codec_s += m.codec_s;

@@ -26,6 +26,8 @@ struct StepMetrics {
   std::int64_t faults_recovered = 0;   ///< retransmits+drops absorbed
   std::int64_t relayed_messages = 0;   ///< sends detoured via a relay
   std::int64_t recomposes = 0;         ///< survivor-schedule rebuilds
+  std::int64_t hedges = 0;             ///< hedged sends won by the relay
+  std::int64_t deadline_misses = 0;    ///< arrivals past the frame deadline
   double send_s = 0.0;       ///< summed virtual send-startup time
   double recv_wait_s = 0.0;  ///< summed virtual receive-wait time
   double codec_s = 0.0;      ///< summed virtual encode/decode time

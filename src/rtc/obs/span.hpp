@@ -35,6 +35,10 @@ enum class SpanKind : std::uint8_t {
   kMembership,   ///< failure-detector flood: one epoch-agreement call
   kRelay,        ///< instant: a send detoured around an open link
   kRecompose,    ///< instant: schedule rebuilt over the survivor set
+  kHedge,        ///< instant: a send to a flagged straggler was hedged
+                 ///< through a relay and the hedge arrived first
+  kDeadline,     ///< instant: a frame deadline expired on an arrival;
+                 ///< the block was substituted stale (or lost)
 };
 
 [[nodiscard]] constexpr const char* span_name(SpanKind k) {
@@ -67,6 +71,10 @@ enum class SpanKind : std::uint8_t {
       return "relay";
     case SpanKind::kRecompose:
       return "recompose";
+    case SpanKind::kHedge:
+      return "hedge";
+    case SpanKind::kDeadline:
+      return "deadline";
   }
   return "?";
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "rtc/comm/stale.hpp"
 #include "rtc/harness/experiment.hpp"
 #include "rtc/image/ops.hpp"
 #include "testutil.hpp"
@@ -154,6 +155,51 @@ TEST(Recompose, NoCrashBehavesExactlyLikeBlank) {
   EXPECT_EQ(harness::fault_summary(a.stats), harness::fault_summary(b.stats));
   EXPECT_EQ(a.stats.total_recomposes(), 0);
   EXPECT_EQ(a.stats.max_membership_epoch(), 0u);
+}
+
+TEST(Recompose, CrashUnderDeadlineStillRecomposesExactly) {
+  // A rank dies mid-frame while a frame deadline is active. The
+  // deadline clamps how long survivors wait but must never mask the
+  // crash (the outcome stays kPeerDead), and the grouped recovery
+  // passes are deadline-exempt — so the run still converges to the
+  // exact survivors-only composite, not a stale or blank-substituted
+  // one.
+  const int ranks = 4;
+  const auto partials = make_partials(ranks, 24, 10);
+  const harness::CompositionRun healthy = run_with(
+      "bswap", {}, partials, comm::ResiliencePolicy::PeerLoss::kBlank);
+
+  comm::FaultPlan plan;
+  plan.seed = 606;
+  plan.crashes.push_back({.rank = ranks - 1, .after_sends = 1});
+  harness::CompositionConfig cfg;
+  cfg.method = "bswap";
+  cfg.gather = true;
+  cfg.fault = plan;
+  cfg.resilience.retries = 6;
+  cfg.resilience.on_peer_loss = comm::ResiliencePolicy::PeerLoss::kRecompose;
+  cfg.deadline = 2.0 * healthy.time;
+  comm::StaleStore stale(ranks);
+  cfg.stale = &stale;
+  const harness::CompositionRun run = harness::run_composition(cfg, partials);
+
+  const std::vector<img::Image> surv(partials.begin(), partials.end() - 1);
+  const harness::CompositionRun ref =
+      run_with(survivors_method("bswap", ranks - 1), {}, surv,
+               comm::ResiliencePolicy::PeerLoss::kBlank);
+  EXPECT_EQ(img::max_channel_diff(run.image, ref.image), 0);
+  EXPECT_EQ(run.stats.total_lost_pixels(), 0);
+  EXPECT_EQ(run.stats.total_stale_tiles(), 0);
+  EXPECT_EQ(run.stats.dead_ranks(), std::vector<int>{ranks - 1});
+  EXPECT_GT(run.stats.total_recomposes(), 0);
+  EXPECT_EQ(run.stats.max_membership_epoch(), 1u);
+  // Deterministic replay, deadline and all.
+  const harness::CompositionRun again =
+      harness::run_composition(cfg, partials);
+  EXPECT_EQ(img::max_channel_diff(run.image, again.image), 0);
+  EXPECT_EQ(run.time, again.time);
+  EXPECT_EQ(harness::fault_summary(run.stats),
+            harness::fault_summary(again.stats));
 }
 
 TEST(Recompose, SummaryNamesTheRecovery) {

@@ -18,6 +18,7 @@
 #include "rtc/comm/fault.hpp"
 #include "rtc/comm/frame.hpp"
 #include "rtc/comm/membership.hpp"
+#include "rtc/comm/stale.hpp"
 #include "rtc/comm/world.hpp"
 #include "rtc/common/wire.hpp"
 #include "rtc/compositing/wire.hpp"
@@ -227,6 +228,69 @@ TEST(FuzzCorpus, SpanScatterRejectsMutants) {
   img::Image out(32, 32);
   expect_rejects_cleanly(valid, 0x5eed0400, [&](const auto& m) {
     compositing::scatter_span_into(out, m);
+  });
+}
+
+TEST(FuzzCorpus, StaleSubstitutedPayloadsRejectCleanly) {
+  // The deadline path splices receiver-side *stored* bytes into the
+  // data stream in place of a late arrival — a new wire-visible
+  // surface: whatever sits in the staleness store reaches the block
+  // decoders as if it came off the wire. Pre-seed the store with
+  // hostile mutants, force every arrival past the deadline, and check
+  // the substituted payloads still honor the decoder contract
+  // (success or typed DecodeError, never a crash).
+  const img::Image im = test::banded_image(16, 16, 3);
+  const compress::BlockGeometry geom{16, 0};
+  const std::unique_ptr<compress::Codec> codec =
+      compress::make_codec("trle");
+  const std::vector<std::byte> valid = codec->encode(im.pixels(), geom);
+
+  comm::StaleStore store(2);
+  std::vector<std::vector<std::byte>> planted;
+  for (int k = 0; k < kMutantsPerEntry; ++k)
+    planted.push_back(mutate(valid, k, 0x5eed0800));
+  for (std::size_t n : {0u, 1u, 3u, 8u, 13u, 64u, 1024u})
+    planted.push_back(garbage(n, 0x5eed0801 ^ n));
+  for (std::size_t k = 0; k < planted.size(); ++k)
+    store.rank(0).put(comm::stale_key(1, static_cast<int>(k), 0),
+                      planted[k]);
+
+  comm::World world(2, comm::sp2_hps_model());
+  world.set_deadline(0.001);
+  world.set_stale(&store);
+  comm::ResiliencePolicy rp;
+  rp.on_peer_loss = comm::ResiliencePolicy::PeerLoss::kBlank;
+  world.set_resilience(rp);
+  comm::FaultPlan plan;
+  plan.seed = 99;
+  comm::FaultPlan::Jitter j;
+  j.src = 1;
+  j.dst = 0;
+  j.mean = 10.0;  // every delivery lands past the deadline
+  plan.jitters.push_back(j);
+  world.set_fault_plan(plan);
+
+  const int n = static_cast<int>(planted.size());
+  world.run([&](comm::Comm& c) {
+    if (c.rank() == 1) {
+      for (int k = 0; k < n; ++k) c.send(0, k, valid);
+      return;
+    }
+    std::vector<img::GrayA8> out(
+        static_cast<std::size_t>(im.pixel_count()));
+    for (int k = 0; k < n; ++k) {
+      const std::vector<std::byte> got = c.recv(1, k);
+      ASSERT_TRUE(c.last_recv_stale()) << "tag " << k;
+      ASSERT_EQ(got, planted[static_cast<std::size_t>(k)]);
+      try {
+        codec->decode(got, out, geom);
+      } catch (const wire::DecodeError&) {
+        // Typed rejection: exactly the contract.
+      } catch (const std::exception& e) {
+        FAIL() << "stale mutant " << k
+               << " escaped as untyped exception: " << e.what();
+      }
+    }
   });
 }
 

@@ -1,0 +1,207 @@
+// Deadline-bounded frames end to end: a chronically slow rank makes
+// its blocks miss the per-frame deadline; the compositor finalizes
+// with last frame's content for those slots (staleness store), the
+// delivered frame stays within the deadline budget on the virtual
+// clock, and the reported max-pixel-error bound is exact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "rtc/comm/fault.hpp"
+#include "rtc/comm/stale.hpp"
+#include "rtc/frames/pipeline.hpp"
+#include "rtc/harness/experiment.hpp"
+#include "rtc/image/ops.hpp"
+#include "testutil.hpp"
+
+namespace rtc::frames {
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kSlowRank = 1;
+constexpr double kSlowFactor = 8.0;
+
+std::vector<img::Image> make_partials(int ranks, std::uint32_t salt) {
+  std::vector<img::Image> out;
+  for (int r = 0; r < ranks; ++r)
+    out.push_back(test::random_image(
+        128, 128, salt + static_cast<std::uint32_t>(r), 0.3,
+        /*binary_alpha=*/true));
+  return out;
+}
+
+comm::FaultPlan slow_plan() {
+  comm::FaultPlan plan;
+  plan.seed = 31;
+  comm::FaultPlan::Slow s;
+  s.rank = kSlowRank;
+  s.factor = kSlowFactor;
+  plan.slows.push_back(s);
+  return plan;
+}
+
+harness::CompositionConfig base_config() {
+  harness::CompositionConfig cfg;
+  cfg.method = "bswap";  // per-step blends give the slow rank real work
+  cfg.gather = true;
+  cfg.resilience.on_peer_loss = comm::ResiliencePolicy::PeerLoss::kBlank;
+  return cfg;
+}
+
+harness::CompositionRun run_frame(const std::vector<img::Image>& partials,
+                                  bool slow, double deadline,
+                                  comm::StaleStore* stale,
+                                  std::uint32_t epoch) {
+  harness::CompositionConfig cfg = base_config();
+  if (slow) cfg.fault = slow_plan();
+  cfg.deadline = deadline;
+  cfg.stale = stale;
+  cfg.seq_epoch = epoch;
+  return harness::run_composition(cfg, partials);
+}
+
+/// Deadline between the healthy and the straggled delivery times, close
+/// enough to the healthy end that the slow rank's late blocks miss it.
+double pick_deadline(double healthy, double slowed) {
+  return healthy + 0.3 * (slowed - healthy);
+}
+
+TEST(Deadline, SlowRankMissesAndStaticContentSubstitutesExactly) {
+  const auto partials = make_partials(kRanks, 4000u);
+  const harness::CompositionRun healthy =
+      run_frame(partials, false, 0.0, nullptr, 0);
+  const harness::CompositionRun straggled =
+      run_frame(partials, true, 0.0, nullptr, 0);
+  // Precondition: the 8x rank visibly drags the whole frame.
+  ASSERT_GT(straggled.delivery_time, 1.2 * healthy.delivery_time);
+
+  const double deadline =
+      pick_deadline(healthy.delivery_time, straggled.delivery_time);
+  comm::StaleStore stale(kRanks);
+
+  // Frame 0: the store is cold, so the slow rank's late blocks degrade
+  // to blank losses — but their real (late) payloads seed the store.
+  const harness::CompositionRun f0 =
+      run_frame(partials, true, deadline, &stale, 0);
+  EXPECT_GT(f0.stats.total_deadline_misses(), 0);
+  EXPECT_EQ(f0.stats.total_stale_tiles(), 0);
+  EXPECT_TRUE(f0.degraded);
+
+  // Later frames substitute from the store. A rank that waits out the
+  // deadline sends its *own* downstream block late, so frame 1 can
+  // still carry frame 0's blank-contaminated payloads — but with
+  // static content the contamination depth is bounded by the hop
+  // count, and the store converges to exact content within a few
+  // frames: the delivered image becomes bit-exact against the healthy
+  // composite while every frame keeps missing the deadline.
+  int error = -1;
+  std::uint32_t epoch = 1;
+  for (; epoch <= 6; ++epoch) {
+    const harness::CompositionRun f =
+        run_frame(partials, true, deadline, &stale, epoch);
+    EXPECT_GT(f.stats.total_deadline_misses(), 0);
+    EXPECT_GT(f.stats.total_stale_tiles(), 0);
+    EXPECT_GT(f.stats.total_stale_pixels(), 0);
+    // The deadline bounds the frame: delivery beats the free-running
+    // straggled run and stays within deadline + healthy-tail budget.
+    EXPECT_LT(f.delivery_time, straggled.delivery_time);
+    EXPECT_LE(f.delivery_time, deadline + healthy.delivery_time);
+    // The reported bound is measured against the exact composite.
+    error = img::max_channel_diff(f.image, healthy.image);
+    EXPECT_EQ(f.stats.max_pixel_error, error);
+    if (error == 0) break;
+  }
+  EXPECT_EQ(error, 0) << "stale content never converged (last epoch "
+                      << epoch << ")";
+}
+
+TEST(Deadline, ChangedContentReportsTheExactErrorBound) {
+  const auto frame0 = make_partials(kRanks, 4000u);
+  // Frame 1 re-renders the slow rank's sub-volume with new content;
+  // its late blocks substitute frame 0's, so the delivered image can
+  // no longer match the exact composite.
+  auto frame1 = frame0;
+  frame1[kSlowRank] = test::random_image(128, 128, 7777u, 0.3, true);
+
+  const harness::CompositionRun healthy0 =
+      run_frame(frame0, false, 0.0, nullptr, 0);
+  const harness::CompositionRun healthy1 =
+      run_frame(frame1, false, 0.0, nullptr, 0);
+  ASSERT_GT(img::max_channel_diff(healthy0.image, healthy1.image), 0);
+  const harness::CompositionRun straggled =
+      run_frame(frame1, true, 0.0, nullptr, 0);
+  const double deadline =
+      pick_deadline(healthy1.delivery_time, straggled.delivery_time);
+
+  comm::StaleStore stale(kRanks);
+  const harness::CompositionRun f0 =
+      run_frame(frame0, true, deadline, &stale, 0);
+  const harness::CompositionRun f1 =
+      run_frame(frame1, true, deadline, &stale, 1);
+
+  EXPECT_GT(f1.stats.total_stale_pixels(), 0);
+  // The reported bound is measured, not estimated: it equals the true
+  // max channel difference against the exact frame-1 composite.
+  EXPECT_GT(f1.stats.max_pixel_error, 0);
+  EXPECT_EQ(f1.stats.max_pixel_error,
+            img::max_channel_diff(f1.image, healthy1.image));
+}
+
+TEST(Deadline, PipelineSequenceAccountsStalenessAndStaysFaster) {
+  PipelineConfig pc;
+  pc.ranks = kRanks;
+  pc.volume_n = 32;
+  pc.image_size = 64;
+  pc.frames = 3;
+  pc.max_in_flight = 1;
+  pc.comp = base_config();
+  pc.comp.fault = slow_plan();  // chronic: applies on every frame
+
+  const SequenceResult healthy = [&] {
+    PipelineConfig h = pc;
+    h.comp.fault = comm::FaultPlan{};
+    return run_sequence(h);
+  }();
+  const SequenceResult slow = run_sequence(pc);
+  double max_h = 0.0;
+  double min_s = 1e9;
+  for (const FrameResult& f : healthy.frames)
+    max_h = std::max(max_h, f.composite_time);
+  for (const FrameResult& f : slow.frames)
+    min_s = std::min(min_s, f.composite_time);
+  ASSERT_GT(min_s, max_h);
+  EXPECT_EQ(slow.deadline_misses, 0);  // no deadline: just slower
+
+  PipelineConfig dl = pc;
+  dl.deadline = pick_deadline(max_h, min_s);
+  const SequenceResult seq = run_sequence(dl);
+  EXPECT_GT(seq.deadline_misses, 0);
+  EXPECT_GT(seq.stale_tiles, 0);  // frames 1+ substitute
+  EXPECT_GT(seq.stale_pixels, 0);
+  EXPECT_LT(seq.makespan, slow.makespan);
+  // Every delivered frame respects the deadline budget.
+  for (const FrameResult& f : seq.frames)
+    EXPECT_LE(f.composite_time, dl.deadline + max_h);
+}
+
+TEST(Deadline, ZeroDeadlineSequenceIsUntouched) {
+  PipelineConfig pc;
+  pc.ranks = kRanks;
+  pc.volume_n = 32;
+  pc.image_size = 64;
+  pc.frames = 2;
+  pc.comp = base_config();
+  const SequenceResult seq = run_sequence(pc);
+  EXPECT_EQ(seq.deadline_misses, 0);
+  EXPECT_EQ(seq.stale_tiles, 0);
+  EXPECT_EQ(seq.stale_pixels, 0);
+  EXPECT_EQ(seq.max_pixel_error, 0);
+  for (const FrameResult& f : seq.frames) {
+    EXPECT_FALSE(f.run.degraded);
+    EXPECT_EQ(f.composite_time, f.run.time);  // legacy timing untouched
+  }
+}
+
+}  // namespace
+}  // namespace rtc::frames

@@ -12,10 +12,12 @@
 //                   [--fault-delay-mean S] [--fault-crash-rank R]
 //                   [--fault-crash-after SENDS] [--fault-crash-at T]
 //                   [--fault-link S:D:DROP[:CORRUPT]]
+//                   [--fault-slow R:FACTOR] [--fault-jitter S:D:MEAN]
 //                   [--retries N] [--rto S]
 //                   [--on-peer-loss blank|throw|recompose]
 //                   [--circuit-breaker-threshold N] [--breaker-cooldown S]
-//                   [--relay]
+//                   [--relay] [--straggler-multiple X]
+//                   [--straggler-window N] [--hedge] [--deadline S]
 //     multi-frame (camera sweep through the frame pipeline):
 //                   --frames K [--sweep DEG] [--max-in-flight M]
 //                   [--no-coherence] [--stream frames.pgms]
@@ -49,7 +51,8 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
-      if (key == "mip" || key == "no-coherence" || key == "relay") {
+      if (key == "mip" || key == "no-coherence" || key == "relay" ||
+          key == "hedge") {
         kv_[key] = "1";
         continue;
       }
@@ -142,6 +145,37 @@ int parse_fault_flags(const Args& a, harness::CompositionConfig& cfg) {
     }
     cfg.fault.links.push_back(lf);
   }
+  if (a.has("fault-slow")) {
+    // R:FACTOR — rank R's local compute charges run FACTOR× slower (the
+    // chronically degraded-node scenario the straggler detector flags).
+    const std::string spec = a.get("fault-slow", "");
+    comm::FaultPlan::Slow sl;
+    char tail = '\0';
+    const bool ok = std::sscanf(spec.c_str(), "%d:%lf%c", &sl.rank,
+                                &sl.factor, &tail) == 2 &&
+                    tail == '\0';
+    if (!ok || sl.factor < 1.0) {
+      std::cerr << "bad --fault-slow (want R:FACTOR, FACTOR >= 1): " << spec
+                << "\n";
+      return 2;
+    }
+    cfg.fault.slows.push_back(sl);
+  }
+  if (a.has("fault-jitter")) {
+    // S:D:MEAN — every message on the directed link S→D arrives a
+    // seeded uniform [MEAN/2, 3*MEAN/2) virtual seconds late.
+    const std::string spec = a.get("fault-jitter", "");
+    comm::FaultPlan::Jitter jt;
+    char tail = '\0';
+    const bool ok = std::sscanf(spec.c_str(), "%d:%d:%lf%c", &jt.src,
+                                &jt.dst, &jt.mean, &tail) == 3 &&
+                    tail == '\0';
+    if (!ok || jt.mean < 0.0) {
+      std::cerr << "bad --fault-jitter (want S:D:MEAN): " << spec << "\n";
+      return 2;
+    }
+    cfg.fault.jitters.push_back(jt);
+  }
   cfg.resilience.retries = a.get_int("retries", cfg.resilience.retries);
   cfg.resilience.timeout = a.get_double("rto", cfg.resilience.timeout);
   cfg.resilience.breaker_threshold =
@@ -149,6 +183,15 @@ int parse_fault_flags(const Args& a, harness::CompositionConfig& cfg) {
   cfg.resilience.breaker_cooldown =
       a.get_double("breaker-cooldown", cfg.resilience.breaker_cooldown);
   cfg.resilience.relay = a.has("relay");
+  cfg.resilience.straggler_multiple = a.get_double("straggler-multiple", 0.0);
+  cfg.resilience.straggler_window =
+      a.get_int("straggler-window", cfg.resilience.straggler_window);
+  cfg.resilience.hedge = a.has("hedge");
+  cfg.deadline = a.get_double("deadline", 0.0);
+  if (cfg.deadline < 0.0) {
+    std::cerr << "bad --deadline (want seconds >= 0)\n";
+    return 2;
+  }
   const std::string on_loss = a.get("on-peer-loss", "blank");
   if (on_loss != "blank" && on_loss != "throw" && on_loss != "recompose") {
     std::cerr << "unknown --on-peer-loss: " << on_loss << "\n";
@@ -186,6 +229,7 @@ int cmd_render_frames(const Args& a) {
   if (a.get("net", "sp2-hps") == "paper-example")
     pc.comp.net = comm::paper_example_model();
   if (const int rc = parse_fault_flags(a, pc.comp); rc != 0) return rc;
+  pc.deadline = pc.comp.deadline;
 
   std::ofstream stream;
   std::unique_ptr<frames::PgmStreamSink> sink;
