@@ -2,6 +2,8 @@
 //
 // Every bench accepts:  [--dataset engine|brain|head] [--ranks P]
 //                       [--volume N] [--image S] [--paper-net]
+//                       [--topology flat|sp2|paper|fat-tree|dragonfly|cloud]
+//                       [--executor pooled|threaded] [--group-size G]
 // plus observability outputs (see docs/observability.md):
 //                       [--json golden.json]      virtual-time numbers,
 //                         17 significant digits — the CI golden gate
@@ -12,6 +14,7 @@
 // 512x512 gray images, SP2-calibrated network constants.
 #pragma once
 
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,7 +25,9 @@
 #include <utility>
 #include <vector>
 
+#include "rtc/comm/executor.hpp"
 #include "rtc/comm/network_model.hpp"
+#include "rtc/common/flags.hpp"
 #include "rtc/harness/experiment.hpp"
 #include "rtc/harness/metrics.hpp"
 #include "rtc/harness/scene.hpp"
@@ -38,6 +43,11 @@ struct BenchOptions {
   int image_size = 512;
   comm::NetworkModel net = comm::sp2_hps_model();
   bool paper_net = false;
+  std::string topology;  ///< preset name when --topology was given
+  /// Rank executor for every composition the bench runs. Pooled fibers
+  /// by default — required for the P>=1024 scaling points.
+  comm::ExecutorConfig executor;
+  int group_size = 0;       ///< "hier" ranks per group (0 = ceil(sqrt P))
   std::string json_out;     ///< golden virtual-time JSON (--json)
   std::string trace_out;    ///< Perfetto span trace (--trace-out)
   std::string metrics_out;  ///< per-step metrics table (--metrics-out)
@@ -57,14 +67,45 @@ inline BenchOptions parse_options(int argc, char** argv,
       }
       return argv[++i];
     };
+    // Strict whole-string parse: "--ranks 12x" or "--ranks abc" is a
+    // usage error naming the flag, not an unhandled std::stoi throw.
+    auto next_int = [&]() -> int {
+      const std::string v = next();
+      const auto parsed = flags::parse_int(v);
+      if (!parsed || *parsed < INT_MIN || *parsed > INT_MAX) {
+        std::cerr << "bad value for " << a << ": '" << v
+                  << "' (expected an integer)\n";
+        std::exit(2);
+      }
+      return static_cast<int>(*parsed);
+    };
     if (a == "--dataset") {
       o.dataset = next();
     } else if (a == "--ranks") {
-      o.ranks = std::stoi(next());
+      o.ranks = next_int();
     } else if (a == "--volume") {
-      o.volume_n = std::stoi(next());
+      o.volume_n = next_int();
     } else if (a == "--image") {
-      o.image_size = std::stoi(next());
+      o.image_size = next_int();
+    } else if (a == "--topology") {
+      o.topology = next();
+      if (!comm::topology_preset(o.topology.c_str(), &o.net)) {
+        std::cerr << "unknown --topology: " << o.topology
+                  << " (expected flat, sp2, paper, fat-tree, dragonfly "
+                     "or cloud)\n";
+        std::exit(2);
+      }
+    } else if (a == "--executor") {
+      const std::string v = next();
+      const auto kind = comm::parse_executor_kind(v);
+      if (!kind) {
+        std::cerr << "unknown --executor: " << v
+                  << " (expected pooled or threaded)\n";
+        std::exit(2);
+      }
+      o.executor.kind = *kind;
+    } else if (a == "--group-size") {
+      o.group_size = next_int();
     } else if (a == "--paper-net") {
       o.net = comm::paper_example_model();
       o.paper_net = true;
@@ -99,6 +140,8 @@ inline double run_time(const BenchOptions& o, const std::string& method,
   cfg.initial_blocks = blocks;
   cfg.codec = codec;
   cfg.net = o.net;
+  cfg.executor = o.executor;
+  cfg.group_size = o.group_size;
   cfg.gather = false;
   return harness::run_composition(cfg, partials).time;
 }
@@ -159,7 +202,10 @@ inline void print_header(const std::string& what, const BenchOptions& o) {
             << "dataset=" << o.dataset << " P=" << o.ranks
             << " image=" << o.image_size << "x" << o.image_size
             << " volume=" << o.volume_n << "^3"
-            << " net=" << (o.paper_net ? "paper-example" : "sp2-hps")
+            << " net="
+            << (!o.topology.empty()
+                    ? o.topology
+                    : (o.paper_net ? "paper-example" : "sp2-hps"))
             << " (Ts=" << o.net.ts << " Tp=" << o.net.tp_byte
             << " To=" << o.net.to_pixel << ")\n\n";
 }

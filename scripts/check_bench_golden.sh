@@ -30,7 +30,9 @@ fail=0
 check_bench() {  # check_bench <bench-binary> <golden-file>
   local bench="$1" golden="$GOLDEN/$2"
   echo "== $bench -> $2 =="
-  "$BUILD/bench/$bench" --json "$TMP/$2" >/dev/null
+  # timeout matches CI's per-test ctest --timeout; the P=1024 scaling
+  # trajectory is the long pole and finishes well inside it.
+  timeout 300 "$BUILD/bench/$bench" --json "$TMP/$2" >/dev/null
   if [ "$UPDATE" -eq 1 ]; then
     cp "$TMP/$2" "$golden"
     echo "updated $golden"
@@ -48,6 +50,9 @@ check_bench() {  # check_bench <bench-binary> <golden-file>
 check_bench bench_table1_model table1_engine_p32.json
 check_bench bench_fig6_methods fig6_engine_p32.json
 check_bench bench_frame_pipeline frame_pipeline_engine_p16.json
+# The large-P trajectory (P up to 1024 on the pooled executor): pins
+# direct/bswap_any/rt/hier virtual times at scale.
+check_bench bench_scaling scaling_p1024.json
 
 if [ "$fail" -ne 0 ]; then
   echo "virtual-time golden check FAILED — a cost charge or message"

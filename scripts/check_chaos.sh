@@ -16,6 +16,9 @@ set -euo pipefail
 BUILD="${1:-${BUILD_DIR:-build}}"
 RTCOMP="$BUILD/tools/rtcomp"
 [[ -x $RTCOMP ]] || { echo "error: $RTCOMP not built" >&2; exit 1; }
+# Per-invocation timeout, matching CI's ctest --timeout: a chaos cell
+# that deadlocks must fail the sweep, not hang it.
+RT=(timeout 120 "$RTCOMP")
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -32,11 +35,11 @@ run_cell() {  # run_cell <label> <expect-grep> <arg...>
   local label="$1" expect="$2"; shift 2
   local out1="$TMP/a.pgm" out2="$TMP/b.pgm"
   local sum1 sum2
-  if ! sum1=$("$RTCOMP" "${BASE[@]}" "$@" --out "$out1" 2>&1); then
+  if ! sum1=$("${RT[@]}" "${BASE[@]}" "$@" --out "$out1" 2>&1); then
     echo "FAIL $label  (nonzero exit)"; echo "$sum1" | sed 's/^/     /'
     fail=1; return
   fi
-  sum2=$("$RTCOMP" "${BASE[@]}" "$@" --out "$out2" 2>&1)
+  sum2=$("${RT[@]}" "${BASE[@]}" "$@" --out "$out2" 2>&1)
   if ! cmp -s "$out1" "$out2"; then
     echo "FAIL $label  (image not deterministic across replays)"
     fail=1; return
@@ -89,7 +92,7 @@ run_cell "crash+storm rt_n/recompose" 'dead=\[3\] epoch=1' \
 # the sender's own delivery observations and hedges later sends through
 # a relay. Jitter delays but never corrupts, and the hedge carries
 # identical bytes — the image must equal the no-fault one exactly.
-"$RTCOMP" "${BASE[@]}" --method rt_n --blocks 3 --out "$TMP/ref.pgm" \
+"${RT[@]}" "${BASE[@]}" --method rt_n --blocks 3 --out "$TMP/ref.pgm" \
   >/dev/null
 run_cell "straggler rt_n/hedge" \
   'stragglers=[1-9].*hedged=[1-9].*wins=[1-9].* ok' \
@@ -114,11 +117,11 @@ run_frames_cell() {  # run_frames_cell <label> <expect-grep> <arg...>
   local label="$1" expect="$2"; shift 2
   local s1="$TMP/a.pgms" s2="$TMP/b.pgms"
   local out1 out2
-  if ! out1=$("$RTCOMP" "${BASE[@]}" "$@" --stream "$s1" 2>&1); then
+  if ! out1=$("${RT[@]}" "${BASE[@]}" "$@" --stream "$s1" 2>&1); then
     echo "FAIL $label  (nonzero exit)"; echo "$out1" | sed 's/^/     /'
     fail=1; return
   fi
-  out2=$("$RTCOMP" "${BASE[@]}" "$@" --stream "$s2" 2>&1)
+  out2=$("${RT[@]}" "${BASE[@]}" "$@" --stream "$s2" 2>&1)
   if ! cmp -s "$s1" "$s2"; then
     echo "FAIL $label  (frame stream not deterministic across replays)"
     fail=1; return
@@ -148,7 +151,7 @@ for method in bswap rt_n; do
 done
 
 # --- Circuit breaker: dead link relays to the exact no-fault image ---
-"$RTCOMP" "${BASE[@]}" --method direct --blocks 1 \
+"${RT[@]}" "${BASE[@]}" --method direct --blocks 1 \
   --out "$TMP/ref.pgm" >/dev/null
 run_cell "dead link direct/relay" \
   'lost_px=0 dead=\[\] relayed=[1-9].* trips=[1-9].* ok' \

@@ -11,7 +11,9 @@ fail=0
 
 check() {  # check <description> <command> <expected-grep>
   local desc="$1" cmd="$2" expect="$3"
-  if out=$(eval "$cmd" 2>&1) && grep -qF "$expect" <<<"$out"; then
+  # timeout matches CI's per-test ctest --timeout: a hung bench fails
+  # the check instead of wedging the run.
+  if out=$(eval "timeout 120 $cmd" 2>&1) && grep -qF "$expect" <<<"$out"; then
     echo "ok   $desc"
   else
     echo "FAIL $desc  (wanted: $expect)"

@@ -13,7 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-all}"
-TESTS="world_test|frame_test|chaos_test|wire_test|methods_test|fuzz_corpus_test|membership_test|recompose_test|breaker_test"
+TESTS="world_test|frame_test|chaos_test|wire_test|methods_test|fuzz_corpus_test|membership_test|recompose_test|breaker_test|executor_test|hierarchical_test"
 
 run_mode() {
   local san="$1"
@@ -23,8 +23,12 @@ run_mode() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$dir" -j --target \
         world_test frame_test chaos_test wire_test methods_test \
-        fuzz_corpus_test membership_test recompose_test breaker_test
-  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" -R "$TESTS")
+        fuzz_corpus_test membership_test recompose_test breaker_test \
+        executor_test hierarchical_test
+  # Same per-test timeout CI uses: a sanitizer-found deadlock should
+  # fail the run, not hang it.
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)" --timeout 120 \
+       -R "$TESTS")
 }
 
 case "$MODE" in

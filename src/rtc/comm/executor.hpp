@@ -1,0 +1,129 @@
+// Rank executors — how the P virtual ranks of a World map onto OS
+// threads.
+//
+// The original (threaded) executor spawns one std::thread per rank.
+// That is faithful but caps simulated P near the machine's core count:
+// at P=1024 the scheduler drowns in runnable threads and at P=4096
+// thread-stack reservations alone can kill the process. The pooled
+// executor instead runs every rank as a cooperatively-scheduled fiber
+// (ucontext) multiplexed onto a bounded worker pool: a rank that
+// blocks in recv/barrier *parks* — it yields its worker to another
+// runnable rank — and is re-readied when a message arrives for it.
+//
+// Virtual time is unaffected by the choice: clocks are advanced only
+// by the message DAG (send/recv/compute charges), never by real
+// scheduling, so pooled and threaded runs are bit-identical. The
+// pooled executor is the default; RTC_EXECUTOR=threaded restores the
+// legacy behavior process-wide.
+//
+// Park/wake protocol (the part that has to be exactly right):
+//
+//  * every fiber carries a wake token (a counter). A blocking rank
+//    reads the token, re-checks its predicate (mailbox, barrier
+//    generation), and calls park(rank, token). Any wake() in between
+//    bumps the token, so park() returns immediately instead of losing
+//    the wakeup.
+//  * a parking fiber cannot be handed to another worker while it is
+//    still running on this one (two workers on one stack = corruption).
+//    park() therefore only *marks* the fiber park-pending and switches
+//    back to its worker; the worker — now safely off the fiber's stack
+//    — commits the transition under the pool lock: token moved →
+//    straight back to the ready queue, else → parked.
+//
+// Deadlock: with every rank a fiber, "all live fibers parked, none
+// ready, none running" is a positive proof that no message inside the
+// run can ever unpark them. The pool honors the World's recv timeout
+// as a grace period (so wall-clock expectations match the threaded
+// executor), then resumes every parked fiber with a timed-out flag;
+// blocked receives surface the same CommError a threaded rank would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace rtc::comm {
+
+enum class ExecutorKind {
+  kThreaded,  ///< one kernel thread per rank (legacy; refuses absurd P)
+  kPooled,    ///< fibers on a bounded worker pool (default)
+};
+
+/// Process-wide default: pooled, unless the RTC_EXECUTOR environment
+/// variable ("threaded" | "pooled") says otherwise. Read once.
+[[nodiscard]] ExecutorKind default_executor_kind();
+
+[[nodiscard]] std::string to_string(ExecutorKind kind);
+[[nodiscard]] std::optional<ExecutorKind> parse_executor_kind(
+    const std::string& name);
+
+struct ExecutorConfig {
+  ExecutorKind kind = default_executor_kind();
+
+  /// Pooled: worker threads. 0 = min(P, hardware_concurrency).
+  int workers = 0;
+
+  /// Pooled: per-fiber stack bytes (plus one guard page). 0 = 256 KiB —
+  /// comfortably above what any compositor needs, small enough that
+  /// P=4096 costs ~1 GiB of *reservation* (MAP_NORESERVE: pages are
+  /// only backed when touched).
+  std::size_t stack_bytes = 0;
+
+  /// Threaded: refuse runs with more ranks than this instead of
+  /// oversubscribing the kernel until something breaks opaquely.
+  /// 0 = max(256, 8 * hardware_concurrency).
+  int max_threaded_ranks = 0;
+};
+
+/// Resolved defaults (0 -> concrete value) for the current machine.
+[[nodiscard]] int default_pool_workers(int ranks);
+[[nodiscard]] std::size_t default_fiber_stack_bytes();
+[[nodiscard]] int default_threaded_rank_cap();
+
+/// The fiber pool. One instance lives for the duration of a single
+/// World::run; the World calls wake()/park() from inside rank bodies
+/// (which execute *on* fibers) and deliver paths.
+class PooledExecutor {
+ public:
+  PooledExecutor(int ranks, const ExecutorConfig& cfg);
+  ~PooledExecutor();
+
+  PooledExecutor(const PooledExecutor&) = delete;
+  PooledExecutor& operator=(const PooledExecutor&) = delete;
+
+  /// Grace period (seconds) between detecting a deadlock and breaking
+  /// it — mirrors the threaded executor's per-recv wall timeout.
+  void set_deadlock_grace(double seconds);
+
+  /// Runs rank_main(r) for every rank on the worker pool; returns when
+  /// all fibers finished. rank_main must not leak exceptions (the
+  /// caller wraps bodies and records errors per rank).
+  void run(const std::function<void(int)>& rank_main);
+
+  /// Bumps `rank`'s wake token; re-readies it if parked. Callable from
+  /// any fiber or thread.
+  void wake(int rank);
+
+  /// wake() for every rank (barrier releases, death notifications).
+  void wake_all();
+
+  /// Current wake token for `rank`. Read this *before* re-checking the
+  /// blocking predicate, then pass it to park().
+  [[nodiscard]] std::uint64_t wake_token(int rank);
+
+  /// Parks the calling fiber (which must be `rank`) until a wake
+  /// arrives. Returns immediately if the token already moved. Returns
+  /// true if the fiber was resumed by the deadlock breaker rather than
+  /// a wake — the caller should surface a timeout error.
+  [[nodiscard]] bool park(int rank, std::uint64_t token);
+
+  struct State;
+
+ private:
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace rtc::comm

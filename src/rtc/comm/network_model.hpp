@@ -15,17 +15,45 @@
 // exactly as in Table 1, while a receiver can overlap compositing one
 // block with the flight of the next — the mechanism that gives the RT
 // method its optimal initial block count.
+//
+// Topology extension: the paper's SP2 switch is distance-oblivious,
+// but at P=1024–4096 the interconnect shape dominates. A model may
+// therefore carry a topology (fat-tree, dragonfly, cloud) plus a
+// per-hop latency; each message then pays hop_latency * hops(src, dst)
+// of extra in-flight latency (added to availability, not to the sender
+// CPU — latency pipelines, startup does not). The cloud profile adds a
+// deterministic seeded per-message jitter on top, modelling the noisy
+// tail latencies of virtualized networks. With hop_latency == 0 and
+// jitter_mean == 0 (the defaults) every charge below is bit-identical
+// to the historical flat model.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace rtc::comm {
+
+enum class Topology {
+  kFlat,       ///< distance-oblivious switch (the paper's SP2; default)
+  kFatTree,    ///< three-level folded Clos keyed by `radix`
+  kDragonfly,  ///< router groups with all-to-all global links
+  kCloud,      ///< single overlay hop with jittery latency
+};
 
 struct NetworkModel {
   double ts = 0.005;           ///< startup time per message (seconds)
   double tp_byte = 0.00004;    ///< transmission time per byte (seconds)
   double to_pixel = 0.0002;    ///< "over" computation time per pixel
   double tcodec_pixel = 0.0;   ///< compression/decompression time per pixel
+
+  // --- topology (defaults add exactly nothing: flat, zero latency) ---
+  Topology topology = Topology::kFlat;
+  double hop_latency = 0.0;  ///< seconds per switch hop (0: distance-free)
+  int radix = 16;            ///< switch port count (fat-tree/dragonfly)
+  /// Dragonfly ranks per group; 0 derives radix*radix/4 (a/h balance).
+  int group_hosts = 0;
+  double jitter_mean = 0.0;  ///< mean per-message latency noise (cloud)
+  std::uint64_t jitter_seed = 0x726a6974ULL;  ///< jitter hash seed
 
   /// In-flight duration of a message after send startup.
   [[nodiscard]] double wire_time(std::int64_t bytes) const {
@@ -40,6 +68,72 @@ struct NetworkModel {
   /// Cost of over-compositing `pixels` pixels.
   [[nodiscard]] double over_time(std::int64_t pixels) const {
     return static_cast<double>(pixels) * to_pixel;
+  }
+
+  /// Switch hops between two ranks under `topology`. Ranks are mapped
+  /// to hosts in order (rank / hosts-per-leaf gives the leaf switch).
+  [[nodiscard]] int hops(int src, int dst) const {
+    if (src == dst) return 0;
+    switch (topology) {
+      case Topology::kFlat:
+      case Topology::kCloud:
+        return 1;
+      case Topology::kFatTree: {
+        // Folded Clos with radix-port switches: radix/2 hosts per edge
+        // switch, radix^2/4 hosts per pod. Same edge: up+down = 2
+        // hops; same pod: via an aggregation switch = 4; otherwise via
+        // the core = 6.
+        const int per_edge = radix / 2 > 0 ? radix / 2 : 1;
+        const int per_pod = per_edge * per_edge;
+        if (src / per_edge == dst / per_edge) return 2;
+        if (src / per_pod == dst / per_pod) return 4;
+        return 6;
+      }
+      case Topology::kDragonfly: {
+        // Hosts per router = radix/4 (balanced a=2h dragonfly); groups
+        // of `group_hosts` ranks. Same router: 1 hop; same group: 2
+        // (source router -> dest router over a local link); remote
+        // group: 3 under minimal routing (local + global + local).
+        const int per_router = radix / 4 > 0 ? radix / 4 : 1;
+        const int per_group =
+            group_hosts > 0 ? group_hosts : radix * radix / 4;
+        if (src / per_router == dst / per_router) return 1;
+        if (src / per_group == dst / per_group) return 2;
+        return 3;
+      }
+    }
+    return 1;
+  }
+
+  /// Extra in-flight latency between two ranks (0 with no topology
+  /// latency configured — the bit-identical default).
+  [[nodiscard]] double topology_latency(int src, int dst) const {
+    if (hop_latency <= 0.0) return 0.0;
+    return hop_latency * static_cast<double>(hops(src, dst));
+  }
+
+  /// Deterministic per-message latency noise in [jitter_mean/2,
+  /// 3*jitter_mean/2), keyed by (seed, src, dst, tag, seq) — the same
+  /// message jitters identically on every run. 0 when disabled.
+  [[nodiscard]] double jitter(int src, int dst, int tag,
+                              std::uint32_t seq) const {
+    if (jitter_mean <= 0.0) return 0.0;
+    // splitmix64 over the message key; mirrors fault.cpp's hashing so
+    // the noise is stable across platforms.
+    auto mix = [](std::uint64_t x) {
+      x += 0x9E3779B97F4A7C15ull;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix(jitter_seed);
+    h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+    h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+    h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+    h = mix(h ^ seq);
+    const double unit =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    return jitter_mean * (0.5 + unit);
   }
 };
 
@@ -60,6 +154,75 @@ struct NetworkModel {
   m.to_pixel = 2.5e-7;
   m.tcodec_pixel = 5.0e-9;
   return m;
+}
+
+/// Modern HPC cluster on a three-level fat-tree: ~2 µs MPI startup,
+/// ~10 GB/s per-link bandwidth, ~0.5 µs per switch hop, and a ~1
+/// Gpixel/s blend (SIMD-era CPU). radix-32 switches: 16 hosts per edge
+/// switch, 256 per pod.
+[[nodiscard]] inline NetworkModel fat_tree_model() {
+  NetworkModel m;
+  m.ts = 2.0e-6;
+  m.tp_byte = 1.0e-10;
+  m.to_pixel = 1.0e-9;
+  m.tcodec_pixel = 2.0e-10;
+  m.topology = Topology::kFatTree;
+  m.hop_latency = 5.0e-7;
+  m.radix = 32;
+  return m;
+}
+
+/// Exascale-style dragonfly: ~1.5 µs startup, ~25 GB/s links, ~0.4 µs
+/// per hop, radix-64 routers (16 hosts each) in 1024-rank groups.
+[[nodiscard]] inline NetworkModel dragonfly_model() {
+  NetworkModel m;
+  m.ts = 1.5e-6;
+  m.tp_byte = 4.0e-11;
+  m.to_pixel = 1.0e-9;
+  m.tcodec_pixel = 2.0e-10;
+  m.topology = Topology::kDragonfly;
+  m.hop_latency = 4.0e-7;
+  m.radix = 64;
+  m.group_hosts = 1024;
+  return m;
+}
+
+/// Cloud VMs over a virtualized overlay: ~20 µs effective startup,
+/// ~1.2 GB/s per-flow bandwidth, ~25 µs base latency with ~10 µs mean
+/// deterministic jitter — the noisy-neighbor tail that makes straggler
+/// hedging and deadline scheduling earn their keep.
+[[nodiscard]] inline NetworkModel cloud_model() {
+  NetworkModel m;
+  m.ts = 2.0e-5;
+  m.tp_byte = 8.0e-10;
+  m.to_pixel = 1.0e-9;
+  m.tcodec_pixel = 2.0e-10;
+  m.topology = Topology::kCloud;
+  m.hop_latency = 2.5e-5;
+  m.jitter_mean = 1.0e-5;
+  return m;
+}
+
+/// Preset lookup for CLI/bench `--topology` flags: "flat" | "sp2" |
+/// "paper" | "fat-tree" | "dragonfly" | "cloud". Returns false on an
+/// unknown name (callers print usage).
+[[nodiscard]] inline bool topology_preset(const char* name,
+                                          NetworkModel* out) {
+  const std::string_view n = name;
+  if (n == "flat" || n == "sp2") {
+    *out = sp2_hps_model();
+  } else if (n == "paper") {
+    *out = paper_example_model();
+  } else if (n == "fat-tree" || n == "fattree") {
+    *out = fat_tree_model();
+  } else if (n == "dragonfly") {
+    *out = dragonfly_model();
+  } else if (n == "cloud") {
+    *out = cloud_model();
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace rtc::comm

@@ -101,7 +101,11 @@ void World::deliver(int dst, int src, int tag, Envelope e) {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queues[{src, tag}].push_back(std::move(e));
   }
-  box.cv.notify_all();
+  // Pooled ranks park in the executor instead of waiting on box.cv.
+  if (pooled_ != nullptr)
+    pooled_->wake(dst);
+  else
+    box.cv.notify_all();
 }
 
 bool World::is_dead(int rank) const {
@@ -123,14 +127,17 @@ void World::mark_dead(int rank, double at_virtual_time) {
     std::lock_guard<std::mutex> lock(box->mu);
     box->cv.notify_all();
   }
-  BarrierState& b = *barrier_;
-  std::lock_guard<std::mutex> lock(b.mu);
-  b.dead += 1;
-  if (b.waiting > 0 && b.waiting + b.dead >= size_) {
-    b.waiting = 0;
-    ++b.generation;
-    b.cv.notify_all();
+  {
+    BarrierState& b = *barrier_;
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.dead += 1;
+    if (b.waiting > 0 && b.waiting + b.dead >= size_) {
+      b.waiting = 0;
+      ++b.generation;
+      b.cv.notify_all();
+    }
   }
+  if (pooled_ != nullptr) pooled_->wake_all();
 }
 
 std::string World::mailbox_snapshot(int rank) const {
@@ -148,8 +155,40 @@ std::string World::mailbox_snapshot(int rank) const {
   return first ? "empty" : os.str();
 }
 
+std::optional<World::Envelope> World::take_pooled(int rank, int src,
+                                                  int tag,
+                                                  double virtual_now) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const auto started = std::chrono::steady_clock::now();
+  for (;;) {
+    // Token before predicate: a delivery between the mailbox check and
+    // park() bumps the token, so park() returns immediately instead of
+    // losing the wakeup.
+    const std::uint64_t token = pooled_->wake_token(rank);
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      const auto it = box.queues.find({src, tag});
+      if (it != box.queues.end() && !it->second.empty()) {
+        Envelope e = std::move(it->second.front());
+        it->second.pop_front();
+        return e;
+      }
+    }
+    if (is_dead(src)) return std::nullopt;
+    if (pooled_->park(rank, token)) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      throw CommError(CommError::Kind::kTimeout, rank, src, tag,
+                      virtual_now, elapsed, mailbox_snapshot(rank));
+    }
+  }
+}
+
 std::optional<World::Envelope> World::take(int rank, int src, int tag,
                                            double virtual_now) {
+  if (pooled_ != nullptr) return take_pooled(rank, src, tag, virtual_now);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mu);
   auto ready = [&] {
@@ -185,6 +224,10 @@ std::optional<World::Envelope> World::take(int rank, int src, int tag,
 }
 
 void World::enter_barrier(Comm& c) {
+  if (pooled_ != nullptr) {
+    enter_barrier_pooled(c);
+    return;
+  }
   BarrierState& b = *barrier_;
   std::unique_lock<std::mutex> lock(b.mu);
   b.max_clock = std::max(b.max_clock, c.clock_);
@@ -200,6 +243,44 @@ void World::enter_barrier(Comm& c) {
   }
   b.cv.wait(lock, [&] { return b.generation != gen; });
   c.clock_ = b.max_clock;
+}
+
+void World::enter_barrier_pooled(Comm& c) {
+  BarrierState& b = *barrier_;
+  std::uint64_t gen = 0;
+  {
+    std::unique_lock<std::mutex> lock(b.mu);
+    b.max_clock = std::max(b.max_clock, c.clock_);
+    gen = b.generation;
+    if (++b.waiting + b.dead >= size_) {
+      b.waiting = 0;
+      ++b.generation;
+      c.clock_ = b.max_clock;
+      lock.unlock();
+      pooled_->wake_all();
+      return;
+    }
+  }
+  const auto started = std::chrono::steady_clock::now();
+  for (;;) {
+    const std::uint64_t token = pooled_->wake_token(c.rank_);
+    {
+      std::lock_guard<std::mutex> lock(b.mu);
+      if (b.generation != gen) {
+        c.clock_ = b.max_clock;
+        return;
+      }
+    }
+    if (pooled_->park(c.rank_, token)) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      throw CommError(CommError::Kind::kTimeout, c.rank_, /*peer=*/-1,
+                      /*tag=*/-1, c.clock_, elapsed,
+                      "barrier never released");
+    }
+  }
 }
 
 RunResult World::run(const std::function<void(Comm&)>& body) {
@@ -246,24 +327,26 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
   }
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(size_));
-  for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        body(comms[static_cast<std::size_t>(r)]);
-      } catch (const RankCrashSignal&) {
-        // Scheduled death, not an error: mark_dead already ran inside
-        // Comm::die(); the stats flag is set after the join below.
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // Unblock peers stuck in recv/barrier so the run can fail fast.
+  const auto rank_main = [&](int r) {
+    try {
+      body(comms[static_cast<std::size_t>(r)]);
+    } catch (const RankCrashSignal&) {
+      // Scheduled death, not an error: mark_dead already ran inside
+      // Comm::die(); the stats flag is set after the executor returns.
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      // Unblock peers stuck in recv/barrier so the run can fail fast.
+      // (Pooled fibers park instead; the deadlock breaker resumes them.)
+      if (pooled_ == nullptr) {
         for (auto& box : mailboxes_) box->cv.notify_all();
         barrier_->cv.notify_all();
       }
-    });
-  }
-  for (std::thread& t : threads) t.join();
+    }
+  };
+  if (exec_cfg_.kind == ExecutorKind::kPooled)
+    execute_pooled(rank_main);
+  else
+    execute_threaded(rank_main);
   for (const std::exception_ptr& e : errors)
     if (e) std::rethrow_exception(e);
 
@@ -297,6 +380,41 @@ RunResult World::run(const std::function<void(Comm&)>& body) {
     result.stats.ranks.push_back(c.stats_);
   }
   return result;
+}
+
+void World::execute_threaded(const std::function<void(int)>& rank_main) {
+  // One kernel thread per rank does not scale: past a few times the
+  // core count the scheduler thrashes, and thread-stack reservations
+  // can kill the process outright. Refuse loudly instead of limping —
+  // the pooled executor exists precisely for large P.
+  const int cap = exec_cfg_.max_threaded_ranks > 0
+                      ? exec_cfg_.max_threaded_ranks
+                      : default_threaded_rank_cap();
+  RTC_CHECK_MSG(size_ <= cap,
+                "P=" + std::to_string(size_) +
+                    " exceeds the threaded executor's rank cap of " +
+                    std::to_string(cap) +
+                    "; use the pooled executor (the default — "
+                    "--executor pooled / RTC_EXECUTOR=pooled) or raise "
+                    "ExecutorConfig::max_threaded_ranks");
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    threads.emplace_back([&rank_main, r] { rank_main(r); });
+  for (std::thread& t : threads) t.join();
+}
+
+void World::execute_pooled(const std::function<void(int)>& rank_main) {
+  PooledExecutor pool(size_, exec_cfg_);
+  pool.set_deadlock_grace(recv_timeout_);
+  pooled_ = &pool;
+  try {
+    pool.run(rank_main);
+  } catch (...) {
+    pooled_ = nullptr;
+    throw;
+  }
+  pooled_ = nullptr;
 }
 
 int Comm::size() const {
@@ -527,6 +645,17 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
   encode_frame_into(e.frame, seq, payload);
   pool_.release(std::move(payload));
   e.available_at = egress_free_;
+  // Topology-aware models add per-hop latency (and, for the cloud
+  // profile, deterministic per-message jitter) to the flight time.
+  // Latency pipelines: it delays availability without occupying the
+  // sender CPU or egress channel. Both terms are exactly 0.0 under the
+  // default flat model, keeping historical runs bit-identical.
+  {
+    const double lat = m.topology_latency(rank_, pdst);
+    if (lat > 0.0) e.available_at += lat;
+    const double tjit = m.jitter(rank_, pdst, tag, seq);
+    if (tjit > 0.0) e.available_at += tjit;
+  }
 
   std::optional<World::Envelope> dup;
   std::optional<World::Envelope> hedge;
@@ -591,9 +720,12 @@ void Comm::send(int dst, int tag, std::vector<std::byte> payload) {
           // direct transmission (shape_via_relay already charged the
           // relay hop's own Ts + wire time).
           egress_free_ += m.wire_time(bytes);
+          // Topology latency over the detour's two hops (0.0 flat).
+          const double hlat = m.topology_latency(rank_, relay) +
+                              m.topology_latency(relay, pdst);
           World::Envelope h;
           h.frame = e.frame;
-          h.available_at = egress_free_ + hs.extra_delay + hjit;
+          h.available_at = egress_free_ + hs.extra_delay + hjit + hlat;
           h.retransmits = hs.retransmits;
           h.drops = hs.drops;
           h.crc_failures = hs.crc_failures;

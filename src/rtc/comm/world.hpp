@@ -2,8 +2,10 @@
 //
 // The paper runs on a 40-node IBM SP2; this machine has neither MPI nor
 // 40 nodes, so the distributed-memory substrate is built here: a World
-// owns P ranks, each executed on its own std::thread with a private
-// mailbox. Ranks interact only through send/recv — there is no shared
+// owns P ranks, each with a private mailbox, executed by a pluggable
+// rank executor (executor.hpp) — by default thousands of rank fibers
+// multiplexed onto a bounded worker pool, optionally one kernel thread
+// per rank. Ranks interact only through send/recv — there is no shared
 // image state, so algorithms written against Comm are genuinely
 // message-passing programs.
 //
@@ -36,6 +38,7 @@
 
 #include "rtc/comm/buffer_pool.hpp"
 #include "rtc/comm/error.hpp"
+#include "rtc/comm/executor.hpp"
 #include "rtc/comm/fault.hpp"
 #include "rtc/comm/network_model.hpp"
 #include "rtc/comm/stats.hpp"
@@ -265,7 +268,8 @@ struct RunResult {
   [[nodiscard]] double makespan() const { return stats.makespan(); }
 };
 
-/// Owns the mailboxes and executes a rank function on P threads.
+/// Owns the mailboxes and executes a rank function once per rank on
+/// the configured executor (pooled fibers by default).
 class World {
  public:
   World(int size, NetworkModel model);
@@ -277,7 +281,7 @@ class World {
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] const NetworkModel& model() const { return model_; }
 
-  /// Runs `body(comm)` once per rank, each on its own thread, and
+  /// Runs `body(comm)` once per rank on the configured executor and
   /// collects per-rank stats. Rethrows the first rank exception.
   /// A rank crash scheduled by the fault plan is not an exception: the
   /// rank's stats are marked `crashed` and the run completes.
@@ -331,6 +335,18 @@ class World {
   void set_seq_epoch(std::uint32_t epoch);
   [[nodiscard]] std::uint32_t seq_epoch() const { return seq_epoch_; }
 
+  /// Selects the rank executor for subsequent run()s (executor.hpp).
+  /// Pooled (the default) multiplexes ranks as fibers over a bounded
+  /// worker pool, so P=1024–4096 is simulatable; threaded is the
+  /// legacy one-kernel-thread-per-rank path and refuses rank counts
+  /// past cfg.max_threaded_ranks. Virtual times, traces, and images
+  /// are bit-identical across the two — only wall-clock behavior and
+  /// the scalability ceiling differ.
+  void set_executor(const ExecutorConfig& cfg) { exec_cfg_ = cfg; }
+  [[nodiscard]] const ExecutorConfig& executor_config() const {
+    return exec_cfg_;
+  }
+
  private:
   friend class Comm;
 
@@ -356,7 +372,15 @@ class World {
   /// is pending. Throws CommError(kTimeout) on wall-clock deadlock.
   std::optional<Envelope> take(int rank, int src, int tag,
                                double virtual_now);
+  /// take() for the pooled executor: parks the calling fiber instead
+  /// of blocking its worker thread.
+  std::optional<Envelope> take_pooled(int rank, int src, int tag,
+                                      double virtual_now);
   void enter_barrier(Comm& c);
+  void enter_barrier_pooled(Comm& c);
+  /// Runs rank_main(r) for every rank on the configured executor.
+  void execute_threaded(const std::function<void(int)>& rank_main);
+  void execute_pooled(const std::function<void(int)>& rank_main);
   void mark_dead(int rank, double at_virtual_time);
   [[nodiscard]] bool is_dead(int rank) const;
   [[nodiscard]] double death_time(int rank) const;
@@ -364,6 +388,8 @@ class World {
 
   int size_;
   NetworkModel model_;
+  ExecutorConfig exec_cfg_;  ///< how ranks execute (default: pooled)
+  PooledExecutor* pooled_ = nullptr;  ///< non-null during a pooled run()
   double recv_timeout_ = 60.0;
   double deadline_ = 0.0;  ///< per-frame virtual deadline (0: none)
   StaleStore* stale_ = nullptr;  ///< cross-frame staleness store (not owned)

@@ -1,0 +1,39 @@
+// Strict numeric flag parsing shared by the CLI and the benches.
+//
+// std::stoi("abc") throws std::invalid_argument and std::stoi("12px")
+// silently returns 12 — both are wrong for a command line: a malformed
+// flag must produce a usage message naming the flag and the expected
+// form, and nothing else. These helpers parse the *entire* string or
+// return nullopt.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+
+namespace rtc::flags {
+
+/// Whole-string integer parse; nullopt on empty/partial/overflow.
+[[nodiscard]] inline std::optional<long long> parse_int(
+    const std::string& text) {
+  long long value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || first == last) return std::nullopt;
+  return value;
+}
+
+/// Whole-string floating-point parse ("0.25", "1e-7", "-3"); nullopt
+/// on empty/partial/overflow — "1e" and "12px" are rejected.
+[[nodiscard]] inline std::optional<double> parse_double(
+    const std::string& text) {
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || first == last) return std::nullopt;
+  return value;
+}
+
+}  // namespace rtc::flags

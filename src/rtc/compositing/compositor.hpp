@@ -81,6 +81,21 @@ struct Options {
   /// Frame index forwarded to sink deliveries; pair it with
   /// CompositionConfig::frame_id so spans and tiles agree.
   int frame_id = 0;
+
+  // --- hierarchical ("hier") only ---------------------------------
+
+  /// Ranks per node-group of the two-level schedule: `hier_intra`
+  /// composites within each contiguous group of this many ranks, then
+  /// `hier_inter` composites the group leaders' results. 0 picks
+  /// ceil(sqrt(P)), which balances the two levels' step counts. See
+  /// docs/scaling.md.
+  int group_size = 0;
+
+  /// Level-1 method (within a group). Any method but "hier".
+  std::string hier_intra = "rt";
+
+  /// Level-2 method (across group leaders). Any method but "hier".
+  std::string hier_inter = "bswap_any";
 };
 
 class Compositor {
@@ -113,7 +128,9 @@ class Compositor {
 
 /// "bswap" (P must be a power of two), "pp" (paper-faithful ring),
 /// "pp_exact" (order-correct ring refinement), "direct" (send-to-root),
-/// "rt" / "rt_n" / "rt_2n" (rotate-tiling; see rtc/core). Throws on
+/// "rt" / "rt_n" / "rt_2n" (rotate-tiling; see rtc/core), "hier"
+/// (two-level: hier_intra within groups of group_size, hier_inter
+/// across group leaders; see rtc/core/hierarchical.hpp). Throws on
 /// unknown names.
 [[nodiscard]] std::unique_ptr<Compositor> make_compositor(
     const std::string& name);

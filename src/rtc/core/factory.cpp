@@ -4,6 +4,7 @@
 #include "rtc/common/check.hpp"
 #include "rtc/compositing/builtin.hpp"
 #include "rtc/compositing/compositor.hpp"
+#include "rtc/core/hierarchical.hpp"
 #include "rtc/core/rt_compositor.hpp"
 
 namespace rtc::compositing {
@@ -20,12 +21,13 @@ std::unique_ptr<Compositor> make_compositor(const std::string& name) {
     return core::make_rt_compositor(core::RtVariant::kTwoNrt);
   if (name == "rt")
     return core::make_rt_compositor(core::RtVariant::kGeneralized);
+  if (name == "hier") return core::make_hierarchical();
   throw ContractError("unknown compositor: " + name);
 }
 
 std::vector<std::string> compositor_names() {
   return {"bswap", "bswap_any", "pp",    "pp_exact", "direct",
-          "radix", "rt_n",      "rt_2n", "rt"};
+          "radix", "rt_n",      "rt_2n", "rt",       "hier"};
 }
 
 }  // namespace rtc::compositing

@@ -1,0 +1,42 @@
+// Two-level hierarchical composition ("hier").
+//
+// At P=1024–4096 every single-level schedule has a scaling flaw: RT's
+// step count grows with log P but its rotation traffic crosses the
+// whole machine, and any gather funnels O(P) messages into one root.
+// Real machines are hierarchical — fast within a node-group, slower
+// across — so the schedule should be too:
+//
+//   level 1: Options::hier_intra (default "rt") composites each
+//            contiguous group of Options::group_size ranks; the group
+//            leader (its first rank) holds the group's composite.
+//            Groups run concurrently and independently.
+//   level 2: Options::hier_inter (default "bswap_any") composites the
+//            leaders' images; the final image lands on physical rank 0.
+//
+// Contiguous groups keep depth order intact ("over" is associative but
+// not commutative): a group's composite covers a contiguous depth
+// interval, and leaders are ordered by interval. Both levels run over
+// Comm::set_group membership views — the same virtual-rank translation
+// the self-healing recovery driver uses — so every existing method
+// works unchanged at either level.
+//
+// With group_size g, the root drains max(g, P/g) messages instead of
+// P; g = ceil(sqrt(P)) (the default) balances the levels and turns the
+// O(P) gather bottleneck into O(sqrt P). This is the regime far
+// outside the paper's 32-processor SP2 that Table 1 / Eqs. 5-6 are
+// exercised against in bench_scaling.
+#pragma once
+
+#include <memory>
+
+#include "rtc/compositing/compositor.hpp"
+
+namespace rtc::core {
+
+/// Group size the "hier" method picks when Options::group_size == 0:
+/// ceil(sqrt(P)), balancing intra- and inter-group level sizes.
+[[nodiscard]] int default_group_size(int ranks);
+
+[[nodiscard]] std::unique_ptr<compositing::Compositor> make_hierarchical();
+
+}  // namespace rtc::core

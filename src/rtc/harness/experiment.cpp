@@ -30,8 +30,12 @@ CompositionRun run_composition(const CompositionConfig& config,
   opt.coherence = config.coherence;
   opt.sink = config.sink;
   opt.frame_id = config.frame_id < 0 ? 0 : config.frame_id;
+  opt.group_size = config.group_size;
+  opt.hier_intra = config.hier_intra;
+  opt.hier_inter = config.hier_inter;
 
   comm::World world(p, config.net);
+  world.set_executor(config.executor);
   world.set_record_events(config.record_events);
   world.set_trace(
       {config.record_spans, config.trace_capacity, config.frame_id});

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "rtc/comm/executor.hpp"
 #include "rtc/comm/fault.hpp"
 #include "rtc/comm/network_model.hpp"
 #include "rtc/comm/stats.hpp"
@@ -31,6 +32,15 @@ struct CompositionConfig {
   std::string codec;            ///< "", "raw", "rle", "trle", "bbox"
   comm::NetworkModel net = comm::sp2_hps_model();
   bool gather = false;  ///< paper's composition time excludes gather
+  /// Rank executor (comm/executor.hpp): pooled fibers by default, so
+  /// P=1024–4096 runs without spawning P kernel threads. Virtual times
+  /// are bit-identical across executors.
+  comm::ExecutorConfig executor;
+  /// "hier" only: ranks per node-group (0 = ceil(sqrt(P))) and the
+  /// methods run within groups / across group leaders.
+  int group_size = 0;
+  std::string hier_intra = "rt";
+  std::string hier_inter = "bswap_any";
   bool aggregate_messages = false;  ///< RT: one message per receiver/step
   img::BlendMode blend = img::BlendMode::kOver;
   bool record_events = false;  ///< capture Event timeline into stats

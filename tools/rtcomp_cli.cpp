@@ -5,6 +5,9 @@
 //                   [--codec trle] [--image 512] [--volume 96]
 //                   [--renderer shearwarp|raycast|splat] [--mip]
 //                   [--partition slab|grid|balanced] [--out out.pgm]
+//                   [--executor pooled|threaded] [--workers N]
+//                   [--topology flat|sp2|paper|fat-tree|dragonfly|cloud]
+//                   [--group-size G] [--hier-intra M] [--hier-inter M]
 //                   [--trace timeline.json]
 //                   [--trace-out trace.json] [--metrics-out metrics.txt]
 //                   [--fault-seed N] [--fault-drop P] [--fault-corrupt P]
@@ -25,8 +28,15 @@
 //   rtcomp schedule --ranks 3 --blocks 4 [--variant n|2n|any]
 //   rtcomp predict  --ranks 32 --blocks 4 [--pixels 262144]
 //                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
+//                   [--topology flat|sp2|paper|fat-tree|dragonfly|cloud]
+//
+// Flags take `--key value` or `--key=value` form. Malformed numeric
+// values are a usage error naming the flag — never an unhandled
+// std::stoi throw.
 //
 // Exit codes: 0 ok, 2 usage error.
+#include <climits>
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +45,7 @@
 #include <memory>
 #include <string>
 
+#include "rtc/common/flags.hpp"
 #include "rtc/rtc.hpp"
 
 namespace {
@@ -51,6 +62,10 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
+      if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+        kv_[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       if (key == "mip" || key == "no-coherence" || key == "relay" ||
           key == "hedge") {
         kv_[key] = "1";
@@ -71,12 +86,26 @@ class Args {
   }
   [[nodiscard]] int get_int(const std::string& key, int fallback) const {
     const auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : std::stoi(it->second);
+    if (it == kv_.end()) return fallback;
+    const auto v = flags::parse_int(it->second);
+    if (!v || *v < INT_MIN || *v > INT_MAX) {
+      std::cerr << "bad value for --" << key << ": '" << it->second
+                << "' (expected an integer)\n";
+      std::exit(2);
+    }
+    return static_cast<int>(*v);
   }
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const {
     const auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : std::stod(it->second);
+    if (it == kv_.end()) return fallback;
+    const auto v = flags::parse_double(it->second);
+    if (!v) {
+      std::cerr << "bad value for --" << key << ": '" << it->second
+                << "' (expected a number)\n";
+      std::exit(2);
+    }
+    return *v;
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return kv_.count(key) != 0;
@@ -96,7 +125,51 @@ int cmd_info() {
             << "datasets (phantoms): engine brain head\n"
             << "renderers:           shearwarp raycast splat\n"
             << "partitions:          slab grid balanced\n"
-            << "network presets:     sp2-hps (default), paper-example\n";
+            << "network presets:     sp2-hps (default), paper-example\n"
+            << "topology presets:    flat sp2 paper fat-tree dragonfly "
+               "cloud\n"
+            << "executors:           pooled (default; fibers, scales to "
+               "P=4096) threaded\n";
+  return 0;
+}
+
+/// Scaling knobs shared by the single-shot and multi-frame render
+/// paths: rank executor, network topology preset, and the "hier"
+/// method's two-level schedule (docs/scaling.md). Returns 0, or 2 on
+/// a usage error.
+int parse_scaling_flags(const Args& a, harness::CompositionConfig& cfg) {
+  if (a.has("executor")) {
+    const std::string name = a.get("executor", "");
+    const auto kind = comm::parse_executor_kind(name);
+    if (!kind) {
+      std::cerr << "unknown --executor: " << name
+                << " (expected pooled or threaded)\n";
+      return 2;
+    }
+    cfg.executor.kind = *kind;
+  }
+  cfg.executor.workers = a.get_int("workers", 0);
+  if (cfg.executor.workers < 0) {
+    std::cerr << "bad value for --workers: want >= 0 (0 = one per core)\n";
+    return 2;
+  }
+  if (a.has("topology")) {
+    const std::string name = a.get("topology", "");
+    if (!comm::topology_preset(name.c_str(), &cfg.net)) {
+      std::cerr << "unknown --topology: " << name
+                << " (expected flat, sp2, paper, fat-tree, dragonfly or "
+                   "cloud)\n";
+      return 2;
+    }
+  }
+  cfg.group_size = a.get_int("group-size", 0);
+  if (cfg.group_size < 0) {
+    std::cerr << "bad value for --group-size: want >= 0 "
+                 "(0 = ceil(sqrt(P)))\n";
+    return 2;
+  }
+  cfg.hier_intra = a.get("hier-intra", cfg.hier_intra);
+  cfg.hier_inter = a.get("hier-inter", cfg.hier_inter);
   return 0;
 }
 
@@ -228,6 +301,7 @@ int cmd_render_frames(const Args& a) {
   pc.comp.gather = true;
   if (a.get("net", "sp2-hps") == "paper-example")
     pc.comp.net = comm::paper_example_model();
+  if (const int rc = parse_scaling_flags(a, pc.comp); rc != 0) return rc;
   if (const int rc = parse_fault_flags(a, pc.comp); rc != 0) return rc;
   pc.deadline = pc.comp.deadline;
 
@@ -321,6 +395,7 @@ int cmd_render(const Args& a) {
   if (a.get("net", "sp2-hps") == "paper-example")
     cfg.net = comm::paper_example_model();
 
+  if (const int rc = parse_scaling_flags(a, cfg); rc != 0) return rc;
   if (const int rc = parse_fault_flags(a, cfg); rc != 0) return rc;
 
   const harness::CompositionRun run =
@@ -389,6 +464,13 @@ int cmd_predict(const Args& a) {
   const int ranks = a.get_int("ranks", 32);
   const int blocks = a.get_int("blocks", 4);
   comm::NetworkModel net = comm::sp2_hps_model();
+  if (a.has("topology") &&
+      !comm::topology_preset(a.get("topology", "").c_str(), &net)) {
+    std::cerr << "unknown --topology: " << a.get("topology", "")
+              << " (expected flat, sp2, paper, fat-tree, dragonfly or "
+                 "cloud)\n";
+    return 2;
+  }
   net.ts = a.get_double("ts", net.ts);
   net.tp_byte = a.get_double("tp", net.tp_byte);
   net.to_pixel = a.get_double("to", net.to_pixel);
