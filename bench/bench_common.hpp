@@ -4,6 +4,7 @@
 //                       [--volume N] [--image S] [--paper-net]
 //                       [--topology flat|sp2|paper|fat-tree|dragonfly|cloud]
 //                       [--executor pooled|threaded] [--group-size G]
+//                       [--simd auto|scalar|sse2|avx2]
 // plus observability outputs (see docs/observability.md):
 //                       [--json golden.json]      virtual-time numbers,
 //                         17 significant digits — the CI golden gate
@@ -28,6 +29,7 @@
 #include "rtc/comm/executor.hpp"
 #include "rtc/comm/network_model.hpp"
 #include "rtc/common/flags.hpp"
+#include "rtc/simd/dispatch.hpp"
 #include "rtc/harness/experiment.hpp"
 #include "rtc/harness/metrics.hpp"
 #include "rtc/harness/scene.hpp"
@@ -106,6 +108,16 @@ inline BenchOptions parse_options(int argc, char** argv,
       o.executor.kind = *kind;
     } else if (a == "--group-size") {
       o.group_size = next_int();
+    } else if (a == "--simd") {
+      // Dispatch level for the wall-clock pixel kernels. Virtual-time
+      // results are identical at every level (the golden gate pins
+      // that); this knob only moves wall-clock numbers.
+      const std::string v = next();
+      if (!simd::request_level(v)) {
+        std::cerr << "unknown --simd: " << v
+                  << " (expected auto, scalar, sse2 or avx2)\n";
+        std::exit(2);
+      }
     } else if (a == "--paper-net") {
       o.net = comm::paper_example_model();
       o.paper_net = true;

@@ -32,7 +32,12 @@ void print_trace(const char* title, int p, int b0,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    // Strict like the other benches: this one takes no options.
+    std::cerr << "unknown option " << argv[1] << "\n";
+    return 2;
+  }
   std::cout << "== Figures 1 and 2: rotate-tiling schedule traces ==\n"
             << "(reconstructed order-correct schedule; the printed\n"
             << " equations of the paper are OCR-corrupted — DESIGN.md "

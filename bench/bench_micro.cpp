@@ -1,11 +1,33 @@
-// Google-benchmark microbenchmarks for the hot paths: the "over"
-// operator, the codecs, and schedule construction.
+// Microbenchmarks for the hot paths: the "over" operator, the codecs,
+// and schedule construction.
+//
+// Two modes:
+//   * default — google-benchmark suite (args go to the benchmark
+//     library: --benchmark_filter=..., etc.)
+//   * --wallclock — measured-throughput mode for the perf CI gate:
+//     runs each pixel/codec kernel at every SIMD dispatch level this
+//     machine supports and reports Mpix/s and MB/s per kernel plus
+//     SIMD-over-scalar speedups, optionally as JSON
+//     (BENCH_wallclock.json) for scripts/check_wallclock.sh.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <climits>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtc/common/flags.hpp"
 #include "rtc/compress/codec.hpp"
 #include "rtc/core/schedule.hpp"
 #include "rtc/image/ops.hpp"
 #include "rtc/image/serialize.hpp"
+#include "rtc/simd/dispatch.hpp"
 
 namespace {
 
@@ -150,6 +172,256 @@ void BM_BuildSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildSchedule)->Arg(8)->Arg(32)->Arg(128);
 
+// ---------------------------------------------------------------------
+// --wallclock mode: measured kernel throughput for the perf CI gate.
+
+struct WallclockOptions {
+  int image = 512;      ///< square test-image side
+  int repeat = 5;       ///< samples per kernel; best throughput wins
+  int blend_threads = 0;  ///< when > 0, also measure the tiled blend
+  std::string simd;     ///< restrict to one level ("" = all supported)
+  std::string json_out;
+};
+
+/// One measured kernel: best-of-`repeat` throughput. Each sample runs
+/// `fn` in a doubling loop until it has spent >= 10 ms, so fast kernels
+/// are timed over many iterations and slow ones are not padded.
+double measure_mpix_s(std::int64_t pixels_per_call, int repeat,
+                      const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  constexpr double kMinSampleSeconds = 0.010;
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    std::int64_t iters = 1;
+    for (;;) {
+      const auto t0 = clock::now();
+      for (std::int64_t i = 0; i < iters; ++i) fn();
+      const double s =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (s >= kMinSampleSeconds) {
+        const double mpix =
+            static_cast<double>(pixels_per_call * iters) / s / 1e6;
+        if (mpix > best) best = mpix;
+        break;
+      }
+      iters = s <= 0.0 ? iters * 8 : iters * 2;
+    }
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string key;  ///< "kernel/level"
+  double mpix_s = 0.0;
+  double mb_s = 0.0;  ///< raw pixel bytes (2 per GrayA8 pixel)
+};
+
+/// Measures every kernel at one dispatch level. The level is already
+/// active; `level` only labels the keys.
+void measure_level(const WallclockOptions& o, const std::string& level,
+                   std::vector<KernelResult>& out) {
+  const int n = o.image;
+  const std::int64_t pixels = std::int64_t{n} * n;
+  const img::Image src = sparse_image(n);
+  img::Image dst = sparse_image(n);
+  const auto codec = compress::make_codec("trle");
+  const compress::BlockGeometry geom{n, 0};
+  const auto encoded = codec->encode(src.pixels(), geom);
+  std::vector<std::byte> enc_buf;
+  std::vector<img::GrayA8> scratch;
+
+  const auto add = [&](const std::string& kernel, double mpix) {
+    out.push_back(KernelResult{kernel + "/" + level, mpix, mpix * 2.0});
+  };
+  add("over_front", measure_mpix_s(pixels, o.repeat, [&] {
+        img::over_in_place_front(dst.pixels(), src.pixels());
+      }));
+  add("over_back", measure_mpix_s(pixels, o.repeat, [&] {
+        img::over_in_place_back(dst.pixels(), src.pixels());
+      }));
+  add("max_blend", measure_mpix_s(pixels, o.repeat, [&] {
+        img::max_in_place(dst.pixels(), src.pixels());
+      }));
+  add("count_non_blank", measure_mpix_s(pixels, o.repeat, [&] {
+        benchmark::DoNotOptimize(img::count_non_blank(src.pixels()));
+      }));
+  add("trle_encode", measure_mpix_s(pixels, o.repeat, [&] {
+        enc_buf.clear();
+        codec->encode_into(src.pixels(), geom, enc_buf);
+        benchmark::DoNotOptimize(enc_buf.data());
+      }));
+  add("trle_decode_blend", measure_mpix_s(pixels, o.repeat, [&] {
+        codec->decode_blend(encoded, dst.pixels(), geom,
+                            img::BlendMode::kOver, /*src_front=*/false,
+                            scratch);
+      }));
+  if (o.blend_threads > 1) {
+    img::set_blend_threads(o.blend_threads);
+    add("over_back_tiled", measure_mpix_s(pixels, o.repeat, [&] {
+          img::blend_in_place_tiled(dst.pixels(), src.pixels(),
+                                    img::BlendMode::kOver,
+                                    /*src_front=*/false);
+        }));
+    img::set_blend_threads(1);
+  }
+}
+
+int wallclock_main(const WallclockOptions& o) {
+  const simd::SimdLevel detected = simd::detected_level();
+  std::vector<simd::SimdLevel> levels;
+  if (o.simd.empty()) {
+    // Every level this machine can run, scalar first (the baseline).
+    levels.push_back(simd::SimdLevel::kScalar);
+    if (detected >= simd::SimdLevel::kSse2)
+      levels.push_back(simd::SimdLevel::kSse2);
+    if (detected >= simd::SimdLevel::kAvx2)
+      levels.push_back(simd::SimdLevel::kAvx2);
+  } else if (o.simd == "auto") {
+    levels.push_back(detected);
+  } else {
+    const auto lvl = simd::parse_simd_level(o.simd);
+    if (!lvl) {
+      std::cerr << "unknown --simd: " << o.simd
+                << " (expected auto, scalar, sse2 or avx2)\n";
+      return 2;
+    }
+    levels.push_back(*lvl);
+  }
+
+  std::cout << "== bench_micro --wallclock ==\n"
+            << "image=" << o.image << "x" << o.image
+            << " repeat=" << o.repeat
+            << " detected=" << simd::to_string(detected) << "\n\n";
+
+  std::vector<KernelResult> results;
+  for (const simd::SimdLevel lvl : levels) {
+    std::string note;
+    simd::set_level(simd::resolve_level(lvl, detected, &note));
+    if (!note.empty()) std::cerr << note << "\n";
+    measure_level(o, simd::to_string(simd::active_level()), results);
+  }
+  simd::set_level(detected);  // restore auto dispatch
+
+  // SIMD-over-scalar speedups, computable only when the scalar
+  // baseline was measured in this same run.
+  std::vector<std::pair<std::string, double>> speedups;
+  for (const KernelResult& r : results) {
+    const std::size_t slash = r.key.rfind('/');
+    const std::string kernel = r.key.substr(0, slash);
+    const std::string level = r.key.substr(slash + 1);
+    if (level == "scalar") continue;
+    for (const KernelResult& base : results) {
+      if (base.key == kernel + "/scalar" && base.mpix_s > 0.0) {
+        speedups.emplace_back(r.key, r.mpix_s / base.mpix_s);
+        break;
+      }
+    }
+  }
+
+  std::cout << std::left << std::setw(28) << "kernel/level"
+            << std::right << std::setw(12) << "Mpix/s" << std::setw(12)
+            << "MB/s" << std::setw(10) << "speedup" << "\n";
+  for (const KernelResult& r : results) {
+    std::cout << std::left << std::setw(28) << r.key << std::right
+              << std::fixed << std::setprecision(1) << std::setw(12)
+              << r.mpix_s << std::setw(12) << r.mb_s;
+    bool has_speedup = false;
+    for (const auto& [key, s] : speedups) {
+      if (key == r.key) {
+        std::cout << std::setw(9) << std::setprecision(2) << s << "x";
+        has_speedup = true;
+        break;
+      }
+    }
+    if (!has_speedup) std::cout << std::setw(10) << "-";
+    std::cout << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  if (!o.json_out.empty()) {
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << "{\n  \"bench\": \"bench_micro_wallclock\",\n"
+       << "  \"image\": " << o.image << ",\n"
+       << "  \"repeat\": " << o.repeat << ",\n"
+       << "  \"detected\": \"" << simd::to_string(detected) << "\",\n"
+       << "  \"kernels\": {";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      os << (i ? "," : "") << "\n    \"" << results[i].key
+         << "\": {\"mpix_s\": " << results[i].mpix_s
+         << ", \"mb_s\": " << results[i].mb_s << "}";
+    }
+    os << "\n  },\n  \"speedup\": {";
+    for (std::size_t i = 0; i < speedups.size(); ++i) {
+      os << (i ? "," : "") << "\n    \"" << speedups[i].first
+         << "\": " << speedups[i].second;
+    }
+    os << "\n  }\n}\n";
+    std::ofstream f(o.json_out);
+    f << os.str();
+    if (!f.good()) {
+      std::cerr << "cannot write " << o.json_out << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << o.json_out << "\n";
+  }
+  return 0;
+}
+
+/// Strict flag parsing for --wallclock mode (rtc/common/flags.hpp
+/// whole-string numbers; unknown flags are usage errors, exit 2).
+int parse_and_run_wallclock(int argc, char** argv) {
+  WallclockOptions o;
+  o.json_out = "BENCH_wallclock.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_int = [&]() -> int {
+      const std::string v = next();
+      const auto parsed = flags::parse_int(v);
+      if (!parsed || *parsed < 1 || *parsed > INT_MAX) {
+        std::cerr << "bad value for " << a << ": '" << v
+                  << "' (expected a positive integer)\n";
+        std::exit(2);
+      }
+      return static_cast<int>(*parsed);
+    };
+    if (a == "--wallclock") {
+      continue;
+    } else if (a == "--image") {
+      o.image = next_int();
+    } else if (a == "--repeat") {
+      o.repeat = next_int();
+    } else if (a == "--blend-threads") {
+      o.blend_threads = next_int();
+    } else if (a == "--simd") {
+      o.simd = next();
+    } else if (a == "--json") {
+      o.json_out = next();
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      std::exit(2);
+    }
+  }
+  return wallclock_main(o);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--wallclock")
+      return parse_and_run_wallclock(argc, argv);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,14 +11,15 @@
 #include <iostream>
 #include <string>
 
+#include "example_args.hpp"
 #include "rtc/frames/pipeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtc;
   frames::PipelineConfig cfg;
   cfg.dataset = argc > 1 ? argv[1] : "engine";
-  cfg.ranks = argc > 2 ? std::stoi(argv[2]) : 8;
-  cfg.frames = argc > 3 ? std::stoi(argv[3]) : 12;
+  cfg.ranks = examples::arg_int(argc, argv, 2, "ranks", 8);
+  cfg.frames = examples::arg_int(argc, argv, 3, "frames", 12);
   cfg.renderer = argc > 4 ? argv[4] : "shearwarp";
   cfg.volume_n = 64;
   cfg.image_size = 256;

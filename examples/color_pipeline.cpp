@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "example_args.hpp"
 #include "rtc/color/render.hpp"
 #include "rtc/comm/world.hpp"
 #include "rtc/partition/partition.hpp"
@@ -17,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace rtc;
   const std::string dataset = argc > 1 ? argv[1] : "head";
-  const int ranks = argc > 2 ? std::stoi(argv[2]) : 8;
+  const int ranks = examples::arg_int(argc, argv, 2, "ranks", 8);
   const std::string out_dir = argc > 3 ? argv[3] : ".";
 
   const vol::Volume volume = vol::make_phantom(dataset, 96);

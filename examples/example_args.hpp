@@ -1,0 +1,49 @@
+// Strict positional-argument parsing shared by the examples.
+//
+// The examples take positional args (./method_explorer engine 16 ...),
+// but the parsing contract is the same as the CLI and benches
+// (rtc/common/flags.hpp): a malformed number is a usage error naming
+// the argument — never a silent std::stoi truncation or an unhandled
+// throw.
+#pragma once
+
+#include <climits>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rtc/common/flags.hpp"
+
+namespace rtc::examples {
+
+/// argv[index] as an int, or `fallback` when absent. Exits 2 with a
+/// message naming `what` on a malformed value.
+inline int arg_int(int argc, char** argv, int index, const char* what,
+                   int fallback) {
+  if (index >= argc) return fallback;
+  const std::string text = argv[index];
+  const auto v = flags::parse_int(text);
+  if (!v || *v < INT_MIN || *v > INT_MAX) {
+    std::cerr << "bad value for " << what << ": '" << text
+              << "' (expected an integer)\n";
+    std::exit(2);
+  }
+  return static_cast<int>(*v);
+}
+
+/// argv[index] as a double, or `fallback` when absent. Exits 2 with a
+/// message naming `what` on a malformed value.
+inline double arg_double(int argc, char** argv, int index,
+                         const char* what, double fallback) {
+  if (index >= argc) return fallback;
+  const std::string text = argv[index];
+  const auto v = flags::parse_double(text);
+  if (!v) {
+    std::cerr << "bad value for " << what << ": '" << text
+              << "' (expected a number)\n";
+    std::exit(2);
+  }
+  return *v;
+}
+
+}  // namespace rtc::examples

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "example_args.hpp"
 #include "rtc/harness/experiment.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
@@ -16,11 +17,12 @@
 int main(int argc, char** argv) {
   using namespace rtc;
   const std::string dataset = argc > 1 ? argv[1] : "engine";
-  const int ranks = argc > 2 ? std::stoi(argv[2]) : 16;
+  const int ranks = examples::arg_int(argc, argv, 2, "ranks", 16);
   comm::NetworkModel net = comm::sp2_hps_model();
-  if (argc > 3) net.ts = std::stod(argv[3]);
-  if (argc > 4) net.tp_byte = std::stod(argv[4]);
-  if (argc > 5) net.to_pixel = std::stod(argv[5]);
+  net.ts = examples::arg_double(argc, argv, 3, "Ts", net.ts);
+  net.tp_byte = examples::arg_double(argc, argv, 4, "Tp_byte", net.tp_byte);
+  net.to_pixel =
+      examples::arg_double(argc, argv, 5, "To_pixel", net.to_pixel);
 
   const harness::Scene scene =
       harness::make_scene(dataset, /*volume_n=*/64, /*image_size=*/256);

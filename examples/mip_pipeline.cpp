@@ -9,6 +9,7 @@
 #include <iostream>
 #include <string>
 
+#include "example_args.hpp"
 #include "rtc/harness/experiment.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
@@ -20,7 +21,7 @@
 int main(int argc, char** argv) {
   using namespace rtc;
   const std::string dataset = argc > 1 ? argv[1] : "head";
-  const int ranks = argc > 2 ? std::stoi(argv[2]) : 8;
+  const int ranks = examples::arg_int(argc, argv, 2, "ranks", 8);
   const std::string out_dir = argc > 3 ? argv[3] : ".";
 
   const harness::Scene scene =

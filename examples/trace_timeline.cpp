@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "example_args.hpp"
 #include "rtc/harness/experiment.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
@@ -16,8 +17,8 @@
 int main(int argc, char** argv) {
   using namespace rtc;
   const std::string method = argc > 1 ? argv[1] : "rt_2n";
-  const int ranks = argc > 2 ? std::stoi(argv[2]) : 8;
-  const int blocks = argc > 3 ? std::stoi(argv[3]) : 4;
+  const int ranks = examples::arg_int(argc, argv, 2, "ranks", 8);
+  const int blocks = examples::arg_int(argc, argv, 3, "blocks", 4);
   const std::string out = argc > 4 ? argv[4] : "timeline.json";
 
   const harness::Scene scene = harness::make_scene("engine", 64, 256);

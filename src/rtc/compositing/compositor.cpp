@@ -13,11 +13,17 @@
 
 #include "rtc/comm/membership.hpp"
 #include "rtc/common/check.hpp"
+#include "rtc/simd/dispatch.hpp"
 
 namespace rtc::compositing {
 
 img::Image Compositor::run(comm::Comm& comm, const img::Image& partial,
                            const Options& opt) const {
+  // Tag the trace with the SIMD dispatch level the pixel kernels run
+  // at (aux = SimdLevel). Instant span: never advances the virtual
+  // clock, free when tracing is disarmed.
+  comm.note_span(obs::SpanKind::kKernelDispatch, /*step=*/-1, /*bytes=*/0,
+                 static_cast<std::int64_t>(simd::active_level()));
   if (opt.resilience.on_peer_loss !=
           comm::ResiliencePolicy::PeerLoss::kRecompose ||
       comm.crash_budget() == 0) {

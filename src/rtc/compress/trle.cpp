@@ -17,12 +17,24 @@
 // mid-cell; out-of-span (and out-of-image, for odd widths) positions are
 // treated as blank on encode and skipped on decode, which keeps the two
 // sides in exact agreement using geometry arithmetic only.
+//
+// Both hot loops lean on the dispatched SIMD kernels (rtc/simd/):
+// encode classifies occupancy with one vectorized blank_mask pass and
+// then reads templates as bit-pair lookups (with a 32-cells-at-a-time
+// skip over fully blank stretches), and the fused decode_blend hands
+// runs of full (0xF) cells to a vectorized blend that composites the
+// interleaved payload straight into both destination rows. Every
+// dispatch level produces byte-identical streams and images — the
+// scalar-vs-SIMD property suite pins it.
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "rtc/common/check.hpp"
 #include "rtc/common/wire.hpp"
 #include "rtc/compress/cells.hpp"
 #include "rtc/compress/codec.hpp"
+#include "rtc/simd/kernels.hpp"
 
 namespace rtc::compress {
 
@@ -45,37 +57,133 @@ class TrleCodec final : public Codec {
     // making steady-state encodes allocation-free.
     static thread_local std::vector<std::byte> codes;
     static thread_local std::vector<std::byte> payload;
+    static thread_local std::vector<std::uint64_t> occupancy;
     codes.clear();
     payload.clear();
     int run = 0;
     std::uint8_t run_template = 0;
 
-    for_each_cell(static_cast<std::int64_t>(px.size()), geom.image_width,
-                  geom.span_begin, [&](const CellPixels& cell) {
-      std::uint8_t tmpl = 0;
-      for (int b = 0; b < 4; ++b) {
-        const std::int64_t i = cell.index[b];
-        if (i >= 0 && !img::is_blank(px[static_cast<std::size_t>(i)]))
-          tmpl = static_cast<std::uint8_t>(tmpl | (1u << b));
-      }
-      if (run > 0 && tmpl == run_template && run < kMaxRun) {
-        ++run;
-      } else {
-        if (run > 0) emit(codes, run, run_template);
-        run = 1;
-        run_template = tmpl;
-      }
-      for (int b = 0; b < 4; ++b) {
-        const std::int64_t i = cell.index[b];
-        if (i >= 0 && (tmpl & (1u << b))) {
-          payload.push_back(
-              static_cast<std::byte>(px[static_cast<std::size_t>(i)].v));
-          payload.push_back(
-              static_cast<std::byte>(px[static_cast<std::size_t>(i)].a));
+    const auto flush = [&] {
+      if (run > 0) emit(codes, run, run_template);
+      run = 0;
+    };
+    // Folds k consecutive cells of the same template into the run,
+    // emitting exactly the codes the one-cell-at-a-time logic would:
+    // greedy chunks of kMaxRun, remainder left pending.
+    const auto add_cells = [&](std::uint8_t tmpl, std::int64_t k) {
+      while (k > 0) {
+        if (run > 0 && tmpl == run_template && run < kMaxRun) {
+          const int take = static_cast<int>(
+              std::min<std::int64_t>(k, kMaxRun - run));
+          run += take;
+          k -= take;
+        } else {
+          flush();
+          run_template = tmpl;
+          run = static_cast<int>(std::min<std::int64_t>(k, kMaxRun));
+          k -= run;
         }
       }
-    });
-    if (run > 0) emit(codes, run, run_template);
+    };
+    const auto push_px = [&](img::GrayA8 p) {
+      payload.push_back(static_cast<std::byte>(p.v));
+      payload.push_back(static_cast<std::byte>(p.a));
+    };
+
+    const std::int64_t size = static_cast<std::int64_t>(px.size());
+    if (size > 0) {
+      RTC_CHECK_MSG(geom.image_width > 0,
+                    "TRLE needs the parent image width");
+      // Vectorized classify: one occupancy bit per span pixel. All
+      // template construction below is bit lookups into this mask.
+      occupancy.resize(static_cast<std::size_t>((size + 63) / 64));
+      simd::kernels().blank_mask(px.data(), px.size(), occupancy.data());
+      const auto occupied = [&](std::int64_t i) -> std::uint8_t {
+        return static_cast<std::uint8_t>(
+            (occupancy[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1u);
+      };
+      // 64-bit occupancy window with its low bit at span index pos;
+      // bits past the span end read as zero.
+      const auto window = [&](std::int64_t pos) -> std::uint64_t {
+        const std::size_t word = static_cast<std::size_t>(pos >> 6);
+        const int off = static_cast<int>(pos & 63);
+        std::uint64_t bits = occupancy[word] >> off;
+        if (off != 0 && word + 1 < occupancy.size())
+          bits |= occupancy[word + 1] << (64 - off);
+        return bits;
+      };
+
+      const int w = geom.image_width;
+      const std::int64_t first = geom.span_begin;
+      const std::int64_t last = first + size - 1;
+      const std::int64_t y0 = (first / w) & ~std::int64_t{1};
+      const std::int64_t y1 = last / w;
+      for (std::int64_t cy = y0; cy <= y1; cy += 2) {
+        const bool interior =
+            cy * w >= first && (cy + 2) * w - 1 <= last;
+        if (!interior) {
+          // Boundary row pairs (the span starts or ends inside them):
+          // the generic enumeration, templates still from the mask.
+          detail::for_each_cell_in_rowpair(
+              cy, w, first, last, [&](const CellPixels& cell) {
+                std::uint8_t tmpl = 0;
+                for (int b = 0; b < 4; ++b) {
+                  const std::int64_t i = cell.index[b];
+                  if (i >= 0 && occupied(i) != 0)
+                    tmpl = static_cast<std::uint8_t>(tmpl | (1u << b));
+                }
+                add_cells(tmpl, 1);
+                for (int b = 0; b < 4; ++b) {
+                  const std::int64_t i = cell.index[b];
+                  if (i >= 0 && (tmpl & (1u << b)))
+                    push_px(px[static_cast<std::size_t>(i)]);
+                }
+              });
+          continue;
+        }
+        const std::int64_t row_base = cy * w - first;
+        int cx = 0;
+        while (cx + 1 < w) {
+          // Up to 32 full cells (64 pixels per row) share one window
+          // pair; a fully blank window pair folds in O(1).
+          const int chunk = std::min((w - cx) / 2, 32);
+          const std::uint64_t keep =
+              chunk == 32 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << (2 * chunk)) - 1;
+          const std::uint64_t r0 = window(row_base + cx) & keep;
+          const std::uint64_t r1 = window(row_base + cx + w) & keep;
+          if ((r0 | r1) == 0) {
+            add_cells(0, chunk);
+            cx += 2 * chunk;
+            continue;
+          }
+          for (int j = 0; j < chunk; ++j) {
+            const std::uint8_t tmpl = static_cast<std::uint8_t>(
+                ((r0 >> (2 * j)) & 3) | (((r1 >> (2 * j)) & 3) << 2));
+            add_cells(tmpl, 1);
+            if (tmpl == 0) continue;
+            const std::int64_t base = row_base + cx + 2 * j;
+            if (tmpl & 1u) push_px(px[static_cast<std::size_t>(base)]);
+            if (tmpl & 2u) push_px(px[static_cast<std::size_t>(base + 1)]);
+            if (tmpl & 4u) push_px(px[static_cast<std::size_t>(base + w)]);
+            if (tmpl & 8u)
+              push_px(px[static_cast<std::size_t>(base + w + 1)]);
+          }
+          cx += 2 * chunk;
+        }
+        if (cx < w) {
+          // Odd width: the row's last cell covers x = cx only; bits
+          // 1/3 address out-of-image pixels and carry no payload.
+          const std::int64_t base = row_base + cx;
+          const std::uint8_t tmpl = static_cast<std::uint8_t>(
+              occupied(base) | (occupied(base + w) << 2));
+          add_cells(tmpl, 1);
+          if (tmpl & 1u) push_px(px[static_cast<std::size_t>(base)]);
+          if (tmpl & 4u) push_px(px[static_cast<std::size_t>(base + w)]);
+        }
+      }
+      flush();
+    }
 
     out.reserve(out.size() + 4 + codes.size() + payload.size());
     wire::WireWriter w(out);
@@ -97,22 +205,28 @@ class TrleCodec final : public Codec {
                     std::vector<img::GrayA8>&) const override {
     // Fused path — the paper's Section 3 payoff: blank template bits
     // are the identity under both blend modes, so cells of blank
-    // structure cost nothing; only payload pixels touch dst.
+    // structure cost nothing; only payload pixels touch dst. Runs of
+    // full (0xF) cells — the bulk of any dense region — go through
+    // the dispatched SIMD cell blend.
+    const simd::Kernels& k = simd::kernels();
     if (mode == img::BlendMode::kMax) {
-      walk_fused(bytes, dst.size(), geom,
+      walk_fused(bytes, dst, geom,
                  [&](std::size_t i, img::GrayA8 p) {
                    dst[i] = img::max_blend(dst[i], p);
-                 });
+                 },
+                 k.fused_cells_max);
     } else if (src_front) {
-      walk_fused(bytes, dst.size(), geom,
+      walk_fused(bytes, dst, geom,
                  [&](std::size_t i, img::GrayA8 p) {
                    dst[i] = img::over(p, dst[i]);
-                 });
+                 },
+                 k.fused_cells_over_front);
     } else {
-      walk_fused(bytes, dst.size(), geom,
+      walk_fused(bytes, dst, geom,
                  [&](std::size_t i, img::GrayA8 p) {
                    dst[i] = img::over(dst[i], p);
-                 });
+                 },
+                 k.fused_cells_over_back);
     }
   }
 
@@ -181,21 +295,25 @@ class TrleCodec final : public Codec {
   /// Fused-blend walk: like walk() but without blank writes, which
   /// lets it exploit the structure/payload split fully. Interior row
   /// pairs (both rows inside the span) address cells by direct index
-  /// arithmetic — no per-pixel bounds checks — and a run of blank
-  /// templates skips its cells in O(1) with no payload and no dst
-  /// access. Boundary row pairs fall back to the generic enumeration,
-  /// so the cell order (and thus code/payload consumption) is exactly
+  /// arithmetic — no per-pixel bounds checks; a run of blank templates
+  /// skips its cells in O(1) with no payload and no dst access, and a
+  /// run of full (0xF) cells blends through the dispatched SIMD
+  /// kernel, 4 payload pixels per cell straight into both rows.
+  /// Boundary row pairs fall back to the generic enumeration, so the
+  /// cell order (and thus code/payload consumption) is exactly
   /// walk()'s; the decode_blend-vs-decode+blend property tests pin the
   /// equivalence across odd widths and mid-cell span starts.
   template <typename Set>
   static void walk_fused(std::span<const std::byte> bytes,
-                         std::size_t size, const BlockGeometry& geom,
-                         Set&& set) {
+                         std::span<img::GrayA8> dst,
+                         const BlockGeometry& geom, Set&& set,
+                         simd::FusedCellsFn fused) {
     wire::WireReader r(bytes);
     const std::uint32_t n_codes = r.u32("TRLE code count");
     const std::span<const std::byte> codes =
         r.bytes(n_codes, "TRLE code block");
     const std::span<const std::byte> payload = r.rest();
+    const std::size_t size = dst.size();
 
     std::size_t code_i = 0;
     int remaining = 0;
@@ -258,6 +376,25 @@ class TrleCodec final : public Codec {
             remaining -= k;
             cx += 2 * k;
             continue;
+          }
+          if (tmpl == kTemplateMask && remaining > 0) {
+            // Bulk-blend full cells: the run's payload is k cells of
+            // 4 pixels, vectorized straight into both rows. On a
+            // truncated payload fall through to the per-pixel path so
+            // the partial-write + error behavior matches walk().
+            const int n_full = (w - cx) / 2;
+            const int k = remaining < n_full ? remaining : n_full;
+            const std::size_t need = static_cast<std::size_t>(k) * 8;
+            if (pay_i + need <= payload.size()) {
+              img::GrayA8* base =
+                  dst.data() + static_cast<std::size_t>(row_base + cx);
+              fused(base, base + w, payload.data() + pay_i,
+                    static_cast<std::size_t>(k));
+              pay_i += need;
+              remaining -= k;
+              cx += 2 * k;
+              continue;
+            }
           }
           --remaining;
           const std::int64_t base = row_base + cx;

@@ -62,6 +62,8 @@ std::vector<StepMetrics> aggregate_steps(
         case SpanKind::kDeadline:
           m.deadline_misses += 1;
           break;
+        case SpanKind::kKernelDispatch:
+          break;  // informational tag, no step cost
       }
     }
   }

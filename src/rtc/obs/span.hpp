@@ -39,6 +39,8 @@ enum class SpanKind : std::uint8_t {
                  ///< through a relay and the hedge arrived first
   kDeadline,     ///< instant: a frame deadline expired on an arrival;
                  ///< the block was substituted stale (or lost)
+  kKernelDispatch,  ///< instant: which SIMD dispatch level the pixel
+                    ///< kernels ran at (aux = rtc::simd::SimdLevel)
 };
 
 [[nodiscard]] constexpr const char* span_name(SpanKind k) {
@@ -75,6 +77,8 @@ enum class SpanKind : std::uint8_t {
       return "hedge";
     case SpanKind::kDeadline:
       return "deadline";
+    case SpanKind::kKernelDispatch:
+      return "kernel-dispatch";
   }
   return "?";
 }

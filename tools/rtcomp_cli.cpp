@@ -6,6 +6,7 @@
 //                   [--renderer shearwarp|raycast|splat] [--mip]
 //                   [--partition slab|grid|balanced] [--out out.pgm]
 //                   [--executor pooled|threaded] [--workers N]
+//                   [--simd auto|scalar|sse2|avx2] [--blend-threads N]
 //                   [--topology flat|sp2|paper|fat-tree|dragonfly|cloud]
 //                   [--group-size G] [--hier-intra M] [--hier-inter M]
 //                   [--trace timeline.json]
@@ -46,7 +47,9 @@
 #include <string>
 
 #include "rtc/common/flags.hpp"
+#include "rtc/image/ops.hpp"
 #include "rtc/rtc.hpp"
+#include "rtc/simd/dispatch.hpp"
 
 namespace {
 
@@ -170,6 +173,25 @@ int parse_scaling_flags(const Args& a, harness::CompositionConfig& cfg) {
   }
   cfg.hier_intra = a.get("hier-intra", cfg.hier_intra);
   cfg.hier_inter = a.get("hier-inter", cfg.hier_inter);
+  if (a.has("simd")) {
+    // Wall-clock-only knob: every dispatch level produces the same
+    // image and the same virtual-time numbers. A level above what the
+    // CPU supports falls back with a stderr note, never a SIGILL.
+    const std::string name = a.get("simd", "");
+    if (!simd::request_level(name)) {
+      std::cerr << "unknown --simd: " << name
+                << " (expected auto, scalar, sse2 or avx2)\n";
+      return 2;
+    }
+  }
+  if (a.has("blend-threads")) {
+    const int n = a.get_int("blend-threads", 1);
+    if (n < 1) {
+      std::cerr << "bad value for --blend-threads: want >= 1\n";
+      return 2;
+    }
+    img::set_blend_threads(n);
+  }
   return 0;
 }
 
