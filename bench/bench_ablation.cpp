@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions o = bench::parse_options(argc, argv);
   bench::print_header("Ablations", o);
   const std::vector<img::Image> partials = bench::bench_partials(o);
+  std::vector<std::pair<std::string, double>> values;
 
   {
     std::cout << "(1) RT message aggregation (rt_2n):\n";
@@ -26,6 +27,10 @@ int main(int argc, char** argv) {
       const double plain = harness::run_composition(cfg, partials).time;
       cfg.aggregate_messages = true;
       const double agg = harness::run_composition(cfg, partials).time;
+      values.emplace_back("agg/N" + std::to_string(n) + "_permerge_s",
+                          plain);
+      values.emplace_back("agg/N" + std::to_string(n) + "_aggregated_s",
+                          agg);
       t.add_row({std::to_string(n), harness::Table::num(plain, 4),
                  harness::Table::num(agg, 4)});
     }
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
       cfg.method = m;
       cfg.net = o.net;
       const auto run = harness::run_composition(cfg, partials);
+      values.emplace_back(std::string("ring/") + m + "_s", run.time);
       t.add_row({m, harness::Table::num(run.time, 4),
                  harness::Table::num(
                      static_cast<double>(run.stats.total_bytes_sent()) /
@@ -60,6 +66,7 @@ int main(int argc, char** argv) {
       cfg.initial_blocks = k;
       cfg.net = o.net;
       const auto run = harness::run_composition(cfg, partials);
+      values.emplace_back("radix/k" + std::to_string(k) + "_s", run.time);
       t.add_row({"radix", "k=" + std::to_string(k),
                  harness::Table::num(run.time, 4),
                  std::to_string(run.stats.max_messages_sent_by_rank())});
@@ -70,6 +77,8 @@ int main(int argc, char** argv) {
       cfg.initial_blocks = n;
       cfg.net = o.net;
       const auto run = harness::run_composition(cfg, partials);
+      values.emplace_back("radix/rt2n_N" + std::to_string(n) + "_s",
+                          run.time);
       t.add_row({"rt_2n", "N=" + std::to_string(n),
                  harness::Table::num(run.time, 4),
                  std::to_string(run.stats.max_messages_sent_by_rank())});
@@ -90,11 +99,13 @@ int main(int argc, char** argv) {
       cfg.method = "rt_2n";
       cfg.initial_blocks = 4;
       cfg.net = o.net;
-      t.add_row({std::to_string(p),
-                 harness::Table::num(
-                     harness::run_composition(cfg, pp).time, 4)});
+      const double time = harness::run_composition(cfg, pp).time;
+      values.emplace_back("oddP/p" + std::to_string(p) + "_s", time);
+      t.add_row({std::to_string(p), harness::Table::num(time, 4)});
     }
     t.print(std::cout);
   }
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "ablation", o, values);
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const auto rle = compress::make_rle_codec();
   const auto trle = compress::make_trle_codec();
   const auto bbox = compress::make_bbox_codec();
+  std::vector<std::pair<std::string, double>> values;
 
   for (const char* dataset : {"engine", "brain", "head"}) {
     o.dataset = dataset;
@@ -41,6 +42,8 @@ int main(int argc, char** argv) {
               << "% blank)\n";
     harness::Table t({"codec", "bytes", "ratio vs raw"});
     auto row = [&](const char* n, std::int64_t b) {
+      values.emplace_back(std::string(dataset) + "/" + n + "_bytes",
+                          static_cast<double>(b));
       t.add_row({n, std::to_string(b),
                  harness::Table::num(
                      static_cast<double>(raw) / static_cast<double>(b), 2)});
@@ -68,5 +71,7 @@ int main(int argc, char** argv) {
             << " bytes\n"
             << "  TRLE = " << trle->encode(ex.pixels(), geom).size()
             << " bytes   (paper's example ratio RLE:TRLE = 18:5)\n";
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "compression_ratio", o, values);
   return 0;
 }

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   using namespace rtc;
   const bench::BenchOptions o = bench::parse_options(argc, argv);
   std::cout << "== Equations (5)/(6): optimal block-count bounds ==\n\n";
+  std::vector<std::pair<std::string, double>> values;
 
   {
     const comm::NetworkModel net = comm::paper_example_model();
@@ -37,6 +38,17 @@ int main(int argc, char** argv) {
     mp.image_pixels =
         static_cast<std::int64_t>(o.image_size) * o.image_size;
     mp.net = o.net;
+    const std::string key = "p" + std::to_string(p);
+    values.emplace_back(key + "/eq5",
+                        costmodel::eq5_bound(a_wire, o.net, p));
+    values.emplace_back(key + "/eq6",
+                        costmodel::eq6_bound(a_wire, o.net, p));
+    values.emplace_back(
+        key + "/best_2n_rt",
+        static_cast<double>(costmodel::best_two_n_rt_blocks(mp, 64)));
+    values.emplace_back(
+        key + "/best_n_rt",
+        static_cast<double>(costmodel::best_n_rt_blocks(mp, 64)));
     t.add_row({std::to_string(p),
                harness::Table::num(costmodel::eq5_bound(a_wire, o.net, p), 2),
                harness::Table::num(costmodel::eq6_bound(a_wire, o.net, p), 2),
@@ -44,5 +56,7 @@ int main(int argc, char** argv) {
                std::to_string(costmodel::best_n_rt_blocks(mp, 64))});
   }
   t.print(std::cout);
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "eq56_bounds", o, values);
   return 0;
 }

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 7: RT with/without TRLE vs initial blocks",
                       o);
   const std::vector<img::Image> partials = bench::bench_partials(o);
+  std::vector<std::pair<std::string, double>> values;
 
   {
     std::cout << "(a) N_RT\n";
@@ -15,6 +16,9 @@ int main(int argc, char** argv) {
     for (int n = 1; n <= 8; ++n) {
       const double plain = bench::run_time(o, "rt_n", n, "", partials);
       const double trle = bench::run_time(o, "rt_n", n, "trle", partials);
+      values.emplace_back("rt_n/N" + std::to_string(n) + "_plain_s",
+                          plain);
+      values.emplace_back("rt_n/N" + std::to_string(n) + "_trle_s", trle);
       t.add_row({std::to_string(n), harness::Table::num(plain, 4),
                  harness::Table::num(trle, 4),
                  harness::Table::num(plain / trle, 2)});
@@ -28,11 +32,17 @@ int main(int argc, char** argv) {
     for (int n = 2; n <= 16; n += 2) {
       const double plain = bench::run_time(o, "rt_2n", n, "", partials);
       const double trle = bench::run_time(o, "rt_2n", n, "trle", partials);
+      values.emplace_back("rt_2n/N" + std::to_string(n) + "_plain_s",
+                          plain);
+      values.emplace_back("rt_2n/N" + std::to_string(n) + "_trle_s",
+                          trle);
       t.add_row({std::to_string(n), harness::Table::num(plain, 4),
                  harness::Table::num(trle, 4),
                  harness::Table::num(plain / trle, 2)});
     }
     t.print(std::cout);
   }
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "fig7_trle", o, values);
   return 0;
 }

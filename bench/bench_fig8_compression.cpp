@@ -24,20 +24,23 @@ int main(int argc, char** argv) {
 
   harness::Table t({"method", "none [s]", "RLE [s]", "TRLE [s]",
                     "bbox [s]"});
+  std::vector<std::pair<std::string, double>> values;
   for (const Row& r : rows) {
     const int blocks = r.blocks == 0 ? o.ranks : r.blocks;
-    t.add_row({r.label,
-               harness::Table::num(
-                   bench::run_time(o, r.method, blocks, "", partials), 4),
-               harness::Table::num(
-                   bench::run_time(o, r.method, blocks, "rle", partials), 4),
-               harness::Table::num(
-                   bench::run_time(o, r.method, blocks, "trle", partials), 4),
-               harness::Table::num(
-                   bench::run_time(o, r.method, blocks, "bbox", partials),
-                   4)});
+    std::vector<std::string> cells{r.label};
+    for (const char* codec : {"", "rle", "trle", "bbox"}) {
+      const double time =
+          bench::run_time(o, r.method, blocks, codec, partials);
+      values.emplace_back(std::string(r.method) + "/" +
+                              (*codec ? codec : "none") + "_s",
+                          time);
+      cells.push_back(harness::Table::num(time, 4));
+    }
+    t.add_row(cells);
   }
   t.print(std::cout);
   std::cout << "\npaper's claim: TRLE < RLE < none for every method\n";
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "fig8_compression", o, values);
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
 
   harness::Table t({"method", "composite only [s]", "with gather [s]",
                     "gather cost [s]"});
+  std::vector<std::pair<std::string, double>> values;
   struct Row {
     const char* method;
     int blocks;
@@ -31,7 +32,11 @@ int main(int argc, char** argv) {
     t.add_row({r.method, harness::Table::num(bare, 4),
                harness::Table::num(full, 4),
                harness::Table::num(full - bare, 4)});
+    values.emplace_back(std::string(r.method) + "/composite_s", bare);
+    values.emplace_back(std::string(r.method) + "/gathered_s", full);
   }
   t.print(std::cout);
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "gather", o, values);
   return 0;
 }

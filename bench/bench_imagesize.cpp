@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
 
   harness::Table t({"image", "bswap [s]", "pp [s]", "rt_2n(4) [s]",
                     "rt best-N [s]", "best N", "Eq5 bound"});
+  std::vector<std::pair<std::string, double>> values;
   for (const int size : {128, 256, 512, 1024}) {
     bench::BenchOptions so = o;
     so.image_size = size;
@@ -33,8 +34,14 @@ int main(int argc, char** argv) {
         best_n = n;
       }
     }
+    const std::string px = std::to_string(size);
+    values.emplace_back(px + "/bswap_s", timed("bswap", 1));
+    values.emplace_back(px + "/pp_s", timed("pp", so.ranks));
+    values.emplace_back(px + "/rt_2n4_s", timed("rt_2n", 4));
+    values.emplace_back(px + "/rt_best_s", best);
+    values.emplace_back(px + "/rt_best_n", static_cast<double>(best_n));
     t.add_row(
-        {std::to_string(size) + "^2",
+        {px + "^2",
          harness::Table::num(timed("bswap", 1), 4),
          harness::Table::num(timed("pp", so.ranks), 4),
          harness::Table::num(timed("rt_2n", 4), 4),
@@ -43,5 +50,7 @@ int main(int argc, char** argv) {
              costmodel::eq5_bound(2.0 * size * size, o.net, o.ranks), 2)});
   }
   t.print(std::cout);
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "imagesize", o, values);
   return 0;
 }

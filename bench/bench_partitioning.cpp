@@ -18,14 +18,17 @@ int main(int argc, char** argv) {
 
   harness::Table t({"partition", "solid voxels min..max", "imbalance",
                     "render [s]", "composition [s]", "frame [s]"});
+  std::vector<std::pair<std::string, double>> values;
   struct Row {
     const char* label;
+    const char* key;
     harness::PartitionKind kind;
   };
-  for (const Row row : {Row{"uniform 1-D", harness::PartitionKind::kSlab1D},
-                        Row{"balanced 1-D",
-                            harness::PartitionKind::kBalanced1D},
-                        Row{"2-D grid", harness::PartitionKind::kGrid2D}}) {
+  for (const Row row :
+       {Row{"uniform 1-D", "slab1d", harness::PartitionKind::kSlab1D},
+        Row{"balanced 1-D", "balanced1d",
+            harness::PartitionKind::kBalanced1D},
+        Row{"2-D grid", "grid2d", harness::PartitionKind::kGrid2D}}) {
     const harness::RenderedScene rs =
         harness::render_scene(scene, o.ranks, row.kind);
     const auto [mn, mx] = std::minmax_element(rs.solid_voxels.begin(),
@@ -44,6 +47,10 @@ int main(int argc, char** argv) {
     const double comp = harness::run_composition(cfg, rs.partials).time;
     const double render = harness::render_stage_time(rs);
 
+    const std::string key = row.key;
+    values.emplace_back(key + "/imbalance", imbalance);
+    values.emplace_back(key + "/render_s", render);
+    values.emplace_back(key + "/composition_s", comp);
     t.add_row({row.label,
                std::to_string(*mn) + " .. " + std::to_string(*mx),
                harness::Table::num(imbalance, 2),
@@ -53,5 +60,7 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::cout << "\nimbalance = slowest rank / mean (1.00 is perfect)\n";
+  if (!o.json_out.empty())
+    bench::write_golden_json(o.json_out, "partitioning", o, values);
   return 0;
 }

@@ -53,6 +53,9 @@ check_bench bench_frame_pipeline frame_pipeline_engine_p16.json
 # The large-P trajectory (P up to 1024 on the pooled executor): pins
 # direct/bswap_any/rt/hier virtual times at scale.
 check_bench bench_scaling scaling_p1024.json
+# Render-service front end: 8 sessions of open-loop traffic over a
+# P=32 world — pins the admission/batching/latency numbers.
+check_bench bench_service service_p32.json
 
 if [ "$fail" -ne 0 ]; then
   echo "virtual-time golden check FAILED — a cost charge or message"

@@ -150,6 +150,61 @@ for method in bswap rt_n; do
     --on-peer-loss blank
 done
 
+# --- Multi-session blast radius: a crash degrades only the sessions -—
+# on the crash submission. The service runs seeded traffic with
+# coalescing off (--quant 0), so every submission has exactly one lead
+# session; crashing a rank at --fault-submission K under recompose must
+# degrade that submission's session and no other — and the whole run
+# (per-session table included) must replay byte-identically.
+run_service_cell() {  # run_service_cell <label> <seed> <crash-submission>
+  local label="$1" seed="$2" sub="$3"
+  local out1 out2
+  local args=(render --service --dataset engine --ranks 8 --image 64
+              --volume 32 --method rt_n --blocks 3 --codec trle
+              --sessions 4 --requests 4 --arrival-rate 100 --quant 0
+              --traffic-seed "$seed" --fault-crash-rank 1
+              --fault-submission "$sub" --on-peer-loss recompose)
+  if ! out1=$("${RT[@]}" "${args[@]}" 2>&1); then
+    echo "FAIL $label  (nonzero exit)"; echo "$out1" | sed 's/^/     /'
+    fail=1; return
+  fi
+  out2=$("${RT[@]}" "${args[@]}" 2>&1)
+  if [[ "$out1" != "$out2" ]]; then
+    echo "FAIL $label  (service run not deterministic across replays)"
+    diff <(echo "$out1") <(echo "$out2") || true
+    fail=1; return
+  fi
+  local degraded
+  degraded=$(sed -n 's/^degraded: session(s) //p' <<<"$out1")
+  if [[ ! $degraded =~ ^[0-9]+$ ]]; then
+    echo "FAIL $label  (expected exactly one degraded session, got" \
+         "'${degraded:-none}')"
+    echo "$out1" | sed 's/^/     /'; fail=1; return
+  fi
+  # The per-session table must agree: degr=1 for that session, 0 for
+  # every other (column 9 of the table rows).
+  local bad
+  bad=$(awk -v hit="$degraded" '/^ +[0-9]+ +[0-9]+ /{
+          want = ($1 == hit) ? 1 : 0
+          if ($9 != want) print $1 }' <<<"$out1")
+  if [[ -n $bad ]]; then
+    echo "FAIL $label  (degr column disagrees with blast radius:" \
+         "session(s) $bad)"
+    echo "$out1" | sed 's/^/     /'; fail=1; return
+  fi
+  if ! grep -q 'lost_px=0' <<<"$out1"; then
+    echo "FAIL $label  (recompose left lost pixels)"
+    echo "$out1" | sed 's/^/     /'; fail=1; return
+  fi
+  echo "ok   $label (blast radius = session $degraded only)"
+}
+
+for seed in 1 7; do
+  for sub in 2 5; do
+    run_service_cell "service crash seed=$seed sub=$sub" "$seed" "$sub"
+  done
+done
+
 # --- Circuit breaker: dead link relays to the exact no-fault image ---
 "${RT[@]}" "${BASE[@]}" --method direct --blocks 1 \
   --out "$TMP/ref.pgm" >/dev/null

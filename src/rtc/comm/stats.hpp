@@ -92,8 +92,40 @@ struct RankStats {
   void reset_counters() { *this = RankStats{}; }
 };
 
+/// Per-session admission/latency counters from the render-service
+/// front end (src/rtc/service). Sessions are service clients, not
+/// ranks: one world of P ranks serves N of these concurrently. Empty
+/// for non-service runs, so every legacy output format is untouched.
+struct SessionStats {
+  int session = -1;
+  int priority = 0;  ///< admission class (0 served first)
+  std::int64_t arrivals = 0;   ///< requests the traffic source emitted
+  std::int64_t admitted = 0;   ///< requests that entered the queue
+  std::int64_t shed = 0;       ///< oldest queued request dropped (cap)
+  std::int64_t rejected = 0;   ///< arriving request dropped (cap)
+  std::int64_t expired = 0;    ///< dropped at dispatch: deadline passed
+  std::int64_t delivered = 0;  ///< requests completed
+  std::int64_t batches_led = 0;     ///< submissions this session headed
+  std::int64_t batches_joined = 0;  ///< rode another session's submission
+  std::int64_t degraded = 0;  ///< deliveries from a degraded submission
+  int queue_peak = 0;         ///< deepest the session queue ever got
+  double latency_sum = 0.0;   ///< summed arrival->delivery (virtual s)
+  double latency_max = 0.0;
+
+  [[nodiscard]] std::int64_t dropped() const {
+    return shed + rejected + expired;
+  }
+  [[nodiscard]] double latency_mean() const {
+    return delivered > 0 ? latency_sum / static_cast<double>(delivered)
+                         : 0.0;
+  }
+};
+
 struct RunStats {
   std::vector<RankStats> ranks;
+
+  /// Render-service per-session counters (empty outside service runs).
+  std::vector<SessionStats> sessions;
 
   /// Measured degradation bound for deadline-bounded frames: the max
   /// per-channel pixel deviation of the delivered image from the exact
@@ -336,7 +368,53 @@ struct RunStats {
   /// accumulating callers); the rank count is preserved.
   void reset_counters() {
     for (RankStats& r : ranks) r.reset_counters();
+    sessions.clear();
     max_pixel_error = 0;
+  }
+
+  // --- render-service aggregates (empty sessions => all zero) ------
+
+  [[nodiscard]] std::int64_t total_session_arrivals() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.arrivals;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_session_delivered() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.delivered;
+    return n;
+  }
+
+  /// Requests dropped for any reason (cap shed, cap reject, expiry).
+  [[nodiscard]] std::int64_t total_session_drops() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.dropped();
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_session_sheds() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.shed;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_session_rejects() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.rejected;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_session_expiries() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.expired;
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t total_batches_joined() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.batches_joined;
+    return n;
   }
 
   // --- observability aggregates -----------------------------------

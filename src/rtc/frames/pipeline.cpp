@@ -14,20 +14,11 @@
 
 namespace rtc::frames {
 
-namespace {
-
-/// Renders one sweep frame: re-partition for the view (the principal
-/// axis can change mid-sweep), then render each rank's brick in
-/// visibility order — the same per-frame path the animation example
-/// always modeled, factored here so the pipeline owns it.
-/// `ranks` is the *effective* rank count — cfg.ranks until a rank dies
-/// under kRecompose, then the survivor count: the dead rank's slab is
-/// re-absorbed by balanced_slab_1d so later frames stay full-quality.
-harness::RenderedScene render_frame(const PipelineConfig& cfg, int ranks,
-                                    double yaw_deg, int& axis_out) {
+harness::RenderedScene render_view(const ViewSpec& view, int ranks,
+                                   int& axis_out) {
   const harness::Scene scene =
-      harness::make_scene(cfg.dataset, cfg.volume_n, cfg.image_size,
-                          yaw_deg, cfg.pitch_deg);
+      harness::make_scene(view.dataset, view.volume_n, view.image_size,
+                          view.yaw_deg, view.pitch_deg);
   const render::Vec3 d = scene.camera.direction();
   axis_out = render::principal_axis(d);
   const auto bricks = part::balanced_slab_1d(scene.volume, scene.tf,
@@ -43,10 +34,10 @@ harness::RenderedScene render_frame(const PipelineConfig& cfg, int ranks,
     rs.solid_voxels.push_back(
         part::solid_voxels(scene.volume, scene.tf, brick));
     rs.total_voxels.push_back(brick.voxels());
-    if (cfg.renderer == "raycast") {
+    if (view.renderer == "raycast") {
       rs.partials.push_back(render::render_raycast(scene.volume, scene.tf,
                                                    brick, scene.camera));
-    } else if (cfg.renderer == "splat") {
+    } else if (view.renderer == "splat") {
       rs.partials.push_back(render::render_splat(scene.volume, scene.tf,
                                                  brick, scene.camera));
     } else {
@@ -55,6 +46,21 @@ harness::RenderedScene render_frame(const PipelineConfig& cfg, int ranks,
     }
   }
   return rs;
+}
+
+namespace {
+
+/// The sweep's per-frame view: everything from the config except the
+/// frame-dependent yaw.
+ViewSpec sweep_view(const PipelineConfig& cfg, double yaw_deg) {
+  ViewSpec v;
+  v.dataset = cfg.dataset;
+  v.volume_n = cfg.volume_n;
+  v.image_size = cfg.image_size;
+  v.yaw_deg = yaw_deg;
+  v.pitch_deg = cfg.pitch_deg;
+  v.renderer = cfg.renderer;
+  return v;
 }
 
 /// One pipeline-level span (frame-stamped, virtual clock only).
@@ -99,7 +105,7 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
     FrameResult fr;
     fr.yaw_deg = yaw;
     const harness::RenderedScene rs =
-        render_frame(cfg, ranks_eff, yaw, fr.axis);
+        render_view(sweep_view(cfg, yaw), ranks_eff, fr.axis);
     fr.render_time = harness::render_stage_time(rs);
 
     harness::CompositionConfig c = cfg.comp;

@@ -26,9 +26,30 @@
 #include "rtc/frames/scheduler.hpp"
 #include "rtc/frames/tile_sink.hpp"
 #include "rtc/harness/experiment.hpp"
+#include "rtc/harness/scene.hpp"
 #include "rtc/obs/span.hpp"
 
 namespace rtc::frames {
+
+/// One camera view of a dataset, everything the render stage needs.
+/// Shared by the sweep pipeline (run_sequence) and the render service
+/// (service::run_service), which both re-render per view.
+struct ViewSpec {
+  std::string dataset = "engine";
+  int volume_n = 64;
+  int image_size = 256;
+  double yaw_deg = 0.0;
+  double pitch_deg = 15.0;
+  std::string renderer = "shearwarp";  ///< shearwarp | raycast | splat
+};
+
+/// Renders one view for `ranks` ranks: re-partition for the view (the
+/// principal axis can change as the camera moves), then render each
+/// rank's brick in visibility order. `ranks` is the *effective* rank
+/// count — under kRecompose a dead rank's slab is re-absorbed by
+/// balanced_slab_1d so later views stay full-quality.
+[[nodiscard]] harness::RenderedScene render_view(const ViewSpec& view,
+                                                 int ranks, int& axis_out);
 
 struct PipelineConfig {
   // Scene: a camera sweep over one of the paper's datasets.

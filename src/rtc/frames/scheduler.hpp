@@ -53,17 +53,18 @@ class FrameScheduler {
 
   /// Admits the next frame given its render time R and composite time
   /// C; returns the frame's placement on the pipeline timeline.
-  FrameTiming admit(double render_time, double composite_time) {
+  /// `earliest_start` lower-bounds the render start on top of the
+  /// pipeline gates — the render service uses it to anchor a frame at
+  /// its dispatch time (a request cannot render before it arrived);
+  /// the default 0 reproduces the pure recurrence exactly.
+  FrameTiming admit(double render_time, double composite_time,
+                    double earliest_start = 0.0) {
     RTC_CHECK(render_time >= 0.0 && composite_time >= 0.0);
+    RTC_CHECK(earliest_start >= 0.0);
     const std::size_t f = history_.size();
     FrameTiming t;
     t.frame = static_cast<int>(f);
-    t.render_start = f > 0 ? history_[f - 1].render_end : 0.0;
-    if (f >= static_cast<std::size_t>(max_in_flight_)) {
-      const FrameTiming& gate =
-          history_[f - static_cast<std::size_t>(max_in_flight_)];
-      t.render_start = std::max(t.render_start, gate.composite_end);
-    }
+    t.render_start = std::max(earliest_start, next_admission_floor());
     t.render_end = t.render_start + render_time;
     t.composite_start = t.render_end;
     if (f > 0)
@@ -72,6 +73,21 @@ class FrameScheduler {
     t.composite_end = t.composite_start + composite_time;
     history_.push_back(t);
     return t;
+  }
+
+  /// Earliest virtual time the *next* frame's render could start under
+  /// the pipeline gates alone (previous render busy until its end;
+  /// backpressure holds until frame f-M left). The render service
+  /// dispatches at max(this, work availability).
+  [[nodiscard]] double next_admission_floor() const {
+    const std::size_t f = history_.size();
+    double t0 = f > 0 ? history_[f - 1].render_end : 0.0;
+    if (f >= static_cast<std::size_t>(max_in_flight_)) {
+      const FrameTiming& gate =
+          history_[f - static_cast<std::size_t>(max_in_flight_)];
+      t0 = std::max(t0, gate.composite_end);
+    }
+    return t0;
   }
 
   [[nodiscard]] int frames_admitted() const {

@@ -38,23 +38,42 @@ std::vector<std::string> metric_cells(const std::string& label,
 void write_metrics(const comm::RunStats& stats, std::ostream& os) {
   if (!stats.has_spans()) {
     os << "no spans recorded (enable record_spans / World::set_trace)\n";
-    return;
-  }
-  std::vector<std::vector<obs::Span>> per_rank;
-  per_rank.reserve(stats.ranks.size());
-  for (const comm::RankStats& r : stats.ranks) per_rank.push_back(r.spans);
+  } else {
+    std::vector<std::vector<obs::Span>> per_rank;
+    per_rank.reserve(stats.ranks.size());
+    for (const comm::RankStats& r : stats.ranks) per_rank.push_back(r.spans);
 
-  const std::vector<obs::StepMetrics> rows =
-      obs::aggregate_steps(per_rank);
-  Table t({"step", "msgs", "wire_B", "ratio", "blank_px", "blend_px",
-           "recovered", "send_ms", "wait_ms", "codec_ms", "blend_ms"});
-  for (const obs::StepMetrics& m : rows)
-    t.add_row(metric_cells(step_label(m.step), m));
-  t.add_row(metric_cells("total", obs::totals(rows)));
-  t.print(os);
-  if (stats.total_spans_dropped() > 0)
-    os << "warning: " << stats.total_spans_dropped()
-       << " spans dropped (raise trace_capacity)\n";
+    const std::vector<obs::StepMetrics> rows =
+        obs::aggregate_steps(per_rank);
+    Table t({"step", "msgs", "wire_B", "ratio", "blank_px", "blend_px",
+             "recovered", "send_ms", "wait_ms", "codec_ms", "blend_ms"});
+    for (const obs::StepMetrics& m : rows)
+      t.add_row(metric_cells(step_label(m.step), m));
+    t.add_row(metric_cells("total", obs::totals(rows)));
+    t.print(os);
+    if (stats.total_spans_dropped() > 0)
+      os << "warning: " << stats.total_spans_dropped()
+         << " spans dropped (raise trace_capacity)\n";
+  }
+  // Render-service section: per-session admission/latency counters.
+  // Absent outside service runs, so legacy output is unchanged.
+  if (!stats.sessions.empty()) {
+    os << "\nservice sessions:\n";
+    Table s({"session", "prio", "arrived", "admitted", "shed", "rejected",
+             "expired", "delivered", "led", "joined", "degr", "q-peak",
+             "lat_mean_ms", "lat_max_ms"});
+    for (const comm::SessionStats& m : stats.sessions)
+      s.add_row({std::to_string(m.session), std::to_string(m.priority),
+                 std::to_string(m.arrivals), std::to_string(m.admitted),
+                 std::to_string(m.shed), std::to_string(m.rejected),
+                 std::to_string(m.expired), std::to_string(m.delivered),
+                 std::to_string(m.batches_led),
+                 std::to_string(m.batches_joined),
+                 std::to_string(m.degraded), std::to_string(m.queue_peak),
+                 Table::num(m.latency_mean() * 1e3, 4),
+                 Table::num(m.latency_max * 1e3, 4)});
+    s.print(os);
+  }
 }
 
 void write_metrics_file(const comm::RunStats& stats,

@@ -64,6 +64,11 @@ std::vector<StepMetrics> aggregate_steps(
           break;
         case SpanKind::kKernelDispatch:
           break;  // informational tag, no step cost
+        case SpanKind::kAdmit:
+        case SpanKind::kShed:
+        case SpanKind::kBatch:
+          break;  // service-level instants; the per-session table
+                  // (RunStats::sessions) is their aggregation
       }
     }
   }

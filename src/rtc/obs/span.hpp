@@ -41,6 +41,13 @@ enum class SpanKind : std::uint8_t {
                  ///< the block was substituted stale (or lost)
   kKernelDispatch,  ///< instant: which SIMD dispatch level the pixel
                     ///< kernels ran at (aux = rtc::simd::SimdLevel)
+  kAdmit,        ///< instant: render service admitted a request into a
+                 ///< session queue (step = session, aux = queue depth)
+  kShed,         ///< instant: render service dropped a request (step =
+                 ///< session; aux: 0 rejected-new, 1 shed-oldest,
+                 ///< 2 expired at dispatch)
+  kBatch,        ///< instant: render service dispatched a batch (step =
+                 ///< lead session, aux = requests coalesced)
 };
 
 [[nodiscard]] constexpr const char* span_name(SpanKind k) {
@@ -79,6 +86,12 @@ enum class SpanKind : std::uint8_t {
       return "deadline";
     case SpanKind::kKernelDispatch:
       return "kernel-dispatch";
+    case SpanKind::kAdmit:
+      return "admit";
+    case SpanKind::kShed:
+      return "shed";
+    case SpanKind::kBatch:
+      return "batch";
   }
   return "?";
 }

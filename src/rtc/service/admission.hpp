@@ -1,0 +1,75 @@
+// Admission control for the render-service front end.
+//
+// Every arriving request passes through one AdmissionController before
+// it may enter its session's queue. The controller enforces the
+// per-session queue bound with one of two deterministic overload
+// policies, and expires queued requests whose freshness deadline
+// passed before the pipeline could dispatch them:
+//
+//   kShedOldest — on a full queue, drop the OLDEST queued request and
+//     admit the newcomer. Interactive default: the newest view is the
+//     one the client is looking at; everything older is already stale.
+//   kRejectNew — on a full queue, refuse the arriving request and keep
+//     the queue as is. FIFO-fair: work already accepted is never
+//     abandoned.
+//
+// Both policies are pure functions of (queue state, request), so a
+// fixed arrival schedule always sheds the same requests — the service
+// goldens pin that. Every decision increments the session's counters
+// (comm::SessionStats) and, when tracing is armed, emits an instant
+// span (kAdmit / kShed) so overload is visible in Perfetto, not just
+// in aggregate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtc/obs/span.hpp"
+#include "rtc/service/session.hpp"
+
+namespace rtc::service {
+
+enum class AdmissionPolicy {
+  kShedOldest,  ///< full queue: drop oldest, admit newest
+  kRejectNew,   ///< full queue: refuse the arrival
+};
+
+/// Parses "shed-oldest" / "reject-new" (the CLI's --admission values);
+/// RTC_CHECKs on anything else.
+[[nodiscard]] AdmissionPolicy parse_admission_policy(const std::string& s);
+[[nodiscard]] const char* admission_policy_name(AdmissionPolicy p);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy, bool record_spans)
+      : policy_(policy), record_spans_(record_spans) {}
+
+  /// Offers `r` to its session's queue at virtual time `now`,
+  /// applying the overload policy at the cap. Updates the session's
+  /// counters and appends any instant spans to `spans`.
+  void offer(Session& s, const Request& r, double now,
+             std::vector<obs::Span>& spans);
+
+  /// Drops queued requests of `s` whose freshness deadline expired by
+  /// `now` (dispatch-time check; the queue is FIFO so only the front
+  /// can be expired). Returns the number dropped.
+  int expire(Session& s, double now, std::vector<obs::Span>& spans);
+
+  [[nodiscard]] AdmissionPolicy policy() const { return policy_; }
+
+ private:
+  /// aux codes for kShed spans (see obs::SpanKind::kShed).
+  enum ShedCause : std::int64_t {
+    kCauseReject = 0,
+    kCauseShedOldest = 1,
+    kCauseExpired = 2,
+  };
+
+  void note_shed(Session& s, double now, ShedCause cause,
+                 std::vector<obs::Span>& spans);
+
+  AdmissionPolicy policy_;
+  bool record_spans_;
+};
+
+}  // namespace rtc::service

@@ -1,0 +1,72 @@
+#include "rtc/service/batcher.hpp"
+
+#include <cmath>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::service {
+
+ViewKey quantize_view(const Request& r, double quant_deg) {
+  ViewKey k;
+  if (quant_deg <= 0.0) {
+    // Coalescing disabled: key on the request identity so nothing
+    // ever matches (each request is its own "view").
+    k.yaw = (static_cast<std::int64_t>(r.session) << 32) | r.seq;
+    k.pitch = 0;
+    return k;
+  }
+  k.yaw = std::llround(r.yaw_deg / quant_deg);
+  k.pitch = std::llround(r.pitch_deg / quant_deg);
+  return k;
+}
+
+Batch RequestBatcher::next_batch(std::vector<Session>& sessions) {
+  // Lead selection: lowest priority value wins; within the class, scan
+  // session ids starting just past the class's last lead (round-robin
+  // fairness under sustained load).
+  int best_priority = 0;
+  bool found = false;
+  for (const Session& s : sessions) {
+    if (s.idle()) continue;
+    if (!found || s.config.priority < best_priority) {
+      best_priority = s.config.priority;
+      found = true;
+    }
+  }
+  RTC_CHECK_MSG(found, "next_batch called with every queue empty");
+
+  const int n = static_cast<int>(sessions.size());
+  const int start = rr_cursor_[best_priority] % n;
+  int lead_id = -1;
+  for (int i = 0; i < n; ++i) {
+    const int id = (start + i) % n;
+    const Session& s = sessions[static_cast<std::size_t>(id)];
+    if (!s.idle() && s.config.priority == best_priority) {
+      lead_id = id;
+      break;
+    }
+  }
+  RTC_CHECK(lead_id >= 0);
+  rr_cursor_[best_priority] = lead_id + 1;
+
+  Batch b;
+  Session& lead = sessions[static_cast<std::size_t>(lead_id)];
+  b.lead = lead.queue.front();
+  lead.queue.pop_front();
+  lead.stats.batches_led += 1;
+
+  const ViewKey key = quantize_view(b.lead, quant_deg_);
+  if (quant_deg_ > 0.0) {
+    for (Session& s : sessions) {
+      if (s.id() == lead_id || s.idle()) continue;
+      if (quantize_view(s.queue.front(), quant_deg_) == key) {
+        b.riders.push_back(s.queue.front());
+        s.queue.pop_front();
+        s.stats.batches_joined += 1;
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace rtc::service

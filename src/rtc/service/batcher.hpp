@@ -1,0 +1,68 @@
+// Request batching: coalescing compatible queued views into one
+// pipeline submission.
+//
+// The render/composite pipeline serves one view at a time (one
+// FrameScheduler slot), so when two sessions ask for (nearly) the same
+// camera pose, rendering it twice is pure waste. The batcher picks the
+// next submission's LEAD request — highest-priority non-empty session,
+// round-robin within the class for per-session fairness — and then
+// lets every other session whose FRONT request quantizes to the same
+// view key ride along: one render, one composition, N deliveries.
+//
+// Only queue fronts may join (never mid-queue requests), so each
+// session's requests are always served in arrival order — coalescing
+// can reorder work across sessions but never within one.
+//
+// View keys quantize (yaw, pitch) to a grid of `quant_deg` degrees;
+// quant_deg <= 0 disables coalescing entirely (every submission
+// carries exactly one request). Selection is a pure function of the
+// queue states and the round-robin cursors, so a fixed arrival
+// schedule always produces the same batches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rtc/service/session.hpp"
+
+namespace rtc::service {
+
+/// Quantized camera pose: requests with equal keys are "the same view"
+/// for coalescing purposes.
+struct ViewKey {
+  std::int64_t yaw = 0;
+  std::int64_t pitch = 0;
+  friend bool operator==(const ViewKey&, const ViewKey&) = default;
+};
+
+[[nodiscard]] ViewKey quantize_view(const Request& r, double quant_deg);
+
+/// One pipeline submission: the lead request plus the riders that
+/// coalesced onto it (all popped from their queues).
+struct Batch {
+  Request lead;
+  std::vector<Request> riders;
+  [[nodiscard]] int size() const {
+    return 1 + static_cast<int>(riders.size());
+  }
+};
+
+class RequestBatcher {
+ public:
+  explicit RequestBatcher(double quant_deg) : quant_deg_(quant_deg) {}
+
+  /// Pops and returns the next batch. Precondition: at least one
+  /// session has a queued request.
+  [[nodiscard]] Batch next_batch(std::vector<Session>& sessions);
+
+  [[nodiscard]] double quant_deg() const { return quant_deg_; }
+
+ private:
+  double quant_deg_;
+  /// Per-priority-class round-robin cursor: the session id AFTER the
+  /// one that last led a batch in that class.
+  std::map<int, int> rr_cursor_;
+};
+
+}  // namespace rtc::service

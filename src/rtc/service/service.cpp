@@ -1,0 +1,363 @@
+#include "rtc/service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "rtc/common/check.hpp"
+#include "rtc/harness/scene.hpp"
+#include "rtc/harness/table.hpp"
+
+namespace rtc::service {
+
+namespace {
+
+obs::Span interval(obs::SpanKind kind, int frame, double begin, double end) {
+  obs::Span s;
+  s.kind = kind;
+  s.v_begin = begin;
+  s.v_end = end;
+  s.frame = frame;
+  return s;
+}
+
+/// Folds one submission's per-rank counters into the service-wide
+/// accumulator, shifting virtual times onto the service timeline and
+/// stamping spans with the submission index. seq_first/seq_last are
+/// per-submission window bounds with no meaningful sum — left alone.
+void merge_rank(comm::RankStats& dst, const comm::RankStats& src,
+                double v_shift, int submission) {
+  dst.messages_sent += src.messages_sent;
+  dst.bytes_sent += src.bytes_sent;
+  dst.messages_received += src.messages_received;
+  dst.bytes_received += src.bytes_received;
+  dst.pixels_composited += src.pixels_composited;
+  dst.retransmits += src.retransmits;
+  dst.crc_failures += src.crc_failures;
+  dst.drops_detected += src.drops_detected;
+  dst.duplicates_discarded += src.duplicates_discarded;
+  dst.delays_injected += src.delays_injected;
+  dst.lost_messages += src.lost_messages;
+  dst.lost_pixels += src.lost_pixels;
+  dst.lost_blocks.insert(dst.lost_blocks.end(), src.lost_blocks.begin(),
+                         src.lost_blocks.end());
+  dst.recomposes += src.recomposes;
+  if (src.membership_epoch > dst.membership_epoch)
+    dst.membership_epoch = src.membership_epoch;
+  dst.relayed_messages += src.relayed_messages;
+  dst.relayed_bytes += src.relayed_bytes;
+  dst.relay_through_messages += src.relay_through_messages;
+  dst.relay_through_bytes += src.relay_through_bytes;
+  dst.breaker_trips += src.breaker_trips;
+  dst.breaker_probes += src.breaker_probes;
+  dst.jitter_delays += src.jitter_delays;
+  dst.stragglers_flagged += src.stragglers_flagged;
+  dst.hedged_sends += src.hedged_sends;
+  dst.hedged_bytes += src.hedged_bytes;
+  dst.hedge_wins += src.hedge_wins;
+  dst.deadline_misses += src.deadline_misses;
+  dst.stale_tiles += src.stale_tiles;
+  dst.stale_pixels += src.stale_pixels;
+  dst.coherence_hits += src.coherence_hits;
+  dst.coherence_misses += src.coherence_misses;
+  dst.coherence_bytes_saved += src.coherence_bytes_saved;
+  dst.crashed = dst.crashed || src.crashed;
+  if (v_shift + src.clock > dst.clock) dst.clock = v_shift + src.clock;
+  for (const auto& [id, t] : src.marks)
+    dst.marks.emplace_back(id, v_shift + t);
+  for (comm::Event e : src.events) {
+    e.start += v_shift;
+    e.end += v_shift;
+    dst.events.push_back(e);
+  }
+  for (obs::Span s : src.spans) {
+    s.v_begin += v_shift;
+    s.v_end += v_shift;
+    s.frame = submission;
+    dst.spans.push_back(s);
+  }
+  dst.spans_dropped += src.spans_dropped;
+}
+
+}  // namespace
+
+double ServiceResult::latency_mean() const {
+  if (deliveries.empty()) return 0.0;
+  double s = 0.0;
+  for (const Delivery& d : deliveries) s += d.latency();
+  return s / static_cast<double>(deliveries.size());
+}
+
+double ServiceResult::latency_percentile(double p) const {
+  if (deliveries.empty()) return 0.0;
+  std::vector<double> lat;
+  lat.reserve(deliveries.size());
+  for (const Delivery& d : deliveries) lat.push_back(d.latency());
+  std::sort(lat.begin(), lat.end());
+  const double n = static_cast<double>(lat.size());
+  // Nearest-rank: smallest latency with at least p% of samples at or
+  // below it.
+  std::size_t idx = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (idx > 0) --idx;
+  if (idx >= lat.size()) idx = lat.size() - 1;
+  return lat[idx];
+}
+
+double ServiceResult::latency_max() const {
+  double m = 0.0;
+  for (const Delivery& d : deliveries)
+    if (d.latency() > m) m = d.latency();
+  return m;
+}
+
+ServiceResult run_service(const ServiceConfig& cfg) {
+  RTC_CHECK_MSG(cfg.ranks >= 1, "need at least one rank");
+  RTC_CHECK_MSG(cfg.max_in_flight >= 1, "need at least one frame in flight");
+
+  const TrafficGen traffic(cfg.traffic);
+  const std::vector<Request> arrivals = traffic.generate();
+
+  std::vector<Session> sessions;
+  sessions.reserve(static_cast<std::size_t>(cfg.traffic.sessions));
+  for (int s = 0; s < cfg.traffic.sessions; ++s) {
+    SessionConfig sc;
+    sc.priority = traffic.priority_of(s);
+    sc.queue_cap = cfg.queue_cap;
+    sc.deadline = cfg.session_deadline;
+    sessions.emplace_back(s, sc, cfg.ranks);
+  }
+
+  AdmissionController admission(cfg.admission, cfg.comp.record_spans);
+  RequestBatcher batcher(cfg.quant_deg);
+  frames::FrameScheduler sched(cfg.max_in_flight);
+
+  ServiceResult out;
+  out.stats.ranks.resize(static_cast<std::size_t>(cfg.ranks));
+
+  // Self-healing across submissions (PeerLoss::kRecompose), exactly as
+  // in frames::run_sequence: a crashed rank stays dead, later
+  // submissions re-partition over the survivors, and methods whose
+  // applicability rule breaks at the survivor count fall back to their
+  // any-P siblings.
+  const bool self_heal =
+      cfg.comp.resilience.on_peer_loss ==
+      comm::ResiliencePolicy::PeerLoss::kRecompose;
+  int ranks_eff = cfg.ranks;
+  std::string method_eff = cfg.comp.method;
+
+  const auto all_idle = [&sessions]() {
+    for (const Session& s : sessions)
+      if (!s.idle()) return false;
+    return true;
+  };
+
+  std::size_t next = 0;
+  const auto pull_arrivals = [&](double until) {
+    while (next < arrivals.size() && arrivals[next].arrival <= until) {
+      const Request& r = arrivals[next];
+      admission.offer(sessions[static_cast<std::size_t>(r.session)], r,
+                      r.arrival, out.service_spans);
+      ++next;
+    }
+  };
+
+  int submission = 0;
+  while (true) {
+    // Dispatch time: the pipeline's admission floor, fast-forwarded to
+    // the next arrival when every queue is empty.
+    double t = sched.next_admission_floor();
+    pull_arrivals(t);
+    if (all_idle()) {
+      if (next == arrivals.size()) break;
+      t = std::max(t, arrivals[next].arrival);
+      pull_arrivals(t);
+    }
+    // Freshness expiry is a dispatch-time decision: a request is only
+    // ever served at a floor, so that is where staleness is assessed.
+    for (Session& s : sessions)
+      admission.expire(s, t, out.service_spans);
+    if (all_idle()) continue;
+
+    Batch batch = batcher.next_batch(sessions);
+    Session& lead = sessions[static_cast<std::size_t>(batch.lead.session)];
+    if (cfg.comp.record_spans) {
+      obs::Span b;
+      b.kind = obs::SpanKind::kBatch;
+      b.step = lead.id();
+      b.aux = batch.size();
+      b.v_begin = t;
+      b.v_end = t;
+      b.frame = submission;
+      out.service_spans.push_back(b);
+    }
+
+    Submission sub;
+    sub.lead_session = lead.id();
+    sub.riders = static_cast<int>(batch.riders.size());
+    sub.yaw_deg = batch.lead.yaw_deg;
+
+    frames::ViewSpec view;
+    view.dataset = cfg.dataset;
+    view.volume_n = cfg.volume_n;
+    view.image_size = cfg.image_size;
+    view.yaw_deg = batch.lead.yaw_deg;
+    view.pitch_deg = batch.lead.pitch_deg;
+    view.renderer = cfg.renderer;
+    const harness::RenderedScene rs =
+        frames::render_view(view, ranks_eff, sub.axis);
+    sub.render_time = harness::render_stage_time(rs);
+
+    harness::CompositionConfig c = cfg.comp;
+    c.method = method_eff;
+    c.coherence = cfg.coherence ? lead.cache.get() : nullptr;
+    c.frame_id = submission;
+    // Seq-epoch budget is 32 - kSeqEpochBits bits; wrapping keeps
+    // temporally-adjacent submissions' windows disjoint, which is all
+    // the dedup window needs (same argument as run_sequence's per-
+    // frame epochs).
+    c.seq_epoch = static_cast<std::uint32_t>(submission) & 0xfffu;
+    c.stale = c.deadline > 0.0 ? lead.stale.get() : nullptr;
+    // Fault isolation: the injected wire/crash schedule applies to one
+    // submission; chronic fail-slow faults (slows, jitters) survive —
+    // they model a degraded node, not an event.
+    if (submission != cfg.fault_submission) {
+      comm::FaultPlan chronic;
+      chronic.seed = c.fault.seed;
+      chronic.slows = c.fault.slows;
+      chronic.jitters = c.fault.jitters;
+      c.fault = std::move(chronic);
+    }
+
+    harness::CompositionRun run = harness::run_composition(c, rs.partials);
+    sub.composite_time = c.deadline > 0.0 ? run.delivery_time : run.time;
+    sub.degraded = run.degraded;
+    sub.lost_pixels = run.lost_pixels;
+    sub.timing = sched.admit(sub.render_time, sub.composite_time, t);
+
+    // Fold the collective's counters onto the service timeline. The
+    // composite occupies [composite_start, composite_end].
+    for (int r = 0; r < ranks_eff; ++r)
+      merge_rank(out.stats.ranks[static_cast<std::size_t>(r)],
+                 run.stats.ranks[static_cast<std::size_t>(r)],
+                 sub.timing.composite_start, submission);
+    if (run.stats.max_pixel_error > out.stats.max_pixel_error)
+      out.stats.max_pixel_error = run.stats.max_pixel_error;
+
+    if (cfg.comp.record_spans) {
+      const frames::FrameTiming& ft = sub.timing;
+      out.service_spans.push_back(interval(
+          obs::SpanKind::kRender, submission, ft.render_start, ft.render_end));
+      if (ft.queue_wait() > 0.0)
+        out.service_spans.push_back(interval(obs::SpanKind::kQueueWait,
+                                             submission, ft.render_end,
+                                             ft.composite_start));
+      out.service_spans.push_back(interval(obs::SpanKind::kCompute, submission,
+                                           ft.composite_start,
+                                           ft.composite_end));
+    }
+
+    // Deliveries: every batched request completes at composite_end.
+    const auto deliver = [&](const Request& r) {
+      Session& s = sessions[static_cast<std::size_t>(r.session)];
+      Delivery d;
+      d.session = r.session;
+      d.seq = r.seq;
+      d.submission = submission;
+      d.arrival = r.arrival;
+      d.done = sub.timing.composite_end;
+      d.degraded = sub.degraded;
+      out.deliveries.push_back(d);
+      s.stats.delivered += 1;
+      s.stats.latency_sum += d.latency();
+      if (d.latency() > s.stats.latency_max)
+        s.stats.latency_max = d.latency();
+      if (sub.degraded) s.stats.degraded += 1;
+    };
+    deliver(batch.lead);
+    for (const Request& r : batch.riders) deliver(r);
+
+    out.recomposes += run.stats.total_recomposes();
+    if (run.stats.max_membership_epoch() > out.max_epoch)
+      out.max_epoch = run.stats.max_membership_epoch();
+    if (self_heal) {
+      const std::vector<int> dead = run.stats.dead_ranks();
+      if (!dead.empty()) {
+        ranks_eff -= static_cast<int>(dead.size());
+        RTC_CHECK_MSG(ranks_eff >= 1,
+                      "every rank died; nothing left to render");
+        out.ranks_lost += static_cast<int>(dead.size());
+        // The survivor renumbering re-keys every cache/stale slot in
+        // EVERY session, not just the one that was in flight.
+        for (Session& s : sessions) s.reset_rank_state(ranks_eff);
+        if (method_eff == "bswap" && (ranks_eff & (ranks_eff - 1)) != 0)
+          method_eff = "bswap_any";
+        if (method_eff == "rt_n" && ranks_eff % 2 != 0 && ranks_eff != 1)
+          method_eff = "rt";
+      }
+    }
+
+    if (cfg.comp.gather) sub.image = std::move(run.image);
+    out.submissions.push_back(std::move(sub));
+    ++submission;
+  }
+
+  for (Session& s : sessions)
+    out.stats.sessions.push_back(s.stats);
+  out.makespan = sched.makespan();
+  out.total_queue_wait = sched.total_queue_wait();
+  return out;
+}
+
+void print_service(std::ostream& os, const ServiceConfig& cfg,
+                   const ServiceResult& res) {
+  harness::Table t({"session", "prio", "arrived", "admitted", "dropped",
+                    "delivered", "led", "joined", "degr", "q-peak",
+                    "lat mean", "lat max"});
+  for (const comm::SessionStats& s : res.stats.sessions) {
+    t.add_row({std::to_string(s.session), std::to_string(s.priority),
+               std::to_string(s.arrivals), std::to_string(s.admitted),
+               std::to_string(s.dropped()), std::to_string(s.delivered),
+               std::to_string(s.batches_led),
+               std::to_string(s.batches_joined), std::to_string(s.degraded),
+               std::to_string(s.queue_peak),
+               harness::Table::num(s.latency_mean(), 4),
+               harness::Table::num(s.latency_max, 4)});
+  }
+  t.print(os);
+  const std::int64_t coalesced = res.stats.total_batches_joined();
+  os << "\nservice: " << res.stats.sessions.size() << " session(s), "
+     << admission_policy_name(cfg.admission) << " @ cap " << cfg.queue_cap
+     << ", depth " << cfg.max_in_flight << "\n"
+     << "load: " << res.stats.total_session_arrivals() << " arrivals, "
+     << res.stats.total_session_delivered() << " delivered in "
+     << res.submissions.size() << " submission(s) (" << coalesced
+     << " coalesced), " << res.stats.total_session_drops() << " dropped ("
+     << res.stats.total_session_sheds() << " shed, "
+     << res.stats.total_session_rejects() << " rejected, "
+     << res.stats.total_session_expiries() << " expired)\n"
+     << "timeline: makespan " << harness::Table::num(res.makespan, 4)
+     << " s, " << harness::Table::num(res.delivered_per_second(), 2)
+     << " deliveries/s, pipeline queue wait "
+     << harness::Table::num(res.total_queue_wait, 4) << " s\n"
+     << "latency: mean " << harness::Table::num(res.latency_mean(), 4)
+     << " s, p95 " << harness::Table::num(res.latency_percentile(95.0), 4)
+     << " s, max " << harness::Table::num(res.latency_max(), 4) << " s\n";
+  // Degradation report only when something degraded — clean runs keep
+  // a stable format (and the chaos harness parses this line).
+  std::vector<int> degraded_sessions;
+  for (const comm::SessionStats& s : res.stats.sessions)
+    if (s.degraded > 0) degraded_sessions.push_back(s.session);
+  if (!degraded_sessions.empty()) {
+    os << "degraded: session(s)";
+    for (const int s : degraded_sessions) os << " " << s;
+    os << "\n";
+  }
+  if (res.ranks_lost > 0 || res.recomposes > 0)
+    os << "recovery: " << res.ranks_lost << " rank(s) lost, "
+       << res.recomposes << " recomposition pass(es), membership epoch "
+       << res.max_epoch << "\n";
+}
+
+}  // namespace rtc::service

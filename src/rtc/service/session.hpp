@@ -1,0 +1,94 @@
+// Render-service sessions: the unit the front end admits, queues, and
+// accounts against.
+//
+// A Session models one interactive client of the render service — a
+// viewer driving a camera over the shared dataset. The service serves
+// N of them concurrently over ONE world of P ranks: requests from all
+// sessions funnel through a single FrameScheduler, so sessions compete
+// for the same render/composite pipeline the sweep harness
+// (frames::run_sequence) exercises with a single stream.
+//
+// Each session owns
+//   - a bounded FIFO of pending view requests (AdmissionController
+//     enforces the bound),
+//   - its own temporal-coherence cache (frames::CoherenceCache): the
+//     camera path is per-session, so frame-to-frame coherence only
+//     exists within a session — sharing one cache across sessions
+//     would poison it on every interleave,
+//   - its own receiver-side staleness store for deadline-bounded
+//     composition (same argument: stale content must come from the
+//     same session's previous view).
+//
+// Wire seq-epochs are per SUBMISSION, not per session: each submission
+// is its own collective on a fresh World, so the global submission
+// index (mod the epoch budget) keeps temporally-adjacent windows
+// disjoint — the same argument frames::run_sequence makes per frame.
+//
+// Everything here is deterministic plain data; the service loop in
+// service.cpp is the only mutator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "rtc/comm/stale.hpp"
+#include "rtc/comm/stats.hpp"
+#include "rtc/frames/coherence.hpp"
+
+namespace rtc::service {
+
+/// One view request: "session `session` wants the view at `yaw_deg` /
+/// `pitch_deg`, asked at virtual time `arrival`".
+struct Request {
+  int session = 0;
+  std::int64_t seq = 0;    ///< per-session arrival index (0, 1, ...)
+  double arrival = 0.0;    ///< virtual time the request arrived
+  double yaw_deg = 0.0;
+  double pitch_deg = 15.0;
+};
+
+/// Per-session admission parameters.
+struct SessionConfig {
+  int priority = 0;     ///< admission class; lower value served first
+  int queue_cap = 8;    ///< max queued requests (admission bound)
+  /// Per-request freshness deadline (virtual seconds; 0 = none): a
+  /// queued request older than this at dispatch time is dropped as
+  /// `expired` — serving it would deliver a view the client has
+  /// already abandoned.
+  double deadline = 0.0;
+};
+
+/// One service client: config, pending queue, per-session render
+/// state, and the counters the obs layer reports.
+class Session {
+ public:
+  Session(int id, const SessionConfig& cfg, int ranks)
+      : config(cfg),
+        cache(std::make_unique<frames::CoherenceCache>(ranks)),
+        stale(std::make_unique<comm::StaleStore>(ranks)) {
+    stats.session = id;
+    stats.priority = cfg.priority;
+  }
+
+  [[nodiscard]] int id() const { return stats.session; }
+  [[nodiscard]] bool idle() const { return queue.empty(); }
+
+  /// Re-sizes the per-session render state after a permanent rank
+  /// loss (PeerLoss::kRecompose self-healing): cache and stale store
+  /// are keyed by rank numbering, which the survivor renumbering
+  /// invalidates, so both restart cold at the new size.
+  void reset_rank_state(int ranks) {
+    cache = std::make_unique<frames::CoherenceCache>(ranks);
+    stale = std::make_unique<comm::StaleStore>(ranks);
+  }
+
+  SessionConfig config;
+  std::deque<Request> queue;
+  /// Per-session temporal coherence and staleness (see file comment).
+  std::unique_ptr<frames::CoherenceCache> cache;
+  std::unique_ptr<comm::StaleStore> stale;
+  comm::SessionStats stats;
+};
+
+}  // namespace rtc::service

@@ -1,0 +1,90 @@
+#include "rtc/service/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rtc/common/check.hpp"
+
+namespace rtc::service {
+
+namespace {
+
+// splitmix64 — the same stable hash idiom as comm::FaultPlan, so the
+// schedule is a pure function of (seed, session, index).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix(h ^ (v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2)));
+}
+
+double to_unit(std::uint64_t h) {
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// Per-decision salts: the interarrival draw, the think-time coin, and
+// the think-time magnitude of one gap are independent.
+constexpr std::uint64_t kSaltGap = 0xA1;
+constexpr std::uint64_t kSaltThinkCoin = 0xA2;
+constexpr std::uint64_t kSaltThinkMag = 0xA3;
+
+double draw(std::uint64_t seed, int session, std::int64_t k,
+            std::uint64_t salt) {
+  std::uint64_t h = mix(seed);
+  h = combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(session)));
+  h = combine(h, static_cast<std::uint64_t>(k));
+  h = combine(h, salt);
+  return to_unit(h);
+}
+
+}  // namespace
+
+std::vector<Request> TrafficGen::generate() const {
+  RTC_CHECK_MSG(cfg_.sessions >= 1, "need at least one session");
+  RTC_CHECK_MSG(cfg_.requests_per_session >= 1,
+                "need at least one request per session");
+  RTC_CHECK_MSG(cfg_.arrival_rate > 0.0, "arrival rate must be positive");
+  RTC_CHECK_MSG(cfg_.think_alpha > 0.0, "Pareto tail index must be positive");
+
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(cfg_.sessions) *
+              static_cast<std::size_t>(cfg_.requests_per_session));
+  for (int s = 0; s < cfg_.sessions; ++s) {
+    double t = 0.0;
+    for (std::int64_t k = 0; k < cfg_.requests_per_session; ++k) {
+      // Exponential interarrival at the configured mean rate; -log1p
+      // of a [0,1) draw never sees log(0).
+      const double u = draw(cfg_.seed, s, k, kSaltGap);
+      double gap = -std::log1p(-u) / cfg_.arrival_rate;
+      if (cfg_.think_prob > 0.0 &&
+          draw(cfg_.seed, s, k, kSaltThinkCoin) < cfg_.think_prob) {
+        // Pareto(alpha) pause: think_min * (1-v)^(-1/alpha). Heavy
+        // tail — occasional pauses are far longer than the mean gap.
+        const double v = draw(cfg_.seed, s, k, kSaltThinkMag);
+        gap += cfg_.think_min * std::pow(1.0 - v, -1.0 / cfg_.think_alpha);
+      }
+      t += gap;
+      Request r;
+      r.session = s;
+      r.seq = k;
+      r.arrival = t;
+      r.yaw_deg = std::fmod(
+          cfg_.yaw0_deg + cfg_.yaw_step_deg * static_cast<double>(k), 360.0);
+      r.pitch_deg = cfg_.pitch_deg;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Request& a, const Request& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    if (a.session != b.session) return a.session < b.session;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+}  // namespace rtc::service

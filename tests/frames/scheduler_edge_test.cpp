@@ -1,0 +1,161 @@
+// FrameScheduler edge cases as property tests: depth-1 serialization,
+// the admission floor under a full in-flight window, the
+// earliest_start anchor the render service relies on, and deadline-
+// bounded frames interacting with a full window end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "rtc/comm/fault.hpp"
+#include "rtc/frames/pipeline.hpp"
+#include "rtc/frames/scheduler.hpp"
+
+namespace rtc::frames {
+namespace {
+
+// Deterministic LCG so the property sweep is reproducible.
+struct Lcg {
+  std::uint64_t state;
+  double next() {  // (0, 1]
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return (static_cast<double>(state >> 11) + 1.0) / 9007199254740993.0;
+  }
+};
+
+/// Asserts the documented recurrence holds for an admitted history:
+///   render_start(f) = max(earliest[f], render_end(f-1),
+///                         composite_end(f-M))
+///   composite_start(f) = max(render_end(f), composite_end(f-1))
+void check_recurrence(const std::vector<FrameTiming>& h, int m,
+                      const std::vector<double>& earliest) {
+  for (std::size_t f = 0; f < h.size(); ++f) {
+    double floor = earliest.empty() ? 0.0 : earliest[f];
+    if (f > 0) floor = std::max(floor, h[f - 1].render_end);
+    if (f >= static_cast<std::size_t>(m))
+      floor = std::max(floor, h[f - static_cast<std::size_t>(m)].composite_end);
+    EXPECT_DOUBLE_EQ(h[f].render_start, floor) << "frame " << f;
+    double cstart = h[f].render_end;
+    if (f > 0) cstart = std::max(cstart, h[f - 1].composite_end);
+    EXPECT_DOUBLE_EQ(h[f].composite_start, cstart) << "frame " << f;
+  }
+}
+
+TEST(SchedulerEdge, DepthOneSerializesAnyWorkload) {
+  // Property: with M=1 every frame's render starts exactly at the
+  // previous frame's composite_end — zero overlap, zero queue wait —
+  // for arbitrary positive (R, C) sequences.
+  Lcg rng{12345};
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameScheduler s(1);
+    double prev_end = 0.0;
+    for (int f = 0; f < 20; ++f) {
+      const double r = rng.next() * 2.0;
+      const double c = rng.next() * 3.0;
+      const FrameTiming t = s.admit(r, c);
+      EXPECT_DOUBLE_EQ(t.render_start, prev_end);
+      EXPECT_DOUBLE_EQ(t.queue_wait(), 0.0);
+      prev_end = t.composite_end;
+    }
+    check_recurrence(s.history(), 1, {});
+    // Makespan is exactly the serial sum.
+    double serial = 0.0;
+    for (const FrameTiming& t : s.history())
+      serial += (t.render_end - t.render_start) +
+                (t.composite_end - t.composite_start);
+    EXPECT_DOUBLE_EQ(s.makespan(), serial);
+  }
+}
+
+TEST(SchedulerEdge, FullWindowGatesAdmissionAtEveryDepth) {
+  // Property: for random workloads and depths, the admission floor
+  // equals the recurrence's gate, composite intervals never overlap,
+  // and at most M frames are ever between render_start and
+  // composite_end at once.
+  Lcg rng{777};
+  for (int m = 1; m <= 4; ++m) {
+    FrameScheduler s(m);
+    for (int f = 0; f < 40; ++f) {
+      EXPECT_DOUBLE_EQ(s.next_admission_floor(),
+                       f == 0 ? 0.0
+                              : std::max(s.history().back().render_end,
+                                         f >= m ? s.history()[static_cast<
+                                                      std::size_t>(f - m)]
+                                                      .composite_end
+                                                : 0.0));
+      (void)s.admit(rng.next(), rng.next() * 2.0);
+    }
+    check_recurrence(s.history(), m, {});
+    const std::vector<FrameTiming>& h = s.history();
+    for (std::size_t f = 1; f < h.size(); ++f)
+      EXPECT_GE(h[f].composite_start, h[f - 1].composite_end);
+    // In-flight bound: frame f starts only after frame f-M fully left.
+    for (std::size_t f = static_cast<std::size_t>(m); f < h.size(); ++f)
+      EXPECT_GE(h[f].render_start,
+                h[f - static_cast<std::size_t>(m)].composite_end);
+  }
+}
+
+TEST(SchedulerEdge, EarliestStartAnchorsIdlePipelines) {
+  // Property: earliest_start lower-bounds render_start but never
+  // weakens the pipeline gates — exactly max(earliest, floor).
+  Lcg rng{99};
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameScheduler s(2);
+    std::vector<double> earliest;
+    double t = 0.0;
+    for (int f = 0; f < 15; ++f) {
+      t += rng.next();  // arrival-style monotone anchors
+      const double floor = s.next_admission_floor();
+      const FrameTiming ft = s.admit(rng.next(), rng.next(), t);
+      earliest.push_back(t);
+      EXPECT_DOUBLE_EQ(ft.render_start, std::max(t, floor));
+    }
+    check_recurrence(s.history(), 2, earliest);
+  }
+}
+
+// End-to-end: a deadline-bounded sequence (delivery-time composite
+// charges) still satisfies the recurrence when the in-flight window is
+// full — the delivered times, not the stragglers' clocks, gate
+// admission of frame f+M.
+TEST(SchedulerEdge, DeadlineBoundedSequenceKeepsRecurrenceUnderFullWindow) {
+  PipelineConfig pc;
+  pc.ranks = 4;
+  pc.volume_n = 32;
+  pc.image_size = 64;
+  pc.frames = 6;
+  pc.max_in_flight = 2;
+  pc.comp.method = "bswap";  // per-step blends give the slow rank work
+  pc.comp.gather = true;
+  pc.deadline = pc.comp.deadline = 0.005;
+  // A chronic straggler: rank 1 computes 8x slower on every frame.
+  comm::FaultPlan::Slow slow;
+  slow.rank = 1;
+  slow.factor = 8.0;
+  pc.comp.fault.slows.push_back(slow);
+  pc.comp.resilience.on_peer_loss = comm::ResiliencePolicy::PeerLoss::kBlank;
+  const SequenceResult seq = run_sequence(pc);
+  ASSERT_EQ(seq.frames.size(), 6u);
+  EXPECT_GT(seq.deadline_misses, 0);
+
+  // Rebuild the recurrence from the recorded (R, C) charges and check
+  // the recorded timings match — with C the *delivery* time.
+  std::vector<FrameTiming> h;
+  for (const FrameResult& f : seq.frames) {
+    EXPECT_DOUBLE_EQ(f.composite_time, f.run.delivery_time);
+    h.push_back(f.timing);
+    // end == start + charge is exact (it is the same computation the
+    // scheduler performed); end - start == charge is not.
+    EXPECT_DOUBLE_EQ(f.timing.render_end,
+                     f.timing.render_start + f.render_time);
+    EXPECT_DOUBLE_EQ(f.timing.composite_end,
+                     f.timing.composite_start + f.composite_time);
+  }
+  check_recurrence(h, pc.max_in_flight, {});
+  EXPECT_DOUBLE_EQ(seq.makespan, h.back().composite_end);
+}
+
+}  // namespace
+}  // namespace rtc::frames

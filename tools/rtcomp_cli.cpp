@@ -26,6 +26,14 @@
 //                   --frames K [--sweep DEG] [--max-in-flight M]
 //                   [--no-coherence] [--stream frames.pgms]
 //                   [--fault-frame F]
+//     render service (sessions + admission over the pipeline):
+//                   --service [--sessions N] [--requests K]
+//                   [--arrival-rate R] [--traffic-seed S]
+//                   [--admission shed-oldest|reject-new]
+//                   [--queue-cap Q] [--session-deadline S]
+//                   [--quant DEG] [--yaw-step DEG]
+//                   [--priority-classes C] [--max-in-flight M]
+//                   [--no-coherence] [--fault-submission K]
 //   rtcomp schedule --ranks 3 --blocks 4 [--variant n|2n|any]
 //   rtcomp predict  --ranks 32 --blocks 4 [--pixels 262144]
 //                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
@@ -70,7 +78,7 @@ class Args {
         continue;
       }
       if (key == "mip" || key == "no-coherence" || key == "relay" ||
-          key == "hedge") {
+          key == "hedge" || key == "service") {
         kv_[key] = "1";
         continue;
       }
@@ -301,6 +309,110 @@ int parse_fault_flags(const Args& a, harness::CompositionConfig& cfg) {
   return 0;
 }
 
+/// --service: drive the render-service front end (service::run_service)
+/// — N sessions of seeded synthetic traffic with admission control and
+/// request batching — instead of one sweep or single shot.
+int cmd_render_service(const Args& a) {
+  service::ServiceConfig sc;
+  sc.dataset = a.get("dataset", "engine");
+  sc.ranks = a.get_int("ranks", 8);
+  sc.volume_n = a.get_int("volume", 96);
+  sc.image_size = a.get_int("image", 512);
+  sc.renderer = a.get("renderer", "shearwarp");
+  sc.max_in_flight = a.get_int("max-in-flight", 2);
+  if (sc.max_in_flight < 1) {
+    std::cerr << "bad value for --max-in-flight: want >= 1\n";
+    return 2;
+  }
+  sc.coherence = !a.has("no-coherence");
+  sc.fault_submission = a.get_int("fault-submission", -1);
+
+  sc.traffic.sessions = a.get_int("sessions", 8);
+  if (sc.traffic.sessions < 1) {
+    std::cerr << "bad value for --sessions: want >= 1\n";
+    return 2;
+  }
+  sc.traffic.requests_per_session = a.get_int("requests", 16);
+  if (sc.traffic.requests_per_session < 1) {
+    std::cerr << "bad value for --requests: want >= 1\n";
+    return 2;
+  }
+  sc.traffic.arrival_rate = a.get_double("arrival-rate", 50.0);
+  if (sc.traffic.arrival_rate <= 0.0) {
+    std::cerr << "bad value for --arrival-rate: want > 0 requests/s\n";
+    return 2;
+  }
+  sc.traffic.seed =
+      static_cast<std::uint64_t>(a.get_int("traffic-seed", 1));
+  sc.traffic.yaw0_deg = a.get_double("yaw", 0.0);
+  sc.traffic.yaw_step_deg = a.get_double("yaw-step", 5.0);
+  sc.traffic.pitch_deg = a.get_double("pitch", 20.0);
+  sc.traffic.priority_classes = a.get_int("priority-classes", 1);
+  if (sc.traffic.priority_classes < 1) {
+    std::cerr << "bad value for --priority-classes: want >= 1\n";
+    return 2;
+  }
+
+  const std::string adm = a.get("admission", "shed-oldest");
+  if (adm != "shed-oldest" && adm != "reject-new") {
+    std::cerr << "unknown --admission: " << adm
+              << " (expected shed-oldest or reject-new)\n";
+    return 2;
+  }
+  sc.admission = service::parse_admission_policy(adm);
+  sc.queue_cap = a.get_int("queue-cap", 8);
+  if (sc.queue_cap < 1) {
+    std::cerr << "bad value for --queue-cap: want >= 1\n";
+    return 2;
+  }
+  sc.session_deadline = a.get_double("session-deadline", 0.0);
+  if (sc.session_deadline < 0.0) {
+    std::cerr << "bad --session-deadline (want seconds >= 0)\n";
+    return 2;
+  }
+  sc.quant_deg = a.get_double("quant", 1.0);
+
+  sc.comp.method = a.get("method", "rt_n");
+  sc.comp.initial_blocks = a.get_int("blocks", 3);
+  sc.comp.codec = a.get("codec", "");
+  sc.comp.record_spans = a.has("trace-out") || a.has("metrics-out");
+  if (a.get("net", "sp2-hps") == "paper-example")
+    sc.comp.net = comm::paper_example_model();
+  if (const int rc = parse_scaling_flags(a, sc.comp); rc != 0) return rc;
+  if (const int rc = parse_fault_flags(a, sc.comp); rc != 0) return rc;
+
+  const service::ServiceResult res = service::run_service(sc);
+  std::cout << "render service over '" << sc.dataset << "', " << sc.ranks
+            << " ranks, " << sc.renderer << " renderer, " << sc.comp.method
+            << "/" << (sc.comp.codec.empty() ? "raw" : sc.comp.codec)
+            << (sc.coherence ? "" : ", coherence off") << "\n"
+            << "traffic: " << sc.traffic.sessions << " session(s) x "
+            << sc.traffic.requests_per_session << " request(s) @ "
+            << sc.traffic.arrival_rate << "/s, seed " << sc.traffic.seed
+            << "\n\n";
+  service::print_service(std::cout, sc, res);
+  if (sc.comp.fault.enabled())
+    std::cout << "faults: " << harness::fault_summary(res.stats) << "\n";
+
+  if (a.has("trace-out")) {
+    // Per-rank tracks carry every submission's spans (shifted onto the
+    // service timeline); one extra track past the last rank carries
+    // the service-level admit/shed/batch instants and the
+    // render/queue/composite intervals.
+    comm::RunStats traced = res.stats;
+    comm::RankStats service_track;
+    service_track.spans = res.service_spans;
+    traced.ranks.push_back(std::move(service_track));
+    harness::write_perfetto_trace(traced, a.get("trace-out", ""));
+    std::cout << "wrote " << a.get("trace-out", "") << "\n";
+  }
+  if (a.has("metrics-out")) {
+    harness::write_metrics_file(res.stats, a.get("metrics-out", ""));
+    std::cout << "wrote " << a.get("metrics-out", "") << "\n";
+  }
+  return 0;
+}
+
 /// --frames K: drive a camera sweep through the frame pipeline
 /// (frames::run_sequence) instead of one single-shot composition.
 int cmd_render_frames(const Args& a) {
@@ -361,6 +473,7 @@ int cmd_render_frames(const Args& a) {
 }
 
 int cmd_render(const Args& a) {
+  if (a.has("service")) return cmd_render_service(a);
   if (a.get_int("frames", 1) > 1) return cmd_render_frames(a);
   const std::string dataset = a.get("dataset", "engine");
   const int ranks = a.get_int("ranks", 8);
