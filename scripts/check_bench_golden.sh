@@ -56,6 +56,9 @@ check_bench bench_scaling scaling_p1024.json
 # Render-service front end: 8 sessions of open-loop traffic over a
 # P=32 world — pins the admission/batching/latency numbers.
 check_bench bench_service service_p32.json
+# Quality ladder: pins the exact/approx/progressive virtual times, the
+# a-priori error bounds and the measured errors at P=16.
+check_bench bench_quality quality_p16.json
 
 if [ "$fail" -ne 0 ]; then
   echo "virtual-time golden check FAILED — a cost charge or message"

@@ -11,7 +11,11 @@
 #   * crash-only plans under --on-peer-loss=recompose finish with
 #     lost_px=0 (the survivors recomposed; nothing stayed blanked);
 #   * a dead link with the circuit breaker + relay enabled produces
-#     the exact no-fault image (lost_px=0, no degradation).
+#     the exact no-fault image (lost_px=0, no degradation);
+#   * the quality-degradation ladder (docs/quality.md) stays inside its
+#     error contract under faults, and --degrade-before-shed turns an
+#     overloaded service's sheds into quality class steps — zero drops,
+#     byte-identical across replays.
 set -euo pipefail
 BUILD="${1:-${BUILD_DIR:-build}}"
 RTCOMP="$BUILD/tools/rtcomp"
@@ -203,6 +207,72 @@ for seed in 1 7; do
   for sub in 2 5; do
     run_service_cell "service crash seed=$seed sub=$sub" "$seed" "$sub"
   done
+done
+
+# --- Quality ladder under chaos (docs/quality.md) --------------------
+# Approximate rung inside a wire-fault storm: the fault summary must
+# carry the quality tokens, the measured error must stay inside the
+# a-priori bound it reports (46 at the default saturation — --max-error
+# pins the contract), and the run must replay byte-identically.
+run_cell "quality approx storm rt_n/recompose" \
+  'quality=approx bound=46 err=([0-9]|[1-3][0-9]|4[0-6]) ' \
+  --method rt_n --blocks 3 --fault-seed 7 --fault-drop 0.3 \
+  --on-peer-loss recompose --quality approx --max-error 46
+
+# Progressive rung across a deadline-pressured sweep: the controller
+# steps frames down once deadline misses appear, the sweep reports the
+# floor it hit, and the delivered stream replays byte-identically.
+run_frames_cell "quality progressive sweep bswap" \
+  'quality: [1-9] frame\(s\) below exact, floor progressive' \
+  --method bswap --blocks 1 --frames 4 --max-in-flight 2 \
+  --fault-slow 1:8 --deadline 0.012 --on-peer-loss blank \
+  --quality progressive --progressive 4
+
+# --- Overload: degrade-before-shed trades quality for zero sheds -----
+# The same overload plan that sheds requests at baseline must, with the
+# ladder engaged, deliver every request by stepping session quality
+# classes down instead — and the whole run (per-session table and
+# quality summary included) must replay byte-identically.
+run_overload_cell() {  # run_overload_cell <label> <seed>
+  local label="$1" seed="$2"
+  local base=(render --service --dataset engine --ranks 2 --image 32
+              --volume 16 --method bswap --sessions 2 --requests 10
+              --arrival-rate 5000 --queue-cap 2 --quant 0
+              --admission shed-oldest --traffic-seed "$seed")
+  local ref out1 out2
+  if ! ref=$("${RT[@]}" "${base[@]}" 2>&1); then
+    echo "FAIL $label  (baseline nonzero exit)"
+    echo "$ref" | sed 's/^/     /'; fail=1; return
+  fi
+  if ! grep -qE '\([1-9][0-9]* shed,' <<<"$ref"; then
+    echo "FAIL $label  (baseline plan never sheds; cell proves nothing)"
+    echo "$ref" | sed 's/^/     /'; fail=1; return
+  fi
+  if ! out1=$("${RT[@]}" "${base[@]}" --quality stale \
+              --degrade-before-shed 2>&1); then
+    echo "FAIL $label  (nonzero exit)"; echo "$out1" | sed 's/^/     /'
+    fail=1; return
+  fi
+  out2=$("${RT[@]}" "${base[@]}" --quality stale --degrade-before-shed \
+         2>&1)
+  if [[ "$out1" != "$out2" ]]; then
+    echo "FAIL $label  (degraded service run not deterministic)"
+    diff <(echo "$out1") <(echo "$out2") || true; fail=1; return
+  fi
+  if ! grep -q '0 dropped (0 shed, 0 rejected, 0 expired)' <<<"$out1"
+  then
+    echo "FAIL $label  (ladder engaged but requests still dropped)"
+    echo "$out1" | sed 's/^/     /'; fail=1; return
+  fi
+  if ! grep -qE '^quality: [1-9][0-9]* class step\(s\)' <<<"$out1"; then
+    echo "FAIL $label  (zero sheds but no quality class steps reported)"
+    echo "$out1" | sed 's/^/     /'; fail=1; return
+  fi
+  echo "ok   $label (sheds became class steps, zero drops)"
+}
+
+for seed in 3 11; do
+  run_overload_cell "overload degrade-before-shed seed=$seed" "$seed"
 done
 
 # --- Circuit breaker: dead link relays to the exact no-fault image ---

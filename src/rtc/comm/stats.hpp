@@ -58,6 +58,9 @@ struct RankStats {
   std::int64_t deadline_misses = 0;  ///< arrivals past the frame deadline
   std::int64_t stale_tiles = 0;   ///< late blocks substituted from last frame
   std::int64_t stale_pixels = 0;  ///< pixels in those substituted blocks
+  // Quality-ladder counters (approximate rung; zero on exact runs).
+  std::int64_t approx_skipped_pixels = 0;  ///< blends skipped: front
+                                           ///< alpha already saturated
   // Temporal-coherence cache counters (frame pipeline; zero when no
   // cache is installed). Accounted at the sender, which owns the cache.
   std::int64_t coherence_hits = 0;    ///< blocks unchanged since last frame
@@ -111,6 +114,12 @@ struct SessionStats {
   int queue_peak = 0;         ///< deepest the session queue ever got
   double latency_sum = 0.0;   ///< summed arrival->delivery (virtual s)
   double latency_max = 0.0;
+  // Quality-ladder accounting (zero unless --degrade-before-shed /
+  // a quality policy engaged for this session).
+  std::int64_t quality_degrades = 0;  ///< admission stepped the class down
+  int quality_floor = 0;     ///< deepest quality::Rung this session hit
+  std::int64_t stale_pixels = 0;  ///< stale-substituted px in deliveries
+  int max_pixel_error = 0;   ///< worst reported error on its deliveries
 
   [[nodiscard]] std::int64_t dropped() const {
     return shed + rejected + expired;
@@ -130,9 +139,23 @@ struct RunStats {
   /// Measured degradation bound for deadline-bounded frames: the max
   /// per-channel pixel deviation of the delivered image from the exact
   /// composite of the surviving contributions (0-255). Computed by the
-  /// harness only when stale substitution or a deadline miss occurred;
-  /// 0 otherwise.
+  /// harness only when stale substitution, a deadline miss, or a
+  /// quality-ladder rung below exact degraded the image; 0 otherwise.
+  /// The ONE per-frame measured-error accumulator: staleness (PR 7)
+  /// and the approximate/progressive quality rungs all fold into it.
   int max_pixel_error = 0;
+
+  // --- quality-ladder run fields (all zero on exact runs) ----------
+
+  /// Executed quality rung (quality::Rung as int; 0 = exact). For
+  /// multi-frame/service aggregation: the deepest rung executed.
+  int quality_rung = 0;
+  /// A-priori per-frame max-pixel-error bound the executed rung
+  /// reported (>= max_pixel_error by the error contract; 0 for exact).
+  int error_bound = 0;
+  /// Pixels delivered from a progressive coarse pass that was never
+  /// refined (deadline expired before the full-resolution pass).
+  std::int64_t coarse_pixels = 0;
 
   /// Virtual-time makespan: the paper's "composition time".
   [[nodiscard]] double makespan() const {
@@ -220,14 +243,17 @@ struct RunStats {
   }
 
   /// True when the result is not guaranteed bit-exact: some work was
-  /// lost (dead rank or exhausted retries) and substituted blank, or a
-  /// frame deadline expired and stale/blank content stood in.
+  /// lost (dead rank or exhausted retries) and substituted blank, a
+  /// frame deadline expired and stale/blank content stood in, or the
+  /// quality ladder actually traded exactness (approximate skips
+  /// happened, or a coarse pass was delivered unrefined).
   [[nodiscard]] bool degraded() const {
     for (const RankStats& r : ranks) {
       if (r.crashed || r.lost_messages > 0 || r.lost_pixels > 0) return true;
       if (r.deadline_misses > 0 || r.stale_pixels > 0) return true;
+      if (r.approx_skipped_pixels > 0) return true;
     }
-    return false;
+    return coarse_pixels > 0;
   }
 
   // --- self-healing aggregates ------------------------------------
@@ -336,6 +362,17 @@ struct RunStats {
     return n;
   }
 
+  // --- quality-ladder aggregates -----------------------------------
+
+  [[nodiscard]] std::int64_t total_approx_skipped_pixels() const {
+    std::int64_t n = 0;
+    for (const RankStats& r : ranks) n += r.approx_skipped_pixels;
+    return n;
+  }
+
+  /// True when the quality ladder left the exact rung this run.
+  [[nodiscard]] bool quality_degraded() const { return quality_rung != 0; }
+
   // --- temporal-coherence aggregates (frame pipeline) -------------
 
   [[nodiscard]] std::int64_t total_coherence_hits() const {
@@ -370,6 +407,9 @@ struct RunStats {
     for (RankStats& r : ranks) r.reset_counters();
     sessions.clear();
     max_pixel_error = 0;
+    quality_rung = 0;
+    error_bound = 0;
+    coarse_pixels = 0;
   }
 
   // --- render-service aggregates (empty sessions => all zero) ------
@@ -415,6 +455,30 @@ struct RunStats {
     std::int64_t n = 0;
     for (const SessionStats& s : sessions) n += s.batches_joined;
     return n;
+  }
+
+  /// Quality-class steps the admission layer took across sessions
+  /// (degrade-before-shed); 0 whenever the ladder never engaged.
+  [[nodiscard]] std::int64_t total_session_quality_degrades() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.quality_degrades;
+    return n;
+  }
+
+  /// Stale-substituted pixels delivered across sessions (deadline
+  /// staleness plus kStale quality-class serves).
+  [[nodiscard]] std::int64_t total_session_stale_pixels() const {
+    std::int64_t n = 0;
+    for (const SessionStats& s : sessions) n += s.stale_pixels;
+    return n;
+  }
+
+  /// Deepest quality rung any session's deliveries hit (as int).
+  [[nodiscard]] int session_quality_floor() const {
+    int f = 0;
+    for (const SessionStats& s : sessions)
+      if (s.quality_floor > f) f = s.quality_floor;
+    return f;
   }
 
   // --- observability aggregates -----------------------------------

@@ -1030,6 +1030,11 @@ void Comm::note_stale(std::int64_t block_id, std::int64_t pixels) {
   stats_.stale_pixels += pixels;
 }
 
+void Comm::note_approx(std::int64_t skipped_pixels) {
+  RTC_CHECK(skipped_pixels >= 0);
+  stats_.approx_skipped_pixels += skipped_pixels;
+}
+
 void Comm::note_coherence(bool hit, std::int64_t bytes_saved) {
   RTC_CHECK(bytes_saved >= 0);
   if (hit) {

@@ -110,6 +110,12 @@ class Comm {
   /// last frame's content instead of this frame's. Pure accounting.
   void note_stale(std::int64_t block_id, std::int64_t pixels);
 
+  /// Records pixels whose blend was skipped by the approximate rung's
+  /// opacity-saturation early termination. Pure accounting — the
+  /// virtual-time saving is already realized because charge_over was
+  /// given only the actually-blended pixel count.
+  void note_approx(std::int64_t skipped_pixels);
+
   /// Records a temporal-coherence cache lookup (frame pipeline):
   /// hit/miss counters plus wire bytes the hit avoided resending.
   /// Pure accounting — never touches the virtual clock.

@@ -72,7 +72,8 @@ class BinarySwap final : public Compositor {
       // contribution is skipped (blank is the identity).
       recv_block_blend(comm, partner, k, buf.view(keep_span), keep_geom,
                        opt.codec, opt.blend, /*src_front=*/partner < r,
-                       opt.resilience, keep, scratch, coherent);
+                       opt.resilience, keep, scratch, coherent,
+                       opt.approx_saturation);
       comm.mark(k);
       index = keep;
     }

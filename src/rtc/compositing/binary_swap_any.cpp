@@ -55,7 +55,7 @@ class BinarySwapAny final : public Compositor {
         recv_block_blend(comm, r + 1, /*tag=*/0, buf.pixels(), geom,
                          opt.codec, opt.blend, /*src_front=*/false,
                          opt.resilience, /*block_id=*/r + 1, scratch,
-                         coherent);
+                         coherent, opt.approx_saturation);
         unit = r / 2;
       }
     } else {
@@ -88,7 +88,8 @@ class BinarySwapAny final : public Compositor {
         recv_block_blend(comm, partner, k, buf.view(keep_span), kg,
                          opt.codec, opt.blend,
                          /*src_front=*/partner_unit < unit,
-                         opt.resilience, keep, scratch, coherent);
+                         opt.resilience, keep, scratch, coherent,
+                         opt.approx_saturation);
         comm.mark(k);
         index = keep;
       }

@@ -44,7 +44,8 @@ class DirectSend final : public Compositor {
       // Fused receive-and-blend; a lost sender contributes nothing.
       recv_block_blend(comm, src, /*tag=*/1, out.pixels(), geom,
                        opt.codec, opt.blend, front, opt.resilience,
-                       /*block_id=*/src, scratch, coherent);
+                       /*block_id=*/src, scratch, coherent,
+                       opt.approx_saturation);
     };
     for (int src = opt.root + 1; src < p; ++src) fold(src, /*front=*/false);
     for (int src = opt.root - 1; src >= 0; --src) fold(src, /*front=*/true);

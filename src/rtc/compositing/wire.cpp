@@ -166,12 +166,39 @@ void decode_blend_block(comm::Comm& comm, int tag,
                         const compress::BlockGeometry& geom,
                         const compress::Codec* codec, img::BlendMode mode,
                         bool src_front, std::vector<img::GrayA8>& scratch,
-                        bool coherent = false) {
+                        bool coherent = false, int saturation = 0) {
   bool blank = false;
   bytes = strip_marker(bytes, coherent, &blank);
   const auto pixels = static_cast<std::int64_t>(dst.size());
   if (blank) {
     comm.note_span(obs::SpanKind::kBlankSkip, tag, 0, pixels);
+    return;
+  }
+  if (saturation > 0 && mode == img::BlendMode::kOver) {
+    // Approximate rung: decode into scratch, then blend with
+    // opacity-saturation early termination. Only the actually-blended
+    // pixels are charged To, so the saving shows up on the virtual
+    // clock; skips are pure pixel arithmetic and replay bit-exactly.
+    scratch.resize(dst.size());
+    const std::int64_t w0 =
+        comm.trace().enabled() ? obs::wall_now_ns() : -1;
+    if (codec == nullptr) {
+      img::deserialize_pixels(bytes, scratch);
+    } else {
+      codec->decode(bytes, scratch, geom);
+    }
+    const img::ApproxBlendStats st =
+        img::blend_in_place_approx(dst, scratch, src_front, saturation);
+    if (codec == nullptr) {
+      comm.note_span(obs::SpanKind::kDecodeBlend, tag,
+                     static_cast<std::int64_t>(bytes.size()), pixels);
+    } else {
+      comm.charge_span(obs::SpanKind::kDecodeBlend, tag,
+                       codec_time(comm, dst.size()),
+                       static_cast<std::int64_t>(bytes.size()), pixels, w0);
+    }
+    comm.charge_over(st.blended);
+    if (st.skipped > 0) comm.note_approx(st.skipped);
     return;
   }
   if (codec == nullptr) {
@@ -253,11 +280,12 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
                       const compress::Codec* codec, img::BlendMode mode,
                       bool src_front, const comm::ResiliencePolicy& policy,
                       std::int64_t block_id,
-                      std::vector<img::GrayA8>& scratch, bool coherent) {
+                      std::vector<img::GrayA8>& scratch, bool coherent,
+                      int saturation) {
   if (!policy.degrade_on_loss()) {
     std::vector<std::byte> bytes = comm.recv(src, tag);
     decode_blend_block(comm, tag, bytes, dst, geom, codec, mode, src_front,
-                       scratch, coherent);
+                       scratch, coherent, saturation);
     comm.pool().release(std::move(bytes));
     return true;
   }
@@ -265,7 +293,7 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
   if (bytes) {
     try {
       decode_blend_block(comm, tag, *bytes, dst, geom, codec, mode,
-                         src_front, scratch, coherent);
+                         src_front, scratch, coherent, saturation);
       comm.pool().release(std::move(*bytes));
       if (comm.last_recv_stale())
         comm.note_stale(block_id, static_cast<std::int64_t>(dst.size()));
@@ -311,12 +339,12 @@ void take_block_blend(comm::Comm& comm, int tag,
                       const compress::BlockGeometry& geom,
                       const compress::Codec* codec, img::BlendMode mode,
                       bool src_front, std::vector<img::GrayA8>& scratch,
-                      bool coherent) {
+                      bool coherent, int saturation) {
   wire::WireReader r(rest);
   const std::span<const std::byte> body =
       r.length_prefixed("aggregated block");
   decode_blend_block(comm, tag, body, dst, geom, codec, mode, src_front,
-                     scratch, coherent);
+                     scratch, coherent, saturation);
   rest = r.rest();
 }
 

@@ -94,7 +94,7 @@ bool recv_block_blend(comm::Comm& comm, int src, int tag,
                       bool src_front, const comm::ResiliencePolicy& policy,
                       std::int64_t block_id,
                       std::vector<img::GrayA8>& scratch,
-                      bool coherent = false);
+                      bool coherent = false, int saturation = 0);
 
 /// Appends one length-prefixed encoded block to `payload` — used to
 /// aggregate several blocks for the same receiver into one message.
@@ -127,7 +127,7 @@ void take_block_blend(comm::Comm& comm, int tag,
                       const compress::BlockGeometry& geom,
                       const compress::Codec* codec, img::BlendMode mode,
                       bool src_front, std::vector<img::GrayA8>& scratch,
-                      bool coherent = false);
+                      bool coherent = false, int saturation = 0);
 
 /// Tag bases; methods use step numbers below kGatherTag.
 inline constexpr int kGatherTag = 1'000'000;

@@ -112,7 +112,8 @@ img::Image RtCompositor::run_core(comm::Comm& comm, const img::Image& partial,
             compositing::take_block_blend(comm, tag, rest, buf.view(span),
                                           geom, opt.codec, opt.blend,
                                           m->sender_front, scratch,
-                                          coherent);
+                                          coherent,
+                                          opt.approx_saturation);
             ++done;
           }
           wire::require(rest.empty(), wire::DecodeError::Kind::kTrailing,
@@ -148,7 +149,8 @@ img::Image RtCompositor::run_core(comm::Comm& comm, const img::Image& partial,
       compositing::recv_block_blend(comm, m.sender, tag, buf.view(span),
                                     geom, opt.codec, opt.blend,
                                     m.sender_front, opt.resilience,
-                                    m.block, scratch, coherent);
+                                    m.block, scratch, coherent,
+                                    opt.approx_saturation);
     }
     comm.mark(tag);
   }

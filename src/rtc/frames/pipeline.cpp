@@ -1,5 +1,6 @@
 #include "rtc/frames/pipeline.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -99,6 +100,15 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
   int ranks_eff = cfg.ranks;
   std::string method_eff = cfg.comp.method;
 
+  // Quality ladder: one controller for the whole sequence, stepped by
+  // the previous frame's pressure (deadline misses, stragglers, peer
+  // loss). With the default policy (max_rung == exact) everything below
+  // is a no-op and the sequence is byte-identical to older builds.
+  quality::QualityController qc(cfg.comp.quality);
+  quality::PressureSignals pressure;
+  // Last successfully composited frame, the kStale rung's source.
+  img::Image last_good;
+
   for (int f = 0; f < cfg.frames; ++f) {
     const double yaw =
         cfg.yaw0_deg + cfg.sweep_deg * f / cfg.frames;
@@ -108,7 +118,60 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
         render_view(sweep_view(cfg, yaw), ranks_eff, fr.axis);
     fr.render_time = harness::render_stage_time(rs);
 
+    // Pick this frame's rung and re-enforce the error contract against
+    // the actual partials (the progressive bound needs them).
+    const quality::RungChoice rung = quality::enforce_contract(
+        qc.choose(pressure), cfg.comp.quality, rs.partials);
+
+    if (rung.rung >= quality::Rung::kStale) {
+      // Stale/blank rungs skip composition entirely: the frame is
+      // served from the last composited image (or blank when there is
+      // none yet / the rung is blank) at zero composite cost. The
+      // unified error accounting still measures the delivered image
+      // against this frame's exact composite.
+      const bool serve_stale = rung.rung == quality::Rung::kStale &&
+                               last_good.pixel_count() > 0;
+      fr.run.image = serve_stale
+                         ? last_good
+                         : img::Image(cfg.image_size, cfg.image_size);
+      fr.run.stats.ranks.resize(static_cast<std::size_t>(ranks_eff));
+      fr.run.stats.quality_rung = static_cast<int>(rung.rung);
+      fr.run.stats.error_bound = rung.bound;
+      const img::Image ref =
+          img::composite_reference(rs.partials, cfg.comp.blend);
+      fr.run.stats.max_pixel_error =
+          img::max_channel_diff(fr.run.image, ref);
+      fr.run.degraded = true;
+      if (cfg.sink != nullptr) {
+        cfg.sink->begin_frame(f, cfg.image_size, cfg.image_size);
+        cfg.sink->deliver_tile(f,
+                               img::PixelSpan{0, fr.run.image.pixel_count()},
+                               fr.run.image.pixels());
+        cfg.sink->end_frame(f);
+      }
+      fr.composite_time = 0.0;
+      fr.timing = sched.admit(fr.render_time, fr.composite_time);
+      out.quality_frames += 1;
+      out.quality_floor =
+          std::max(out.quality_floor, static_cast<int>(rung.rung));
+      out.error_bound = std::max(out.error_bound, rung.bound);
+      if (fr.run.stats.max_pixel_error > out.max_pixel_error)
+        out.max_pixel_error = fr.run.stats.max_pixel_error;
+      const FrameTiming& ts = fr.timing;
+      out.pipeline_spans.push_back(pipeline_span(
+          obs::SpanKind::kRender, f, ts.render_start, ts.render_end));
+      out.pipeline_spans.push_back(pipeline_span(
+          obs::SpanKind::kCompute, f, ts.composite_start,
+          ts.composite_end));
+      out.frames.push_back(std::move(fr));
+      // A served-stale frame exerts no pressure of its own; the ladder
+      // recovers one rung next frame unless new pressure appears.
+      pressure = quality::PressureSignals{};
+      continue;
+    }
+
     harness::CompositionConfig c = cfg.comp;
+    c.quality_rung = rung.rung;
     c.method = method_eff;
     c.coherence = cfg.coherence ? &cache : nullptr;
     c.sink = cfg.sink;
@@ -154,6 +217,26 @@ SequenceResult run_sequence(const PipelineConfig& cfg) {
     out.stale_pixels += fr.run.stats.total_stale_pixels();
     if (fr.run.stats.max_pixel_error > out.max_pixel_error)
       out.max_pixel_error = fr.run.stats.max_pixel_error;
+
+    if (fr.run.stats.quality_rung != 0) {
+      out.quality_frames += 1;
+      out.quality_floor =
+          std::max(out.quality_floor, fr.run.stats.quality_rung);
+      out.error_bound =
+          std::max(out.error_bound, fr.run.stats.error_bound);
+    }
+    out.approx_pixels += fr.run.stats.total_approx_skipped_pixels();
+    out.coarse_pixels += fr.run.stats.coarse_pixels;
+    if (fr.run.image.pixel_count() > 0) last_good = fr.run.image;
+
+    // Next frame's pressure comes from what this frame experienced.
+    pressure = quality::PressureSignals{};
+    pressure.deadline_missed =
+        fr.run.stats.total_deadline_misses() > 0 ||
+        (cfg.deadline > 0.0 && fr.composite_time > cfg.deadline);
+    pressure.stragglers = fr.run.stats.total_stragglers_flagged() > 0;
+    pressure.peer_loss = !fr.run.stats.dead_ranks().empty() ||
+                         fr.run.stats.total_lost_pixels() > 0;
 
     out.recomposes += fr.run.stats.total_recomposes();
     if (fr.run.stats.max_membership_epoch() > out.max_epoch)
@@ -243,6 +326,19 @@ void print_sequence(std::ostream& os, const PipelineConfig& cfg,
        << seq.stale_tiles << " stale tile(s) / " << seq.stale_pixels
        << " px substituted, max pixel error " << seq.max_pixel_error
        << "\n";
+  if (seq.quality_frames > 0) {
+    os << "quality: " << seq.quality_frames << " frame(s) below exact, "
+       << "floor "
+       << quality::rung_name(
+              static_cast<quality::Rung>(seq.quality_floor))
+       << ", worst bound " << seq.error_bound << ", measured max error "
+       << seq.max_pixel_error;
+    if (seq.approx_pixels > 0)
+      os << ", " << seq.approx_pixels << " blend(s) skipped";
+    if (seq.coarse_pixels > 0)
+      os << ", " << seq.coarse_pixels << " coarse px delivered";
+    os << "\n";
+  }
 }
 
 }  // namespace rtc::frames

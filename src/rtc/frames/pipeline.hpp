@@ -127,6 +127,13 @@ struct SequenceResult {
   std::int64_t stale_tiles = 0;      ///< blocks served from last frame
   std::int64_t stale_pixels = 0;     ///< pixels in those blocks
   int max_pixel_error = 0;  ///< worst per-channel error vs exact composite
+  // Quality-ladder accounting (all 0 while comp.quality never leaves
+  // the exact rung; print_sequence reports them only when they moved).
+  int quality_frames = 0;  ///< frames executed below the exact rung
+  int quality_floor = 0;   ///< deepest quality::Rung any frame hit
+  int error_bound = 0;     ///< worst a-priori error bound reported
+  std::int64_t approx_pixels = 0;  ///< blends skipped by the approx rung
+  std::int64_t coarse_pixels = 0;  ///< unrefined coarse pixels delivered
 
   [[nodiscard]] double hit_rate() const {
     const std::int64_t n = coherence_hits + coherence_misses;

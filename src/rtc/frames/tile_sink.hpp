@@ -15,7 +15,10 @@
 //    (lost ranks under degradation) are blank.
 //  * Only the root rank's thread calls deliver_tile during a run, so a
 //    sink needs no locking.
-//  * Tiles may arrive in any order and never overlap within a frame.
+//  * Tiles may arrive in any order and never overlap within a frame —
+//    with one exception: under the progressive quality rung the coarse
+//    first-light delivery covers the whole frame and the refine pass's
+//    tiles then overwrite it (later bytes win, as in a framebuffer).
 #pragma once
 
 #include <cstdint>

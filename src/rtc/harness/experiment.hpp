@@ -14,6 +14,7 @@
 #include "rtc/comm/stats.hpp"
 #include "rtc/image/image.hpp"
 #include "rtc/image/ops.hpp"
+#include "rtc/quality/quality.hpp"
 
 namespace rtc::comm {
 class StaleStore;
@@ -80,6 +81,18 @@ struct CompositionConfig {
   /// (frames::run_sequence owns one). Null: late blocks degrade to
   /// blank losses instead of last frame's content.
   comm::StaleStore* stale = nullptr;
+  // --- quality ladder (rtc/quality; docs/quality.md) --------------
+  /// Error contract + rung tuning (saturation, coarse factor,
+  /// max_error). Defaults never degrade.
+  quality::QualityPolicy quality;
+  /// Requested rung for THIS composition. Only kExact, kApprox and
+  /// kProgressive run here — the kStale/kBlank rungs skip composition
+  /// entirely and live in the frames/service drivers. The error
+  /// contract is re-enforced before execution: a rung whose a-priori
+  /// bound exceeds quality.max_error falls back toward exact, and the
+  /// rung actually executed lands in RunStats::quality_rung with its
+  /// bound in RunStats::error_bound.
+  quality::Rung quality_rung = quality::Rung::kExact;
 };
 
 struct CompositionRun {
@@ -92,6 +105,14 @@ struct CompositionRun {
   /// Under a deadline this is what the deadline bounds — the makespan
   /// still includes the straggler's own (possibly slowed) clock.
   double delivery_time = 0.0;
+  /// Progressive rung only: virtual time the upsampled coarse pass was
+  /// delivered at the root (first light; 0 otherwise). Always <=
+  /// delivery_time.
+  double first_light = 0.0;
+  /// Progressive rung only: false when the deadline expired before the
+  /// full-resolution refine pass, so the delivered image is the
+  /// upsampled coarse composite (RunStats::coarse_pixels counts it).
+  bool refined = true;
 };
 
 /// Runs the configured composition collectively over `partials`

@@ -111,6 +111,78 @@ void blend_in_place_tiled(std::span<GrayA8> dst,
   for (std::thread& th : pool) th.join();
 }
 
+ApproxBlendStats blend_in_place_approx(std::span<GrayA8> dst,
+                                       std::span<const GrayA8> src,
+                                       bool src_front, int saturation) {
+  RTC_CHECK(dst.size() == src.size());
+  if (saturation <= 0) {
+    blend_in_place(dst, src, BlendMode::kOver, src_front);
+    return {static_cast<std::int64_t>(dst.size()), 0};
+  }
+  const auto sat = static_cast<std::uint8_t>(std::min(saturation, 255));
+  ApproxBlendStats stats;
+  if (src_front) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      if (src[i].a >= sat) {
+        dst[i] = src[i];
+        ++stats.skipped;
+      } else {
+        dst[i] = over(src[i], dst[i]);
+        ++stats.blended;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      if (dst[i].a >= sat) {
+        ++stats.skipped;
+      } else {
+        dst[i] = over(dst[i], src[i]);
+        ++stats.blended;
+      }
+    }
+  }
+  return stats;
+}
+
+Image downsample(const Image& src, int factor) {
+  RTC_CHECK(factor >= 1);
+  const int cw = (src.width() + factor - 1) / factor;
+  const int ch = (src.height() + factor - 1) / factor;
+  Image out(cw, ch);
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      const int x0 = cx * factor;
+      const int y0 = cy * factor;
+      const int x1 = std::min(src.width(), x0 + factor);
+      const int y1 = std::min(src.height(), y0 + factor);
+      std::uint32_t sv = 0, sa = 0;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          sv += src.at(x, y).v;
+          sa += src.at(x, y).a;
+        }
+      }
+      const auto n = static_cast<std::uint32_t>((x1 - x0) * (y1 - y0));
+      out.at(cx, cy) = GrayA8{static_cast<std::uint8_t>((sv + n / 2) / n),
+                              static_cast<std::uint8_t>((sa + n / 2) / n)};
+    }
+  }
+  return out;
+}
+
+Image upsample(const Image& coarse, int factor, int width, int height) {
+  RTC_CHECK(factor >= 1);
+  RTC_CHECK(coarse.width() == (width + factor - 1) / factor &&
+            coarse.height() == (height + factor - 1) / factor);
+  Image out(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      out.at(x, y) = coarse.at(x / factor, y / factor);
+    }
+  }
+  return out;
+}
+
 std::int64_t count_non_blank(std::span<const GrayA8> px) {
   if (px.empty()) return 0;
   return simd::kernels().count_non_blank(px.data(), px.size());

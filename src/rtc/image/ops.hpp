@@ -48,6 +48,38 @@ void blend_in_place_tiled(std::span<GrayA8> dst,
                           std::span<const GrayA8> src, BlendMode mode,
                           bool src_front);
 
+/// Outcome of an approximate blend: how many pixels were actually
+/// blended versus skipped by opacity-saturation early termination.
+struct ApproxBlendStats {
+  std::int64_t blended = 0;
+  std::int64_t skipped = 0;
+};
+
+/// Approximate "over" with opacity-saturation early termination
+/// (quality ladder's kApprox rung). Pixels whose front side is already
+/// >= `saturation` opaque skip the occluded contribution:
+///   src behind dst: keep dst unchanged (drops <= 255 - dst.a);
+///   src in front:   copy src over dst (drops <= 255 - src.a).
+/// Either way the per-pixel, per-channel error versus the exact blend
+/// is <= 255 - saturation. saturation <= 0 degenerates to the exact
+/// blend (everything counted as blended). Deterministic scalar path —
+/// skips depend only on pixel data, so results are replayable.
+ApproxBlendStats blend_in_place_approx(std::span<GrayA8> dst,
+                                       std::span<const GrayA8> src,
+                                       bool src_front, int saturation);
+
+/// Box-downsample by `factor` with round-to-nearest averaging
+/// (quality ladder's progressive coarse pass). Output dimensions are
+/// ceil(w/factor) x ceil(h/factor); edge cells average their partial
+/// footprint.
+[[nodiscard]] Image downsample(const Image& src, int factor);
+
+/// Nearest-neighbour upsample of a coarse image back to
+/// `width` x `height`: every full-resolution pixel takes its covering
+/// coarse cell's value. Inverse companion of downsample's geometry.
+[[nodiscard]] Image upsample(const Image& coarse, int factor, int width,
+                             int height);
+
 /// Number of non-blank pixels in a span.
 [[nodiscard]] std::int64_t count_non_blank(std::span<const GrayA8> px);
 

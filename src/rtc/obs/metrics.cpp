@@ -67,8 +67,9 @@ std::vector<StepMetrics> aggregate_steps(
         case SpanKind::kAdmit:
         case SpanKind::kShed:
         case SpanKind::kBatch:
-          break;  // service-level instants; the per-session table
-                  // (RunStats::sessions) is their aggregation
+        case SpanKind::kDegrade:
+          break;  // service/quality-level instants; the per-session
+                  // table and RunStats quality fields aggregate them
       }
     }
   }

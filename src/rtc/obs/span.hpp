@@ -48,6 +48,9 @@ enum class SpanKind : std::uint8_t {
                  ///< 2 expired at dispatch)
   kBatch,        ///< instant: render service dispatched a batch (step =
                  ///< lead session, aux = requests coalesced)
+  kDegrade,      ///< instant: quality ladder left the exact rung (step =
+                 ///< executed quality::Rung, aux = reported error bound;
+                 ///< in the service loop: step = session, aux = rung)
 };
 
 [[nodiscard]] constexpr const char* span_name(SpanKind k) {
@@ -92,6 +95,8 @@ enum class SpanKind : std::uint8_t {
       return "shed";
     case SpanKind::kBatch:
       return "batch";
+    case SpanKind::kDegrade:
+      return "degrade";
   }
   return "?";
 }

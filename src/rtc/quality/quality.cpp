@@ -1,0 +1,101 @@
+#include "rtc/quality/quality.hpp"
+
+#include <algorithm>
+
+namespace rtc::quality {
+
+const char* rung_name(Rung r) {
+  switch (r) {
+    case Rung::kExact: return "exact";
+    case Rung::kApprox: return "approx";
+    case Rung::kProgressive: return "progressive";
+    case Rung::kStale: return "stale";
+    case Rung::kBlank: return "blank";
+  }
+  return "?";
+}
+
+std::optional<Rung> parse_rung(const std::string& name) {
+  for (int i = 0; i < kRungCount; ++i) {
+    const Rung r = static_cast<Rung>(i);
+    if (name == rung_name(r)) return r;
+  }
+  return std::nullopt;
+}
+
+int approx_error_bound(int saturation) {
+  if (saturation < 128 || saturation > 255) return 255;
+  return std::min(255, 2 * (255 - saturation) + 16);
+}
+
+int progressive_error_bound(std::span<const img::Image> partials,
+                            int coarse_factor) {
+  if (coarse_factor < 2 || partials.empty()) return 255;
+  const int w = partials[0].width();
+  const int h = partials[0].height();
+  const int cw = (w + coarse_factor - 1) / coarse_factor;
+  const int ch = (h + coarse_factor - 1) / coarse_factor;
+  int worst = 0;
+  for (int cy = 0; cy < ch; ++cy) {
+    for (int cx = 0; cx < cw; ++cx) {
+      const int x0 = cx * coarse_factor;
+      const int y0 = cy * coarse_factor;
+      const int x1 = std::min(w, x0 + coarse_factor);
+      const int y1 = std::min(h, y0 + coarse_factor);
+      int cell = 0;
+      for (const img::Image& p : partials) {
+        int vmin = 255, vmax = 0, amin = 255, amax = 0;
+        for (int y = y0; y < y1; ++y) {
+          for (int x = x0; x < x1; ++x) {
+            const img::GrayA8 px = p.at(x, y);
+            vmin = std::min(vmin, static_cast<int>(px.v));
+            vmax = std::max(vmax, static_cast<int>(px.v));
+            amin = std::min(amin, static_cast<int>(px.a));
+            amax = std::max(amax, static_cast<int>(px.a));
+          }
+        }
+        cell += (vmax - vmin) + (amax - amin);
+      }
+      worst = std::max(worst, cell);
+    }
+  }
+  // One LSB of box-average rounding per rank plus blend-tree drift.
+  worst += static_cast<int>(partials.size()) + 8;
+  return std::min(255, worst);
+}
+
+Rung step_down(Rung r, Rung floor) {
+  const int next = std::min(static_cast<int>(r) + 1, static_cast<int>(floor));
+  return static_cast<Rung>(std::max(next, static_cast<int>(r)));
+}
+
+Rung step_up(Rung r) {
+  if (r == Rung::kExact) return r;
+  return static_cast<Rung>(static_cast<int>(r) - 1);
+}
+
+int rung_error_bound(Rung r, const QualityPolicy& policy,
+                     std::span<const img::Image> partials) {
+  switch (r) {
+    case Rung::kExact: return 0;
+    case Rung::kApprox: return approx_error_bound(policy.saturation);
+    case Rung::kProgressive:
+      return progressive_error_bound(partials, policy.coarse_factor);
+    case Rung::kStale:
+    case Rung::kBlank: return 255;
+  }
+  return 255;
+}
+
+RungChoice enforce_contract(Rung proposed, const QualityPolicy& policy,
+                            std::span<const img::Image> partials) {
+  Rung r = std::min(proposed, policy.max_rung);
+  while (r != Rung::kExact) {
+    const int bound = rung_error_bound(r, policy, partials);
+    if (bound <= policy.max_error) return {r, bound};
+    r = step_up(r);
+  }
+  return {Rung::kExact, 0};
+}
+
+}  // namespace rtc::quality

@@ -61,13 +61,31 @@ void AdmissionController::offer(Session& s, const Request& r, double now,
   const int cap = s.config.queue_cap;
   RTC_CHECK_MSG(cap >= 1, "session queue cap must be at least 1");
   if (static_cast<int>(s.queue.size()) >= cap) {
-    if (policy_ == AdmissionPolicy::kRejectNew) {
+    if (quality_.degrade_before_shed && quality_.engaged()) {
+      // Degrade-before-shed: trade fidelity for completeness. Step the
+      // session's quality class one rung down (clamped at the policy's
+      // max_rung) and admit beyond the cap — the deeper classes serve
+      // faster, so the queue drains instead of overflowing, and no
+      // request is ever dropped.
+      const quality::Rung next =
+          quality::step_down(s.quality_class, quality_.max_rung);
+      if (next != s.quality_class) {
+        s.quality_class = next;
+        s.stats.quality_degrades += 1;
+        if (static_cast<int>(next) > s.stats.quality_floor)
+          s.stats.quality_floor = static_cast<int>(next);
+        if (record_spans_)
+          spans.push_back(instant(obs::SpanKind::kDegrade, s.id(),
+                                  static_cast<std::int64_t>(next), now));
+      }
+    } else if (policy_ == AdmissionPolicy::kRejectNew) {
       note_shed(s, now, kCauseReject, spans);
       return;
+    } else {
+      // kShedOldest: the front is the oldest — evict it to make room.
+      s.queue.pop_front();
+      note_shed(s, now, kCauseShedOldest, spans);
     }
-    // kShedOldest: the front is the oldest — evict it to make room.
-    s.queue.pop_front();
-    note_shed(s, now, kCauseShedOldest, spans);
   }
   s.queue.push_back(r);
   s.stats.admitted += 1;

@@ -13,6 +13,16 @@
 //     the queue as is. FIFO-fair: work already accepted is never
 //     abandoned.
 //
+// With a quality policy whose degrade_before_shed flag is set, a full
+// queue first steps the session's quality CLASS one rung down the
+// ladder (quality::step_down, clamped at the policy's max_rung) and
+// admits the newcomer beyond the cap — trading fidelity for
+// completeness instead of dropping work. The deeper classes serve
+// faster (kStale re-serves the session's last image in zero virtual
+// time), so the queue drains and the service loop steps the class
+// back up. Every step emits a kDegrade instant span and increments
+// SessionStats::quality_degrades.
+//
 // Both policies are pure functions of (queue state, request), so a
 // fixed arrival schedule always sheds the same requests — the service
 // goldens pin that. Every decision increments the session's counters
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "rtc/obs/span.hpp"
+#include "rtc/quality/quality.hpp"
 #include "rtc/service/session.hpp"
 
 namespace rtc::service {
@@ -41,8 +52,11 @@ enum class AdmissionPolicy {
 
 class AdmissionController {
  public:
-  explicit AdmissionController(AdmissionPolicy policy, bool record_spans)
-      : policy_(policy), record_spans_(record_spans) {}
+  explicit AdmissionController(AdmissionPolicy policy, bool record_spans,
+                               quality::QualityPolicy quality = {})
+      : policy_(policy),
+        record_spans_(record_spans),
+        quality_(quality) {}
 
   /// Offers `r` to its session's queue at virtual time `now`,
   /// applying the overload policy at the cap. Updates the session's
@@ -70,6 +84,7 @@ class AdmissionController {
 
   AdmissionPolicy policy_;
   bool record_spans_;
+  quality::QualityPolicy quality_;
 };
 
 }  // namespace rtc::service

@@ -9,6 +9,7 @@
 #include "rtc/common/check.hpp"
 #include "rtc/harness/scene.hpp"
 #include "rtc/harness/table.hpp"
+#include "rtc/quality/quality.hpp"
 
 namespace rtc::service {
 
@@ -60,6 +61,7 @@ void merge_rank(comm::RankStats& dst, const comm::RankStats& src,
   dst.deadline_misses += src.deadline_misses;
   dst.stale_tiles += src.stale_tiles;
   dst.stale_pixels += src.stale_pixels;
+  dst.approx_skipped_pixels += src.approx_skipped_pixels;
   dst.coherence_hits += src.coherence_hits;
   dst.coherence_misses += src.coherence_misses;
   dst.coherence_bytes_saved += src.coherence_bytes_saved;
@@ -129,7 +131,8 @@ ServiceResult run_service(const ServiceConfig& cfg) {
     sessions.emplace_back(s, sc, cfg.ranks);
   }
 
-  AdmissionController admission(cfg.admission, cfg.comp.record_spans);
+  AdmissionController admission(cfg.admission, cfg.comp.record_spans,
+                                cfg.comp.quality);
   RequestBatcher batcher(cfg.quant_deg);
   frames::FrameScheduler sched(cfg.max_in_flight);
 
@@ -144,6 +147,12 @@ ServiceResult run_service(const ServiceConfig& cfg) {
   const bool self_heal =
       cfg.comp.resilience.on_peer_loss ==
       comm::ResiliencePolicy::PeerLoss::kRecompose;
+  // An engaged quality ladder needs each submission's image — the
+  // kStale class re-serves a session's last frame — so it forces
+  // gathering even when the caller didn't ask to keep images. Gated on
+  // engaged(): plain runs keep their timings (the gather stage is part
+  // of the collective) byte-identical.
+  const bool gather = cfg.comp.gather || cfg.comp.quality.engaged();
   int ranks_eff = cfg.ranks;
   std::string method_eff = cfg.comp.method;
 
@@ -193,6 +202,79 @@ ServiceResult run_service(const ServiceConfig& cfg) {
       out.service_spans.push_back(b);
     }
 
+    // One rung up per clean dispatch once the session's queue drained
+    // to half its cap — the recovery half of degrade-before-shed.
+    // Deterministic: a pure function of queue state at dispatch.
+    const auto recover = [&](int session_id) {
+      Session& s = sessions[static_cast<std::size_t>(session_id)];
+      if (static_cast<int>(s.queue.size()) * 2 <= s.config.queue_cap)
+        s.quality_class = quality::step_up(s.quality_class);
+    };
+
+    // The batch executes at its LEAD's quality class. Stale/blank
+    // classes never render or composite: the session's last delivered
+    // image (or a blank frame) goes out in zero virtual time, which is
+    // what drains an overloaded queue without shedding.
+    const quality::Rung klass = lead.quality_class;
+    if (klass >= quality::Rung::kStale) {
+      const bool stale_serve = klass == quality::Rung::kStale &&
+                               lead.last_image.pixel_count() > 0;
+      Submission sub;
+      sub.lead_session = lead.id();
+      sub.riders = static_cast<int>(batch.riders.size());
+      sub.yaw_deg = batch.lead.yaw_deg;
+      sub.degraded = true;
+      sub.timing = sched.admit(0.0, 0.0, t);
+      if (cfg.comp.record_spans) {
+        obs::Span d;
+        d.kind = obs::SpanKind::kDegrade;
+        d.step = lead.id();
+        d.aux = static_cast<std::int64_t>(klass);
+        d.v_begin = t;
+        d.v_end = t;
+        d.frame = submission;
+        out.service_spans.push_back(d);
+      }
+      const std::int64_t px =
+          static_cast<std::int64_t>(cfg.image_size) * cfg.image_size;
+      const auto deliver_instant = [&](const Request& r) {
+        Session& s = sessions[static_cast<std::size_t>(r.session)];
+        Delivery d;
+        d.session = r.session;
+        d.seq = r.seq;
+        d.submission = submission;
+        d.arrival = r.arrival;
+        d.done = sub.timing.composite_end;
+        d.degraded = true;
+        out.deliveries.push_back(d);
+        s.stats.delivered += 1;
+        s.stats.latency_sum += d.latency();
+        if (d.latency() > s.stats.latency_max)
+          s.stats.latency_max = d.latency();
+        s.stats.degraded += 1;
+        if (static_cast<int>(klass) > s.stats.quality_floor)
+          s.stats.quality_floor = static_cast<int>(klass);
+        if (stale_serve) s.stats.stale_pixels += px;
+        // A-priori bound of the stale/blank rungs; nothing measured
+        // here since no reference was composited.
+        s.stats.max_pixel_error = 255;
+      };
+      deliver_instant(batch.lead);
+      for (const Request& r : batch.riders) deliver_instant(r);
+      recover(batch.lead.session);
+      for (const Request& r : batch.riders) recover(r.session);
+      if (static_cast<int>(klass) > out.stats.quality_rung)
+        out.stats.quality_rung = static_cast<int>(klass);
+      if (out.stats.error_bound < 255) out.stats.error_bound = 255;
+      if (gather) {
+        sub.image = stale_serve ? lead.last_image
+                                : img::Image(cfg.image_size, cfg.image_size);
+      }
+      out.submissions.push_back(std::move(sub));
+      ++submission;
+      continue;
+    }
+
     Submission sub;
     sub.lead_session = lead.id();
     sub.riders = static_cast<int>(batch.riders.size());
@@ -211,6 +293,7 @@ ServiceResult run_service(const ServiceConfig& cfg) {
 
     harness::CompositionConfig c = cfg.comp;
     c.method = method_eff;
+    c.gather = gather;
     c.coherence = cfg.coherence ? lead.cache.get() : nullptr;
     c.frame_id = submission;
     // Seq-epoch budget is 32 - kSeqEpochBits bits; wrapping keeps
@@ -219,6 +302,10 @@ ServiceResult run_service(const ServiceConfig& cfg) {
     // frame epochs).
     c.seq_epoch = static_cast<std::uint32_t>(submission) & 0xfffu;
     c.stale = c.deadline > 0.0 ? lead.stale.get() : nullptr;
+    // Approx/progressive classes run through the normal collective;
+    // run_composition re-enforces the error contract against the
+    // actual partials and may demote further.
+    c.quality_rung = klass;
     // Fault isolation: the injected wire/crash schedule applies to one
     // submission; chronic fail-slow faults (slows, jitters) survive —
     // they model a degraded node, not an event.
@@ -244,6 +331,11 @@ ServiceResult run_service(const ServiceConfig& cfg) {
                  sub.timing.composite_start, submission);
     if (run.stats.max_pixel_error > out.stats.max_pixel_error)
       out.stats.max_pixel_error = run.stats.max_pixel_error;
+    if (run.stats.quality_rung > out.stats.quality_rung)
+      out.stats.quality_rung = run.stats.quality_rung;
+    if (run.stats.error_bound > out.stats.error_bound)
+      out.stats.error_bound = run.stats.error_bound;
+    out.stats.coarse_pixels += run.stats.coarse_pixels;
 
     if (cfg.comp.record_spans) {
       const frames::FrameTiming& ft = sub.timing;
@@ -274,9 +366,25 @@ ServiceResult run_service(const ServiceConfig& cfg) {
       if (d.latency() > s.stats.latency_max)
         s.stats.latency_max = d.latency();
       if (sub.degraded) s.stats.degraded += 1;
+      // Quality/staleness attribution: every delivered client received
+      // this submission's frame, so each carries its error numbers.
+      if (run.stats.quality_rung > s.stats.quality_floor)
+        s.stats.quality_floor = run.stats.quality_rung;
+      if (run.stats.max_pixel_error > s.stats.max_pixel_error)
+        s.stats.max_pixel_error = run.stats.max_pixel_error;
+      s.stats.stale_pixels += run.stats.total_stale_pixels();
     };
     deliver(batch.lead);
     for (const Request& r : batch.riders) deliver(r);
+    recover(batch.lead.session);
+    for (const Request& r : batch.riders) recover(r.session);
+    // Remember the frame for each served session: the kStale class
+    // re-serves it instantly under overload.
+    if (gather && run.image.pixel_count() > 0) {
+      lead.last_image = run.image;
+      for (const Request& r : batch.riders)
+        sessions[static_cast<std::size_t>(r.session)].last_image = run.image;
+    }
 
     out.recomposes += run.stats.total_recomposes();
     if (run.stats.max_membership_epoch() > out.max_epoch)
@@ -298,7 +406,7 @@ ServiceResult run_service(const ServiceConfig& cfg) {
       }
     }
 
-    if (cfg.comp.gather) sub.image = std::move(run.image);
+    if (gather) sub.image = std::move(run.image);
     out.submissions.push_back(std::move(sub));
     ++submission;
   }
@@ -312,9 +420,12 @@ ServiceResult run_service(const ServiceConfig& cfg) {
 
 void print_service(std::ostream& os, const ServiceConfig& cfg,
                    const ServiceResult& res) {
+  // New columns append after the legacy ones so downstream parsers
+  // keyed on column position (the chaos harness reads "degr" at $9)
+  // keep working.
   harness::Table t({"session", "prio", "arrived", "admitted", "dropped",
                     "delivered", "led", "joined", "degr", "q-peak",
-                    "lat mean", "lat max"});
+                    "lat mean", "lat max", "stale_px", "max_err"});
   for (const comm::SessionStats& s : res.stats.sessions) {
     t.add_row({std::to_string(s.session), std::to_string(s.priority),
                std::to_string(s.arrivals), std::to_string(s.admitted),
@@ -323,7 +434,9 @@ void print_service(std::ostream& os, const ServiceConfig& cfg,
                std::to_string(s.batches_joined), std::to_string(s.degraded),
                std::to_string(s.queue_peak),
                harness::Table::num(s.latency_mean(), 4),
-               harness::Table::num(s.latency_max, 4)});
+               harness::Table::num(s.latency_max, 4),
+               std::to_string(s.stale_pixels),
+               std::to_string(s.max_pixel_error)});
   }
   t.print(os);
   const std::int64_t coalesced = res.stats.total_batches_joined();
@@ -358,6 +471,20 @@ void print_service(std::ostream& os, const ServiceConfig& cfg,
     os << "recovery: " << res.ranks_lost << " rank(s) lost, "
        << res.recomposes << " recomposition pass(es), membership epoch "
        << res.max_epoch << "\n";
+  // Quality-ladder report only when the ladder moved, so clean runs
+  // keep the legacy format byte-for-byte.
+  if (res.stats.quality_rung != 0 ||
+      res.stats.total_session_quality_degrades() > 0) {
+    os << "quality: "
+       << res.stats.total_session_quality_degrades()
+       << " class step(s), floor "
+       << quality::rung_name(static_cast<quality::Rung>(
+              std::max(res.stats.quality_rung,
+                       res.stats.session_quality_floor())))
+       << ", bound " << res.stats.error_bound << ", err "
+       << res.stats.max_pixel_error << ", stale_px "
+       << res.stats.total_session_stale_pixels() << "\n";
+  }
 }
 
 }  // namespace rtc::service

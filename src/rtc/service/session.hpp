@@ -35,6 +35,8 @@
 #include "rtc/comm/stale.hpp"
 #include "rtc/comm/stats.hpp"
 #include "rtc/frames/coherence.hpp"
+#include "rtc/image/image.hpp"
+#include "rtc/quality/quality.hpp"
 
 namespace rtc::service {
 
@@ -89,6 +91,17 @@ class Session {
   std::unique_ptr<frames::CoherenceCache> cache;
   std::unique_ptr<comm::StaleStore> stale;
   comm::SessionStats stats;
+  /// Quality-ladder class the session is currently served at. The
+  /// AdmissionController steps it DOWN (toward the policy's max_rung)
+  /// instead of shedding under --degrade-before-shed; the service loop
+  /// steps it back UP one rung per dispatch once the session's queue
+  /// drains to half its cap. kExact unless the policy engages.
+  quality::Rung quality_class = quality::Rung::kExact;
+  /// Last image delivered to this session (copied when the submission
+  /// gathered). The kStale class serves it again instantly — zero
+  /// render, zero composite — which is what drains an overloaded
+  /// queue without shedding.
+  img::Image last_image;
 };
 
 }  // namespace rtc::service

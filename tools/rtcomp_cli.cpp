@@ -22,6 +22,9 @@
 //                   [--circuit-breaker-threshold N] [--breaker-cooldown S]
 //                   [--relay] [--straggler-multiple X]
 //                   [--straggler-window N] [--hedge] [--deadline S]
+//                   [--quality exact|approx|progressive|stale|blank]
+//                   [--max-error N] [--progressive FACTOR]
+//                   [--saturation S]
 //     multi-frame (camera sweep through the frame pipeline):
 //                   --frames K [--sweep DEG] [--max-in-flight M]
 //                   [--no-coherence] [--stream frames.pgms]
@@ -34,6 +37,7 @@
 //                   [--quant DEG] [--yaw-step DEG]
 //                   [--priority-classes C] [--max-in-flight M]
 //                   [--no-coherence] [--fault-submission K]
+//                   [--degrade-before-shed]
 //   rtcomp schedule --ranks 3 --blocks 4 [--variant n|2n|any]
 //   rtcomp predict  --ranks 32 --blocks 4 [--pixels 262144]
 //                   [--ts 0.0035] [--tp 1e-7] [--to 2.5e-7]
@@ -78,7 +82,8 @@ class Args {
         continue;
       }
       if (key == "mip" || key == "no-coherence" || key == "relay" ||
-          key == "hedge" || key == "service") {
+          key == "hedge" || key == "service" ||
+          key == "degrade-before-shed") {
         kv_[key] = "1";
         continue;
       }
@@ -309,6 +314,52 @@ int parse_fault_flags(const Args& a, harness::CompositionConfig& cfg) {
   return 0;
 }
 
+/// Quality-ladder flags shared by the single-shot, multi-frame and
+/// service render paths (docs/quality.md). Defaults keep the ladder
+/// off: without --quality the composition runs the exact rung only and
+/// every output stays byte-identical. Returns 0, or 2 on a usage
+/// error.
+int parse_quality_flags(const Args& a, harness::CompositionConfig& cfg) {
+  if (a.has("quality")) {
+    const std::string name = a.get("quality", "");
+    const auto rung = quality::parse_rung(name);
+    if (!rung) {
+      std::cerr << "unknown --quality: " << name
+                << " (expected exact, approx, progressive, stale or "
+                   "blank)\n";
+      return 2;
+    }
+    cfg.quality.max_rung = *rung;
+  }
+  if (a.has("max-error")) {
+    const int e = a.get_int("max-error", 255);
+    if (e < 0 || e > 255) {
+      std::cerr << "bad value for --max-error: want 0..255\n";
+      return 2;
+    }
+    cfg.quality.max_error = e;
+  }
+  if (a.has("progressive")) {
+    const int f = a.get_int("progressive", 4);
+    if (f < 2) {
+      std::cerr << "bad value for --progressive: want a downsample "
+                   "factor >= 2\n";
+      return 2;
+    }
+    cfg.quality.coarse_factor = f;
+  }
+  if (a.has("saturation")) {
+    const int s = a.get_int("saturation", 240);
+    if (s < 128 || s > 255) {
+      std::cerr << "bad value for --saturation: want 128..255\n";
+      return 2;
+    }
+    cfg.quality.saturation = s;
+  }
+  cfg.quality.degrade_before_shed = a.has("degrade-before-shed");
+  return 0;
+}
+
 /// --service: drive the render-service front end (service::run_service)
 /// — N sessions of seeded synthetic traffic with admission control and
 /// request batching — instead of one sweep or single shot.
@@ -380,6 +431,12 @@ int cmd_render_service(const Args& a) {
     sc.comp.net = comm::paper_example_model();
   if (const int rc = parse_scaling_flags(a, sc.comp); rc != 0) return rc;
   if (const int rc = parse_fault_flags(a, sc.comp); rc != 0) return rc;
+  if (const int rc = parse_quality_flags(a, sc.comp); rc != 0) return rc;
+  if (sc.comp.quality.degrade_before_shed && !sc.comp.quality.engaged()) {
+    std::cerr << "--degrade-before-shed needs a quality ladder: pass "
+                 "--quality approx|progressive|stale|blank\n";
+    return 2;
+  }
 
   const service::ServiceResult res = service::run_service(sc);
   std::cout << "render service over '" << sc.dataset << "', " << sc.ranks
@@ -437,6 +494,11 @@ int cmd_render_frames(const Args& a) {
     pc.comp.net = comm::paper_example_model();
   if (const int rc = parse_scaling_flags(a, pc.comp); rc != 0) return rc;
   if (const int rc = parse_fault_flags(a, pc.comp); rc != 0) return rc;
+  if (const int rc = parse_quality_flags(a, pc.comp); rc != 0) return rc;
+  if (pc.comp.quality.degrade_before_shed) {
+    std::cerr << "--degrade-before-shed needs --service\n";
+    return 2;
+  }
   pc.deadline = pc.comp.deadline;
 
   std::ofstream stream;
@@ -532,6 +594,20 @@ int cmd_render(const Args& a) {
 
   if (const int rc = parse_scaling_flags(a, cfg); rc != 0) return rc;
   if (const int rc = parse_fault_flags(a, cfg); rc != 0) return rc;
+  if (const int rc = parse_quality_flags(a, cfg); rc != 0) return rc;
+  if (cfg.quality.max_rung >= quality::Rung::kStale) {
+    std::cerr << "--quality " << quality::rung_name(cfg.quality.max_rung)
+              << " needs --frames or --service (stale and blank are "
+                 "frame-level rungs)\n";
+    return 2;
+  }
+  if (cfg.quality.degrade_before_shed) {
+    std::cerr << "--degrade-before-shed needs --service\n";
+    return 2;
+  }
+  // Single shot has no pressure history: execute the requested rung
+  // directly (the error contract may still demote it toward exact).
+  cfg.quality_rung = cfg.quality.max_rung;
 
   const harness::CompositionRun run =
       harness::run_composition(cfg, partials);
@@ -550,6 +626,18 @@ int cmd_render(const Args& a) {
     if (run.degraded)
       std::cout << "degraded result:  " << run.lost_pixels
                 << " pixels substituted blank\n";
+  }
+  // Quality line only when a rung below exact executed, so plain runs
+  // keep the legacy output byte-for-byte.
+  if (run.stats.quality_rung != 0) {
+    std::cout << "quality:          "
+              << quality::rung_name(
+                     static_cast<quality::Rung>(run.stats.quality_rung))
+              << " rung, bound " << run.stats.error_bound
+              << ", measured err " << run.stats.max_pixel_error << "\n";
+    if (run.first_light > 0.0)
+      std::cout << "first light:      " << run.first_light
+                << " s (virtual)\n";
   }
 
   const std::string out = a.get("out", "");
